@@ -1,0 +1,66 @@
+"""Ablation: alpha strategy (paper default vs uniform vs lazy Metropolis).
+
+The diffusion speed is governed by the spectral gap of M, which the alpha
+choice controls.  Expected on a regular torus: the paper default
+``1/(max(d_i,d_j)+1) = 1/5`` beats the lazier choices (``1/(2d) = 1/8``,
+uniform ``1/(gamma d)``) because larger alphas close the gap faster.
+"""
+
+import numpy as np
+
+from repro import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    Simulator,
+    point_load,
+    second_largest_eigenvalue,
+    torus_2d,
+)
+from repro.analysis import convergence_round
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+STRATEGIES = ["max-degree-plus-one", "lazy-metropolis", "uniform"]
+
+
+def _sweep(side=24, rounds=4000):
+    topo = torus_2d(side, side)
+    load = point_load(topo, 1000 * topo.n)
+    out = {}
+    for name in STRATEGIES:
+        scheme = FirstOrderScheme(topo, alphas=name)
+        lam = second_largest_eigenvalue(topo, alphas=name)
+        proc = LoadBalancingProcess(
+            scheme, rounding="randomized-excess", rng=np.random.default_rng(0)
+        )
+        result = Simulator(proc).run(load, rounds)
+        out[name] = {
+            "lambda": lam,
+            "rounds_to_50": convergence_round(result, threshold=50.0, sustained=3),
+        }
+    return out
+
+
+def test_ablation_alpha(benchmark, archive):
+    results = run_once(benchmark, _sweep)
+    archive(ExperimentRecord(name="ablation_alpha", summary=results))
+
+    print()
+    print(
+        format_table(
+            ["alpha strategy", "lambda", "rounds to max-avg <= 50"],
+            [[k, v["lambda"], v["rounds_to_50"]] for k, v in results.items()],
+            title="alpha ablation (FOS, 24x24 torus)",
+        )
+    )
+
+    default = results["max-degree-plus-one"]
+    assert default["rounds_to_50"] is not None
+    for name in ("lazy-metropolis", "uniform"):
+        other = results[name]
+        # Larger gap -> faster convergence for the paper default.
+        assert default["lambda"] <= other["lambda"] + 1e-12
+        if other["rounds_to_50"] is not None:
+            assert default["rounds_to_50"] <= other["rounds_to_50"] + 5

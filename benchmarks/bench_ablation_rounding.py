@@ -1,0 +1,80 @@
+"""Ablation: rounding scheme choice (floor vs unbiased vs excess-token).
+
+DESIGN.md design-choice bench.  Expected ordering on the torus:
+
+* ``floor`` is biased — its residual plateau is the worst,
+* ``unbiased-edge`` and the paper's ``randomized-excess`` reach similar
+  small plateaus (both unbiased), but the excess scheme caps each node's
+  overshoot by its excess budget,
+* the idealized run lower-bounds everyone.
+"""
+
+import numpy as np
+
+from repro import (
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import remaining_imbalance
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+ROUNDINGS = ["identity", "floor", "nearest", "unbiased-edge", "randomized-excess"]
+
+
+def _ablation(side=48, rounds=1500):
+    topo = torus_2d(side, side)
+    beta = beta_opt(torus_lambda((side, side)))
+    load = point_load(topo, 1000 * topo.n)
+    out = {}
+    for key in ROUNDINGS:
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding=key,
+            rng=np.random.default_rng(0),
+        )
+        result = Simulator(proc).run(load, rounds)
+        stats = remaining_imbalance(result)
+        out[key] = {
+            "plateau_max_minus_avg": stats.mean,
+            "final_max_minus_avg": result.records[-1].max_minus_avg,
+            "min_transient": result.min_transient_overall,
+        }
+    return out
+
+
+def test_ablation_rounding(benchmark, archive):
+    results = run_once(benchmark, _ablation)
+    archive(ExperimentRecord(name="ablation_rounding", summary=results))
+
+    print()
+    print(
+        format_table(
+            ["rounding", "plateau max-avg", "final max-avg", "min transient"],
+            [
+                [k, v["plateau_max_minus_avg"], v["final_max_minus_avg"],
+                 v["min_transient"]]
+                for k, v in results.items()
+            ],
+            title="Rounding ablation (SOS, 48x48 torus)",
+        )
+    )
+
+    # Identity is the lower bound; floor is the worst discrete scheme.
+    assert results["identity"]["plateau_max_minus_avg"] <= min(
+        v["plateau_max_minus_avg"] for k, v in results.items() if k != "identity"
+    ) + 1e-9
+    assert (
+        results["floor"]["plateau_max_minus_avg"]
+        >= results["randomized-excess"]["plateau_max_minus_avg"] - 2.0
+    )
+    # Unbiased schemes land on small plateaus.
+    assert results["randomized-excess"]["plateau_max_minus_avg"] < 40.0
+    assert results["unbiased-edge"]["plateau_max_minus_avg"] < 40.0

@@ -1,0 +1,83 @@
+"""Baseline comparison: diffusion (FOS/SOS) vs matching-based balancing.
+
+The paper's algorithms balance with *all* neighbours each round; the
+classical alternative ([17], dimension exchange) activates one matching per
+round.  Expected ordering on the torus: SOS beats everything; matching
+schemes land between FOS and SOS per-round (they move less load per round
+but mix faster per edge activation); all discrete variants plateau at a
+small residual.
+"""
+
+import numpy as np
+
+from repro import (
+    ChebyshevScheme,
+    DimensionExchangeScheme,
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    RandomMatchingScheme,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import convergence_round, remaining_imbalance
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+
+def _comparison(side=32, rounds=4000):
+    topo = torus_2d(side, side)
+    lam = torus_lambda((side, side))
+    load = point_load(topo, 1000 * topo.n)
+    schemes = {
+        "sos": SecondOrderScheme(topo, beta=beta_opt(lam)),
+        "chebyshev": ChebyshevScheme(topo, lam),
+        "fos": FirstOrderScheme(topo),
+        "random-matching": RandomMatchingScheme(topo, seed=0),
+        "dimension-exchange": DimensionExchangeScheme(topo),
+    }
+    out = {}
+    for name, scheme in schemes.items():
+        proc = LoadBalancingProcess(
+            scheme, rounding="randomized-excess", rng=np.random.default_rng(0)
+        )
+        result = Simulator(proc).run(load, rounds)
+        out[name] = {
+            "rounds_to_10": convergence_round(result, threshold=10.0, sustained=3),
+            "plateau": remaining_imbalance(result).mean,
+        }
+    return out
+
+
+def test_baseline_matching(benchmark, archive):
+    results = run_once(benchmark, _comparison)
+    archive(ExperimentRecord(name="baseline_matching", summary=results))
+
+    print()
+    print(
+        format_table(
+            ["scheme", "rounds to max-avg <= 10", "plateau"],
+            [[k, v["rounds_to_10"], v["plateau"]] for k, v in results.items()],
+            title="diffusion vs matching baselines (32x32 torus)",
+        )
+    )
+
+    sos = results["sos"]["rounds_to_10"]
+    assert sos is not None
+    # The second-order family (SOS / Chebyshev) is the fastest; Chebyshev's
+    # optimal transient may shave a few rounds off fixed-beta SOS.
+    for name, v in results.items():
+        if name in ("sos", "chebyshev"):
+            continue
+        if v["rounds_to_10"] is not None:
+            assert v["rounds_to_10"] >= sos
+    cheb = results["chebyshev"]["rounds_to_10"]
+    assert cheb is not None and cheb <= sos + 10
+    # Every scheme that converged plateaus at a small residual.
+    for v in results.values():
+        assert v["plateau"] < 40.0

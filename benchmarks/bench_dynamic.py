@@ -1,0 +1,81 @@
+"""Extension bench: steady-state imbalance under online arrivals.
+
+Not a paper figure — the dynamic-workload extension motivated by the
+paper's introduction.  Expected: under steady Poisson churn the SOS
+balancer holds the imbalance at a small constant independent of how long
+the system runs, and it recovers from bursts within the static
+convergence time.
+"""
+
+import numpy as np
+
+from repro import (
+    BurstArrivals,
+    DynamicSimulator,
+    LoadBalancingProcess,
+    PoissonArrivals,
+    SecondOrderScheme,
+    beta_opt,
+    torus_2d,
+    torus_lambda,
+    uniform_load,
+)
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+
+def _dynamic_experiment(side=24, rounds=800):
+    topo = torus_2d(side, side)
+    beta = beta_opt(torus_lambda((side, side)))
+    base = uniform_load(topo, 100)
+
+    def run(model):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        return DynamicSimulator(proc, model, rng=np.random.default_rng(1)).run(
+            base, rounds
+        )
+
+    churn = run(PoissonArrivals(rate=5.0, departure_rate=5.0))
+    burst = run(BurstArrivals(burst=20_000, period=200))
+    burst_series = burst.series("max_minus_avg")
+
+    # Recovery time after the burst at round 200.
+    post = burst_series[201:]
+    recovered = np.nonzero(post < 30.0)[0]
+    recovery = int(recovered[0]) if recovered.size else None
+
+    return {
+        "churn_steady_state": churn.steady_state_imbalance(),
+        "churn_first_half": float(
+            churn.series("max_minus_avg")[: rounds // 2].mean()
+        ),
+        "burst_peak": float(burst_series[195:215].max()),
+        "burst_recovery_rounds": recovery,
+    }
+
+
+def test_dynamic(benchmark, archive):
+    s = run_once(benchmark, _dynamic_experiment)
+    archive(ExperimentRecord(name="dynamic", summary=s))
+
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in s.items()],
+            title="dynamic workloads (SOS, 24x24 torus)",
+        )
+    )
+
+    # Bounded steady state: the tail is no worse than the early phase.
+    assert s["churn_steady_state"] < 60.0
+    assert s["churn_steady_state"] < 2.0 * s["churn_first_half"] + 10.0
+    # Bursts are absorbed quickly.
+    assert s["burst_recovery_rounds"] is not None
+    assert s["burst_recovery_rounds"] < 150

@@ -1,0 +1,72 @@
+"""Engine comparison: vectorised matrix engine vs message-passing substrate.
+
+Both implement the identical protocol (the equivalence tests prove trace
+equality); this bench quantifies the abstraction cost of the per-node
+message-passing implementation and re-checks agreement on the fly.
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    point_load,
+    torus_2d,
+)
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+from repro.network import SyncNetwork
+
+from _helpers import run_once
+
+SIDE = 16
+ROUNDS = 60
+
+
+def _run_both():
+    topo = torus_2d(SIDE, SIDE)
+    load = point_load(topo, 1000 * topo.n)
+
+    t0 = time.perf_counter()
+    proc = LoadBalancingProcess(
+        SecondOrderScheme(topo, beta=1.7), rounding="nearest"
+    )
+    state = proc.run(load, ROUNDS)
+    t_matrix = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    net = SyncNetwork(topo, load, scheme="sos", beta=1.7, rounding="nearest")
+    net.run(ROUNDS)
+    t_network = time.perf_counter() - t0
+
+    agree = bool(np.array_equal(net.loads(), state.load))
+    return {
+        "matrix_seconds": t_matrix,
+        "message_passing_seconds": t_network,
+        "slowdown": t_network / max(t_matrix, 1e-12),
+        "traces_agree": agree,
+        "n": topo.n,
+        "rounds": ROUNDS,
+    }
+
+
+def test_engines(benchmark, archive):
+    s = run_once(benchmark, _run_both)
+    archive(ExperimentRecord(name="engines", summary=s))
+
+    print()
+    print(
+        format_table(
+            ["engine", "seconds"],
+            [
+                ["matrix (vectorised)", s["matrix_seconds"]],
+                ["message passing", s["message_passing_seconds"]],
+            ],
+            title=f"engine comparison ({s['n']} nodes x {s['rounds']} rounds, "
+                  f"slowdown {s['slowdown']:.0f}x)",
+        )
+    )
+    assert s["traces_agree"]
+    assert s["matrix_seconds"] < s["message_passing_seconds"]

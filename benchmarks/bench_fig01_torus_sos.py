@@ -1,0 +1,28 @@
+"""Figure 1: SOS metrics on the torus, with the FOS curve as comparison.
+
+Paper shape: SOS drives the maximum excess below ~10 tokens within the
+exponential-decay horizon while FOS is nowhere close within the same
+number of rounds ("a clear advantage of SOS over FOS w.r.t. the number of
+steps required"); the SOS residual then plateaus at a small constant.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig01(benchmark, bench_scale, archive):
+    record = run_once(
+        benchmark, figures.fig01_torus_sos_vs_fos, scale=bench_scale
+    )
+    archive(record)
+
+    sos_round = record.summary["sos_round_below_10"]
+    fos_round = record.summary["fos_round_below_10"]
+    assert sos_round is not None, "SOS must converge within the horizon"
+    # FOS is far slower on the torus: either it never converged within the
+    # horizon or it took several times longer.
+    if fos_round is not None:
+        assert fos_round > 2 * sos_round
+    # The discrete residual plateau is a small constant (paper: ~10 tokens).
+    assert record.summary["sos_plateau_max_minus_avg"] < 40.0

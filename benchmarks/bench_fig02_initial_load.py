@@ -1,0 +1,23 @@
+"""Figure 2: initial average loads 10 / 100 / 1000 on the torus.
+
+Paper shape: "the amount of initial load does only have limited impact on
+the behavior of the simulation, especially once the system has converged" —
+all three curves plateau at the same few-token residual.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig02(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig02_initial_load, scale=bench_scale)
+    archive(record)
+
+    plateaus = [
+        record.summary[f"avg{avg}_plateau"] for avg in record.params["averages"]
+    ]
+    # All plateaus are small constants, independent of the total load.
+    for p in plateaus:
+        assert p < 40.0
+    assert max(plateaus) - min(plateaus) < 25.0

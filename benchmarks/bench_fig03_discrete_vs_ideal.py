@@ -1,0 +1,28 @@
+"""Figure 3: SOS vs FOS — discrete randomized rounding and idealized runs.
+
+Paper shape: the ordering (SOS beats FOS on the torus) is the same in both
+the discrete and the idealized setting; the idealized runs keep improving
+below the discrete plateau because no rounding noise remains.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig03(benchmark, bench_scale, archive):
+    record = run_once(
+        benchmark, figures.fig03_discrete_vs_ideal, scale=bench_scale
+    )
+    archive(record)
+
+    s = record.summary
+    # SOS converges within the horizon in both settings.
+    assert s["discrete_sos_round_below_10"] is not None
+    assert s["ideal_sos_round_below_10"] is not None
+    # Idealized SOS ends far below the discrete plateau.
+    assert s["ideal_sos_final"] < 1.0
+    assert s["discrete_sos_final"] < 40.0
+    # FOS lags SOS in the idealized setting too.
+    if s["ideal_fos_round_below_10"] is not None:
+        assert s["ideal_fos_round_below_10"] > s["ideal_sos_round_below_10"]

@@ -1,0 +1,26 @@
+"""Figures 4/5: switching from SOS to FOS after the decay phase.
+
+Paper shape: pure SOS never drops below ~10 tokens of residual; after the
+synchronous switch to FOS both the local difference (paper: -> ~4) and the
+max-minus-average (paper: -> ~7) fall significantly below the SOS plateau.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig04_05(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig04_05_switching, scale=bench_scale)
+    archive(record)
+
+    s = record.summary
+    sos_plateau = s["sos_only_plateau_max_minus_avg"]
+    sos_local = s["sos_only_plateau_local_diff"]
+    for switch in record.params["switch_rounds"]:
+        # Switching drops (or at least never worsens) both residuals.
+        assert s[f"switch{switch}_final_max_minus_avg"] <= sos_plateau + 1.0
+        assert s[f"switch{switch}_final_local_diff"] <= sos_local + 1.0
+    first = record.params["switch_rounds"][0]
+    # The drop is substantial: at least ~30% below the SOS plateau.
+    assert s[f"switch{first}_final_max_minus_avg"] < 0.7 * sos_plateau + 2.0

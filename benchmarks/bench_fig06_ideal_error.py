@@ -1,0 +1,23 @@
+"""Figure 6: idealized vs randomized-rounding SOS; float drift of the total.
+
+Paper shape: the idealized double-precision scheme keeps improving to
+(numerically) perfect balance, while the discrete scheme plateaus; the
+absolute error of the idealized scheme's *total* load stays tiny (the paper
+plots it around 1e-8..1e-4 for a 10^9 total) — quantisation noise only.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig06(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig06_ideal_error, scale=bench_scale)
+    archive(record)
+
+    total = record.params["n"] * 1000.0
+    # Relative drift of the conserved total is at floating-point level.
+    assert record.summary["max_total_drift"] < 1e-9 * total
+    # Idealized run ends essentially balanced; discrete plateaus.
+    assert record.summary["ideal_final"] < 1.0
+    assert record.summary["discrete_plateau"] < 40.0

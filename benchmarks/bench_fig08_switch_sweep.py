@@ -1,0 +1,27 @@
+"""Figure 8: sweep of the SOS->FOS switch round on the 100x100 torus.
+
+Paper shape: independent of where the switch happens (300/500/700/900),
+a significant drop of the maximum load follows; all switched runs end below
+the pure-SOS residual.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig08(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig08_switch_sweep, scale=bench_scale)
+    archive(record)
+
+    s = record.summary
+    sos_final = s["sos_only_final"]
+    finals = [
+        s[f"fos{switch}_final"] for switch in record.params["switch_rounds"]
+    ]
+    for final in finals:
+        assert final <= sos_final + 1.0
+    # The late switches perform as well as the early ones (paper: "there is
+    # no difference in the behavior ... when switching in some consecutive
+    # round r >= R").
+    assert max(finals) - min(finals) < 6.0

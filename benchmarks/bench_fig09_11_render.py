@@ -1,0 +1,35 @@
+"""Figures 9-11: raster renders of the torus load (wavefronts, FOS smoothing).
+
+Paper shape: adaptive-shading snapshots show circular wavefronts spreading
+from the loaded corner; in threshold shading the picture gets *whiter* after
+switching to FOS (every node ends within ~10 tokens of optimal, versus the
+noisy SOS frame).
+"""
+
+import os
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+OUT = os.path.join(os.path.dirname(__file__), "out", "frames")
+
+
+def test_fig09_11(benchmark, bench_scale, archive):
+    record = run_once(
+        benchmark, figures.fig09_11_renders, scale=bench_scale, directory=OUT
+    )
+    archive(record)
+
+    assert record.summary["frames_written"] >= 5
+    # FOS smooths the residual noise: at least as many optimal (white)
+    # pixels after the switch as before.
+    assert (
+        record.summary["white_fraction_after_switch"]
+        >= record.summary["white_fraction_before_switch"] - 0.02
+    )
+    # Files exist and are valid PGMs.
+    pgms = [f for f in os.listdir(OUT) if f.endswith(".pgm")]
+    assert len(pgms) >= 5
+    with open(os.path.join(OUT, pgms[0]), "rb") as handle:
+        assert handle.read(2) == b"P5"

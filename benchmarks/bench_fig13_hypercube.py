@@ -1,0 +1,24 @@
+"""Figure 13: hypercube.
+
+Paper shape: like the random graph, the hypercube's spectral gap
+(lambda = 1 - 2/(k+1)) is large enough that SOS brings only a modest
+speed-up over FOS, and the residual imbalance of FOS is within one token
+of the SOS residual.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig13(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig13_hypercube, scale=bench_scale)
+    archive(record)
+
+    s = record.summary
+    assert s["sos_round_below_10"] is not None
+    assert s["fos_round_below_10"] is not None
+    # Modest speed-up on the hypercube (paper: "negligible difference").
+    assert s["measured_speedup"] < 4.0
+    # Hybrid ends at least as well as pure SOS.
+    assert s["hybrid_final"] <= s["sos_plateau"] + 2.0

@@ -1,0 +1,26 @@
+"""Figure 14: random geometric graph.
+
+Paper shape: "the behavior of FOS and SOS in these graphs is very similar
+to the behavior in the torus graphs" — a clear SOS advantage (the RGG has a
+small spectral gap like the torus), a plateau, and a further drop when
+switching to FOS.
+"""
+
+from repro.experiments import figures
+
+from _helpers import run_once
+
+
+def test_fig14(benchmark, bench_scale, archive):
+    record = run_once(benchmark, figures.fig14_rgg, scale=bench_scale)
+    archive(record)
+
+    s = record.summary
+    assert s["sos_round_below_10"] is not None
+    # Torus-like: a real SOS advantage, unlike the CM graph/hypercube.
+    if s["fos_round_below_10"] is not None and s["measured_speedup"] is not None:
+        assert s["measured_speedup"] > 1.3
+    else:
+        # FOS did not even converge within the horizon.
+        assert s["fos_round_below_10"] is None
+    assert s["hybrid_final"] <= s["sos_plateau"] + 2.0

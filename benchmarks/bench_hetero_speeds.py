@@ -1,0 +1,86 @@
+"""Heterogeneous networks: residual imbalance and deviation vs s_max.
+
+The paper's deviation bounds grow with ``log s_max`` (Theorems 4/9).  This
+bench sweeps the maximum speed in a two-class cluster and reports the
+measured residual (relative to speed-proportional targets) and the measured
+deviation from the continuous process, checking the ``log s_max`` shape
+(doubling s_max must not double the deviation).
+"""
+
+import numpy as np
+
+from repro import (
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    run_paired,
+    second_largest_eigenvalue,
+    target_loads,
+    torus_2d,
+    two_class_speeds,
+)
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+S_MAX_VALUES = [1.0, 4.0, 16.0]
+
+
+def _sweep(side=16, rounds=600):
+    topo = torus_2d(side, side)
+    out = {}
+    for s_max in S_MAX_VALUES:
+        rng = np.random.default_rng(3)
+        if s_max == 1.0:
+            speeds = np.ones(topo.n)
+        else:
+            speeds = two_class_speeds(
+                topo.n, fast_fraction=0.2, fast_speed=s_max, rng=rng
+            )
+        lam = second_largest_eigenvalue(topo, speeds)
+        beta = beta_opt(lam)
+        load = point_load(topo, 1000 * topo.n)
+        targets = target_loads(float(load.sum()), speeds)
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta, speeds=speeds),
+            rounding="randomized-excess",
+            rng=rng,
+        )
+        result = Simulator(proc, targets=targets).run(load, rounds)
+        paired = run_paired(proc, load, rounds=min(rounds, 250))
+        out[f"smax{s_max:g}"] = {
+            "lambda": lam,
+            "beta": beta,
+            "final_max_excess": result.records[-1].max_minus_avg,
+            "max_deviation": float(paired.max_deviation_series().max()),
+        }
+    return out
+
+
+def test_hetero_speeds(benchmark, archive):
+    results = run_once(benchmark, _sweep)
+    archive(ExperimentRecord(name="hetero_speeds", summary=results))
+
+    print()
+    print(
+        format_table(
+            ["s_max", "lambda", "beta", "final excess", "deviation"],
+            [
+                [k, v["lambda"], v["beta"], v["final_max_excess"],
+                 v["max_deviation"]]
+                for k, v in results.items()
+            ],
+            title="heterogeneous speed sweep (16x16 torus)",
+        )
+    )
+
+    # Every configuration balances to within a few dozen tokens of target.
+    for v in results.values():
+        assert v["final_max_excess"] < 60.0
+    # log(smax) shape: deviation grows sub-linearly in s_max.
+    d1 = results["smax1"]["max_deviation"]
+    d16 = results["smax16"]["max_deviation"]
+    assert d16 < 16.0 * max(d1, 1.0)

@@ -1,0 +1,127 @@
+"""Theory validation bench: the paper's Results I-III, measured.
+
+Checks (on exactly solvable instances):
+
+* Lemma 2 holds as an exact identity for randomized SOS,
+* Theorem 4 / Theorem 9: measured Upsilon and deviation against the bound
+  shapes for FOS and SOS,
+* Observation 5 / Theorems 10-11: measured transient minima within the
+  explicit negative-load bounds.
+"""
+
+import numpy as np
+
+from repro import (
+    LoadBalancingProcess,
+    FirstOrderScheme,
+    SecondOrderScheme,
+    beta_opt,
+    contribution_matrices,
+    initial_delta,
+    lemma2_rhs,
+    point_load,
+    refined_local_divergence,
+    run_paired,
+    theorem10_bound,
+    theorem11_bound,
+    theory,
+    torus_2d,
+    torus_lambda,
+    Simulator,
+)
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+
+def _theory_experiment():
+    side = 8
+    topo = torus_2d(side, side)
+    lam = torus_lambda((side, side))
+    beta = beta_opt(lam)
+    d = topo.max_degree
+    load = point_load(topo, 1000 * topo.n)
+    rng = np.random.default_rng(0)
+
+    # Lemma 2 exactness for randomized SOS.
+    sos = SecondOrderScheme(topo, beta=beta)
+    proc = LoadBalancingProcess(sos, rounding="randomized-excess", rng=rng)
+    paired = run_paired(proc, load, rounds=30)
+    mats = contribution_matrices(sos, 30)
+    lemma2_err = float(
+        np.abs(paired.deviation(30) - lemma2_rhs(topo, mats, paired.errors, 30)).max()
+    )
+
+    # Upsilon measurements vs bound shapes.
+    ups_fos = refined_local_divergence(FirstOrderScheme(topo))
+    ups_sos = refined_local_divergence(sos)
+    bound_fos = theory.theorem4_upsilon(d, 1.0, lam)
+    bound_sos = theory.theorem9_upsilon(d, 1.0, lam)
+
+    # Measured deviation vs Theorem 9 envelope.
+    measured_dev = float(paired.max_deviation_series().max())
+    dev_bound = theory.theorem9_deviation(d, topo.n, 1.0, lam)
+
+    # Negative load: continuous (Thm 10) and discrete (Thm 11).
+    delta0 = initial_delta(load)
+    cont = Simulator(LoadBalancingProcess(SecondOrderScheme(topo, beta=beta))).run(
+        load, 200
+    )
+    disc = Simulator(
+        LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(1),
+        )
+    ).run(load, 200)
+
+    return {
+        "lambda": lam,
+        "beta": beta,
+        "lemma2_max_error": lemma2_err,
+        "upsilon_fos": ups_fos,
+        "upsilon_fos_bound_shape": bound_fos,
+        "upsilon_sos": ups_sos,
+        "upsilon_sos_bound_shape": bound_sos,
+        "measured_sos_deviation": measured_dev,
+        "theorem9_deviation_shape": dev_bound,
+        "cont_min_transient": cont.min_transient_overall,
+        "theorem10_bound": theorem10_bound(topo.n, delta0, lam),
+        "disc_min_transient": disc.min_transient_overall,
+        "theorem11_bound": theorem11_bound(topo.n, delta0, lam, d),
+    }
+
+
+def test_theory_bounds(benchmark, archive):
+    s = run_once(benchmark, _theory_experiment)
+    archive(ExperimentRecord(name="theory_bounds", summary=s))
+
+    print()
+    print(
+        format_table(
+            ["quantity", "measured", "bound / shape"],
+            [
+                ["Lemma 2 max |lhs-rhs|", s["lemma2_max_error"], 0.0],
+                ["Upsilon FOS", s["upsilon_fos"], s["upsilon_fos_bound_shape"]],
+                ["Upsilon SOS", s["upsilon_sos"], s["upsilon_sos_bound_shape"]],
+                ["SOS deviation", s["measured_sos_deviation"],
+                 s["theorem9_deviation_shape"]],
+                ["min transient (cont)", s["cont_min_transient"],
+                 s["theorem10_bound"]],
+                ["min transient (disc)", s["disc_min_transient"],
+                 s["theorem11_bound"]],
+            ],
+            title="Theory validation (8x8 torus)",
+        )
+    )
+
+    assert s["lemma2_max_error"] < 1e-8
+    # Upsilon within a small constant of the bound shapes.
+    assert s["upsilon_fos"] <= 4.0 * s["upsilon_fos_bound_shape"]
+    assert s["upsilon_sos"] <= 6.0 * s["upsilon_sos_bound_shape"]
+    # Deviation within a constant of the Theorem 9 shape.
+    assert s["measured_sos_deviation"] <= 4.0 * s["theorem9_deviation_shape"]
+    # Negative-load bounds hold outright (they carry explicit constants).
+    assert s["cont_min_transient"] >= s["theorem10_bound"]
+    assert s["disc_min_transient"] >= s["theorem11_bound"]

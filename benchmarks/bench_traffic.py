@@ -1,0 +1,82 @@
+"""Communication volume: total load moved until balance, per scheme.
+
+The paper argues diffusion schemes beat token-random-walk approaches on
+load *traffic* (Section II-a, discussion of [13]).  This bench measures the
+cumulative |flow| each scheme ships before reaching balance: SOS finishes in
+far fewer rounds but pushes more per round (momentum), FOS trickles.  The
+total-traffic ordering quantifies that trade-off.
+"""
+
+import numpy as np
+
+from repro import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import convergence_round
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+
+def _traffic(side=32, rounds=2500):
+    topo = torus_2d(side, side)
+    lam = torus_lambda((side, side))
+    load = point_load(topo, 1000 * topo.n)
+    out = {}
+    for name, scheme in [
+        ("sos", SecondOrderScheme(topo, beta=beta_opt(lam))),
+        ("fos", FirstOrderScheme(topo)),
+    ]:
+        proc = LoadBalancingProcess(
+            scheme, rounding="randomized-excess", rng=np.random.default_rng(0)
+        )
+        result = Simulator(proc).run(load, rounds)
+        balanced = convergence_round(result, threshold=10.0, sustained=3)
+        horizon = balanced if balanced is not None else rounds
+        traffic = result.series("round_traffic")
+        rounds_axis = result.rounds
+        until_balance = float(traffic[rounds_axis <= horizon].sum())
+        out[name] = {
+            "rounds_to_balance": balanced,
+            "traffic_until_balance": until_balance,
+            "traffic_per_round_at_balance": float(traffic[min(horizon, rounds)]),
+        }
+    return out
+
+
+def test_traffic(benchmark, archive):
+    results = run_once(benchmark, _traffic)
+    archive(ExperimentRecord(name="traffic", summary=results))
+
+    print()
+    print(
+        format_table(
+            ["scheme", "rounds to balance", "total traffic until balance"],
+            [
+                [k, v["rounds_to_balance"], v["traffic_until_balance"]]
+                for k, v in results.items()
+            ],
+            title="communication volume (32x32 torus, point load)",
+        )
+    )
+
+    sos = results["sos"]
+    fos = results["fos"]
+    assert sos["rounds_to_balance"] is not None
+    # SOS balances in far fewer rounds...
+    if fos["rounds_to_balance"] is not None:
+        assert sos["rounds_to_balance"] < fos["rounds_to_balance"]
+    # ...and its total shipped volume is not dramatically larger — within
+    # a small factor of FOS's (momentum costs per round, saves in rounds).
+    assert (
+        sos["traffic_until_balance"]
+        < 5.0 * fos["traffic_until_balance"] + 1.0
+    )

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny`` / ``ci`` (default) /
+``paper`` to choose the instance sizes; ``paper`` reproduces the original
+sizes (the big torus/hypercube runs take hours — see DESIGN.md).
+
+Every bench saves its :class:`~repro.io.ExperimentRecord` under
+``benchmarks/out/`` and prints the reproduced rows with ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import format_record
+from repro.io import save_record
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def bench_scale() -> str:
+    """The instance scale all benches run at."""
+    return SCALE
+
+
+@pytest.fixture
+def archive():
+    """Persist a record to benchmarks/out/ and print it."""
+
+    def _archive(record):
+        save_record(record, OUT_DIR)
+        print()
+        print(format_record(record))
+        return record
+
+    return _archive

@@ -1,0 +1,60 @@
+"""repro — Discrete load balancing in heterogeneous networks.
+
+A from-scratch reproduction of *"Discrete Load Balancing in Heterogeneous
+Networks with a Focus on Second-Order Diffusion"* (Akbari, Berenbrink,
+Elsässer, Kaaser — ICDCS 2015).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (torus_2d, SecondOrderScheme, LoadBalancingProcess,
+...                    Simulator, point_load, torus_lambda, beta_opt)
+>>> topo = torus_2d(16, 16)
+>>> beta = beta_opt(torus_lambda((16, 16)))
+>>> process = LoadBalancingProcess(
+...     SecondOrderScheme(topo, beta=beta),
+...     rounding="randomized-excess",
+...     rng=np.random.default_rng(0),
+... )
+>>> result = Simulator(process).run(point_load(topo, 1000 * topo.n), rounds=200)
+>>> result.records[-1].max_minus_avg < 32
+True
+
+The public API is re-exported flat from this package; see DESIGN.md for the
+full system inventory and the per-experiment index.
+"""
+
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    ProtocolError,
+    ReproError,
+    RoundingError,
+    SchemeError,
+    SimulationError,
+    SpeedError,
+    TopologyError,
+)
+from .graphs import *  # noqa: F401,F403
+from .graphs import __all__ as _graphs_all
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = (
+    [
+        "ReproError",
+        "ConfigurationError",
+        "TopologyError",
+        "SpeedError",
+        "SchemeError",
+        "RoundingError",
+        "SimulationError",
+        "ConvergenceError",
+        "ProtocolError",
+        "__version__",
+    ]
+    + list(_graphs_all)
+    + list(_core_all)
+)

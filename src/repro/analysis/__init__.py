@@ -1,0 +1,34 @@
+"""Run analysis: eigen-coefficients, convergence measurement, imbalance.
+
+Implements Section VI metrics 4 and 5 of the paper (impact of eigenvectors
+on the load; remaining imbalance of the converged system) plus the
+convergence-time extraction used to compare FOS and SOS.
+"""
+
+from .coefficients import CoefficientTrace, EigenbasisAnalyzer, TorusFourierAnalyzer
+from .convergence import (
+    SpeedupReport,
+    convergence_round,
+    decay_rate,
+    measured_speedup,
+    predicted_speedup,
+)
+from .imbalance import PlateauStats, plateau_start, remaining_imbalance
+from .wavefront import Bump, bump_period, detect_bumps
+
+__all__ = [
+    "CoefficientTrace",
+    "EigenbasisAnalyzer",
+    "TorusFourierAnalyzer",
+    "SpeedupReport",
+    "convergence_round",
+    "decay_rate",
+    "measured_speedup",
+    "predicted_speedup",
+    "PlateauStats",
+    "plateau_start",
+    "remaining_imbalance",
+    "Bump",
+    "bump_period",
+    "detect_bumps",
+]

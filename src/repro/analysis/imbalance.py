@@ -1,0 +1,106 @@
+"""Remaining imbalance of converged discrete systems (Section VI, metric 5).
+
+Discrete schemes cannot balance perfectly — once the system has converged
+the residual "number of tokens above average ... starts to fluctuate and
+does not visibly improve any more".  The paper measures this plateau level
+for SOS, FOS and the hybrid scheme; these helpers detect the plateau in a
+recorded run and summarise its statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core.simulator import SimulationResult
+
+__all__ = ["PlateauStats", "remaining_imbalance", "plateau_start"]
+
+
+@dataclass
+class PlateauStats:
+    """Statistics of a metric over the converged tail of a run."""
+
+    field: str
+    start_round: int
+    mean: float
+    maximum: float
+    minimum: float
+    std: float
+    samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.field} plateau from round {self.start_round}: "
+            f"mean {self.mean:.2f}, range [{self.minimum:.0f}, "
+            f"{self.maximum:.0f}] over {self.samples} records"
+        )
+
+
+def plateau_start(
+    result: SimulationResult,
+    field: str = "max_minus_avg",
+    window: int = 20,
+    rel_improvement: float = 0.05,
+) -> Optional[int]:
+    """First record position where ``field`` stops improving.
+
+    Scans the series with a sliding window; the plateau starts at the first
+    position whose value is within ``rel_improvement`` of the minimum over
+    the *following* ``window`` records (i.e. waiting longer buys almost
+    nothing).  Returns the record *position* (index into ``records``), or
+    ``None`` if the series never settles.
+    """
+    if window < 2:
+        raise ConfigurationError(f"window must be >= 2, got {window}")
+    series = result.series(field)
+    n = series.size
+    if n <= window:
+        return None
+    for pos in range(n - window):
+        ahead_min = series[pos + 1 : pos + 1 + window].min()
+        here = series[pos]
+        if here <= 0:
+            return pos
+        if (here - ahead_min) / max(here, 1e-300) <= rel_improvement:
+            return pos
+    return None
+
+
+def remaining_imbalance(
+    result: SimulationResult,
+    field: str = "max_minus_avg",
+    window: int = 20,
+    rel_improvement: float = 0.05,
+    tail_fraction: float = 0.25,
+) -> PlateauStats:
+    """Plateau statistics of ``field`` for a converged run.
+
+    Uses :func:`plateau_start` to find where fluctuation begins; if no
+    plateau is detected, falls back to the last ``tail_fraction`` of the
+    records (a run that is still visibly improving will then report the tail
+    statistics, which is what the paper's "remaining imbalance" tables show
+    anyway once runs are long enough).
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ConfigurationError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+    series = result.series(field)
+    rounds = result.rounds
+    pos = plateau_start(result, field, window, rel_improvement)
+    if pos is None:
+        pos = max(0, int(series.size * (1.0 - tail_fraction)))
+    tail = series[pos:]
+    return PlateauStats(
+        field=field,
+        start_round=int(rounds[pos]),
+        mean=float(tail.mean()),
+        maximum=float(tail.max()),
+        minimum=float(tail.min()),
+        std=float(tail.std()),
+        samples=int(tail.size),
+    )

@@ -1,0 +1,194 @@
+"""Command-line interface for the repro load balancing library.
+
+Subcommands::
+
+    repro-lb list                      # available experiments
+    repro-lb table1 [--scale ci]       # reproduce Table I
+    repro-lb figure fig01 [...]        # run one figure driver
+    repro-lb simulate --graph cm ...   # free-form simulation
+    repro-lb render --out DIR [...]    # write Figure 9-11 PGM frames
+
+All commands print plain-text reports; ``--output-dir`` archives the full
+record as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import (
+    FirstOrderScheme,
+    FixedRoundSwitch,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    point_load,
+)
+from .experiments import (
+    build_graph,
+    format_record,
+    format_table,
+    list_experiments,
+    reproduce_table1,
+    run_experiment,
+)
+from .experiments.figures import fig09_11_renders
+from .viz import sparkline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Discrete diffusion load balancing (ICDCS'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_table = sub.add_parser("table1", help="reproduce Table I betas")
+    p_table.add_argument("--scale", default="ci", choices=["tiny", "ci", "paper"])
+    p_table.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser("figure", help="run a figure driver")
+    p_fig.add_argument("name", help="experiment id, e.g. fig01")
+    p_fig.add_argument("--scale", default="ci", choices=["tiny", "ci", "paper"])
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--rounds", type=int, default=None)
+    p_fig.add_argument("--output-dir", default=None)
+
+    p_sim = sub.add_parser("simulate", help="run a free-form simulation")
+    p_sim.add_argument(
+        "--graph",
+        default="torus-1000",
+        help="graph config key (see `repro-lb list`): torus-1000, cm, ...",
+    )
+    p_sim.add_argument("--scale", default="ci", choices=["tiny", "ci", "paper"])
+    p_sim.add_argument("--scheme", default="sos", choices=["fos", "sos"])
+    p_sim.add_argument(
+        "--rounding",
+        default="randomized-excess",
+        choices=[
+            "identity",
+            "floor",
+            "nearest",
+            "ceil",
+            "unbiased-edge",
+            "randomized-excess",
+        ],
+    )
+    p_sim.add_argument("--rounds", type=int, default=500)
+    p_sim.add_argument("--avg-load", type=int, default=1000)
+    p_sim.add_argument("--switch-round", type=int, default=None)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
+    p_render.add_argument("--out", required=True, help="output directory")
+    p_render.add_argument("--scale", default="ci", choices=["tiny", "ci", "paper"])
+    p_render.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    rows = reproduce_table1(scale=args.scale, seed=args.seed)
+    table = format_table(
+        ["graph", "paper size", "n (built)", "lambda", "beta (built)",
+         "beta (paper-scale, exact)", "beta (printed in paper)"],
+        [
+            [
+                r.key,
+                r.paper_size,
+                r.n,
+                r.lam,
+                r.beta,
+                r.analytic_paper_beta,
+                r.paper_beta,
+            ]
+            for r in rows
+        ],
+        title=f"Table I reproduction (scale={args.scale})",
+    )
+    print(table)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.rounds is not None:
+        kwargs["rounds"] = args.rounds
+    record = run_experiment(args.name, output_dir=args.output_dir, **kwargs)
+    print(format_record(record))
+    for key in ("sos_max_minus_avg", "max_minus_avg"):
+        if key in record.series:
+            print(f"\n{key} (log sparkline):")
+            print(sparkline(record.series[key], log=True))
+            break
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    built = build_graph(args.graph, scale=args.scale, seed=args.seed)
+    if args.scheme == "sos":
+        scheme = SecondOrderScheme(built.topo, beta=built.beta)
+    else:
+        scheme = FirstOrderScheme(built.topo)
+    process = LoadBalancingProcess(
+        scheme, rounding=args.rounding, rng=np.random.default_rng(args.seed)
+    )
+    policy = (
+        FixedRoundSwitch(args.switch_round) if args.switch_round is not None else None
+    )
+    sim = Simulator(process, switch_policy=policy)
+    result = sim.run(point_load(built.topo, args.avg_load * built.topo.n), args.rounds)
+    final = result.records[-1]
+    print(
+        f"graph={built.key} n={built.n} lambda={built.lam:.6f} "
+        f"beta={built.beta:.6f} scheme={args.scheme} rounding={args.rounding}"
+    )
+    print(
+        f"after {final.round_index} rounds: max-avg={final.max_minus_avg:.2f} "
+        f"local-diff={final.max_local_diff:.2f} "
+        f"potential/n={final.potential_per_node:.4g} "
+        f"min-transient={result.min_transient_overall:.1f}"
+    )
+    if result.switched_at is not None:
+        print(f"switched to FOS after round {result.switched_at}")
+    print("max-avg (log sparkline):")
+    print(sparkline(result.series("max_minus_avg"), log=True))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    record = fig09_11_renders(scale=args.scale, seed=args.seed, directory=args.out)
+    print(format_record(record))
+    print(f"frames written to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in list_experiments():
+            print(name)
+        return 0
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

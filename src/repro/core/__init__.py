@@ -1,0 +1,230 @@
+"""Core algorithms: diffusion schemes, rounding, simulation, and theory.
+
+This package implements the paper's primary contribution:
+
+* continuous FOS/SOS schemes on (heterogeneous) networks
+  (:mod:`~repro.core.schemes`),
+* the randomized-rounding discretisation framework of Section III-B
+  (:mod:`~repro.core.rounding`),
+* the synchronous simulator with hybrid SOS->FOS switching
+  (:mod:`~repro.core.simulator`, :mod:`~repro.core.hybrid`),
+* spectral utilities (``lambda``, ``beta_opt``, ``Q(t)``) and the deviation /
+  divergence / negative-load analysis machinery backing the paper's theorems.
+"""
+
+from .alphas import (
+    ALPHA_STRATEGIES,
+    constant_alpha,
+    heterogeneous_safe,
+    lazy_metropolis,
+    max_degree_plus_one,
+    resolve_alphas,
+    uniform_alpha,
+)
+from .matrices import (
+    check_diffusion_matrix,
+    diffusion_matrix,
+    diffusion_matrix_sparse,
+    symmetrized_matrix,
+    weighted_laplacian,
+)
+from .spectral import (
+    beta_opt,
+    complete_lambda,
+    cycle_lambda,
+    eigenvalues,
+    gamma_closed_form,
+    hypercube_lambda,
+    hypercube_spectrum,
+    q_matrices,
+    q_matrix_at,
+    second_largest_eigenvalue,
+    spectral_gap,
+    torus_lambda,
+    torus_spectrum,
+)
+from .state import (
+    LoadState,
+    apply_flows,
+    incoming_per_node,
+    outgoing_per_node,
+    point_load,
+    proportional_load,
+    random_load,
+    transient_loads,
+    uniform_load,
+)
+from .schemes import ContinuousScheme, FirstOrderScheme, SecondOrderScheme
+from .chebyshev import ChebyshevScheme, chebyshev_omegas
+from .rounding import (
+    CeilRounding,
+    FloorRounding,
+    IdentityRounding,
+    NearestRounding,
+    RandomizedExcessRounding,
+    RoundingScheme,
+    UnbiasedEdgeRounding,
+    make_rounding,
+)
+from .process import LoadBalancingProcess, StepInfo
+from .hybrid import (
+    FixedRoundSwitch,
+    LocalDifferenceSwitch,
+    NeverSwitch,
+    PotentialPlateauSwitch,
+    SwitchPolicy,
+)
+from .simulator import RoundRecord, SimulationResult, Simulator
+from .metrics import (
+    discrepancy,
+    initial_discrepancy_K,
+    max_deviation,
+    max_local_difference,
+    max_minus_average,
+    min_minus_average,
+    normalized_potential,
+    potential,
+    target_loads,
+)
+from .deviation import (
+    PairedRun,
+    check_linearity,
+    contribution_matrices,
+    edge_contributions,
+    lemma2_rhs,
+    run_paired,
+)
+from .divergence import divergence_term, refined_local_divergence
+from .matching import (
+    DimensionExchangeScheme,
+    RandomMatchingScheme,
+    greedy_edge_coloring,
+    matching_contribution_matrices,
+)
+from .dynamic import (
+    ArrivalModel,
+    BurstArrivals,
+    DynamicResult,
+    DynamicRoundRecord,
+    DynamicSimulator,
+    HotspotArrivals,
+    NoArrivals,
+    PoissonArrivals,
+)
+from .negative_load import (
+    NegativeLoadTracker,
+    initial_delta,
+    minimum_safe_initial_load,
+    observation5_bound,
+    theorem10_bound,
+    theorem11_bound,
+)
+from . import theory
+
+__all__ = [
+    # alphas
+    "ALPHA_STRATEGIES",
+    "constant_alpha",
+    "heterogeneous_safe",
+    "lazy_metropolis",
+    "max_degree_plus_one",
+    "resolve_alphas",
+    "uniform_alpha",
+    # matrices
+    "check_diffusion_matrix",
+    "diffusion_matrix",
+    "diffusion_matrix_sparse",
+    "symmetrized_matrix",
+    "weighted_laplacian",
+    # spectral
+    "beta_opt",
+    "complete_lambda",
+    "cycle_lambda",
+    "eigenvalues",
+    "gamma_closed_form",
+    "hypercube_lambda",
+    "hypercube_spectrum",
+    "q_matrices",
+    "q_matrix_at",
+    "second_largest_eigenvalue",
+    "spectral_gap",
+    "torus_lambda",
+    "torus_spectrum",
+    # state
+    "LoadState",
+    "apply_flows",
+    "incoming_per_node",
+    "outgoing_per_node",
+    "point_load",
+    "proportional_load",
+    "random_load",
+    "transient_loads",
+    "uniform_load",
+    # schemes
+    "ContinuousScheme",
+    "FirstOrderScheme",
+    "SecondOrderScheme",
+    "ChebyshevScheme",
+    "chebyshev_omegas",
+    # rounding
+    "CeilRounding",
+    "FloorRounding",
+    "IdentityRounding",
+    "NearestRounding",
+    "RandomizedExcessRounding",
+    "RoundingScheme",
+    "UnbiasedEdgeRounding",
+    "make_rounding",
+    # process / simulator
+    "LoadBalancingProcess",
+    "StepInfo",
+    "RoundRecord",
+    "SimulationResult",
+    "Simulator",
+    # hybrid
+    "FixedRoundSwitch",
+    "LocalDifferenceSwitch",
+    "NeverSwitch",
+    "PotentialPlateauSwitch",
+    "SwitchPolicy",
+    # metrics
+    "discrepancy",
+    "initial_discrepancy_K",
+    "max_deviation",
+    "max_local_difference",
+    "max_minus_average",
+    "min_minus_average",
+    "normalized_potential",
+    "potential",
+    "target_loads",
+    # deviation / divergence / negative load
+    "PairedRun",
+    "check_linearity",
+    "contribution_matrices",
+    "edge_contributions",
+    "lemma2_rhs",
+    "run_paired",
+    "divergence_term",
+    "refined_local_divergence",
+    # matching baselines
+    "DimensionExchangeScheme",
+    "RandomMatchingScheme",
+    "greedy_edge_coloring",
+    "matching_contribution_matrices",
+    # dynamic workloads
+    "ArrivalModel",
+    "BurstArrivals",
+    "DynamicResult",
+    "DynamicRoundRecord",
+    "DynamicSimulator",
+    "HotspotArrivals",
+    "NoArrivals",
+    "PoissonArrivals",
+    "NegativeLoadTracker",
+    "initial_delta",
+    "minimum_safe_initial_load",
+    "observation5_bound",
+    "theorem10_bound",
+    "theorem11_bound",
+    "theory",
+]

@@ -1,0 +1,199 @@
+"""Deviation machinery: contributions, paired runs, and Lemma 2.
+
+The paper's central analytical tool (Lemma 2) is an *exact identity*: for a
+linear continuous process ``C`` and its discrete version ``D``,
+
+    ``x_D_k(t) - x_C_k(t)
+      = sum_{s=1..t} sum_{{i,j} in E} e_ij(t-s) * C^C_{k,i->j}(s)``,
+
+where ``e_ij(t) = Yhat_ij(t) - y_D_ij(t)`` is the rounding error of round
+``t`` (``Yhat = C(x_D(t))`` is the continuous scheduled flow computed on the
+*discrete* state) and ``C^C_{k,i->j}(s)`` is the contribution of edge
+``(i,j)`` on node ``k`` after ``s`` rounds (Definitions 3 and 5).
+
+This module computes the contribution series in closed matrix form —
+``M^s`` columns for FOS, ``Q(s-1)`` columns for SOS (Lemma 6) — runs the
+paired discrete/continuous processes, and evaluates both sides of the
+identity so the test-suite can check them for equality to float precision.
+It also verifies linearity (Definitions 2/4) numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from .matrices import diffusion_matrix
+from .process import LoadBalancingProcess
+from .schemes import ContinuousScheme, FirstOrderScheme, SecondOrderScheme
+from .spectral import q_matrices
+from .state import LoadState, apply_flows
+
+__all__ = [
+    "contribution_matrices",
+    "edge_contributions",
+    "PairedRun",
+    "run_paired",
+    "lemma2_rhs",
+    "check_linearity",
+]
+
+
+def contribution_matrices(scheme: ContinuousScheme, t_max: int) -> List[np.ndarray]:
+    """Matrices ``P(s)`` such that ``C_{k,i->j}(s) = P(s)_{k,i} - P(s)_{k,j}``.
+
+    An error injected on an edge at the end of some round diffuses for
+    ``s - 1`` further rounds before it is observed ``s`` rounds later, so
+    (with ``P(0) = 0`` unused — the Lemma 2 sum starts at ``s = 1``):
+
+    * FOS:  ``P(s) = M^(s-1)`` for ``s >= 1`` (so ``P(1) = I``),
+    * SOS (Definition 5 + Lemma 6): ``P(s) = Q(s-1)`` for ``s >= 1``
+      (so ``P(1) = Q(0) = I``).
+
+    Returns ``[P(0), ..., P(t_max)]``.
+    """
+    if t_max < 0:
+        raise ConfigurationError(f"t_max must be >= 0, got {t_max}")
+    m = diffusion_matrix(scheme.topo, scheme.speeds, scheme.alphas)
+    if isinstance(scheme, SecondOrderScheme):
+        mats: List[np.ndarray] = [np.zeros_like(m)]
+        mats.extend(q for _, q in zip(range(t_max), q_matrices(m, scheme.beta, t_max)))
+        return mats
+    if isinstance(scheme, FirstOrderScheme):
+        mats = [np.zeros_like(m), np.eye(scheme.topo.n)]
+        for _ in range(t_max - 1):
+            mats.append(m @ mats[-1])
+        return mats[: t_max + 1]
+    raise ConfigurationError(f"unsupported scheme type {type(scheme).__name__}")
+
+
+def edge_contributions(topo: Topology, p_matrix: np.ndarray) -> np.ndarray:
+    """``(n, m_edges)`` array of ``C_{k,i->j}`` for all k and oriented edges."""
+    return p_matrix[:, topo.edge_u] - p_matrix[:, topo.edge_v]
+
+
+@dataclass
+class PairedRun:
+    """Trace of a discrete process next to its continuous counterpart.
+
+    ``discrete_loads[t]``/``continuous_loads[t]`` are the load vectors at the
+    *beginning* of round ``t``; ``errors[t]`` the per-edge rounding error of
+    round ``t`` (length ``rounds``).
+    """
+
+    discrete_loads: List[np.ndarray]
+    continuous_loads: List[np.ndarray]
+    errors: List[np.ndarray]
+
+    @property
+    def rounds(self) -> int:
+        return len(self.errors)
+
+    def deviation(self, t: Optional[int] = None) -> np.ndarray:
+        """``x_D(t) - x_C(t)`` (defaults to the final recorded time)."""
+        if t is None:
+            t = self.rounds
+        return self.discrete_loads[t] - self.continuous_loads[t]
+
+    def max_deviation_series(self) -> np.ndarray:
+        """``max_k |x_D_k(t) - x_C_k(t)|`` for every recorded ``t``."""
+        return np.asarray(
+            [
+                np.abs(d - c).max()
+                for d, c in zip(self.discrete_loads, self.continuous_loads)
+            ]
+        )
+
+
+def run_paired(
+    process: LoadBalancingProcess,
+    initial_load: np.ndarray,
+    rounds: int,
+) -> PairedRun:
+    """Run the discrete process and its independent continuous counterpart.
+
+    The continuous reference starts from the same load vector and evolves by
+    its own dynamics (it does *not* see the discrete state); the rounding
+    errors are measured against the scheduled flow ``Yhat = C(x_D(t))``
+    computed on the discrete state, exactly as in Section III-A.
+    """
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+    topo = process.topo
+    scheme = process.scheme
+
+    disc_state = process.initial_state(initial_load)
+    cont_state = LoadState.initial(topo, np.asarray(initial_load, dtype=np.float64))
+
+    discrete_loads = [disc_state.load.copy()]
+    continuous_loads = [cont_state.load.copy()]
+    errors: List[np.ndarray] = []
+
+    for _ in range(rounds):
+        disc_state, info = process.step(disc_state)
+        errors.append(info.errors.copy())
+        cont_flows = scheme.scheduled_flows(cont_state)
+        cont_load = apply_flows(topo, cont_state.load, cont_flows)
+        cont_state = cont_state.advanced(cont_load, cont_flows)
+        discrete_loads.append(disc_state.load.copy())
+        continuous_loads.append(cont_state.load.copy())
+
+    return PairedRun(
+        discrete_loads=discrete_loads,
+        continuous_loads=continuous_loads,
+        errors=errors,
+    )
+
+
+def lemma2_rhs(
+    topo: Topology,
+    p_matrices: Sequence[np.ndarray],
+    errors: Sequence[np.ndarray],
+    t: Optional[int] = None,
+) -> np.ndarray:
+    """Evaluate the right-hand side of Lemma 2 for every node at time ``t``.
+
+    ``rhs_k = sum_{s=1..t} sum_e e_e(t-s) * (P(s)_{k,u_e} - P(s)_{k,v_e})``.
+    Needs ``p_matrices[s]`` for ``s <= t`` and ``errors[0..t-1]``.
+    """
+    if t is None:
+        t = len(errors)
+    if t > len(errors) or t > len(p_matrices) - 1:
+        raise ConfigurationError(
+            f"need p_matrices up to s={t} and {t} error vectors; "
+            f"got {len(p_matrices)} matrices / {len(errors)} errors"
+        )
+    rhs = np.zeros(topo.n, dtype=np.float64)
+    for s in range(1, t + 1):
+        contrib = edge_contributions(topo, p_matrices[s])  # (n, m)
+        rhs += contrib @ errors[t - s]
+    return rhs
+
+
+def check_linearity(
+    scheme: ContinuousScheme,
+    x1: np.ndarray,
+    x2: np.ndarray,
+    y1: np.ndarray,
+    y2: np.ndarray,
+    a: float,
+    b: float,
+    round_index: int = 1,
+) -> float:
+    """Max violation of Definition 4 linearity for the given inputs.
+
+    Evaluates ``|A(a x1 + b x2, a y1 + b y2) - (a A(x1,y1) + b A(x2,y2))|``
+    where ``A`` is the scheme's flow function at round ``round_index``
+    (``round_index >= 1`` so SOS is past its FOS bootstrap round).
+    """
+    def flows(x, y):
+        state = LoadState(load=x, flows=y, round_index=round_index)
+        return scheme.scheduled_flows(state)
+
+    lhs = flows(a * x1 + b * x2, a * y1 + b * y2)
+    rhs = a * flows(x1, y1) + b * flows(x2, y2)
+    return float(np.abs(lhs - rhs).max()) if lhs.size else 0.0

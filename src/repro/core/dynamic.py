@@ -1,0 +1,230 @@
+"""Dynamic load balancing: tokens arrive and depart while balancing runs.
+
+The paper studies the *static* problem (a fixed batch of tokens), but its
+motivation — finite element simulations and other parallel computations —
+generates work continuously.  This module extends the simulator to dynamic
+workloads: an :class:`ArrivalModel` injects (and optionally consumes) tokens
+each round, and :class:`DynamicSimulator` interleaves arrivals with
+balancing steps while recording imbalance relative to the *current* total.
+
+This is the "future work" regime: the interesting quantity is the steady
+state — with SOS the imbalance stays bounded by the per-round arrival volume
+plus the discrete residual, which `benchmarks/bench_dynamic.py` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from .metrics import max_local_difference, max_minus_average, normalized_potential
+from .process import LoadBalancingProcess
+from .state import LoadState
+
+__all__ = [
+    "ArrivalModel",
+    "NoArrivals",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "HotspotArrivals",
+    "DynamicRoundRecord",
+    "DynamicResult",
+    "DynamicSimulator",
+]
+
+
+class ArrivalModel:
+    """Produces the per-node token delta for each round.
+
+    Positive entries are newly created tokens; negative entries consume
+    existing tokens (consumption is clamped so no node goes below zero, and
+    the clamped amount is reported so totals stay exact).
+    """
+
+    def deltas(self, topo: Topology, round_index: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Integral per-node load delta for this round."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoArrivals(ArrivalModel):
+    """Static workload (reduces to the paper's setting)."""
+
+    def deltas(self, topo, round_index, rng):
+        return np.zeros(topo.n)
+
+
+class PoissonArrivals(ArrivalModel):
+    """Independent Poisson arrivals at every node, optional departures.
+
+    Parameters
+    ----------
+    rate:
+        Expected new tokens per node per round.
+    departure_rate:
+        Expected consumed tokens per node per round (work being finished).
+        With ``departure_rate == rate`` the total stays balanced in
+        expectation.
+    """
+
+    def __init__(self, rate: float, departure_rate: float = 0.0):
+        if rate < 0 or departure_rate < 0:
+            raise ConfigurationError("rates must be >= 0")
+        self.rate = float(rate)
+        self.departure_rate = float(departure_rate)
+
+    def deltas(self, topo, round_index, rng):
+        out = rng.poisson(self.rate, size=topo.n).astype(np.float64)
+        if self.departure_rate > 0:
+            out -= rng.poisson(self.departure_rate, size=topo.n)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PoissonArrivals(rate={self.rate}, "
+            f"departure_rate={self.departure_rate})"
+        )
+
+
+class BurstArrivals(ArrivalModel):
+    """A burst of tokens lands on one random node every ``period`` rounds."""
+
+    def __init__(self, burst: int, period: int):
+        if burst < 0 or period < 1:
+            raise ConfigurationError("need burst >= 0 and period >= 1")
+        self.burst = int(burst)
+        self.period = int(period)
+
+    def deltas(self, topo, round_index, rng):
+        out = np.zeros(topo.n)
+        if round_index % self.period == 0:
+            out[int(rng.integers(0, topo.n))] = float(self.burst)
+        return out
+
+    def __repr__(self) -> str:
+        return f"BurstArrivals(burst={self.burst}, period={self.period})"
+
+
+class HotspotArrivals(ArrivalModel):
+    """Deterministic arrivals concentrated on fixed hotspot nodes."""
+
+    def __init__(self, nodes: Sequence[int], rate: int):
+        if rate < 0:
+            raise ConfigurationError("rate must be >= 0")
+        self.nodes = [int(v) for v in nodes]
+        if not self.nodes:
+            raise ConfigurationError("need at least one hotspot node")
+        self.rate = int(rate)
+
+    def deltas(self, topo, round_index, rng):
+        for v in self.nodes:
+            if not 0 <= v < topo.n:
+                raise ConfigurationError(f"hotspot {v} out of range")
+        out = np.zeros(topo.n)
+        out[self.nodes] = float(self.rate)
+        return out
+
+    def __repr__(self) -> str:
+        return f"HotspotArrivals(nodes={self.nodes}, rate={self.rate})"
+
+
+@dataclass(frozen=True)
+class DynamicRoundRecord:
+    """Per-round metrics of a dynamic run (targets move with the total)."""
+
+    round_index: int
+    total_load: float
+    arrived: float
+    departed: float
+    max_minus_avg: float
+    max_local_diff: float
+    potential_per_node: float
+
+
+@dataclass
+class DynamicResult:
+    """Outcome of a dynamic simulation."""
+
+    records: List[DynamicRoundRecord]
+    final_state: LoadState
+
+    def series(self, fieldname: str) -> np.ndarray:
+        """Column ``fieldname`` as a float array."""
+        return np.asarray(
+            [getattr(r, fieldname) for r in self.records], dtype=np.float64
+        )
+
+    def steady_state_imbalance(self, tail_fraction: float = 0.5) -> float:
+        """Mean max-above-average over the trailing part of the run."""
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ConfigurationError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction}"
+            )
+        series = self.series("max_minus_avg")
+        start = int(series.size * (1.0 - tail_fraction))
+        return float(series[start:].mean())
+
+
+class DynamicSimulator:
+    """Interleaves token arrivals with balancing rounds.
+
+    Each round: (1) the arrival model's deltas are applied (departures are
+    clamped at zero so loads never go negative through consumption), (2) one
+    balancing step runs, (3) metrics are recorded against the *current*
+    average — the natural target when the total changes over time.
+    """
+
+    def __init__(
+        self,
+        process: LoadBalancingProcess,
+        arrivals: ArrivalModel,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.process = process
+        self.arrivals = arrivals
+        self.rng = rng or np.random.default_rng()
+
+    def run(self, initial_load: np.ndarray, rounds: int) -> DynamicResult:
+        """Run ``rounds`` arrival+balance rounds from ``initial_load``."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        topo = self.process.topo
+        state = self.process.initial_state(initial_load)
+        records: List[DynamicRoundRecord] = []
+        for _ in range(rounds):
+            deltas = np.asarray(
+                self.arrivals.deltas(topo, state.round_index, self.rng),
+                dtype=np.float64,
+            )
+            arrivals = float(np.maximum(deltas, 0.0).sum())
+            wanted_departures = np.maximum(-deltas, 0.0)
+            # Consume at most the (non-negative part of the) current load —
+            # SOS can leave transiently negative loads, which departures
+            # must not touch.
+            actual_departures = np.minimum(
+                wanted_departures, np.maximum(state.load, 0.0)
+            )
+            new_load = state.load + np.maximum(deltas, 0.0) - actual_departures
+            state = LoadState(
+                load=new_load, flows=state.flows, round_index=state.round_index
+            )
+            state, _ = self.process.step(state)
+            records.append(
+                DynamicRoundRecord(
+                    round_index=state.round_index,
+                    total_load=state.total_load,
+                    arrived=arrivals,
+                    departed=float(actual_departures.sum()),
+                    max_minus_avg=max_minus_average(state.load),
+                    max_local_diff=max_local_difference(topo, state.load),
+                    potential_per_node=normalized_potential(state.load),
+                )
+            )
+        return DynamicResult(records=records, final_state=state)

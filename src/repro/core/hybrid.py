@@ -1,0 +1,148 @@
+"""Switch policies for the hybrid SOS -> FOS strategy.
+
+The paper's key empirical proposal (Section VI-A): run the fast second order
+scheme until its residual imbalance plateaus, then have every node switch
+*synchronously* to the first order scheme, which drives the maximum local
+load difference down to ~4 and the maximum excess over the average to ~7 on
+the big torus.
+
+A :class:`SwitchPolicy` inspects the state after every round and reports
+whether the simulator should swap the second order scheme for its first
+order counterpart.  Three policies are provided:
+
+* :class:`FixedRoundSwitch` — switch at a predetermined round (the paper's
+  Figures 4, 5, 8 use 2500/3000 and a sweep of values),
+* :class:`LocalDifferenceSwitch` — switch once the maximum local load
+  difference drops below a threshold; the paper explicitly notes this local
+  metric "is also available in a distributed system with only limited global
+  knowledge",
+* :class:`PotentialPlateauSwitch` — switch once the potential stops
+  improving by a relative factor over a sliding window (a global-knowledge
+  proxy for the leading-eigenvector criterion of Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from .metrics import max_local_difference, potential
+from .state import LoadState
+
+__all__ = [
+    "SwitchPolicy",
+    "NeverSwitch",
+    "FixedRoundSwitch",
+    "LocalDifferenceSwitch",
+    "PotentialPlateauSwitch",
+]
+
+
+class SwitchPolicy:
+    """Decides when the simulator should swap SOS for FOS."""
+
+    def should_switch(self, topo, state: LoadState) -> bool:
+        """Return True to switch; called after every completed round."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NeverSwitch(SwitchPolicy):
+    """Run the configured scheme for the whole simulation (the default)."""
+
+    def should_switch(self, topo, state):
+        return False
+
+
+class FixedRoundSwitch(SwitchPolicy):
+    """Switch after a fixed number of completed rounds.
+
+    ``FixedRoundSwitch(2500)`` reproduces the early-switch scenario of
+    Figure 4 (left); ``FixedRoundSwitch(3000)`` the late one (right).
+    """
+
+    def __init__(self, round_index: int):
+        if round_index < 0:
+            raise ConfigurationError(f"round index must be >= 0, got {round_index}")
+        self.round_index = int(round_index)
+
+    def should_switch(self, topo, state):
+        return state.round_index >= self.round_index
+
+    def __repr__(self) -> str:
+        return f"FixedRoundSwitch({self.round_index})"
+
+
+class LocalDifferenceSwitch(SwitchPolicy):
+    """Switch once ``max local load difference <= threshold``.
+
+    The paper: *"the maximum local load difference seems to be a good
+    indicator for switching from SOS to FOS"*.  A ``min_rounds`` guard stops
+    the policy from firing during the initial rounds where the point load has
+    not spread yet (the very first rounds can have tiny local differences at
+    far-away nodes only on pathological starts).
+    """
+
+    def __init__(self, threshold: float = 10.0, min_rounds: int = 1):
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+        if min_rounds < 0:
+            raise ConfigurationError(f"min_rounds must be >= 0, got {min_rounds}")
+        self.threshold = float(threshold)
+        self.min_rounds = int(min_rounds)
+
+    def should_switch(self, topo, state):
+        if state.round_index < self.min_rounds:
+            return False
+        return max_local_difference(topo, state.load) <= self.threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalDifferenceSwitch(threshold={self.threshold}, "
+            f"min_rounds={self.min_rounds})"
+        )
+
+
+class PotentialPlateauSwitch(SwitchPolicy):
+    """Switch when the potential's relative improvement stalls.
+
+    Tracks ``phi_t`` over a sliding ``window`` of rounds and fires when the
+    newest value exceeds ``(1 - min_drop)`` times the oldest — i.e. the
+    exponential decay phase has ended.  This approximates "the impact of the
+    leading eigenvector drops below some threshold" without eigendata.
+    """
+
+    def __init__(self, window: int = 50, min_drop: float = 0.2, min_rounds: int = 10):
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if not 0.0 < min_drop < 1.0:
+            raise ConfigurationError(f"min_drop must be in (0, 1), got {min_drop}")
+        self.window = int(window)
+        self.min_drop = float(min_drop)
+        self.min_rounds = int(min_rounds)
+        self._history: deque = deque(maxlen=self.window)
+
+    def reset(self) -> None:
+        self._history.clear()
+
+    def should_switch(self, topo, state):
+        phi = potential(state.load)
+        self._history.append(phi)
+        if state.round_index < self.min_rounds or len(self._history) < self.window:
+            return False
+        oldest = self._history[0]
+        if oldest <= 0.0:
+            return True
+        return phi > (1.0 - self.min_drop) * oldest
+
+    def __repr__(self) -> str:
+        return (
+            f"PotentialPlateauSwitch(window={self.window}, "
+            f"min_drop={self.min_drop}, min_rounds={self.min_rounds})"
+        )

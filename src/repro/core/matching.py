@@ -1,0 +1,204 @@
+"""Matching-based (dimension-exchange) load balancing — the classic baseline.
+
+Diffusion lets a node trade with *all* neighbours simultaneously; the other
+classical family, introduced by Ghosh and Muthukrishnan (reference [17] of
+the paper, "Dynamic load balancing by random matchings"), activates a
+*matching* each round and lets every matched pair average their loads.  The
+paper compares against diffusion throughout, but matching schemes are the
+standard alternative and serve as the external baseline in our benches.
+
+Two matching generators are provided:
+
+* :class:`RandomMatchingScheme` — each round samples a random maximal
+  matching by scanning a random edge permutation ([17]'s model),
+* :class:`DimensionExchangeScheme` — rounds cycle through a fixed proper
+  edge colouring (classic dimension exchange; on the hypercube the colours
+  are exactly the dimensions, hence the name).
+
+Both support the heterogeneous model: a matched pair ``{i, j}`` moves flow
+``(x_i/s_i - x_j/s_j) * s_i s_j / (s_i + s_j)`` so that both nodes land on
+their common speed-normalised average.  Discrete variants round that flow
+with any :class:`~repro.core.rounding.RoundingScheme` — matching schemes are
+linear, so the whole Lemma 2 deviation machinery applies to them as well
+(each round has its own matrix ``M(t)``; the contribution series is the
+product of the round matrices, see :func:`matching_contribution_matrices`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from .schemes import ContinuousScheme
+from .state import LoadState
+
+__all__ = [
+    "RandomMatchingScheme",
+    "DimensionExchangeScheme",
+    "greedy_edge_coloring",
+    "matching_contribution_matrices",
+]
+
+
+def greedy_edge_coloring(topo: Topology) -> List[np.ndarray]:
+    """Partition the edges into matchings by greedy colouring.
+
+    Returns a list of edge-id arrays, one per colour; uses at most
+    ``2d - 1`` colours (greedy bound; Vizing guarantees ``d + 1`` exists
+    but greedy is deterministic, linear-time, and good enough for round
+    scheduling).
+    """
+    colors_of_node: List[set] = [set() for _ in range(topo.n)]
+    edge_color = np.full(topo.m_edges, -1, dtype=np.int64)
+    for e in range(topo.m_edges):
+        u, v = int(topo.edge_u[e]), int(topo.edge_v[e])
+        used = colors_of_node[u] | colors_of_node[v]
+        color = 0
+        while color in used:
+            color += 1
+        edge_color[e] = color
+        colors_of_node[u].add(color)
+        colors_of_node[v].add(color)
+    n_colors = int(edge_color.max()) + 1 if topo.m_edges else 0
+    return [np.nonzero(edge_color == c)[0] for c in range(n_colors)]
+
+
+class _MatchingSchemeBase(ContinuousScheme):
+    """Shared flow kernel for matching-based schemes."""
+
+    uses_flow_history = False
+
+    def __init__(self, topo: Topology, speeds: Optional[np.ndarray] = None):
+        # Matching schemes have no alpha parameter: matched pairs average
+        # completely.  Reuse the base class for speed handling only.
+        super().__init__(topo, speeds=speeds, alphas=1.0)
+        su = self.speeds[topo.edge_u]
+        sv = self.speeds[topo.edge_v]
+        self._pair_weight = su * sv / (su + sv)
+
+    def _active_edges(self, round_index: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def scheduled_flows(self, state: LoadState) -> np.ndarray:
+        flows = np.zeros(self.topo.m_edges, dtype=np.float64)
+        active = self._active_edges(state.round_index)
+        if active.size == 0:
+            return flows
+        u = self.topo.edge_u[active]
+        v = self.topo.edge_v[active]
+        gradient = state.load[u] / self.speeds[u] - state.load[v] / self.speeds[v]
+        flows[active] = self._pair_weight[active] * gradient
+        return flows
+
+
+class RandomMatchingScheme(_MatchingSchemeBase):
+    """Random maximal matching per round ([17]'s random matching model).
+
+    Each round scans a uniformly random permutation of the edges and greedily
+    adds every edge whose endpoints are still free; matched pairs average
+    their speed-normalised loads completely.
+
+    The matching sequence is drawn from ``rng`` at construction-determined
+    seed boundaries: calling :meth:`scheduled_flows` for round ``t`` always
+    yields the same matching for the same ``t`` (derived generators), so
+    paired continuous/discrete runs see identical matchings — a requirement
+    for the deviation analysis.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        speeds: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ):
+        super().__init__(topo, speeds=speeds)
+        self.seed = int(seed)
+        self._cache_round = -1
+        self._cache_edges: Optional[np.ndarray] = None
+
+    def matching_for_round(self, round_index: int) -> np.ndarray:
+        """Edge ids of the (deterministic-per-round) random matching."""
+        if round_index == self._cache_round and self._cache_edges is not None:
+            return self._cache_edges
+        rng = np.random.default_rng([self.seed, round_index])
+        order = rng.permutation(self.topo.m_edges)
+        taken = np.zeros(self.topo.n, dtype=bool)
+        chosen = []
+        for e in order:
+            u, v = self.topo.edge_u[e], self.topo.edge_v[e]
+            if not taken[u] and not taken[v]:
+                taken[u] = taken[v] = True
+                chosen.append(int(e))
+        result = np.asarray(sorted(chosen), dtype=np.int64)
+        self._cache_round = round_index
+        self._cache_edges = result
+        return result
+
+    def _active_edges(self, round_index: int) -> np.ndarray:
+        return self.matching_for_round(round_index)
+
+
+class DimensionExchangeScheme(_MatchingSchemeBase):
+    """Cycle through a fixed edge colouring (dimension exchange).
+
+    Round ``t`` activates colour ``t mod #colours``.  On a ``k``-dimensional
+    hypercube the greedy colouring recovers the ``k`` dimensions and the
+    scheme is the textbook dimension exchange algorithm, which balances the
+    continuous load completely in one sweep of all dimensions.
+    """
+
+    def __init__(self, topo: Topology, speeds: Optional[np.ndarray] = None):
+        super().__init__(topo, speeds=speeds)
+        self.matchings = greedy_edge_coloring(topo)
+        if not self.matchings:
+            raise ConfigurationError("graph has no edges to exchange over")
+
+    @property
+    def n_colors(self) -> int:
+        """Number of matchings in the rotation."""
+        return len(self.matchings)
+
+    def _active_edges(self, round_index: int) -> np.ndarray:
+        return self.matchings[round_index % self.n_colors]
+
+
+def matching_contribution_matrices(
+    scheme: _MatchingSchemeBase, t_max: int
+) -> List[np.ndarray]:
+    """Contribution matrices ``P(s)`` for a matching scheme run to ``t_max``.
+
+    Matching schemes are time-inhomogeneous (``x(t+1) = M(t) x(t)``), so the
+    Lemma 2 contributions depend on *which* round the error was injected:
+    an error on edge ``e`` at the end of round ``r`` is propagated by
+    ``M(t_max-1) ... M(r+1)``.  This returns, for every ``s = t_max - r``,
+    the product ``P(s) = M(t_max-1) ... M(t_max-s+1)`` (``P(1) = I``), i.e.
+    matrices aligned with :func:`repro.core.deviation.lemma2_rhs`'s indexing
+    for the *final* round ``t_max``.
+    """
+    if t_max < 0:
+        raise ConfigurationError(f"t_max must be >= 0, got {t_max}")
+    topo = scheme.topo
+    n = topo.n
+
+    def round_matrix(round_index: int) -> np.ndarray:
+        m = np.eye(n)
+        active = scheme._active_edges(round_index)
+        for e in active:
+            u, v = int(topo.edge_u[e]), int(topo.edge_v[e])
+            su, sv = scheme.speeds[u], scheme.speeds[v]
+            # Pair averaging: both nodes end on the common normalised level.
+            m[u, u] = 1.0 - sv / (su + sv)
+            m[u, v] = su / (su + sv)
+            m[v, v] = 1.0 - su / (su + sv)
+            m[v, u] = sv / (su + sv)
+        return m
+
+    mats: List[np.ndarray] = [np.zeros((n, n)), np.eye(n)]
+    acc = np.eye(n)
+    for s in range(2, t_max + 1):
+        acc = acc @ round_matrix(t_max - s + 1)
+        mats.append(acc.copy())
+    return mats[: t_max + 1]

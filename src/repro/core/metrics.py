@@ -1,0 +1,105 @@
+"""Load-distribution quality metrics (Section VI of the paper).
+
+The paper tracks five quantities during a run; all are implemented here:
+
+1. **maximum local load difference** ``phi_local`` — the largest load gap
+   across any single edge,
+2. **maximum load minus average** ``phi_global = max_v x_v - x̄`` (for
+   heterogeneous networks: the largest excess over each node's own target),
+3. **2-norm potential** ``phi_t = sum_v (x_v - x̄_v)^2`` (plotted as
+   ``phi_t / n``),
+4. impact of eigenvectors on the load (in :mod:`repro.analysis.coefficients`),
+5. **remaining imbalance** of the converged system (in
+   :mod:`repro.analysis.imbalance`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+
+__all__ = [
+    "target_loads",
+    "max_local_difference",
+    "max_minus_average",
+    "min_minus_average",
+    "potential",
+    "normalized_potential",
+    "max_deviation",
+    "discrepancy",
+    "initial_discrepancy_K",
+]
+
+
+def target_loads(total: float, speeds: np.ndarray) -> np.ndarray:
+    """The balanced vector ``x̄_i = total * s_i / s`` (Section I)."""
+    speeds = np.asarray(speeds, dtype=np.float64)
+    s = speeds.sum()
+    if s <= 0:
+        raise ConfigurationError("speeds must sum to a positive value")
+    return total * speeds / s
+
+
+def max_local_difference(topo: Topology, load: np.ndarray) -> float:
+    """``phi_local = max_{(u,v) in E} |x_u - x_v|`` — metric 1 of Section VI."""
+    if topo.m_edges == 0:
+        return 0.0
+    return float(np.abs(load[topo.edge_u] - load[topo.edge_v]).max())
+
+
+def max_minus_average(load: np.ndarray, targets: Optional[np.ndarray] = None) -> float:
+    """``phi_global``: maximum excess load over the target.
+
+    With ``targets=None`` (homogeneous) this is ``max_v x_v - mean(x)``,
+    exactly the paper's metric 2; in the heterogeneous case it generalises to
+    ``max_v (x_v - x̄_v)``.
+    """
+    load = np.asarray(load, dtype=np.float64)
+    if targets is None:
+        return float(load.max() - load.mean())
+    return float((load - np.asarray(targets, dtype=np.float64)).max())
+
+
+def min_minus_average(load: np.ndarray, targets: Optional[np.ndarray] = None) -> float:
+    """Minimum slack ``min_v (x_v - x̄_v)`` (negative while unbalanced)."""
+    load = np.asarray(load, dtype=np.float64)
+    if targets is None:
+        return float(load.min() - load.mean())
+    return float((load - np.asarray(targets, dtype=np.float64)).min())
+
+
+def potential(load: np.ndarray, targets: Optional[np.ndarray] = None) -> float:
+    """The 2-norm potential ``phi_t = sum_v (x_v - x̄_v)^2`` of [19]."""
+    load = np.asarray(load, dtype=np.float64)
+    ref = load.mean() if targets is None else np.asarray(targets, dtype=np.float64)
+    diff = load - ref
+    return float(diff @ diff)
+
+
+def normalized_potential(load: np.ndarray, targets: Optional[np.ndarray] = None) -> float:
+    """``phi_t / n`` — the quantity the paper's figures plot."""
+    return potential(load, targets) / load.shape[0]
+
+
+def max_deviation(a: np.ndarray, b: np.ndarray) -> float:
+    """Deviation between two load vectors: ``max_i |a_i - b_i|`` (Section I)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ConfigurationError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).max())
+
+
+def discrepancy(load: np.ndarray) -> float:
+    """Global discrepancy ``max_v x_v - min_v x_v``."""
+    load = np.asarray(load, dtype=np.float64)
+    return float(load.max() - load.min())
+
+
+def initial_discrepancy_K(load: np.ndarray) -> float:
+    """The paper's ``K``: max minus min load at the beginning of the process."""
+    return discrepancy(load)

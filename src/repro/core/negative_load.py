@@ -1,0 +1,153 @@
+"""Negative-load analysis for second order schemes (Section V).
+
+SOS keeps pushing load along the direction of the previous round's flow, so
+a node may be asked to send more than it currently holds.  The paper splits
+every round into a *send* step and a *receive* step; the load after sending
+but before receiving is the transient state ``x̆_i(t)``, and "negative load"
+means ``x̆_i(t) < 0``.
+
+Result III of the paper gives the first sufficient minimum initial load that
+prevents negative load:
+
+* Observation 5:  end-of-round loads obey ``x(t) >= -sqrt(n) * Delta(0)``
+  for continuous SOS with ``beta = beta_opt``.
+* Theorem 10:     transient loads obey
+  ``x̆(t) >= -O(sqrt(n) Delta(0) / sqrt(1 - lambda))`` (continuous SOS).
+* Theorem 11:     for discrete SOS the bound gains a ``d^2`` term:
+  ``x̆(t) >= -O((sqrt(n) Delta(0) + d^2) / sqrt(1 - lambda))``.
+
+The functions below expose these bounds *with the explicit constants that
+fall out of the paper's proofs* (not just the O-form), so the test-suite and
+the theory bench can check measured transient minima against them.
+``Delta(0) = ||x(0) - x̄||_inf`` is the initial infinity-norm imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .metrics import target_loads
+
+__all__ = [
+    "initial_delta",
+    "observation5_bound",
+    "theorem10_bound",
+    "theorem11_bound",
+    "minimum_safe_initial_load",
+    "NegativeLoadTracker",
+]
+
+
+def initial_delta(load: np.ndarray, speeds: Optional[np.ndarray] = None) -> float:
+    """``Delta(0) = ||x(0) - x̄||_inf`` (Section V definitions)."""
+    load = np.asarray(load, dtype=np.float64)
+    if speeds is None:
+        targets = np.full(load.shape, load.mean())
+    else:
+        targets = target_loads(float(load.sum()), np.asarray(speeds, dtype=np.float64))
+    return float(np.abs(load - targets).max())
+
+
+def observation5_bound(n: int, delta0: float) -> float:
+    """End-of-round lower bound ``x(t) >= -sqrt(n) * Delta(0)`` (Obs. 5)."""
+    if n < 1 or delta0 < 0:
+        raise ConfigurationError(f"invalid n={n} or delta0={delta0}")
+    return -math.sqrt(n) * delta0
+
+
+def theorem10_bound(n: int, delta0: float, lam: float) -> float:
+    """Transient lower bound for *continuous* SOS with ``beta = beta_opt``.
+
+    Following the proof of Theorem 10: the total outgoing flow satisfies
+    ``g(t) <= 4 sqrt(n) Delta(0) * lambda / (lambda - (beta - 1))`` and
+    ``lambda - (beta - 1) > sqrt(1 - lambda) * lambda / 4``, hence
+    ``g(t) <= 16 sqrt(n) Delta(0) / sqrt(1 - lambda)``; combined with
+    Observation 5, ``x̆(t) >= x(t) - g(t)``:
+
+        ``x̆(t) >= -sqrt(n) Delta(0) * (1 + 16 / sqrt(1 - lambda))``.
+    """
+    if not 0.0 <= lam < 1.0:
+        raise ConfigurationError(f"lambda must be in [0, 1), got {lam}")
+    if n < 1 or delta0 < 0:
+        raise ConfigurationError(f"invalid n={n} or delta0={delta0}")
+    root = math.sqrt(n) * delta0
+    return -(root + 16.0 * root / math.sqrt(1.0 - lam))
+
+
+def theorem11_bound(n: int, delta0: float, lam: float, max_degree: int) -> float:
+    """Transient lower bound for *discrete* SOS (Theorem 11).
+
+    The proof perturbs the flow recursion by the per-round rounding slack
+    (``+ d`` per edge, ``+ d^2`` per node):
+    ``g(t+1) <= (beta-1) g(t) + 4 lambda^{t+1} sqrt(n) Delta(0) + d^2``,
+    which solves to the Theorem 10 bound plus ``d^2 / (2 - beta)``, and
+    ``2 - beta >= sqrt(1 - lambda)``:
+
+        ``x̆(t) >= -(sqrt(n) Delta(0) (1 + 16/sqrt(1-lambda))
+                     + d^2 / sqrt(1-lambda))``.
+    """
+    if max_degree < 0:
+        raise ConfigurationError(f"max_degree must be >= 0, got {max_degree}")
+    base = theorem10_bound(n, delta0, lam)
+    return base - (max_degree ** 2) / math.sqrt(1.0 - lam)
+
+
+def minimum_safe_initial_load(
+    n: int,
+    delta0: float,
+    lam: float,
+    max_degree: Optional[int] = None,
+) -> float:
+    """Sufficient per-node minimum initial load to avoid negative load.
+
+    If every node starts with at least this much load, the corresponding
+    Theorem 10 (continuous, ``max_degree=None``) or Theorem 11 (discrete)
+    bound guarantees ``x̆_i(t) >= 0`` throughout the run.
+    """
+    if max_degree is None:
+        return -theorem10_bound(n, delta0, lam)
+    return -theorem11_bound(n, delta0, lam, max_degree)
+
+
+class NegativeLoadTracker:
+    """Accumulates transient-load statistics across a run.
+
+    Feed it the per-round minimum transient load (available on
+    :class:`repro.core.process.StepInfo`); it tracks the overall minimum,
+    the first round a negative transient occurred, and how many rounds had
+    one.
+    """
+
+    def __init__(self) -> None:
+        self.min_transient = math.inf
+        self.first_negative_round: Optional[int] = None
+        self.negative_rounds = 0
+        self.rounds_seen = 0
+
+    def observe(self, round_index: int, min_transient: float) -> None:
+        """Record one round's minimum transient load."""
+        self.rounds_seen += 1
+        if min_transient < self.min_transient:
+            self.min_transient = float(min_transient)
+        if min_transient < 0.0:
+            self.negative_rounds += 1
+            if self.first_negative_round is None:
+                self.first_negative_round = round_index
+
+    @property
+    def ever_negative(self) -> bool:
+        """Whether any node was ever asked to overdraw its load."""
+        return self.first_negative_round is not None
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "min_transient": None if math.isinf(self.min_transient) else self.min_transient,
+            "first_negative_round": self.first_negative_round,
+            "negative_rounds": self.negative_rounds,
+            "rounds_seen": self.rounds_seen,
+        }

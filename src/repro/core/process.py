@@ -1,0 +1,133 @@
+"""Discrete/continuous process wrapper: scheme + rounding = one step.
+
+:class:`LoadBalancingProcess` pairs a continuous scheme ``C`` with a rounding
+scheme ``R`` and produces the discrete process ``D = R(C)`` of Definition 1.
+Each :meth:`step` computes the continuous scheduled flow
+``Yhat = C(x_D(t))``, rounds it, applies it, and reports both so callers can
+reconstruct the rounding errors ``e = Yhat - y_D`` that drive the paper's
+deviation analysis (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .rounding import IdentityRounding, RoundingScheme, make_rounding
+from .schemes import ContinuousScheme
+from .state import LoadState, apply_flows, transient_loads
+
+__all__ = ["StepInfo", "LoadBalancingProcess"]
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """Everything that happened in one synchronous round.
+
+    Attributes
+    ----------
+    scheduled:
+        The continuous scheduled flow ``Yhat`` (per edge, oriented).
+    actual:
+        The flow actually sent after rounding.
+    errors:
+        The per-edge rounding error ``e = scheduled - actual``.
+    min_transient:
+        Minimum of the transient loads ``x̆`` (after sending, before
+        receiving) — negative values are the paper's "negative load" events.
+    """
+
+    scheduled: np.ndarray
+    actual: np.ndarray
+    errors: np.ndarray
+    min_transient: float
+
+
+class LoadBalancingProcess:
+    """A runnable discrete (or continuous) load balancing process.
+
+    Parameters
+    ----------
+    scheme:
+        The continuous scheme ``C`` (:class:`FirstOrderScheme` or
+        :class:`SecondOrderScheme`).
+    rounding:
+        Rounding scheme ``R`` or its key string (default: ``"identity"`` —
+        the continuous process itself).
+    rng:
+        Random generator threaded into randomized roundings; a fresh default
+        generator is created when omitted.
+    """
+
+    def __init__(
+        self,
+        scheme: ContinuousScheme,
+        rounding=None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.scheme = scheme
+        self.rounding: RoundingScheme = (
+            IdentityRounding() if rounding is None else make_rounding(rounding)
+        )
+        self.rng = rng or np.random.default_rng()
+
+    @property
+    def topo(self):
+        return self.scheme.topo
+
+    @property
+    def speeds(self) -> np.ndarray:
+        return self.scheme.speeds
+
+    @property
+    def is_discrete(self) -> bool:
+        """Whether flows are integral (any rounding other than identity)."""
+        return not isinstance(self.rounding, IdentityRounding)
+
+    def initial_state(self, load: np.ndarray) -> LoadState:
+        """Round-zero state for the given initial load vector."""
+        return LoadState.initial(self.topo, load)
+
+    def step(self, state: LoadState) -> tuple:
+        """Advance one synchronous round.
+
+        Returns ``(new_state, StepInfo)``.  Total load is conserved exactly
+        (up to float round-off for continuous flows); a violation raises
+        :class:`SimulationError` since it indicates a broken rounding scheme.
+        """
+        scheduled = self.scheme.scheduled_flows(state)
+        actual = self.rounding.round_flows(self.topo, scheduled, self.rng)
+        new_load = apply_flows(self.topo, state.load, actual)
+        min_transient = float(transient_loads(self.topo, state.load, actual).min())
+        if abs(new_load.sum() - state.load.sum()) > 1e-6 * max(1.0, abs(state.load.sum())):
+            raise SimulationError(
+                f"load not conserved in round {state.round_index}: "
+                f"{state.load.sum()} -> {new_load.sum()}"
+            )
+        info = StepInfo(
+            scheduled=scheduled,
+            actual=actual,
+            errors=scheduled - actual,
+            min_transient=min_transient,
+        )
+        return state.advanced(new_load, actual), info
+
+    def run(self, load: np.ndarray, rounds: int) -> LoadState:
+        """Run ``rounds`` rounds from the given initial load; return the state.
+
+        For metric collection and switch policies use
+        :class:`repro.core.simulator.Simulator` instead.
+        """
+        state = self.initial_state(load)
+        for _ in range(rounds):
+            state, _ = self.step(state)
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadBalancingProcess(scheme={self.scheme!r}, "
+            f"rounding={self.rounding!r})"
+        )

@@ -1,0 +1,253 @@
+"""Rounding schemes turning continuous flows into integral token moves.
+
+Definition 1 of the paper: a discrete process ``D`` is a continuous process
+``C`` composed with a rounding function applied to the scheduled flow matrix.
+Every scheme here operates on the *oriented* per-edge flow vector (positive
+means ``edge_u -> edge_v``), rounds magnitudes on the sending side and keeps
+antisymmetry by construction.
+
+Error guarantees: :class:`FloorRounding`, :class:`NearestRounding`,
+:class:`CeilRounding` and :class:`UnbiasedEdgeRounding` are floor-or-ceiling
+schemes (per-edge error magnitude strictly below 1).
+:class:`RandomizedExcessRounding` — the paper's scheme — is *unbiased* with
+error below 1 in the under-sending direction, but a node may place several
+of its (at most ``ceil(r) <= d``) excess tokens on the same edge, so the
+over-sending error on one edge can reach ``ceil(r) - {Yhat}``; this is
+exactly the ``Z_ij`` sum of Bernoulli variables in Observation 1 of the
+paper.  :class:`IdentityRounding` has error zero (the continuous process).
+
+The centrepiece is :class:`RandomizedExcessRounding` — the paper's Section
+III-B algorithm: floor every outgoing flow, gather the fractional surplus
+``r`` at each node, then dispatch ``ceil(r)`` *excess tokens*, each of which
+independently goes to neighbour ``j`` with probability ``{Yhat_ij}/ceil(r)``
+and stays home otherwise.  The implementation is fully vectorised: one
+uniform draw per excess token and a single ``searchsorted`` against the
+per-sender cumulative fractional parts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import RoundingError
+from ..graphs.topology import Topology
+
+__all__ = [
+    "RoundingScheme",
+    "IdentityRounding",
+    "FloorRounding",
+    "NearestRounding",
+    "CeilRounding",
+    "UnbiasedEdgeRounding",
+    "RandomizedExcessRounding",
+    "make_rounding",
+]
+
+_FRAC_TOL = 1e-9
+
+
+class RoundingScheme:
+    """Base class; subclasses implement :meth:`round_flows`.
+
+    ``needs_rng`` tells the process wrapper whether to thread a random
+    generator through; deterministic schemes ignore it.
+    """
+
+    needs_rng: bool = False
+    #: Identifier used by :func:`make_rounding` and in experiment reports.
+    key: str = ""
+
+    def round_flows(
+        self,
+        topo: Topology,
+        flows: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Return an integral flow vector aligned with ``flows``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class IdentityRounding(RoundingScheme):
+    """No rounding: the continuous (idealised) process of Figure 6."""
+
+    key = "identity"
+
+    def round_flows(self, topo, flows, rng=None):
+        return np.asarray(flows, dtype=np.float64)
+
+
+class FloorRounding(RoundingScheme):
+    """Always round the sent amount down (the "always round down" baseline).
+
+    The sender of each edge rounds the magnitude of the flow down, i.e. the
+    oriented flow is truncated toward zero.  Deterministic, never creates
+    negative load beyond what the continuous flow would, but biased: the
+    expected rounding error is positive and the residual imbalance is
+    typically the worst of all schemes.
+    """
+
+    key = "floor"
+
+    def round_flows(self, topo, flows, rng=None):
+        return np.trunc(flows)
+
+
+class NearestRounding(RoundingScheme):
+    """Round the sent magnitude to the nearest integer (ties toward even).
+
+    A deterministic floor-or-ceiling scheme in the sense of Theorem 8.
+    """
+
+    key = "nearest"
+
+    def round_flows(self, topo, flows, rng=None):
+        return np.sign(flows) * np.rint(np.abs(flows))
+
+
+class CeilRounding(RoundingScheme):
+    """Always round the sent magnitude up.
+
+    The adversarial extreme of the floor-or-ceiling class of Theorem 8;
+    maximises traffic and the risk of negative load.  Mainly used by the
+    negative-load experiments and tests.
+    """
+
+    key = "ceil"
+
+    def round_flows(self, topo, flows, rng=None):
+        return np.sign(flows) * np.ceil(np.abs(flows))
+
+
+class UnbiasedEdgeRounding(RoundingScheme):
+    """Independent per-edge randomized rounding (the scheme of [15]).
+
+    Each edge independently rounds the sent magnitude up with probability
+    equal to its fractional part, so the rounding error is zero in
+    expectation per edge.  Unlike the paper's excess-token scheme the number
+    of extra tokens a node emits is not capped, which is exactly the negative
+    load drawback the paper describes for this approach.
+    """
+
+    key = "unbiased-edge"
+    needs_rng = True
+
+    def round_flows(self, topo, flows, rng=None):
+        rng = rng or np.random.default_rng()
+        magnitude = np.abs(flows)
+        base = np.floor(magnitude)
+        frac = magnitude - base
+        up = rng.random(flows.shape[0]) < frac
+        return np.sign(flows) * (base + up)
+
+
+class RandomizedExcessRounding(RoundingScheme):
+    """The paper's randomized rounding algorithm (Section III-B).
+
+    For each node ``i`` consider the edges whose scheduled flow leaves ``i``.
+    Floor every such flow; let ``r = sum of the fractional parts`` and
+    ``c = ceil(r)``.  Dispatch ``c`` excess tokens: each token independently
+    goes to neighbour ``j`` with probability ``{Yhat_ij}/c`` and stays on
+    ``i`` with the remaining probability ``1 - r/c``.  (This matches
+    Observation 1: ``Z_ij`` is a sum of ``c`` Bernoulli variables with mean
+    ``{Yhat_ij}/c`` each, so ``E[Z_ij] = {Yhat_ij}``.)
+
+    Vectorised implementation: tokens of all senders are drawn in one batch.
+    For sender ``i`` with token budget ``c_i``, a token's uniform draw is
+    scaled to ``[0, c_i)`` and located in the sender's cumulative-fraction
+    segment via a single global ``searchsorted``; draws landing beyond the
+    segment's total fraction ``r_i`` stay home.
+    """
+
+    key = "randomized-excess"
+    needs_rng = True
+
+    def round_flows(self, topo, flows, rng=None):
+        rng = rng or np.random.default_rng()
+        flows = np.asarray(flows, dtype=np.float64)
+        magnitude = np.abs(flows)
+        base = np.floor(magnitude)
+        frac = magnitude - base
+        # Clean up float fuzz: treat ~integral flows as exact.
+        fuzzy = frac < _FRAC_TOL
+        frac[fuzzy] = 0.0
+        high = frac > 1.0 - _FRAC_TOL
+        base[high] += 1.0
+        frac[high] = 0.0
+
+        rounded = np.sign(flows) * base
+
+        fractional = np.nonzero(frac > 0.0)[0]
+        if fractional.size == 0:
+            return rounded
+
+        # Sender of each fractional edge: edge_u when flow > 0 else edge_v.
+        senders = np.where(
+            flows[fractional] > 0.0,
+            topo.edge_u[fractional],
+            topo.edge_v[fractional],
+        )
+        order = np.argsort(senders, kind="stable")
+        fractional = fractional[order]
+        senders = senders[order]
+        fracs = frac[fractional]
+
+        # Segment boundaries per distinct sender.
+        uniq_senders, seg_starts = np.unique(senders, return_index=True)
+        seg_ends = np.append(seg_starts[1:], senders.size)
+
+        # r_i per sender and cumulative fractions within each segment.
+        cum = np.cumsum(fracs)
+        seg_base = np.zeros(senders.size)
+        seg_base[seg_starts[1:]] = cum[seg_ends[:-1] - 1]
+        seg_base = np.maximum.accumulate(seg_base)
+        cum_in_seg = cum - seg_base  # cumulative fraction inside the segment
+        r_per_sender = cum_in_seg[seg_ends - 1]
+        c_per_sender = np.ceil(r_per_sender - _FRAC_TOL)
+        c_per_sender = np.maximum(c_per_sender, 1.0).astype(np.int64)
+
+        # One uniform per token, scaled to [0, c_i); locate in the segment.
+        total_tokens = int(c_per_sender.sum())
+        token_seg = np.repeat(np.arange(uniq_senders.size), c_per_sender)
+        draws = rng.random(total_tokens) * c_per_sender[token_seg]
+        # Global positions: searchsorted over cum with per-token offset.
+        global_target = seg_base[seg_starts[token_seg]] + draws
+        pos = np.searchsorted(cum, global_target, side="right")
+        # A draw beyond the segment's fraction total means the token stays.
+        stays = pos >= seg_ends[token_seg]
+        pos = pos[~stays]
+
+        extra = np.bincount(pos, minlength=senders.size).astype(np.float64)
+        rounded[fractional] += np.sign(flows[fractional]) * extra
+        return rounded
+
+
+_SCHEMES = {
+    cls.key: cls
+    for cls in (
+        IdentityRounding,
+        FloorRounding,
+        NearestRounding,
+        CeilRounding,
+        UnbiasedEdgeRounding,
+        RandomizedExcessRounding,
+    )
+}
+
+
+def make_rounding(spec) -> RoundingScheme:
+    """Build a rounding scheme from a key string or pass instances through."""
+    if isinstance(spec, RoundingScheme):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _SCHEMES[spec]()
+        except KeyError:
+            raise RoundingError(
+                f"unknown rounding scheme {spec!r}; known: {sorted(_SCHEMES)}"
+            ) from None
+    raise RoundingError(f"cannot interpret rounding spec {spec!r}")

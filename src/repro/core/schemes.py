@@ -1,0 +1,136 @@
+"""Continuous diffusion schemes: FOS and SOS.
+
+A *scheme* maps the current state to the continuous scheduled flow over every
+edge (the ``Yhat`` of Section III-B).  Both schemes are linear in the sense
+of Definitions 2 and 4 of the paper — the test-suite checks this property
+directly — which is what makes the error-propagation identity (Lemma 2) hold
+for their discretised versions.
+
+Flows follow the heterogeneous equations (Sections II-c and V):
+
+* FOS:  ``y_ij(t) = alpha_ij * (x_i(t)/s_i - x_j(t)/s_j)``
+* SOS:  ``y_ij(t) = (beta - 1) y_ij(t-1)
+  + beta * alpha_ij * (x_i(t)/s_i - x_j(t)/s_j)`` with an FOS first round.
+
+With unit speeds these reduce to equations (1) and (3) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SchemeError
+from ..graphs.speeds import uniform_speeds, validate_speeds
+from ..graphs.topology import Topology
+from .alphas import resolve_alphas
+from .state import LoadState
+
+__all__ = ["ContinuousScheme", "FirstOrderScheme", "SecondOrderScheme"]
+
+
+class ContinuousScheme:
+    """Base class binding a diffusion scheme to a topology.
+
+    Parameters
+    ----------
+    topo:
+        The network.
+    speeds:
+        Heterogeneous speeds (default: homogeneous, all ones).
+    alphas:
+        Edge weights; anything :func:`repro.core.alphas.resolve_alphas`
+        accepts.  ``None`` picks the paper default for the speed vector.
+    """
+
+    #: Whether :meth:`scheduled_flows` reads ``state.flows`` (SOS does).
+    uses_flow_history: bool = False
+
+    def __init__(self, topo: Topology, speeds: Optional[np.ndarray] = None, alphas=None):
+        self.topo = topo
+        self.speeds = validate_speeds(
+            speeds if speeds is not None else uniform_speeds(topo.n), topo.n
+        )
+        self.alphas = resolve_alphas(alphas, topo, self.speeds)
+        # Per-edge endpoint speeds, gathered once.  The kernel *divides* by
+        # these (rather than multiplying by precomputed reciprocals) so the
+        # flows are bit-identical to what message-passing nodes compute
+        # locally with ``load / speed`` — keeping the two engines in lockstep
+        # even for roundings that are sensitive to the last ulp.
+        self._s_u = self.speeds[topo.edge_u]
+        self._s_v = self.speeds[topo.edge_v]
+
+    # -- subclass API ---------------------------------------------------
+    def scheduled_flows(self, state: LoadState) -> np.ndarray:
+        """Continuous flow ``Yhat`` for the next round, oriented ``u -> v``."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    def _gradient_flows(self, load: np.ndarray) -> np.ndarray:
+        """The first-order term ``alpha_ij (x_i/s_i - x_j/s_j)`` per edge."""
+        return self.alphas * (
+            load[self.topo.edge_u] / self._s_u
+            - load[self.topo.edge_v] / self._s_v
+        )
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(topo={self.topo.name!r}, n={self.topo.n})"
+
+
+class FirstOrderScheme(ContinuousScheme):
+    """First order scheme (FOS), equation (1) of the paper.
+
+    The flow over an edge depends only on the current (speed-normalised) load
+    difference of its endpoints; in matrix form ``x(t+1) = M x(t)`` with
+    ``M = I - L_alpha S^{-1}``.
+    """
+
+    uses_flow_history = False
+
+    def scheduled_flows(self, state: LoadState) -> np.ndarray:
+        return self._gradient_flows(state.load)
+
+
+class SecondOrderScheme(ContinuousScheme):
+    """Second order scheme (SOS), equations (3)/(4) of the paper.
+
+    The very first round is an FOS round; afterwards the flow mixes the
+    previous round's flow with the current gradient:
+
+        ``y(t) = (beta - 1) y(t-1) + beta * gradient(x(t))``.
+
+    ``beta`` must lie in ``(0, 2)`` for convergence; ``beta = 1`` recovers
+    FOS exactly.  Use :func:`repro.core.spectral.beta_opt` for the optimal
+    value ``2 / (1 + sqrt(1 - lambda^2))``.
+    """
+
+    uses_flow_history = True
+
+    def __init__(
+        self,
+        topo: Topology,
+        beta: float,
+        speeds: Optional[np.ndarray] = None,
+        alphas=None,
+    ):
+        if not 0.0 < beta < 2.0:
+            raise SchemeError(f"beta must be in (0, 2), got {beta}")
+        super().__init__(topo, speeds, alphas)
+        self.beta = float(beta)
+
+    def scheduled_flows(self, state: LoadState) -> np.ndarray:
+        gradient = self._gradient_flows(state.load)
+        if state.round_index == 0:
+            return gradient
+        return (self.beta - 1.0) * state.flows + self.beta * gradient
+
+    def __repr__(self) -> str:
+        return (
+            f"SecondOrderScheme(topo={self.topo.name!r}, n={self.topo.n}, "
+            f"beta={self.beta:.6f})"
+        )

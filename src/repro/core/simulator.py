@@ -1,0 +1,226 @@
+"""Synchronous-round simulation driver with metric recording.
+
+:class:`Simulator` wraps a :class:`~repro.core.process.LoadBalancingProcess`
+and runs it for a number of rounds while
+
+* recording the paper's Section VI metrics each round (:class:`RoundRecord`),
+* tracking the minimum transient load (negative-load analysis, Section V),
+* applying an optional :class:`~repro.core.hybrid.SwitchPolicy` that swaps a
+  second order scheme for its first order counterpart mid-run (the paper's
+  hybrid strategy), and
+* supporting early stopping on convergence predicates.
+
+The result object (:class:`SimulationResult`) carries the full metric time
+series as plain numpy arrays ready for the benchmark harness and the series
+exporters in :mod:`repro.viz.series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from .hybrid import NeverSwitch, SwitchPolicy
+from .metrics import (
+    max_local_difference,
+    max_minus_average,
+    min_minus_average,
+    normalized_potential,
+    target_loads,
+)
+from .process import LoadBalancingProcess
+from .schemes import FirstOrderScheme, SecondOrderScheme
+from .state import LoadState
+
+__all__ = ["RoundRecord", "SimulationResult", "Simulator"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics of one recorded round (fields mirror Section VI).
+
+    ``round_traffic`` is the total load moved this round (sum of absolute
+    edge flows) — the communication-volume metric under which diffusion
+    schemes beat token random walks (Section II-a discussion of [13]).
+    """
+
+    round_index: int
+    scheme: str
+    max_minus_avg: float
+    min_minus_avg: float
+    max_local_diff: float
+    potential_per_node: float
+    min_load: float
+    min_transient: float
+    total_load: float
+    round_traffic: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a :meth:`Simulator.run` call.
+
+    ``records`` holds one :class:`RoundRecord` per recorded round (round 0 is
+    the initial state).  ``switched_at`` is the round index after which the
+    hybrid policy replaced SOS with FOS (``None`` when no switch happened);
+    ``stopped_at`` is the round at which an early-stop predicate fired.
+    """
+
+    records: List[RoundRecord]
+    final_state: LoadState
+    switched_at: Optional[int] = None
+    stopped_at: Optional[int] = None
+    loads_history: Optional[List[np.ndarray]] = None
+
+    def series(self, fieldname: str) -> np.ndarray:
+        """Column ``fieldname`` of the record table as a float array."""
+        return np.asarray([getattr(r, fieldname) for r in self.records], dtype=np.float64)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        """Recorded round indices."""
+        return np.asarray([r.round_index for r in self.records], dtype=np.int64)
+
+    @property
+    def min_transient_overall(self) -> float:
+        """Most negative transient load seen anywhere in the run."""
+        if not self.records:
+            return 0.0
+        return float(min(r.min_transient for r in self.records))
+
+    def first_round_below(self, fieldname: str, threshold: float) -> Optional[int]:
+        """First recorded round where ``fieldname`` drops to <= threshold."""
+        for rec in self.records:
+            if getattr(rec, fieldname) <= threshold:
+                return rec.round_index
+        return None
+
+
+class Simulator:
+    """Drives a process for many rounds with recording and hybrid switching.
+
+    Parameters
+    ----------
+    process:
+        The (discrete or continuous) process to run.
+    switch_policy:
+        Optional hybrid policy; when it fires and the active scheme is a
+        :class:`SecondOrderScheme`, the simulator swaps in a
+        :class:`FirstOrderScheme` over the same topology/speeds/alphas
+        (every node "synchronously switches to first order scheme").
+    record_every:
+        Record metrics every this many rounds (1 = every round).
+    keep_loads:
+        Also keep a copy of the full load vector at every recorded round
+        (needed by the eigen-coefficient analysis and the renderers; costs
+        ``O(n)`` memory per record).
+    targets:
+        Balanced target vector; computed from the total load and speeds when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        process: LoadBalancingProcess,
+        switch_policy: Optional[SwitchPolicy] = None,
+        record_every: int = 1,
+        keep_loads: bool = False,
+        targets: Optional[np.ndarray] = None,
+    ):
+        if record_every < 1:
+            raise ConfigurationError(f"record_every must be >= 1, got {record_every}")
+        self.process = process
+        self.switch_policy = switch_policy or NeverSwitch()
+        self.record_every = int(record_every)
+        self.keep_loads = bool(keep_loads)
+        self._targets = targets
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_load: np.ndarray,
+        rounds: int,
+        stop_when: Optional[Callable[[Topology, LoadState], bool]] = None,
+    ) -> SimulationResult:
+        """Run up to ``rounds`` rounds; return the recorded time series.
+
+        ``stop_when(topo, state)`` is evaluated after each round and ends the
+        run early when it returns True (the final round is always recorded).
+        """
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        topo = self.process.topo
+        state = self.process.initial_state(initial_load)
+        targets = self._targets
+        if targets is None:
+            targets = target_loads(state.total_load, self.process.speeds)
+        self.switch_policy.reset()
+
+        records: List[RoundRecord] = []
+        loads_history: Optional[List[np.ndarray]] = [] if self.keep_loads else None
+        switched_at: Optional[int] = None
+        stopped_at: Optional[int] = None
+
+        def record(st: LoadState, min_transient: float, traffic: float) -> None:
+            records.append(
+                RoundRecord(
+                    round_index=st.round_index,
+                    scheme=self.process.scheme.name,
+                    max_minus_avg=max_minus_average(st.load, targets),
+                    min_minus_avg=min_minus_average(st.load, targets),
+                    max_local_diff=max_local_difference(topo, st.load),
+                    potential_per_node=normalized_potential(st.load, targets),
+                    min_load=float(st.load.min()),
+                    min_transient=min_transient,
+                    total_load=st.total_load,
+                    round_traffic=traffic,
+                )
+            )
+            if loads_history is not None:
+                loads_history.append(st.load.copy())
+
+        record(state, min_transient=float(state.load.min()), traffic=0.0)
+
+        for _ in range(rounds):
+            state, info = self.process.step(state)
+            if state.round_index % self.record_every == 0:
+                record(
+                    state,
+                    info.min_transient,
+                    traffic=float(np.abs(info.actual).sum()),
+                )
+            if switched_at is None and self.switch_policy.should_switch(topo, state):
+                if isinstance(self.process.scheme, SecondOrderScheme):
+                    self._swap_to_fos()
+                    switched_at = state.round_index
+            if stop_when is not None and stop_when(topo, state):
+                stopped_at = state.round_index
+                break
+
+        if records[-1].round_index != state.round_index:
+            # Make sure the terminal state is present in the series.
+            record(
+                state,
+                min_transient=records[-1].min_transient,
+                traffic=records[-1].round_traffic,
+            )
+
+        return SimulationResult(
+            records=records,
+            final_state=state,
+            switched_at=switched_at,
+            stopped_at=stopped_at,
+            loads_history=loads_history,
+        )
+
+    # ------------------------------------------------------------------
+    def _swap_to_fos(self) -> None:
+        """Replace the active SOS with FOS on the same substrate."""
+        old = self.process.scheme
+        self.process.scheme = FirstOrderScheme(
+            old.topo, speeds=old.speeds, alphas=old.alphas
+        )

@@ -1,0 +1,163 @@
+"""Simulation state and edge-flow primitives.
+
+A load balancing process is fully described by the per-node load vector and
+the per-edge flow of the previous round (SOS needs it; FOS ignores it).
+Flows are stored *oriented*: entry ``k`` is the amount moved from
+``edge_u[k]`` to ``edge_v[k]`` (negative means the opposite direction), which
+makes the antisymmetry ``y_ij = -y_ji`` of the paper automatic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+
+__all__ = [
+    "LoadState",
+    "apply_flows",
+    "outgoing_per_node",
+    "incoming_per_node",
+    "transient_loads",
+    "point_load",
+    "uniform_load",
+    "random_load",
+    "proportional_load",
+]
+
+
+@dataclass(frozen=True)
+class LoadState:
+    """Immutable snapshot of a balancing process.
+
+    Attributes
+    ----------
+    load:
+        Per-node load vector ``x(t)`` (float64; integral values for discrete
+        processes).
+    flows:
+        Per-edge flow ``y(t-1)`` sent in the previous round, oriented
+        ``edge_u -> edge_v``.  All zeros before the first round.
+    round_index:
+        Number of completed rounds ``t``.
+    """
+
+    load: np.ndarray
+    flows: np.ndarray
+    round_index: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "load", np.asarray(self.load, dtype=np.float64))
+        object.__setattr__(self, "flows", np.asarray(self.flows, dtype=np.float64))
+
+    @classmethod
+    def initial(cls, topo: Topology, load: np.ndarray) -> "LoadState":
+        """Round-zero state with no flow history."""
+        load = np.asarray(load, dtype=np.float64)
+        if load.shape != (topo.n,):
+            raise ConfigurationError(
+                f"load vector has shape {load.shape}, expected ({topo.n},)"
+            )
+        return cls(load=load.copy(), flows=np.zeros(topo.m_edges), round_index=0)
+
+    @property
+    def total_load(self) -> float:
+        """Total load in the system (conserved by every scheme)."""
+        return float(self.load.sum())
+
+    def advanced(self, load: np.ndarray, flows: np.ndarray) -> "LoadState":
+        """The state after one more round with the given new load and flows."""
+        return replace(self, load=load, flows=flows, round_index=self.round_index + 1)
+
+
+# ----------------------------------------------------------------------
+# Edge-flow primitives
+# ----------------------------------------------------------------------
+
+def apply_flows(topo: Topology, load: np.ndarray, flows: np.ndarray) -> np.ndarray:
+    """New load vector after moving ``flows`` (oriented ``u -> v``)."""
+    out_u = np.bincount(topo.edge_u, weights=flows, minlength=topo.n)
+    in_v = np.bincount(topo.edge_v, weights=flows, minlength=topo.n)
+    return load - out_u + in_v
+
+
+def outgoing_per_node(topo: Topology, flows: np.ndarray) -> np.ndarray:
+    """Total load each node *sends* under the oriented flow vector."""
+    pos = np.maximum(flows, 0.0)
+    neg = np.maximum(-flows, 0.0)
+    return (
+        np.bincount(topo.edge_u, weights=pos, minlength=topo.n)
+        + np.bincount(topo.edge_v, weights=neg, minlength=topo.n)
+    )
+
+
+def incoming_per_node(topo: Topology, flows: np.ndarray) -> np.ndarray:
+    """Total load each node *receives* under the oriented flow vector."""
+    pos = np.maximum(flows, 0.0)
+    neg = np.maximum(-flows, 0.0)
+    return (
+        np.bincount(topo.edge_v, weights=pos, minlength=topo.n)
+        + np.bincount(topo.edge_u, weights=neg, minlength=topo.n)
+    )
+
+
+def transient_loads(topo: Topology, load: np.ndarray, flows: np.ndarray) -> np.ndarray:
+    """The transient state ``x̆(t)``: load after sending, before receiving.
+
+    Section V of the paper splits each round into a send step and a receive
+    step; negative transient load means a node shipped more than it had.
+    """
+    return load - outgoing_per_node(topo, flows)
+
+
+# ----------------------------------------------------------------------
+# Initial load vectors
+# ----------------------------------------------------------------------
+
+def point_load(topo: Topology, total: float, node: int = 0) -> np.ndarray:
+    """All ``total`` load on a single node — the paper's default start.
+
+    Section VI: *"we initialize our system by assigning a load of 1000·n to a
+    fixed node v0 ... the load of all other nodes is set to zero."*
+    """
+    if not 0 <= node < topo.n:
+        raise ConfigurationError(f"node {node} out of range for n={topo.n}")
+    if total < 0:
+        raise ConfigurationError(f"total load must be >= 0, got {total}")
+    load = np.zeros(topo.n, dtype=np.float64)
+    load[node] = float(total)
+    return load
+
+
+def uniform_load(topo: Topology, per_node: float) -> np.ndarray:
+    """Every node holds ``per_node`` load (already balanced when speeds=1)."""
+    if per_node < 0:
+        raise ConfigurationError(f"per-node load must be >= 0, got {per_node}")
+    return np.full(topo.n, float(per_node), dtype=np.float64)
+
+
+def random_load(
+    topo: Topology,
+    total: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """``total`` integral tokens placed on nodes uniformly at random."""
+    if total < 0:
+        raise ConfigurationError(f"total load must be >= 0, got {total}")
+    rng = rng or np.random.default_rng()
+    owners = rng.integers(0, topo.n, size=int(total))
+    return np.bincount(owners, minlength=topo.n).astype(np.float64)
+
+
+def proportional_load(topo: Topology, speeds: np.ndarray, per_unit: float) -> np.ndarray:
+    """The balanced target ``x̄_i = per_unit * s_i`` (useful as a baseline)."""
+    speeds = np.asarray(speeds, dtype=np.float64)
+    if speeds.shape != (topo.n,):
+        raise ConfigurationError(
+            f"speed vector has shape {speeds.shape}, expected ({topo.n},)"
+        )
+    return per_unit * speeds

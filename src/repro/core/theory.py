@@ -1,0 +1,128 @@
+"""Theoretical bound formulas from the paper, as executable functions.
+
+These express the asymptotic results (convergence times, deviation bounds)
+with their leading functional form so that benches and tests can compare
+measured quantities against ``scale * bound``.  Every function takes an
+explicit ``scale`` defaulting to 1 — the paper's O-notation hides constants,
+so callers calibrate the scale once per experiment when they want a hard
+numeric comparison.
+
+``log smax`` factors are floored at 1 so the bounds stay meaningful on
+homogeneous networks (``smax = 1``), matching how the paper's homogeneous
+corollaries read.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "fos_convergence_rounds",
+    "sos_convergence_rounds",
+    "theorem3_deviation",
+    "theorem4_upsilon",
+    "theorem4_deviation",
+    "observation3_upsilon",
+    "theorem8_deviation",
+    "theorem9_upsilon",
+    "theorem9_deviation",
+]
+
+
+def _check_gap(lam: float) -> float:
+    if not 0.0 <= lam < 1.0:
+        raise ConfigurationError(f"lambda must be in [0, 1), got {lam}")
+    return 1.0 - lam
+
+
+def _log_smax(smax: float) -> float:
+    if smax < 1.0:
+        raise ConfigurationError(f"smax must be >= 1, got {smax}")
+    return max(1.0, math.log(smax))
+
+
+def fos_convergence_rounds(k_disc: float, n: int, lam: float,
+                           smax: float = 1.0, scale: float = 1.0) -> float:
+    """FOS balancing time ``O(log(K n smax) / (1 - lambda))`` ([11], [19])."""
+    if k_disc < 1 or n < 1:
+        raise ConfigurationError(f"need K >= 1 and n >= 1, got ({k_disc}, {n})")
+    gap = _check_gap(lam)
+    return scale * math.log(max(k_disc * n * smax, math.e)) / gap
+
+
+def sos_convergence_rounds(k_disc: float, n: int, lam: float,
+                           smax: float = 1.0, scale: float = 1.0) -> float:
+    """SOS balancing time ``O(log(K n smax) / sqrt(1 - lambda))`` ([19])."""
+    if k_disc < 1 or n < 1:
+        raise ConfigurationError(f"need K >= 1 and n >= 1, got ({k_disc}, {n})")
+    gap = _check_gap(lam)
+    return scale * math.log(max(k_disc * n * smax, math.e)) / math.sqrt(gap)
+
+
+def theorem3_deviation(upsilon: float, max_degree: int, n: int,
+                       scale: float = 1.0) -> float:
+    """Theorem 3: deviation ``O(Upsilon_C(G) * sqrt(d log n))`` w.h.p."""
+    if upsilon < 0 or max_degree < 1 or n < 2:
+        raise ConfigurationError("need upsilon >= 0, d >= 1, n >= 2")
+    return scale * upsilon * math.sqrt(max_degree * math.log(n))
+
+
+def observation3_upsilon(max_degree: int, gamma: float, scale: float = 1.0) -> float:
+    """Observation 3 (1): ``Upsilon = O(sqrt(gamma d / (2 - 2/gamma)))``."""
+    if max_degree < 1 or gamma <= 1.0:
+        raise ConfigurationError("need d >= 1 and gamma > 1")
+    return scale * math.sqrt(gamma * max_degree / (2.0 - 2.0 / gamma))
+
+
+def theorem4_upsilon(max_degree: int, smax: float, lam: float,
+                     scale: float = 1.0) -> float:
+    """Theorem 4 (1): ``Upsilon_FOS = O(sqrt(d log smax / (1 - lambda)))``."""
+    gap = _check_gap(lam)
+    if max_degree < 1:
+        raise ConfigurationError(f"need d >= 1, got {max_degree}")
+    return scale * math.sqrt(max_degree * _log_smax(smax) / gap)
+
+
+def theorem4_deviation(max_degree: int, n: int, smax: float, lam: float,
+                       scale: float = 1.0) -> float:
+    """Theorem 4 (2): FOS deviation ``O(d sqrt(log n * log smax / (1-lambda)))``."""
+    gap = _check_gap(lam)
+    if max_degree < 1 or n < 2:
+        raise ConfigurationError("need d >= 1 and n >= 2")
+    return scale * max_degree * math.sqrt(math.log(n) * _log_smax(smax) / gap)
+
+
+def theorem8_deviation(max_degree: int, n: int, smax: float, lam: float,
+                       scale: float = 1.0) -> float:
+    """Theorem 8: floor-or-ceiling SOS deviation ``O(d sqrt(n smax)/(1-lambda))``.
+
+    The proof yields the explicit constant ``16 sqrt(2)``; pass
+    ``scale = 16 * sqrt(2)`` for the hard bound.
+    """
+    gap = _check_gap(lam)
+    if max_degree < 1 or n < 1:
+        raise ConfigurationError("need d >= 1 and n >= 1")
+    if smax < 1.0:
+        raise ConfigurationError(f"smax must be >= 1, got {smax}")
+    return scale * max_degree * math.sqrt(n * smax) / gap
+
+
+def theorem9_upsilon(max_degree: int, smax: float, lam: float,
+                     scale: float = 1.0) -> float:
+    """Theorem 9 (1): ``Upsilon_SOS = O(sqrt(d) log smax / (1-lambda)^{3/4})``."""
+    gap = _check_gap(lam)
+    if max_degree < 1:
+        raise ConfigurationError(f"need d >= 1, got {max_degree}")
+    return scale * math.sqrt(max_degree) * _log_smax(smax) / gap ** 0.75
+
+
+def theorem9_deviation(max_degree: int, n: int, smax: float, lam: float,
+                       scale: float = 1.0) -> float:
+    """Theorem 9 (2): randomized SOS deviation
+    ``O(d log smax sqrt(log n) / (1-lambda)^{3/4})`` w.h.p."""
+    gap = _check_gap(lam)
+    if max_degree < 1 or n < 2:
+        raise ConfigurationError("need d >= 1 and n >= 2")
+    return scale * max_degree * _log_smax(smax) * math.sqrt(math.log(n)) / gap ** 0.75

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` load balancing library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish configuration problems from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """A graph/topology is malformed (e.g. self loops, disconnected, empty)."""
+
+
+class SpeedError(ConfigurationError):
+    """A speed vector is invalid (non-positive entries, wrong length, ...)."""
+
+
+class SchemeError(ConfigurationError):
+    """A balancing scheme was configured incorrectly (e.g. beta out of range)."""
+
+
+class RoundingError(ReproError):
+    """A rounding scheme produced or detected an invalid flow."""
+
+
+class SimulationError(ReproError):
+    """The simulation driver hit an unrecoverable inconsistency."""
+
+
+class ConvergenceError(SimulationError):
+    """A process failed to converge within the allowed number of rounds."""
+
+
+class ProtocolError(ReproError):
+    """A message-passing protocol violated its contract."""

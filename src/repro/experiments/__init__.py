@@ -1,0 +1,28 @@
+"""Experiment harness: Table I configs, figure drivers, registry, reports."""
+
+from .configs import GRAPH_CONFIGS, PAPER_BETAS, BuiltGraph, GraphConfig, build_graph
+from .tables import Table1Row, reproduce_table1
+from .runner import EXPERIMENTS, list_experiments, run_experiment
+from .report import format_record, format_summary, format_table
+from .sweeps import SweepPoint, fit_power_law, torus_size_sweep
+from . import figures
+
+__all__ = [
+    "GRAPH_CONFIGS",
+    "PAPER_BETAS",
+    "BuiltGraph",
+    "GraphConfig",
+    "build_graph",
+    "Table1Row",
+    "reproduce_table1",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "format_record",
+    "format_summary",
+    "format_table",
+    "SweepPoint",
+    "fit_power_law",
+    "torus_size_sweep",
+    "figures",
+]

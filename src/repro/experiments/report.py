@@ -1,0 +1,71 @@
+"""Plain-text report formatting for experiment outputs.
+
+The bench harness prints the reproduced tables/figures through these
+helpers so runs are readable in CI logs without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..io import ExperimentRecord
+
+__all__ = ["format_table", "format_record", "format_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4e}"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_summary(summary: Dict[str, Any], indent: str = "  ") -> str:
+    """Key/value block for an experiment summary."""
+    if not summary:
+        return indent + "(no summary)"
+    width = max(len(k) for k in summary)
+    return "\n".join(
+        f"{indent}{k.ljust(width)} : {_fmt(v)}" for k, v in sorted(summary.items())
+    )
+
+
+def format_record(record: ExperimentRecord) -> str:
+    """Human-readable rendering of a full experiment record."""
+    lines = [f"=== {record.name} ==="]
+    if record.params:
+        lines.append("params:")
+        lines.append(format_summary(record.params))
+    lines.append("summary:")
+    lines.append(format_summary(record.summary))
+    if record.series:
+        sizes = {k: len(v) for k, v in record.series.items()}
+        lines.append(f"series: {sizes}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Parameter sweeps: convergence-time scaling measurements.
+
+The paper's quantitative core is the convergence-time law — FOS needs
+``O(log(Kn)/(1-lambda))`` rounds, SOS ``O(log(Kn)/sqrt(1-lambda))`` — so on
+a ``k x k`` torus (gap ``~ 1/k^2``) the balancing time should scale like
+``k^2`` for FOS but only ``k`` for SOS.  :func:`torus_size_sweep` measures
+the rounds-to-balance across torus sizes and :func:`fit_power_law` extracts
+the exponent, which the scaling bench compares against 2 and 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_lambda,
+)
+from ..graphs import torus_2d
+from ..analysis import convergence_round
+
+__all__ = ["SweepPoint", "torus_size_sweep", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement of a size sweep."""
+
+    size: int
+    n: int
+    lam: float
+    rounds_to_balance: Optional[int]
+
+
+def torus_size_sweep(
+    sizes: Sequence[int],
+    kind: str = "sos",
+    threshold: float = 10.0,
+    average_load: int = 1000,
+    round_cap: int = 50000,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Measure rounds-to-balance of FOS or SOS across torus sizes.
+
+    Each instance runs the discrete (randomized-excess) scheme from a point
+    load until the max-above-average stays below ``threshold`` for three
+    consecutive rounds, using an adaptive round budget derived from the
+    theoretical law (capped at ``round_cap``).
+    """
+    if kind not in ("fos", "sos"):
+        raise ConfigurationError(f"kind must be 'fos' or 'sos', got {kind!r}")
+    points: List[SweepPoint] = []
+    for size in sizes:
+        topo = torus_2d(size, size)
+        lam = torus_lambda((size, size))
+        gap = 1.0 - lam
+        k_disc = average_load * topo.n
+        if kind == "fos":
+            scheme = FirstOrderScheme(topo)
+            budget = 6.0 * np.log(k_disc) / gap
+        else:
+            scheme = SecondOrderScheme(topo, beta=beta_opt(lam))
+            budget = 6.0 * np.log(k_disc) / np.sqrt(gap)
+        rounds = int(min(budget, round_cap))
+        proc = LoadBalancingProcess(
+            scheme, rounding="randomized-excess", rng=np.random.default_rng(seed)
+        )
+        result = Simulator(proc).run(point_load(topo, k_disc), rounds)
+        points.append(
+            SweepPoint(
+                size=size,
+                n=topo.n,
+                lam=lam,
+                rounds_to_balance=convergence_round(
+                    result, threshold=threshold, sustained=3
+                ),
+            )
+        )
+    return points
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ~ c * x^e`` in log-log space.
+
+    Returns ``(exponent, prefactor)``; requires at least two positive
+    samples.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = (x > 0) & (y > 0)
+    if mask.sum() < 2:
+        raise ConfigurationError("need at least two positive samples to fit")
+    exponent, intercept = np.polyfit(np.log(x[mask]), np.log(y[mask]), 1)
+    return float(exponent), float(np.exp(intercept))

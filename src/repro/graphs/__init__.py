@@ -1,0 +1,69 @@
+"""Graph substrate: topology representation, generators, and speed models.
+
+Everything the balancing engines need to know about the network lives here:
+
+* :class:`~repro.graphs.topology.Topology` — immutable numpy-backed graph,
+* generators for every graph class in the paper's Table I
+  (:func:`torus_2d`, :func:`hypercube`, :func:`configuration_model`,
+  :func:`random_geometric`) plus standard families for tests and ablations,
+* speed-vector constructors for the heterogeneous network model.
+"""
+
+from .topology import Topology
+from .torus import grid_2d, torus_2d, torus_coordinates, torus_nd, torus_node_id
+from .hypercube import hypercube
+from .random_regular import configuration_model, paper_cm_degree, random_regular_strict
+from .geometric import paper_rgg_radius, random_geometric
+from .standard import (
+    barbell,
+    binary_tree,
+    circulant,
+    complete,
+    complete_bipartite,
+    cycle,
+    expander,
+    lollipop,
+    path,
+    star,
+)
+from .speeds import (
+    geometric_speeds,
+    normalize_speeds,
+    powerlaw_speeds,
+    random_integer_speeds,
+    two_class_speeds,
+    uniform_speeds,
+    validate_speeds,
+)
+
+__all__ = [
+    "Topology",
+    "torus_2d",
+    "torus_nd",
+    "grid_2d",
+    "torus_coordinates",
+    "torus_node_id",
+    "hypercube",
+    "configuration_model",
+    "random_regular_strict",
+    "paper_cm_degree",
+    "random_geometric",
+    "paper_rgg_radius",
+    "cycle",
+    "path",
+    "complete",
+    "star",
+    "complete_bipartite",
+    "binary_tree",
+    "circulant",
+    "expander",
+    "lollipop",
+    "barbell",
+    "uniform_speeds",
+    "two_class_speeds",
+    "powerlaw_speeds",
+    "geometric_speeds",
+    "random_integer_speeds",
+    "validate_speeds",
+    "normalize_speeds",
+]

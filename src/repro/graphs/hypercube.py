@@ -1,0 +1,53 @@
+"""Hypercube graph generator.
+
+The paper simulates load balancing on a hypercube with ``n = 2^20`` nodes
+(Table I, Figure 13).  The ``k``-dimensional hypercube connects node ``u`` to
+``u XOR (1 << b)`` for every bit ``b < k``; it is ``k``-regular with
+``n = 2^k`` nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import TopologyError
+from .topology import Topology
+
+__all__ = ["hypercube"]
+
+
+def hypercube(dimension: int) -> Topology:
+    """The ``dimension``-dimensional hypercube on ``2**dimension`` nodes.
+
+    Parameters
+    ----------
+    dimension:
+        Number of dimensions ``k >= 0``.  ``k = 0`` yields the single-node
+        graph.
+
+    Notes
+    -----
+    The diffusion matrix with ``alpha = 1/(d+1)`` on the hypercube has second
+    largest eigenvalue ``lambda = 1 - 2/(k+1)`` (see Section VI-B of the
+    paper), which :func:`repro.core.spectral.hypercube_spectrum` exposes in
+    closed form.
+    """
+    if dimension < 0:
+        raise TopologyError(f"hypercube dimension must be >= 0, got {dimension}")
+    if dimension > 26:
+        raise TopologyError(
+            f"hypercube dimension {dimension} would allocate more than "
+            "2^26 nodes; build it in pieces instead"
+        )
+    n = 1 << dimension
+    nodes = np.arange(n, dtype=np.int64)
+    edges = []
+    for bit in range(dimension):
+        mask = 1 << bit
+        u = nodes[(nodes & mask) == 0]
+        edges.append(np.stack([u, u | mask], axis=1))
+    if edges:
+        edge_array = np.concatenate(edges, axis=0)
+    else:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    return Topology(n, edge_array, name=f"hypercube-{dimension}")

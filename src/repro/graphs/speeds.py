@@ -1,0 +1,123 @@
+"""Speed vectors for heterogeneous networks.
+
+In the paper's heterogeneous model every processor ``i`` has a speed
+``s_i >= 1`` (the minimum speed is normalised to 1) and the target load of
+node ``i`` is ``m * s_i / s`` with ``s = sum_i s_i``.  This module provides
+validated constructors for the speed vectors used across the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SpeedError
+
+__all__ = [
+    "uniform_speeds",
+    "two_class_speeds",
+    "powerlaw_speeds",
+    "geometric_speeds",
+    "random_integer_speeds",
+    "validate_speeds",
+    "normalize_speeds",
+]
+
+
+def validate_speeds(speeds: Sequence[float], n: Optional[int] = None) -> np.ndarray:
+    """Validate and return a float64 speed vector.
+
+    Requirements (from the paper's model): length matches ``n`` when given,
+    all entries finite and >= 1 (minimum speed is 1).
+    """
+    arr = np.asarray(speeds, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise SpeedError("speeds must be a non-empty 1-D vector")
+    if n is not None and arr.size != n:
+        raise SpeedError(f"speed vector has length {arr.size}, expected {n}")
+    if not np.all(np.isfinite(arr)):
+        raise SpeedError("speeds must be finite")
+    if np.any(arr < 1.0 - 1e-12):
+        raise SpeedError(f"minimum speed must be >= 1, got {arr.min()}")
+    return arr
+
+
+def normalize_speeds(speeds: Sequence[float]) -> np.ndarray:
+    """Rescale a positive vector so that its minimum becomes exactly 1."""
+    arr = np.asarray(speeds, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise SpeedError("speeds must be a non-empty 1-D vector")
+    if not np.all(np.isfinite(arr)) or np.any(arr <= 0):
+        raise SpeedError("speeds must be finite and positive to normalize")
+    return arr / arr.min()
+
+
+def uniform_speeds(n: int) -> np.ndarray:
+    """Homogeneous network: all speeds equal to 1."""
+    if n < 1:
+        raise SpeedError(f"need n >= 1, got {n}")
+    return np.ones(n, dtype=np.float64)
+
+
+def two_class_speeds(n: int, fast_fraction: float = 0.1, fast_speed: float = 8.0,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A fraction of "fast" nodes with speed ``fast_speed``, the rest speed 1.
+
+    Models a cluster with a few accelerated machines; the fast node set is
+    chosen uniformly at random.
+    """
+    if n < 1:
+        raise SpeedError(f"need n >= 1, got {n}")
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise SpeedError(f"fast_fraction must be in [0, 1], got {fast_fraction}")
+    if fast_speed < 1.0:
+        raise SpeedError(f"fast_speed must be >= 1, got {fast_speed}")
+    rng = rng or np.random.default_rng()
+    speeds = np.ones(n, dtype=np.float64)
+    k = int(round(fast_fraction * n))
+    if k:
+        fast = rng.choice(n, size=k, replace=False)
+        speeds[fast] = fast_speed
+    return speeds
+
+
+def powerlaw_speeds(n: int, exponent: float = 2.5, s_max: float = 64.0,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Pareto-like speeds truncated to ``[1, s_max]``.
+
+    Heavy-tailed speed distributions stress the ``log s_max`` terms in the
+    paper's deviation bounds (Theorems 4 and 9).
+    """
+    if n < 1:
+        raise SpeedError(f"need n >= 1, got {n}")
+    if exponent <= 1.0:
+        raise SpeedError(f"exponent must be > 1, got {exponent}")
+    if s_max < 1.0:
+        raise SpeedError(f"s_max must be >= 1, got {s_max}")
+    rng = rng or np.random.default_rng()
+    raw = (1.0 - rng.random(n)) ** (-1.0 / (exponent - 1.0))
+    return np.clip(raw, 1.0, s_max)
+
+
+def geometric_speeds(n: int, levels: int = 4, base: float = 2.0,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Speeds drawn uniformly from ``{1, base, base^2, ..., base^(levels-1)}``."""
+    if n < 1:
+        raise SpeedError(f"need n >= 1, got {n}")
+    if levels < 1 or base < 1.0:
+        raise SpeedError(f"need levels >= 1 and base >= 1, got ({levels}, {base})")
+    rng = rng or np.random.default_rng()
+    ladder = base ** np.arange(levels, dtype=np.float64)
+    return rng.choice(ladder, size=n)
+
+
+def random_integer_speeds(n: int, s_max: int = 8,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Integer speeds drawn uniformly from ``{1, ..., s_max}``."""
+    if n < 1:
+        raise SpeedError(f"need n >= 1, got {n}")
+    if s_max < 1:
+        raise SpeedError(f"s_max must be >= 1, got {s_max}")
+    rng = rng or np.random.default_rng()
+    return rng.integers(1, s_max + 1, size=n).astype(np.float64)

@@ -1,0 +1,325 @@
+"""Graph topology substrate.
+
+:class:`Topology` is the numpy-first graph representation used by every
+simulation engine in this library.  It stores an undirected simple graph as
+
+* an edge list (two parallel ``int64`` arrays ``edge_u``/``edge_v`` with
+  ``edge_u[k] < edge_v[k]`` for every edge ``k``), and
+* a CSR-style adjacency structure (``adj_indptr``/``adj_indices``) that maps
+  each node to its sorted neighbour list, plus ``adj_edge_ids`` giving the
+  edge id of each incidence so per-edge quantities (flows, alphas) can be
+  gathered per node without searching.
+
+The class is immutable after construction; generators in the sibling modules
+return fully validated instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TopologyError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An immutable undirected simple graph with numpy adjacency structures.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are the integers ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self loops and duplicate edges are
+        rejected.  The pair order does not matter.
+    name:
+        Optional human-readable name used in reports and ``repr``.
+
+    Notes
+    -----
+    The paper models the network as an undirected graph ``G = (V, E)`` whose
+    nodes are processors and whose edges are communication links; all
+    balancing algorithms in :mod:`repro.core` operate on this class.
+    """
+
+    __slots__ = (
+        "n",
+        "m_edges",
+        "edge_u",
+        "edge_v",
+        "adj_indptr",
+        "adj_indices",
+        "adj_edge_ids",
+        "degrees",
+        "name",
+        "_edge_id_lookup",
+    )
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]], name: str = "graph"):
+        if n <= 0:
+            raise TopologyError(f"graph must have at least one node, got n={n}")
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise TopologyError("edges must be an iterable of (u, v) pairs")
+        if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= n):
+            raise TopologyError(
+                f"edge endpoint out of range for n={n}: "
+                f"min={edge_array.min()}, max={edge_array.max()}"
+            )
+
+        u = np.minimum(edge_array[:, 0], edge_array[:, 1])
+        v = np.maximum(edge_array[:, 0], edge_array[:, 1])
+        if np.any(u == v):
+            bad = int(u[np.argmax(u == v)])
+            raise TopologyError(f"self loop at node {bad} is not allowed")
+
+        order = np.lexsort((v, u))
+        u, v = u[order], v[order]
+        if u.size > 1:
+            dup = (u[1:] == u[:-1]) & (v[1:] == v[:-1])
+            if np.any(dup):
+                k = int(np.argmax(dup))
+                raise TopologyError(f"duplicate edge ({int(u[k])}, {int(v[k])})")
+
+        self.n = int(n)
+        self.m_edges = int(u.size)
+        self.edge_u = u
+        self.edge_v = v
+        self.name = name
+
+        # Build CSR adjacency: for every incidence store (node, neighbour,
+        # edge id) and bucket by node.
+        inc_nodes = np.concatenate([u, v])
+        inc_neigh = np.concatenate([v, u])
+        inc_edges = np.concatenate([np.arange(self.m_edges)] * 2).astype(np.int64)
+        csr_order = np.lexsort((inc_neigh, inc_nodes))
+        inc_nodes = inc_nodes[csr_order]
+        self.adj_indices = inc_neigh[csr_order]
+        self.adj_edge_ids = inc_edges[csr_order]
+        self.degrees = np.bincount(inc_nodes, minlength=self.n).astype(np.int64)
+        self.adj_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(self.degrees, out=self.adj_indptr[1:])
+
+        self._edge_id_lookup: Optional[dict] = None
+
+        for arr in (
+            self.edge_u,
+            self.edge_v,
+            self.adj_indptr,
+            self.adj_indices,
+            self.adj_edge_ids,
+            self.degrees,
+        ):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node`` (read-only view)."""
+        lo, hi = self.adj_indptr[node], self.adj_indptr[node + 1]
+        return self.adj_indices[lo:hi]
+
+    def incident_edges(self, node: int) -> np.ndarray:
+        """Edge ids incident to ``node``, aligned with :meth:`neighbors`."""
+        lo, hi = self.adj_indptr[node], self.adj_indptr[node + 1]
+        return self.adj_edge_ids[lo:hi]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return int(self.degrees[node])
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``d`` of the graph (0 for an edgeless graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree of the graph."""
+        return int(self.degrees.min()) if self.n else 0
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for k in range(self.m_edges):
+            yield int(self.edge_u[k]), int(self.edge_v[k])
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the edge id of ``{u, v}``.
+
+        Raises
+        ------
+        TopologyError
+            If ``{u, v}`` is not an edge of the graph.
+        """
+        if self._edge_id_lookup is None:
+            lookup = {}
+            for k in range(self.m_edges):
+                lookup[(int(self.edge_u[k]), int(self.edge_v[k]))] = k
+            self._edge_id_lookup = lookup
+        key = (min(u, v), max(u, v))
+        try:
+            return self._edge_id_lookup[key]
+        except KeyError:
+            raise TopologyError(f"({u}, {v}) is not an edge of {self.name}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        if not (0 <= u < self.n and 0 <= v < self.n) or u == v:
+            return False
+        neigh = self.neighbors(u)
+        pos = np.searchsorted(neigh, v)
+        return pos < neigh.size and neigh[pos] == v
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from node 0)."""
+        if self.n == 1:
+            return True
+        return self.component_of(0).size == self.n
+
+    def component_of(self, start: int) -> np.ndarray:
+        """Node ids of the connected component containing ``start``."""
+        seen = np.zeros(self.n, dtype=bool)
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            nxt: List[int] = []
+            for node in frontier:
+                for nb in self.neighbors(node):
+                    if not seen[nb]:
+                        seen[nb] = True
+                        nxt.append(int(nb))
+            frontier = nxt
+        return np.nonzero(seen)[0]
+
+    def connected_components(self) -> List[np.ndarray]:
+        """All connected components, each as a sorted node-id array."""
+        remaining = np.ones(self.n, dtype=bool)
+        components = []
+        while remaining.any():
+            start = int(np.argmax(remaining))
+            comp = self.component_of(start)
+            components.append(comp)
+            remaining[comp] = False
+        return components
+
+    def require_connected(self) -> "Topology":
+        """Return ``self``; raise :class:`TopologyError` if disconnected."""
+        if not self.is_connected():
+            raise TopologyError(f"{self.name} is not connected")
+        return self
+
+    def is_bipartite(self) -> bool:
+        """Whether the graph is bipartite (2-colourable).
+
+        Bipartite structure matters for diffusion: non-lazy diffusion matrices
+        on bipartite graphs have eigenvalue ``-1`` and fail to converge, which
+        is why the standard ``alpha = 1/(max degree + 1)`` choice keeps a lazy
+        self weight.
+        """
+        color = np.full(self.n, -1, dtype=np.int8)
+        for start in range(self.n):
+            if color[start] != -1:
+                continue
+            color[start] = 0
+            frontier = [start]
+            while frontier:
+                nxt: List[int] = []
+                for node in frontier:
+                    for nb in self.neighbors(node):
+                        if color[nb] == -1:
+                            color[nb] = 1 - color[node]
+                            nxt.append(int(nb))
+                        elif color[nb] == color[node]:
+                            return False
+                frontier = nxt
+        return True
+
+    def diameter_lower_bound(self, start: int = 0) -> int:
+        """Eccentricity of ``start`` — a cheap lower bound on the diameter."""
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[start] = 0
+        frontier = [start]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: List[int] = []
+            for node in frontier:
+                for nb in self.neighbors(node):
+                    if dist[nb] < 0:
+                        dist[nb] = d
+                        nxt.append(int(nb))
+            frontier = nxt
+        return int(dist.max())
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense ``n x n`` 0/1 adjacency matrix (float64)."""
+        a = np.zeros((self.n, self.n), dtype=np.float64)
+        a[self.edge_u, self.edge_v] = 1.0
+        a[self.edge_v, self.edge_u] = 1.0
+        return a
+
+    def laplacian_matrix(self) -> np.ndarray:
+        """Dense combinatorial Laplacian ``D - A``."""
+        lap = -self.adjacency_matrix()
+        lap[np.arange(self.n), np.arange(self.n)] = self.degrees
+        return lap
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (lazy import)."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(zip(self.edge_u.tolist(), self.edge_v.tolist()))
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph, name: Optional[str] = None) -> "Topology":
+        """Build a :class:`Topology` from a :class:`networkx.Graph`.
+
+        Node labels are relabelled to ``0 .. n-1`` in sorted order.
+        """
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[a], index[b]) for a, b in graph.edges()]
+        return cls(len(nodes), edges, name=name or getattr(graph, "name", "") or "graph")
+
+    @classmethod
+    def from_edge_list(
+        cls, edges: Sequence[Tuple[int, int]], n: Optional[int] = None, name: str = "graph"
+    ) -> "Topology":
+        """Build from an edge list, inferring ``n`` as ``max endpoint + 1``."""
+        if n is None:
+            n = 1 + max((max(a, b) for a, b in edges), default=-1)
+            if n <= 0:
+                raise TopologyError("cannot infer node count from an empty edge list")
+        return cls(n, edges, name=name)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Topology(name={self.name!r}, n={self.n}, m={self.m_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m_edges == other.m_edges
+            and bool(np.array_equal(self.edge_u, other.edge_u))
+            and bool(np.array_equal(self.edge_v, other.edge_v))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m_edges, self.edge_u.tobytes(), self.edge_v.tobytes()))

@@ -1,0 +1,92 @@
+"""Torus graph generators.
+
+The paper's main experimental platform is the two-dimensional torus (sizes
+``1000 x 1000`` and ``100 x 100``, Table I).  This module provides general
+``k``-dimensional tori plus helpers to map between node ids and grid
+coordinates, which the visualisation code (Figures 9-11) relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TopologyError
+from .topology import Topology
+
+__all__ = ["torus_2d", "torus_nd", "grid_2d", "torus_coordinates", "torus_node_id"]
+
+
+def torus_2d(rows: int, cols: int) -> Topology:
+    """Two-dimensional torus with ``rows x cols`` nodes.
+
+    Node ``(r, c)`` has id ``r * cols + c`` and is adjacent to its four
+    neighbours ``(r±1, c)`` and ``(r, c±1)`` with wrap-around.  Dimensions of
+    size 1 contribute no edges and a dimension of size 2 contributes a single
+    (not doubled) edge.
+    """
+    return torus_nd((rows, cols), name=f"torus-{rows}x{cols}")
+
+
+def torus_nd(shape: Sequence[int], name: str = "") -> Topology:
+    """A ``k``-dimensional torus with the given side lengths.
+
+    Parameters
+    ----------
+    shape:
+        Side length per dimension; every entry must be >= 1.
+    name:
+        Optional topology name; a descriptive default is derived from shape.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 1 for s in shape):
+        raise TopologyError(f"invalid torus shape {shape}")
+    n = int(np.prod(shape))
+    ids = np.arange(n).reshape(shape)
+    edges = []
+    for axis, side in enumerate(shape):
+        if side == 1:
+            continue
+        rolled = np.roll(ids, -1, axis=axis)
+        u = ids.ravel()
+        v = rolled.ravel()
+        if side == 2:
+            # Rolling by one in a dimension of size 2 visits each edge twice.
+            keep = u < v
+            u, v = u[keep], v[keep]
+        edges.append(np.stack([u, v], axis=1))
+    if edges:
+        edge_array = np.concatenate(edges, axis=0)
+    else:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    label = name or ("torus-" + "x".join(str(s) for s in shape))
+    return Topology(n, edge_array, name=label)
+
+
+def grid_2d(rows: int, cols: int) -> Topology:
+    """Two-dimensional grid (mesh) *without* wrap-around edges."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"invalid grid shape ({rows}, {cols})")
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    edges = []
+    if cols > 1:
+        edges.append(np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1))
+    if rows > 1:
+        edges.append(np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1))
+    edge_array = (
+        np.concatenate(edges, axis=0) if edges else np.empty((0, 2), dtype=np.int64)
+    )
+    return Topology(rows * cols, edge_array, name=f"grid-{rows}x{cols}")
+
+
+def torus_coordinates(node: int, shape: Sequence[int]) -> Tuple[int, ...]:
+    """Grid coordinates of ``node`` in a torus of the given ``shape``."""
+    return tuple(int(c) for c in np.unravel_index(node, tuple(shape)))
+
+
+def torus_node_id(coords: Sequence[int], shape: Sequence[int]) -> int:
+    """Node id of grid ``coords`` in a torus of the given ``shape``."""
+    shape = tuple(shape)
+    wrapped = tuple(int(c) % s for c, s in zip(coords, shape))
+    return int(np.ravel_multi_index(wrapped, shape))

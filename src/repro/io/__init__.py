@@ -1,0 +1,5 @@
+"""Persistence helpers for experiment results."""
+
+from .results import ExperimentRecord, list_records, load_record, save_record
+
+__all__ = ["ExperimentRecord", "save_record", "load_record", "list_records"]

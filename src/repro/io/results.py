@@ -1,0 +1,101 @@
+"""Experiment record persistence (JSON).
+
+An :class:`ExperimentRecord` bundles the identifying metadata of one
+experiment (name, parameters) with its numeric outcome (summary scalars and
+named series).  Records round-trip through JSON so the benchmark harness can
+archive every table/figure reproduction next to ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ExperimentRecord", "save_record", "load_record", "list_records"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays into plain Python containers."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity, parameters, and results.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig01"``, ``"table1"``).
+    params:
+        Input parameters (graph, sizes, seeds, ...).
+    summary:
+        Scalar outcomes (convergence rounds, plateau levels, ...).
+    series:
+        Named numeric time series (one list per metric).
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(_jsonable(asdict(self)), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        """Parse a record from its JSON representation."""
+        data = json.loads(text)
+        missing = {"name"} - set(data)
+        if missing:
+            raise ConfigurationError(f"record is missing fields: {missing}")
+        return cls(
+            name=data["name"],
+            params=data.get("params", {}),
+            summary=data.get("summary", {}),
+            series=data.get("series", {}),
+        )
+
+
+def save_record(record: ExperimentRecord, directory: str) -> str:
+    """Write ``<directory>/<name>.json``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{record.name}.json")
+    with open(path, "w") as handle:
+        handle.write(record.to_json())
+    return path
+
+
+def load_record(path: str) -> ExperimentRecord:
+    """Read a record back from disk."""
+    with open(path) as handle:
+        return ExperimentRecord.from_json(handle.read())
+
+
+def list_records(directory: str) -> List[str]:
+    """Sorted record paths below ``directory`` (empty if absent)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

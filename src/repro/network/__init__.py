@@ -1,0 +1,30 @@
+"""Message-passing distributed substrate.
+
+The matrix engine in :mod:`repro.core` computes the global dynamics
+directly; this package implements the same protocols as genuinely
+*distributed* algorithms: autonomous :class:`BalancerNode` agents that only
+ever see messages from their direct neighbours, driven by a synchronous
+:class:`SyncNetwork` engine, with optional fault injection.
+
+The equivalence tests (``tests/network/test_equivalence.py``) prove that for
+deterministic roundings the global trace of this substrate is *identical* to
+the vectorised engine, round for round.
+"""
+
+from .messages import Hello, LoadAnnounce, Message, TokenTransfer
+from .node import BalancerNode
+from .engine import SyncNetwork
+from .faults import FaultModel, LinkOutage, NoFaults, RandomLinkDrop
+
+__all__ = [
+    "Message",
+    "Hello",
+    "LoadAnnounce",
+    "TokenTransfer",
+    "BalancerNode",
+    "SyncNetwork",
+    "FaultModel",
+    "NoFaults",
+    "RandomLinkDrop",
+    "LinkOutage",
+]

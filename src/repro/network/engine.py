@@ -1,0 +1,198 @@
+"""Synchronous message-passing engine.
+
+:class:`SyncNetwork` wires :class:`~repro.network.node.BalancerNode` agents
+to a :class:`~repro.graphs.topology.Topology` and drives them round by round:
+
+* **setup**: one Hello exchange so nodes learn neighbour speeds/degrees,
+* **per round**: (phase 1) every node announces its normalised load and the
+  engine delivers all announcements; (phase 2) every node computes and emits
+  its token transfers, the engine applies the send phase (recording the
+  transient loads of Section V), delivers the transfers, and closes the round.
+
+The engine is single-process but *only* moves messages; all balancing logic
+lives in the nodes.  An optional :class:`~repro.network.faults.FaultModel`
+may intercept token transfers (dropped shipments bounce back to the sender so
+load is conserved).  The equivalence test-suite proves the engine's global
+trace equals :class:`repro.core.simulator.Simulator` for deterministic
+roundings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ProtocolError
+from ..graphs.speeds import uniform_speeds, validate_speeds
+from ..graphs.topology import Topology
+
+from .faults import FaultModel, NoFaults
+from .messages import TokenTransfer
+from .node import BalancerNode
+
+__all__ = ["SyncNetwork"]
+
+
+class SyncNetwork:
+    """A network of autonomous balancer nodes driven in synchronous rounds.
+
+    Parameters
+    ----------
+    topo:
+        The communication graph.
+    initial_load:
+        Per-node starting load.
+    scheme / beta / rounding:
+        Protocol configuration handed to every node (see
+        :class:`~repro.network.node.BalancerNode`).
+    speeds:
+        Heterogeneous speeds (defaults to all ones).
+    seed:
+        Base seed; node ``i`` gets an independent generator derived from it
+        (``default_rng([seed, i])``), so runs are reproducible regardless of
+        scheduling order.
+    faults:
+        Optional fault model applied to token transfers.
+    switch_to_fos_at:
+        Optional round index at which *every* node synchronously switches
+        from SOS to FOS — the paper's hybrid strategy, executed as a truly
+        distributed synchronous decision (each node flips its own scheme
+        when its local round counter reaches the agreed value).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        initial_load: np.ndarray,
+        scheme: str = "fos",
+        beta: float = 1.0,
+        rounding: str = "identity",
+        speeds: Optional[np.ndarray] = None,
+        seed: int = 0,
+        faults: Optional[FaultModel] = None,
+        switch_to_fos_at: Optional[int] = None,
+    ):
+        initial_load = np.asarray(initial_load, dtype=np.float64)
+        if initial_load.shape != (topo.n,):
+            raise ConfigurationError(
+                f"initial load has shape {initial_load.shape}, expected ({topo.n},)"
+            )
+        self.topo = topo
+        self.speeds = validate_speeds(
+            speeds if speeds is not None else uniform_speeds(topo.n), topo.n
+        )
+        self.faults = faults or NoFaults()
+        if switch_to_fos_at is not None and switch_to_fos_at < 0:
+            raise ConfigurationError(
+                f"switch round must be >= 0, got {switch_to_fos_at}"
+            )
+        self.switch_to_fos_at = switch_to_fos_at
+        self.round_index = 0
+        self.nodes: List[BalancerNode] = [
+            BalancerNode(
+                node_id=i,
+                neighbors=topo.neighbors(i),
+                speed=float(self.speeds[i]),
+                load=float(initial_load[i]),
+                scheme=scheme,
+                beta=beta,
+                rounding=rounding,
+                rng=np.random.default_rng([seed, i]),
+            )
+            for i in range(topo.n)
+        ]
+        self._setup()
+
+    def _setup(self) -> None:
+        """Run the Hello exchange so alphas are known everywhere."""
+        for node in self.nodes:
+            for msg in node.hello_messages():
+                self.nodes[msg.receiver].receive_hello(msg)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one full balancing round."""
+        if (
+            self.switch_to_fos_at is not None
+            and self.round_index == self.switch_to_fos_at
+        ):
+            for node in self.nodes:
+                node.scheme = "fos"
+        # Phase 1: announcements.
+        for node in self.nodes:
+            for msg in node.announce():
+                self.nodes[msg.receiver].receive_announce(msg)
+
+        # Phase 2: transfers.  Collect everything first (synchronous model),
+        # then apply sends, then deliver.
+        transfers: List[TokenTransfer] = []
+        for node in self.nodes:
+            transfers.extend(node.compute_transfers())
+
+        delivered, bounced = self.faults.filter_transfers(
+            transfers, round_index=self.round_index
+        )
+
+        for node in self.nodes:
+            node.apply_send_phase()
+
+        # Bounced shipments return to their sender: the tokens were deducted
+        # in the send phase, so credit them back and void the edge's flow.
+        received_from: Dict[int, List[int]] = defaultdict(list)
+        for msg in bounced:
+            sender = self.nodes[msg.sender]
+            sender.load += msg.amount
+            sender.prev_flow[msg.receiver] = 0.0
+        for msg in delivered:
+            self.nodes[msg.receiver].receive_transfer(msg)
+            received_from[msg.receiver].append(msg.sender)
+
+        for node in self.nodes:
+            node.finish_round(received_from.get(node.node_id, ()))
+        self.round_index += 1
+
+    def run(self, rounds: int) -> np.ndarray:
+        """Run ``rounds`` rounds and return the final load vector."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+        return self.loads()
+
+    # ------------------------------------------------------------------
+    def loads(self) -> np.ndarray:
+        """Current per-node load vector."""
+        return np.asarray([node.load for node in self.nodes], dtype=np.float64)
+
+    def flows(self) -> np.ndarray:
+        """Previous-round flows in the oriented per-edge convention.
+
+        Entry ``k`` is the flow from ``edge_u[k]`` to ``edge_v[k]`` last
+        round, matching :class:`repro.core.state.LoadState.flows`; raises if
+        the two endpoints disagree (protocol violation).
+        """
+        out = np.zeros(self.topo.m_edges, dtype=np.float64)
+        for k in range(self.topo.m_edges):
+            u = int(self.topo.edge_u[k])
+            v = int(self.topo.edge_v[k])
+            f_u = self.nodes[u].prev_flow[v]
+            f_v = self.nodes[v].prev_flow[u]
+            if abs(f_u + f_v) > 1e-9 * max(1.0, abs(f_u)):
+                raise ProtocolError(
+                    f"edge ({u},{v}): endpoints disagree on flow {f_u} vs {f_v}"
+                )
+            out[k] = f_u
+        return out
+
+    def min_transients(self) -> np.ndarray:
+        """Per-node most-negative transient load observed so far."""
+        return np.asarray(
+            [node.min_transient for node in self.nodes], dtype=np.float64
+        )
+
+    @property
+    def total_load(self) -> float:
+        """Total load in the network (conserved)."""
+        return float(self.loads().sum())

@@ -1,0 +1,110 @@
+"""Fault injection for the message-passing substrate.
+
+The paper assumes a reliable synchronous network; these models are an
+*extension* used by the robustness examples and tests.  All faults preserve
+load: a dropped token shipment bounces back to its sender (think of it as a
+link-layer failure detected by an ack timeout), so the global invariant
+``sum of loads = m`` survives arbitrary fault schedules.  Dropping a
+shipment also voids the edge's remembered flow for that round, which
+degrades SOS toward FOS behaviour on flaky links — the
+``examples/fault_tolerance.py`` script measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .messages import TokenTransfer
+
+__all__ = ["FaultModel", "NoFaults", "RandomLinkDrop", "LinkOutage"]
+
+
+class FaultModel:
+    """Decides which token transfers are delivered each round."""
+
+    def filter_transfers(
+        self, transfers: Sequence[TokenTransfer], round_index: int
+    ) -> Tuple[List[TokenTransfer], List[TokenTransfer]]:
+        """Split ``transfers`` into ``(delivered, bounced)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoFaults(FaultModel):
+    """The reliable network of the paper (default)."""
+
+    def filter_transfers(self, transfers, round_index):
+        return list(transfers), []
+
+
+class RandomLinkDrop(FaultModel):
+    """Each shipment is independently dropped with probability ``p``."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"drop probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.rng = rng or np.random.default_rng()
+
+    def filter_transfers(self, transfers, round_index):
+        if not transfers or self.p == 0.0:
+            return list(transfers), []
+        drops = self.rng.random(len(transfers)) < self.p
+        delivered = [m for m, d in zip(transfers, drops) if not d]
+        bounced = [m for m, d in zip(transfers, drops) if d]
+        return delivered, bounced
+
+    def __repr__(self) -> str:
+        return f"RandomLinkDrop(p={self.p})"
+
+
+class LinkOutage(FaultModel):
+    """Specific undirected links are dead during a round interval.
+
+    Parameters
+    ----------
+    links:
+        Iterable of ``(u, v)`` pairs (order irrelevant).
+    start, end:
+        Affected rounds are ``start <= round < end`` (``end=None`` means
+        forever).
+    """
+
+    def __init__(
+        self,
+        links: Iterable[Tuple[int, int]],
+        start: int = 0,
+        end: Optional[int] = None,
+    ):
+        if start < 0 or (end is not None and end < start):
+            raise ConfigurationError(f"invalid outage window [{start}, {end})")
+        self.links: Set[Tuple[int, int]] = {
+            (min(u, v), max(u, v)) for u, v in links
+        }
+        self.start = int(start)
+        self.end = end
+
+    def _active(self, round_index: int) -> bool:
+        if round_index < self.start:
+            return False
+        return self.end is None or round_index < self.end
+
+    def filter_transfers(self, transfers, round_index):
+        if not self._active(round_index):
+            return list(transfers), []
+        delivered, bounced = [], []
+        for msg in transfers:
+            key = (min(msg.sender, msg.receiver), max(msg.sender, msg.receiver))
+            (bounced if key in self.links else delivered).append(msg)
+        return delivered, bounced
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkOutage(links={sorted(self.links)}, start={self.start}, "
+            f"end={self.end})"
+        )

@@ -1,0 +1,53 @@
+"""Message types for the synchronous message-passing substrate.
+
+The paper's model assumes synchronous rounds in which nodes "are only allowed
+to communicate with their direct neighbors".  One balancing round decomposes
+into two message exchanges:
+
+1. **LoadAnnounce** — every node tells each neighbour its current
+   speed-normalised load ``x_i / s_i`` (FOS/SOS flows depend only on these),
+2. **TokenTransfer** — the edge's sender ships the (rounded) number of
+   tokens.
+
+A **Hello** message is exchanged once during setup so nodes learn their
+neighbours' speeds and degrees (needed for the ``alpha_ij`` computation,
+which depends on both endpoint degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "Hello", "LoadAnnounce", "TokenTransfer"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: every message knows its sender and addressee."""
+
+    sender: int
+    receiver: int
+
+
+@dataclass(frozen=True)
+class Hello(Message):
+    """Setup-time introduction carrying static node attributes."""
+
+    speed: float
+    degree: int
+
+
+@dataclass(frozen=True)
+class LoadAnnounce(Message):
+    """Per-round broadcast of the sender's normalised load ``x_i / s_i``."""
+
+    round_index: int
+    normalized_load: float
+
+
+@dataclass(frozen=True)
+class TokenTransfer(Message):
+    """Integral (or fractional, for idealised runs) load shipment."""
+
+    round_index: int
+    amount: float

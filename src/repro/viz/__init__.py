@@ -1,0 +1,20 @@
+"""Visualisation: PGM rasters, ASCII heatmaps, and CSV series export.
+
+Reproduces the paper's Figures 9-11 (per-node grayscale rasters of the torus
+load) without any imaging dependency, plus terminal-friendly companions.
+"""
+
+from .render import load_to_grayscale, render_frames, write_pgm
+from .ascii import ascii_heatmap, sparkline
+from .series import RESULT_COLUMNS, result_to_csv, write_csv
+
+__all__ = [
+    "load_to_grayscale",
+    "write_pgm",
+    "render_frames",
+    "ascii_heatmap",
+    "sparkline",
+    "RESULT_COLUMNS",
+    "result_to_csv",
+    "write_csv",
+]

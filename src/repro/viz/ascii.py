@@ -1,0 +1,79 @@
+"""Terminal visualisations: heatmaps and sparklines.
+
+Lightweight companions to the PGM renderer for interactive use — the
+examples print these so a run can be eyeballed without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ascii_heatmap", "sparkline"]
+
+_SHADES = " .:-=+*#%@"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_heatmap(
+    load: np.ndarray,
+    shape: Sequence[int],
+    width: int = 64,
+    average: Optional[float] = None,
+) -> str:
+    """Render a torus load grid as ASCII art (dark character = imbalanced).
+
+    Large grids are downsampled by block-averaging to at most ``width``
+    columns (rows scale proportionally, halved for terminal aspect ratio).
+    """
+    rows, cols = (int(s) for s in shape)
+    load = np.asarray(load, dtype=np.float64)
+    if load.size != rows * cols:
+        raise ConfigurationError(
+            f"load has {load.size} entries, expected {rows * cols}"
+        )
+    grid = load.reshape(rows, cols)
+    avg = float(grid.mean()) if average is None else float(average)
+    dist = np.abs(grid - avg)
+
+    col_step = max(1, int(np.ceil(cols / width)))
+    row_step = max(1, 2 * col_step)
+    r_out = (rows + row_step - 1) // row_step
+    c_out = (cols + col_step - 1) // col_step
+    blocks = np.zeros((r_out, c_out))
+    for i in range(r_out):
+        for j in range(c_out):
+            blocks[i, j] = dist[
+                i * row_step : (i + 1) * row_step,
+                j * col_step : (j + 1) * col_step,
+            ].mean()
+    peak = blocks.max()
+    if peak <= 0:
+        idx = np.zeros_like(blocks, dtype=np.int64)
+    else:
+        idx = np.minimum(
+            (blocks / peak * (len(_SHADES) - 1)).astype(np.int64),
+            len(_SHADES) - 1,
+        )
+    return "\n".join("".join(_SHADES[v] for v in row) for row in idx)
+
+
+def sparkline(series: Sequence[float], width: int = 60, log: bool = False) -> str:
+    """One-line unicode sparkline of a series (optionally log-scaled)."""
+    y = np.asarray(series, dtype=np.float64)
+    if y.size == 0:
+        return ""
+    if y.size > width:
+        # Downsample by block max so spikes remain visible.
+        edges = np.linspace(0, y.size, width + 1).astype(int)
+        y = np.asarray([y[a:b].max() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    if log:
+        y = np.log10(np.maximum(y, 1e-12))
+    lo, hi = float(y.min()), float(y.max())
+    if hi <= lo:
+        return _SPARKS[0] * y.size
+    idx = ((y - lo) / (hi - lo) * (len(_SPARKS) - 1)).astype(int)
+    return "".join(_SPARKS[v] for v in idx)

@@ -1,0 +1,57 @@
+"""Time-series export for recorded runs.
+
+Writes :class:`~repro.core.simulator.SimulationResult` metric series as CSV
+(and generic column dictionaries), matching the data behind the paper's
+log-scale figures so they can be re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core.simulator import SimulationResult
+
+__all__ = ["write_csv", "result_to_csv", "RESULT_COLUMNS"]
+
+#: Metric columns exported for every simulation result (paper Section VI).
+RESULT_COLUMNS = (
+    "round_index",
+    "scheme",
+    "max_minus_avg",
+    "min_minus_avg",
+    "max_local_diff",
+    "potential_per_node",
+    "min_load",
+    "min_transient",
+    "total_load",
+    "round_traffic",
+)
+
+
+def write_csv(path: str, columns: Dict[str, Sequence]) -> str:
+    """Write a dict of equal-length columns as CSV; returns the path."""
+    if not columns:
+        raise ConfigurationError("no columns to write")
+    lengths = {name: len(vals) for name, vals in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ConfigurationError(f"column lengths differ: {lengths}")
+    names = list(columns)
+    rows = zip(*(columns[name] for name in names))
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        writer.writerows(rows)
+    return path
+
+
+def result_to_csv(result: SimulationResult, path: str) -> str:
+    """Export every recorded round of a simulation result as CSV."""
+    columns = {
+        name: [getattr(rec, name) for rec in result.records]
+        for name in RESULT_COLUMNS
+    }
+    return write_csv(path, columns)

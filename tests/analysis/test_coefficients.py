@@ -1,0 +1,163 @@
+"""Tests for eigen-coefficient analysis (Figures 7/15 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    Simulator,
+    cycle,
+    diffusion_matrix,
+    point_load,
+    torus_2d,
+)
+from repro.analysis import EigenbasisAnalyzer, TorusFourierAnalyzer
+
+
+class TestEigenbasisAnalyzer:
+    def test_coefficients_reconstruct_load(self, small_torus):
+        analyzer = EigenbasisAnalyzer(small_torus)
+        rng = np.random.default_rng(0)
+        load = rng.random(small_torus.n) * 10
+        coeff = analyzer.coefficients(load)
+        # V a == x (homogeneous: sqrt_s = 1).
+        recon = analyzer._basis @ coeff
+        assert np.allclose(recon, load)
+
+    def test_stationary_mode_first(self, small_torus):
+        analyzer = EigenbasisAnalyzer(small_torus)
+        assert analyzer.eigenvalues[0] == pytest.approx(1.0)
+        assert np.all(np.diff(analyzer.eigenvalues) <= 1e-12)
+
+    def test_balanced_load_has_only_stationary_mode(self, small_torus):
+        analyzer = EigenbasisAnalyzer(small_torus)
+        coeff = analyzer.coefficients(np.full(small_torus.n, 7.0))
+        assert np.abs(coeff[1:]).max() < 1e-9
+
+    def test_coefficients_decay_by_eigenvalue_under_fos(self, small_torus):
+        """Each continuous FOS round multiplies a_i by mu_i (Section VI)."""
+        analyzer = EigenbasisAnalyzer(small_torus)
+        m = diffusion_matrix(small_torus)
+        rng = np.random.default_rng(1)
+        load = rng.random(small_torus.n) * 100
+        before = analyzer.coefficients(load)
+        after = analyzer.coefficients(m @ load)
+        assert np.allclose(after, analyzer.eigenvalues * before, atol=1e-8)
+
+    def test_leading_mode_excludes_stationary(self, small_torus):
+        analyzer = EigenbasisAnalyzer(small_torus)
+        idx, val = analyzer.leading_mode(point_load(small_torus, 640))
+        assert idx != 0
+        assert val > 0
+
+    def test_trace_over_run(self, small_torus):
+        proc = LoadBalancingProcess(FirstOrderScheme(small_torus))
+        result = Simulator(proc, keep_loads=True).run(
+            point_load(small_torus, 640.0), rounds=20
+        )
+        analyzer = EigenbasisAnalyzer(small_torus)
+        trace = analyzer.trace(result.loads_history, keep_coefficients=True)
+        assert trace.leading_value.shape == (21,)
+        assert trace.coefficients.shape == (21, small_torus.n)
+        # Continuous FOS: the leading coefficient never grows.
+        assert np.all(np.diff(trace.leading_value) <= 1e-9)
+
+    def test_shape_validation(self, small_torus):
+        analyzer = EigenbasisAnalyzer(small_torus)
+        with pytest.raises(ConfigurationError):
+            analyzer.coefficients(np.ones(3))
+
+    def test_refuses_large_graphs(self):
+        from repro import hypercube
+
+        with pytest.raises(ConfigurationError):
+            EigenbasisAnalyzer(hypercube(13))
+
+    def test_heterogeneous_orthonormality(self, rng):
+        topo = cycle(10)
+        speeds = 1.0 + rng.integers(0, 3, topo.n).astype(float)
+        analyzer = EigenbasisAnalyzer(topo, speeds=speeds)
+        load = rng.random(topo.n) * 10
+        coeff = analyzer.coefficients(load)
+        # Orthonormal transform: norms match in the scaled space.
+        assert np.linalg.norm(coeff) == pytest.approx(
+            np.linalg.norm(load / np.sqrt(speeds))
+        )
+
+
+class TestTorusFourierAnalyzer:
+    def test_eigenvalues_match_dense(self):
+        rows, cols = 6, 8
+        fourier = TorusFourierAnalyzer(rows, cols)
+        dense = EigenbasisAnalyzer(torus_2d(rows, cols))
+        assert np.allclose(
+            np.sort(fourier.eigenvalues), np.sort(dense.eigenvalues), atol=1e-9
+        )
+
+    def test_eigenspace_energies_match_dense(self):
+        """Per-eigenvalue-class coefficient energy is basis-invariant, so the
+        FFT and LAPACK decompositions must agree on it exactly (the leading
+        *individual* coefficient is basis-dependent inside degenerate
+        eigenspaces, so that is not comparable)."""
+        rows = cols = 8
+        topo = torus_2d(rows, cols)
+        proc = LoadBalancingProcess(FirstOrderScheme(topo))
+        result = Simulator(proc, keep_loads=True).run(
+            point_load(topo, 6400.0), rounds=6
+        )
+        fourier = TorusFourierAnalyzer(rows, cols)
+        dense = EigenbasisAnalyzer(topo)
+
+        def energy_by_class(mags, eigs):
+            out = {}
+            for mag, mu in zip(mags, eigs):
+                key = round(float(mu), 9)
+                out[key] = out.get(key, 0.0) + float(mag) ** 2
+            return out
+
+        for load in result.loads_history[1:]:
+            f = energy_by_class(fourier.coefficients(load), fourier.eigenvalues)
+            d = energy_by_class(
+                np.abs(dense.coefficients(load)), dense.eigenvalues
+            )
+            assert set(f) == set(d)
+            for key in f:
+                assert f[key] == pytest.approx(d[key], rel=1e-6, abs=1e-6)
+
+    def test_balanced_load_only_dc(self):
+        fourier = TorusFourierAnalyzer(6, 6)
+        mags = fourier.coefficients(np.full(36, 5.0))
+        assert mags[0] > 0
+        assert np.abs(mags[1:]).max() < 1e-9
+
+    def test_parseval_total_energy(self, rng):
+        fourier = TorusFourierAnalyzer(6, 6)
+        load = rng.random(36) * 10
+        mags = fourier.coefficients(load)
+        assert np.sum(mags**2) == pytest.approx(np.sum(load**2))
+
+    def test_leading_mode_eigenvalue_reported(self):
+        fourier = TorusFourierAnalyzer(8, 8)
+        load = np.cos(2 * np.pi * np.arange(8) / 8)
+        grid = np.tile(load, (8, 1))
+        (a, b), mag, mu = fourier.leading_mode(grid.ravel())
+        assert {a, b} <= {0, 1, 7}
+        assert mu == pytest.approx((1 + 2 + 2 * np.cos(2 * np.pi / 8)) / 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TorusFourierAnalyzer(2, 5)
+        fourier = TorusFourierAnalyzer(4, 4)
+        with pytest.raises(ConfigurationError):
+            fourier.coefficients(np.ones(7))
+
+    def test_trace_stable_leader_span(self, rng):
+        fourier = TorusFourierAnalyzer(4, 4)
+        loads = [rng.random(16) for _ in range(3)]
+        # Force identical leading mode by reusing one load.
+        loads = [loads[0]] * 5 + loads
+        trace = fourier.trace(loads)
+        start, end = trace.stable_leader_span()
+        assert end - start >= 5

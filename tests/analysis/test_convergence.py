@@ -1,0 +1,113 @@
+"""Tests for convergence measurement and FOS/SOS speed-up comparison."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import (
+    convergence_round,
+    decay_rate,
+    measured_speedup,
+    predicted_speedup,
+)
+
+
+def _run(topo, kind, rounds, beta=None, seed=0):
+    scheme = (
+        FirstOrderScheme(topo)
+        if kind == "fos"
+        else SecondOrderScheme(topo, beta=beta)
+    )
+    proc = LoadBalancingProcess(
+        scheme, rounding="randomized-excess", rng=np.random.default_rng(seed)
+    )
+    return Simulator(proc).run(point_load(topo, 1000 * topo.n), rounds)
+
+
+class TestConvergenceRound:
+    def test_finds_first_sustained_round(self, small_torus):
+        result = _run(small_torus, "fos", 400)
+        r1 = convergence_round(result, threshold=50.0)
+        r2 = convergence_round(result, threshold=10.0)
+        assert r1 is not None and r2 is not None
+        assert r1 <= r2
+
+    def test_returns_none_when_never_reached(self, small_torus):
+        result = _run(small_torus, "fos", 5)
+        assert convergence_round(result, threshold=1e-9) is None
+
+    def test_sustained_requirement(self, small_torus):
+        result = _run(small_torus, "fos", 300)
+        loose = convergence_round(result, threshold=20.0, sustained=1)
+        strict = convergence_round(result, threshold=20.0, sustained=5)
+        assert loose <= strict
+
+    def test_validation(self, small_torus):
+        result = _run(small_torus, "fos", 5)
+        with pytest.raises(ConfigurationError):
+            convergence_round(result, sustained=0)
+
+
+class TestDecayRate:
+    def test_pure_exponential(self):
+        series = 100.0 * np.exp(-0.05 * np.arange(50))
+        assert decay_rate(series) == pytest.approx(0.05, rel=1e-6)
+
+    def test_skip_prefix(self):
+        series = np.concatenate([np.full(10, 100.0), 100.0 * np.exp(-0.1 * np.arange(40))])
+        rate = decay_rate(series, skip=10)
+        assert rate == pytest.approx(0.1, rel=1e-6)
+
+    def test_needs_two_positive_points(self):
+        with pytest.raises(ConfigurationError):
+            decay_rate([0.0, 0.0, 0.0])
+
+    def test_continuous_fos_rate_matches_lambda(self):
+        """Continuous FOS max-avg decays ~ lambda^t in the long run.
+
+        Fit a window after transients have died but long before float noise
+        dominates (the signal reaches ~1e-9 * initial by round ~90 here).
+        """
+        topo = torus_2d(6, 6)
+        lam = torus_lambda((6, 6))
+        proc = LoadBalancingProcess(FirstOrderScheme(topo))
+        result = Simulator(proc).run(point_load(topo, 3600.0), rounds=80)
+        series = result.series("max_minus_avg")[30:80]
+        rate = decay_rate(series)
+        assert rate == pytest.approx(-np.log(lam), rel=0.15)
+
+
+class TestSpeedup:
+    def test_predicted_formula(self):
+        assert predicted_speedup(0.99) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            predicted_speedup(1.0)
+
+    def test_sos_beats_fos_on_torus(self):
+        topo = torus_2d(16, 16)
+        lam = torus_lambda((16, 16))
+        fos = _run(topo, "fos", 1500)
+        sos = _run(topo, "sos", 1500, beta=beta_opt(lam))
+        report = measured_speedup(fos, sos, lam, threshold=10.0)
+        assert report.sos_round is not None
+        assert report.fos_round is not None
+        assert report.measured is not None
+        assert report.measured > 1.5  # SOS clearly faster
+        assert "speedup" in str(report)
+
+    def test_speedup_none_when_unconverged(self, small_torus):
+        fos = _run(small_torus, "fos", 3)
+        sos = _run(small_torus, "sos", 3, beta=1.6)
+        report = measured_speedup(fos, sos, 0.9, threshold=1e-9)
+        assert report.measured is None
+        assert "n/a" in str(report)

@@ -1,0 +1,75 @@
+"""Tests for remaining-imbalance / plateau detection."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    point_load,
+)
+from repro.analysis import plateau_start, remaining_imbalance
+
+
+def _sos_result(topo, rounds, seed=0):
+    proc = LoadBalancingProcess(
+        SecondOrderScheme(topo, beta=1.6),
+        rounding="randomized-excess",
+        rng=np.random.default_rng(seed),
+    )
+    return Simulator(proc).run(point_load(topo, 1000 * topo.n), rounds)
+
+
+class TestPlateauStart:
+    def test_detects_plateau_in_converged_run(self, small_torus):
+        result = _sos_result(small_torus, 300)
+        pos = plateau_start(result)
+        assert pos is not None
+        # The plateau must start after the big initial decay.
+        series = result.series("max_minus_avg")
+        assert series[pos] < series[0] / 10
+
+    def test_none_for_short_series(self, small_torus):
+        result = _sos_result(small_torus, 5)
+        assert plateau_start(result, window=20) is None
+
+    def test_validation(self, small_torus):
+        result = _sos_result(small_torus, 30)
+        with pytest.raises(ConfigurationError):
+            plateau_start(result, window=1)
+
+
+class TestRemainingImbalance:
+    def test_stats_fields(self, small_torus):
+        result = _sos_result(small_torus, 300)
+        stats = remaining_imbalance(result)
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.samples > 0
+        assert stats.field == "max_minus_avg"
+        assert "plateau" in str(stats)
+
+    def test_discrete_sos_leaves_constant_residual(self, small_torus):
+        """The paper's observation: the discrete residual is a small constant
+        (it does not scale with the initial load)."""
+        light = remaining_imbalance(_sos_result(small_torus, 300, seed=1))
+        stats = remaining_imbalance(_sos_result(small_torus, 300, seed=2))
+        assert stats.mean < 20.0
+        assert light.mean < 20.0
+
+    def test_local_diff_field(self, small_torus):
+        result = _sos_result(small_torus, 300)
+        stats = remaining_imbalance(result, field="max_local_diff")
+        assert stats.field == "max_local_diff"
+        assert stats.mean < 25.0
+
+    def test_tail_fraction_fallback(self, small_torus):
+        result = _sos_result(small_torus, 12)
+        stats = remaining_imbalance(result, window=50, tail_fraction=0.5)
+        assert stats.samples >= 6
+
+    def test_validation(self, small_torus):
+        result = _sos_result(small_torus, 30)
+        with pytest.raises(ConfigurationError):
+            remaining_imbalance(result, tail_fraction=0.0)

@@ -1,0 +1,76 @@
+"""Tests for wavefront-collision bump detection."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import bump_period, detect_bumps
+
+
+class TestDetectBumps:
+    def test_finds_synthetic_bumps(self):
+        y = np.full(300, 10.0)
+        y[100] = 100.0
+        y[200] = 80.0
+        bumps = detect_bumps(y, window=20, min_rise=2.0)
+        assert [b.position for b in bumps] == [100, 200]
+        assert bumps[0].prominence == pytest.approx(10.0)
+
+    def test_monotone_series_has_no_bumps(self):
+        y = 1000.0 * 0.99 ** np.arange(400)
+        assert detect_bumps(y) == []
+
+    def test_skip_ignores_initial_spike(self):
+        y = np.full(200, 10.0)
+        y[0] = 1e6
+        y[100] = 100.0
+        bumps = detect_bumps(y, window=20, skip=25)
+        assert [b.position for b in bumps] == [100]
+
+    def test_period_estimation(self):
+        y = np.full(500, 10.0)
+        for pos in (100, 220, 340, 460):
+            y[pos] = 200.0
+        bumps = detect_bumps(y, window=20)
+        assert bump_period(bumps) == pytest.approx(120.0)
+
+    def test_period_none_with_single_bump(self):
+        y = np.full(200, 10.0)
+        y[100] = 200.0
+        assert bump_period(detect_bumps(y, window=20)) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_bumps([1, 2, 3], window=2)
+        with pytest.raises(ConfigurationError):
+            detect_bumps([1, 2, 3], min_rise=1.0)
+
+
+class TestOnSimulatedTorus:
+    def test_collision_bump_on_torus(self):
+        """A point load on a k x k torus collides with itself after the
+        fronts travel ~k/2 in each direction; a max-local-diff bump must
+        appear in that window."""
+        side = 30
+        topo = torus_2d(side, side)
+        beta = beta_opt(torus_lambda((side, side)))
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        result = Simulator(proc).run(point_load(topo, 1000 * topo.n), 400)
+        bumps = detect_bumps(
+            result.series("max_local_diff"), window=10, min_rise=1.2, skip=5
+        )
+        assert bumps, "expected at least one wavefront-collision bump"
+        assert all(5 < b.position < 400 for b in bumps)

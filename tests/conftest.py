@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Topology,
+    complete,
+    cycle,
+    hypercube,
+    path,
+    star,
+    torus_2d,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_torus():
+    """An 8x8 torus — the workhorse small graph."""
+    return torus_2d(8, 8)
+
+
+@pytest.fixture
+def tiny_cycle():
+    return cycle(8)
+
+
+@pytest.fixture(
+    params=["cycle", "path", "complete", "star", "torus", "hypercube"],
+)
+def any_small_graph(request) -> Topology:
+    """A parametrised family of small graphs of different shapes."""
+    builders = {
+        "cycle": lambda: cycle(9),
+        "path": lambda: path(7),
+        "complete": lambda: complete(6),
+        "star": lambda: star(8),
+        "torus": lambda: torus_2d(4, 5),
+        "hypercube": lambda: hypercube(4),
+    }
+    return builders[request.param]()
+
+
+def random_connected_graph(rng: np.random.Generator, n: int, extra_edges: int = 0):
+    """A random connected graph: a random spanning tree plus extra edges."""
+    edges = set()
+    order = rng.permutation(n)
+    for i in range(1, n):
+        a = int(order[i])
+        b = int(order[rng.integers(0, i)])
+        edges.add((min(a, b), max(a, b)))
+    attempts = 0
+    while len(edges) < n - 1 + extra_edges and attempts < 20 * (extra_edges + 1):
+        a, b = rng.integers(0, n, size=2)
+        attempts += 1
+        if a == b:
+            continue
+        edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    return Topology(n, sorted(edges), name=f"random-{n}")

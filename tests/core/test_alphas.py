@@ -1,0 +1,122 @@
+"""Unit tests for alpha strategies."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    constant_alpha,
+    cycle,
+    heterogeneous_safe,
+    lazy_metropolis,
+    max_degree_plus_one,
+    resolve_alphas,
+    star,
+    torus_2d,
+    uniform_alpha,
+    uniform_speeds,
+)
+
+
+class TestStrategies:
+    def test_paper_default_on_regular_graph(self):
+        topo = torus_2d(4, 4)
+        alphas = max_degree_plus_one(topo)
+        assert np.allclose(alphas, 1.0 / 5.0)
+
+    def test_paper_default_on_star(self):
+        topo = star(5)  # hub degree 4, leaves degree 1
+        alphas = max_degree_plus_one(topo)
+        assert np.allclose(alphas, 1.0 / 5.0)
+
+    def test_uniform_alpha(self):
+        topo = cycle(6)
+        alphas = uniform_alpha(topo, gamma=2.0)
+        assert np.allclose(alphas, 1.0 / 4.0)
+
+    def test_uniform_alpha_rejects_gamma_below_one(self):
+        with pytest.raises(ConfigurationError):
+            uniform_alpha(cycle(6), gamma=0.5)
+
+    def test_lazy_metropolis(self):
+        topo = cycle(6)
+        assert np.allclose(lazy_metropolis(topo), 1.0 / 4.0)
+
+    def test_heterogeneous_safe_scales_with_min_speed(self):
+        topo = cycle(4)
+        speeds = np.array([1.0, 2.0, 4.0, 1.0])
+        alphas = heterogeneous_safe(topo, speeds)
+        for k, (u, v) in enumerate(topo.edges()):
+            expected = min(speeds[u], speeds[v]) / 3.0
+            assert alphas[k] == pytest.approx(expected)
+
+    def test_heterogeneous_safe_reduces_to_default(self):
+        topo = torus_2d(3, 3)
+        assert np.allclose(
+            heterogeneous_safe(topo, uniform_speeds(topo.n)),
+            max_degree_plus_one(topo),
+        )
+
+    def test_heterogeneous_safe_keeps_diagonal_positive(self, rng):
+        # sum_j alpha_ij < s_i must hold for every node and any speeds.
+        topo = star(10)
+        speeds = 1.0 + 10.0 * rng.random(topo.n)
+        alphas = heterogeneous_safe(topo, speeds)
+        per_node = np.zeros(topo.n)
+        np.add.at(per_node, topo.edge_u, alphas)
+        np.add.at(per_node, topo.edge_v, alphas)
+        assert np.all(per_node < speeds)
+
+    def test_constant_alpha_factory(self):
+        topo = cycle(5)
+        strategy = constant_alpha(0.1)
+        assert np.allclose(strategy(topo), 0.1)
+        with pytest.raises(ConfigurationError):
+            constant_alpha(0.0)
+
+
+class TestResolve:
+    def test_none_homogeneous(self):
+        topo = cycle(5)
+        assert np.allclose(resolve_alphas(None, topo), 1.0 / 3.0)
+
+    def test_none_heterogeneous_picks_safe(self):
+        topo = cycle(4)
+        speeds = np.array([1.0, 3.0, 1.0, 1.0])
+        assert np.allclose(
+            resolve_alphas(None, topo, speeds), heterogeneous_safe(topo, speeds)
+        )
+
+    def test_by_name(self):
+        topo = cycle(5)
+        assert np.allclose(
+            resolve_alphas("max-degree-plus-one", topo), 1.0 / 3.0
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown alpha"):
+            resolve_alphas("nope", cycle(5))
+
+    def test_hetero_name_requires_speeds(self):
+        with pytest.raises(ConfigurationError, match="need speeds"):
+            resolve_alphas("heterogeneous-safe", cycle(5))
+
+    def test_scalar(self):
+        topo = cycle(5)
+        assert np.allclose(resolve_alphas(0.2, topo), 0.2)
+
+    def test_array_passthrough_and_validation(self):
+        topo = cycle(5)
+        arr = np.full(topo.m_edges, 0.3)
+        assert np.allclose(resolve_alphas(arr, topo), 0.3)
+        with pytest.raises(ConfigurationError):
+            resolve_alphas(np.ones(3), topo)
+        with pytest.raises(ConfigurationError):
+            resolve_alphas(np.full(topo.m_edges, -1.0), topo)
+
+    def test_callable(self):
+        topo = cycle(5)
+        assert np.allclose(
+            resolve_alphas(lambda t, speeds=None: np.full(t.m_edges, 0.25), topo),
+            0.25,
+        )

@@ -1,0 +1,126 @@
+"""Tests for the Chebyshev semi-iterative scheme."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChebyshevScheme,
+    LoadBalancingProcess,
+    LoadState,
+    SchemeError,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    chebyshev_omegas,
+    cycle,
+    cycle_lambda,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+
+
+class TestOmegaSequence:
+    def test_base_cases(self):
+        lam = 0.9
+        omegas = chebyshev_omegas(lam, 3)
+        assert omegas[0] == 1.0
+        assert omegas[1] == pytest.approx(2.0 / (2.0 - lam * lam))
+        assert omegas[2] == pytest.approx(
+            1.0 / (1.0 - lam * lam * omegas[1] / 4.0)
+        )
+
+    def test_convergence_to_beta_opt(self):
+        lam = 0.99
+        omegas = chebyshev_omegas(lam, 200)
+        # After the initial jump the sequence decreases monotonically from
+        # 2/(2-lam^2) down to the fixed point beta_opt.
+        tail = omegas[1:]
+        assert all(b <= a + 1e-12 for a, b in zip(tail, tail[1:]))
+        assert tail[0] > beta_opt(lam)
+        assert omegas[-1] == pytest.approx(beta_opt(lam), abs=1e-9)
+
+    def test_lambda_zero_stays_one(self):
+        assert chebyshev_omegas(0.0, 5) == [1.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            chebyshev_omegas(1.0, 5)
+        with pytest.raises(SchemeError):
+            chebyshev_omegas(0.5, 0)
+
+
+class TestScheme:
+    def test_first_round_is_fos(self, small_torus):
+        lam = torus_lambda((8, 8))
+        cheb = ChebyshevScheme(small_torus, lam)
+        from repro import FirstOrderScheme
+
+        fos = FirstOrderScheme(small_torus)
+        state = LoadState.initial(small_torus, point_load(small_torus, 100.0))
+        assert np.allclose(
+            cheb.scheduled_flows(state), fos.scheduled_flows(state)
+        )
+
+    def test_omega_accessor_matches_sequence(self, small_torus):
+        lam = 0.95
+        cheb = ChebyshevScheme(small_torus, lam)
+        omegas = chebyshev_omegas(lam, 10)
+        for t in range(10):
+            assert cheb.omega(t) == pytest.approx(omegas[t])
+        with pytest.raises(SchemeError):
+            cheb.omega(-1)
+
+    def test_flow_recursion_uses_round_omega(self):
+        topo = cycle(4)
+        lam = cycle_lambda(4) if False else 0.9
+        cheb = ChebyshevScheme(topo, lam)
+        load = np.array([6.0, 0.0, 3.0, 0.0])
+        prev = np.full(topo.m_edges, 0.25)
+        state = LoadState(load=load, flows=prev, round_index=2)
+        flows = cheb.scheduled_flows(state)
+        omega = cheb.omega(2)
+        k = topo.edge_id(0, 1)
+        expected = (omega - 1.0) * 0.25 + omega * (6.0 - 0.0) / 3.0
+        assert flows[k] == pytest.approx(expected)
+
+    def test_converges_no_slower_than_sos(self):
+        """Chebyshev's transient is optimal: it reaches the threshold no
+        later than fixed-beta SOS (up to rounding noise)."""
+        topo = torus_2d(16, 16)
+        lam = torus_lambda((16, 16))
+        load = point_load(topo, 1000 * topo.n)
+
+        def rounds_to(scheme, seed):
+            proc = LoadBalancingProcess(
+                scheme, rounding="randomized-excess",
+                rng=np.random.default_rng(seed),
+            )
+            result = Simulator(proc).run(load, 500)
+            return result.first_round_below("max_minus_avg", 10.0)
+
+        cheb_rounds = rounds_to(ChebyshevScheme(topo, lam), 0)
+        sos_rounds = rounds_to(SecondOrderScheme(topo, beta=beta_opt(lam)), 0)
+        assert cheb_rounds is not None and sos_rounds is not None
+        assert cheb_rounds <= sos_rounds + 10
+
+    def test_continuous_converges_to_average(self, small_torus):
+        lam = torus_lambda((8, 8))
+        proc = LoadBalancingProcess(ChebyshevScheme(small_torus, lam))
+        state = proc.run(point_load(small_torus, 64.0), rounds=400)
+        assert np.allclose(state.load, 1.0, atol=1e-6)
+
+    def test_conserves_load_discrete(self, small_torus, rng):
+        lam = torus_lambda((8, 8))
+        proc = LoadBalancingProcess(
+            ChebyshevScheme(small_torus, lam),
+            rounding="randomized-excess",
+            rng=rng,
+        )
+        state = proc.run(point_load(small_torus, 6400), rounds=60)
+        assert state.total_load == 6400
+        assert np.allclose(state.load, np.round(state.load))
+
+    def test_validation(self, small_torus):
+        with pytest.raises(SchemeError):
+            ChebyshevScheme(small_torus, 1.0)

@@ -1,0 +1,188 @@
+"""Tests for the deviation machinery — Lemma 2 as an exact identity.
+
+These are the most important correctness tests of the reproduction: Lemma 2
+is not asymptotic, it is an equality, so for *every* rounding scheme and
+*every* linear process the recorded deviation must match the error-weighted
+contribution sum to float precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    contribution_matrices,
+    cycle,
+    diffusion_matrix,
+    edge_contributions,
+    lemma2_rhs,
+    point_load,
+    q_matrix_at,
+    run_paired,
+    torus_2d,
+)
+from tests.conftest import random_connected_graph
+
+ROUNDINGS = ["floor", "nearest", "ceil", "unbiased-edge", "randomized-excess"]
+
+
+class TestContributionMatrices:
+    def test_fos_series_is_shifted_powers(self, tiny_cycle):
+        scheme = FirstOrderScheme(tiny_cycle)
+        m = diffusion_matrix(tiny_cycle)
+        mats = contribution_matrices(scheme, 4)
+        assert np.allclose(mats[1], np.eye(tiny_cycle.n))
+        assert np.allclose(mats[2], m)
+        assert np.allclose(mats[3], m @ m)
+
+    def test_sos_series_is_shifted_q(self, tiny_cycle):
+        beta = 1.5
+        scheme = SecondOrderScheme(tiny_cycle, beta=beta)
+        m = diffusion_matrix(tiny_cycle)
+        mats = contribution_matrices(scheme, 4)
+        assert np.allclose(mats[0], 0.0)
+        assert np.allclose(mats[1], np.eye(tiny_cycle.n))
+        assert np.allclose(mats[2], q_matrix_at(m, beta, 1))
+        assert np.allclose(mats[3], q_matrix_at(m, beta, 2))
+
+    def test_edge_contributions_shape(self, tiny_cycle):
+        scheme = FirstOrderScheme(tiny_cycle)
+        mats = contribution_matrices(scheme, 2)
+        contrib = edge_contributions(tiny_cycle, mats[1])
+        assert contrib.shape == (tiny_cycle.n, tiny_cycle.m_edges)
+
+    def test_rejects_negative_t(self, tiny_cycle):
+        with pytest.raises(ConfigurationError):
+            contribution_matrices(FirstOrderScheme(tiny_cycle), -1)
+
+
+class TestLemma6:
+    """Lemma 6: SOS contributions are Q(t-1) column differences.
+
+    Verified against a brute-force simulation of Definition 5: start two
+    SOS runs from the unit vector at i, one with y'_{i,j}(0) = 1, and
+    compare the load difference at node k.
+    """
+
+    def test_contributions_match_brute_force(self):
+        topo = cycle(6)
+        beta = 1.4
+        scheme = SecondOrderScheme(topo, beta=beta)
+        t_max = 6
+        mats = contribution_matrices(scheme, t_max)
+        # Pick the edge (i, j) = first edge of the cycle.
+        edge = 0
+        i, j = int(topo.edge_u[edge]), int(topo.edge_v[edge])
+
+        from repro import LoadState, apply_flows
+
+        def evolve(load0, flows0, rounds):
+            state = LoadState(
+                load=np.asarray(load0, dtype=float),
+                flows=np.asarray(flows0, dtype=float),
+                round_index=1,  # Definition 5 starts the dynamics at x(1)
+            )
+            for _ in range(rounds):
+                f = scheme.scheduled_flows(state)
+                state = state.advanced(apply_flows(topo, state.load, f), f)
+            return state.load
+
+        x0 = np.zeros(topo.n)
+        x0[i] = 1.0
+        x_prime0 = np.zeros(topo.n)
+        x_prime0[j] = 1.0
+        y0 = np.zeros(topo.m_edges)
+        y_prime0 = np.zeros(topo.m_edges)
+        y_prime0[edge] = 1.0  # i shipped one token to j in round 0
+
+        for s in range(1, t_max + 1):
+            x = evolve(x0, y0, s - 1)
+            x_prime = evolve(x_prime0, y_prime0, s - 1)
+            brute = x - x_prime
+            closed = mats[s][:, i] - mats[s][:, j]
+            assert np.allclose(brute, closed, atol=1e-10), f"s={s}"
+
+
+class TestLemma2Identity:
+    @pytest.mark.parametrize("rounding", ROUNDINGS)
+    def test_fos_exact(self, rounding, rng):
+        topo = torus_2d(4, 4)
+        scheme = FirstOrderScheme(topo)
+        proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+        paired = run_paired(proc, point_load(topo, 500), rounds=12)
+        mats = contribution_matrices(scheme, 12)
+        for t in (1, 5, 12):
+            lhs = paired.deviation(t)
+            rhs = lemma2_rhs(topo, mats, paired.errors, t)
+            assert np.abs(lhs - rhs).max() < 1e-9, f"t={t}"
+
+    @pytest.mark.parametrize("rounding", ROUNDINGS)
+    def test_sos_exact(self, rounding, rng):
+        topo = torus_2d(4, 4)
+        scheme = SecondOrderScheme(topo, beta=1.7)
+        proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+        paired = run_paired(proc, point_load(topo, 500), rounds=12)
+        mats = contribution_matrices(scheme, 12)
+        for t in (1, 5, 12):
+            lhs = paired.deviation(t)
+            rhs = lemma2_rhs(topo, mats, paired.errors, t)
+            assert np.abs(lhs - rhs).max() < 1e-9, f"t={t}"
+
+    def test_heterogeneous_sos_exact(self, rng):
+        topo = random_connected_graph(rng, 12, extra_edges=8)
+        speeds = 1.0 + rng.integers(0, 4, topo.n).astype(float)
+        scheme = SecondOrderScheme(topo, beta=1.5, speeds=speeds)
+        proc = LoadBalancingProcess(scheme, rounding="randomized-excess", rng=rng)
+        paired = run_paired(proc, point_load(topo, 300), rounds=10)
+        mats = contribution_matrices(scheme, 10)
+        lhs = paired.deviation(10)
+        rhs = lemma2_rhs(topo, mats, paired.errors, 10)
+        assert np.abs(lhs - rhs).max() < 1e-9
+
+    def test_identity_rounding_zero_deviation(self, tiny_cycle):
+        scheme = SecondOrderScheme(tiny_cycle, beta=1.5)
+        proc = LoadBalancingProcess(scheme)  # identity rounding
+        paired = run_paired(proc, point_load(tiny_cycle, 100), rounds=8)
+        assert paired.max_deviation_series().max() < 1e-9
+        assert all(np.abs(e).max() < 1e-12 for e in paired.errors)
+
+    def test_lemma2_rhs_input_validation(self, tiny_cycle):
+        scheme = FirstOrderScheme(tiny_cycle)
+        mats = contribution_matrices(scheme, 3)
+        with pytest.raises(ConfigurationError):
+            lemma2_rhs(tiny_cycle, mats, [np.zeros(tiny_cycle.m_edges)] * 2, t=5)
+
+
+class TestPairedRun:
+    def test_round_counts(self, tiny_cycle, rng):
+        proc = LoadBalancingProcess(
+            FirstOrderScheme(tiny_cycle), rounding="floor", rng=rng
+        )
+        paired = run_paired(proc, point_load(tiny_cycle, 100), rounds=7)
+        assert paired.rounds == 7
+        assert len(paired.discrete_loads) == 8
+        assert len(paired.continuous_loads) == 8
+
+    def test_rejects_negative_rounds(self, tiny_cycle):
+        proc = LoadBalancingProcess(FirstOrderScheme(tiny_cycle))
+        with pytest.raises(ConfigurationError):
+            run_paired(proc, point_load(tiny_cycle, 10), rounds=-1)
+
+    def test_deviation_stays_below_theorem8_bound(self, rng):
+        """Theorem 8 sanity: floor/ceil SOS deviation obeys the O-bound."""
+        from repro import second_largest_eigenvalue, theory
+
+        topo = torus_2d(5, 5)
+        lam = second_largest_eigenvalue(topo)
+        from repro import beta_opt
+
+        scheme = SecondOrderScheme(topo, beta=beta_opt(lam))
+        proc = LoadBalancingProcess(scheme, rounding="nearest", rng=rng)
+        paired = run_paired(proc, point_load(topo, 25000), rounds=120)
+        bound = theory.theorem8_deviation(
+            max_degree=4, n=topo.n, smax=1.0, lam=lam, scale=16 * np.sqrt(2)
+        )
+        assert paired.max_deviation_series().max() <= bound

@@ -1,0 +1,120 @@
+"""Tests for the refined local divergence Upsilon_C(G)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    SecondOrderScheme,
+    beta_opt,
+    complete,
+    cycle,
+    cycle_lambda,
+    divergence_term,
+    refined_local_divergence,
+    theory,
+    torus_2d,
+    torus_lambda,
+)
+
+
+class TestDivergenceTerm:
+    def test_identity_term(self, tiny_cycle):
+        # P = I: contribution of edge (i,j) on k is delta_ki - delta_kj;
+        # max over neighbours of the square is 1 for k == i or k a neighbour.
+        term = divergence_term(tiny_cycle, np.eye(tiny_cycle.n))
+        # For a cycle: every k has contribution 1 from its own edges (k=i)
+        # and 1 from each of its two neighbours' edges -> sum = 3.
+        assert np.allclose(term, 3.0)
+
+    def test_zero_matrix(self, tiny_cycle):
+        term = divergence_term(tiny_cycle, np.zeros((8, 8)))
+        assert np.all(term == 0.0)
+
+
+class TestUpsilon:
+    def test_complete_graph_converges_fast(self):
+        # K_n balances in one continuous round; the series is tiny.
+        topo = complete(6)
+        scheme = FirstOrderScheme(topo)
+        upsilon = refined_local_divergence(scheme)
+        assert 1.0 <= upsilon < 3.0
+
+    def test_fos_respects_theorem4_bound_shape(self):
+        """Upsilon should be within a constant of sqrt(d/(1-lambda))."""
+        for n in (8, 16, 32):
+            topo = cycle(n)
+            scheme = FirstOrderScheme(topo)
+            upsilon = refined_local_divergence(scheme)
+            lam = cycle_lambda(n)
+            bound = theory.theorem4_upsilon(2, 1.0, lam, scale=4.0)
+            assert upsilon <= bound, f"n={n}: {upsilon} > {bound}"
+
+    def test_fos_grows_with_shrinking_gap(self):
+        up_small = refined_local_divergence(FirstOrderScheme(cycle(8)))
+        up_large = refined_local_divergence(FirstOrderScheme(cycle(24)))
+        assert up_large > up_small
+
+    def test_sos_respects_theorem9_bound_shape(self):
+        topo = torus_2d(5, 5)
+        lam = torus_lambda((5, 5))
+        scheme = SecondOrderScheme(topo, beta=beta_opt(lam))
+        upsilon = refined_local_divergence(scheme)
+        bound = theory.theorem9_upsilon(4, 1.0, lam, scale=6.0)
+        assert upsilon <= bound
+
+    def test_per_node_vector(self, tiny_cycle):
+        scheme = FirstOrderScheme(tiny_cycle)
+        per_node = refined_local_divergence(scheme, return_per_node=True)
+        assert per_node.shape == (tiny_cycle.n,)
+        # Vertex-transitive graph: all nodes identical.
+        assert np.allclose(per_node, per_node[0])
+        assert refined_local_divergence(scheme) == pytest.approx(
+            float(per_node.max())
+        )
+
+    def test_heterogeneous_case_runs(self, rng):
+        topo = cycle(10)
+        speeds = 1.0 + rng.integers(0, 3, topo.n).astype(float)
+        scheme = FirstOrderScheme(topo, speeds=speeds)
+        upsilon = refined_local_divergence(scheme)
+        assert np.isfinite(upsilon) and upsilon > 0
+
+    def test_unsupported_scheme_rejected(self, tiny_cycle):
+        from repro import ContinuousScheme
+
+        class Weird(ContinuousScheme):
+            def scheduled_flows(self, state):
+                return np.zeros(self.topo.m_edges)
+
+        with pytest.raises(ConfigurationError):
+            refined_local_divergence(Weird(tiny_cycle))
+
+    def test_observation3_shape_for_uniform_alphas(self):
+        """Observation 3: with alpha = 1/(gamma d) the divergence is
+        O(sqrt(gamma d / (2 - 2/gamma))) — check the measured value sits
+        within a small constant of that shape on a regular graph."""
+        from repro import uniform_alpha
+
+        gamma = 2.0
+        topo = cycle(12)
+        scheme = FirstOrderScheme(
+            topo, alphas=lambda t, speeds=None: uniform_alpha(t, gamma=gamma)
+        )
+        upsilon = refined_local_divergence(scheme)
+        bound = theory.observation3_upsilon(topo.max_degree, gamma, scale=3.0)
+        assert upsilon <= bound
+
+    def test_deviation_bound_via_theorem3(self, rng):
+        """Empirical check of Theorem 3: randomized FOS deviation is within
+        the Upsilon * sqrt(d log n) envelope (generous constant)."""
+        from repro import LoadBalancingProcess, point_load, run_paired
+
+        topo = torus_2d(4, 4)
+        scheme = FirstOrderScheme(topo)
+        upsilon = refined_local_divergence(scheme)
+        bound = theory.theorem3_deviation(upsilon, 4, topo.n, scale=3.0)
+        proc = LoadBalancingProcess(scheme, rounding="randomized-excess", rng=rng)
+        paired = run_paired(proc, point_load(topo, 1600), rounds=100)
+        assert paired.max_deviation_series().max() <= bound

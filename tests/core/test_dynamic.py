@@ -1,0 +1,138 @@
+"""Tests for dynamic (online-arrival) load balancing."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BurstArrivals,
+    ConfigurationError,
+    DynamicSimulator,
+    FirstOrderScheme,
+    HotspotArrivals,
+    LoadBalancingProcess,
+    NoArrivals,
+    PoissonArrivals,
+    SecondOrderScheme,
+    point_load,
+    torus_2d,
+    uniform_load,
+)
+
+
+def _process(topo, kind="sos", beta=1.6, rng=None):
+    scheme = (
+        SecondOrderScheme(topo, beta=beta) if kind == "sos" else FirstOrderScheme(topo)
+    )
+    return LoadBalancingProcess(
+        scheme, rounding="randomized-excess", rng=rng or np.random.default_rng(0)
+    )
+
+
+class TestArrivalModels:
+    def test_no_arrivals_zero(self, small_torus, rng):
+        deltas = NoArrivals().deltas(small_torus, 0, rng)
+        assert np.all(deltas == 0.0)
+
+    def test_poisson_mean(self, small_torus, rng):
+        model = PoissonArrivals(rate=3.0)
+        total = sum(
+            model.deltas(small_torus, t, rng).sum() for t in range(100)
+        )
+        assert total / (100 * small_torus.n) == pytest.approx(3.0, rel=0.1)
+
+    def test_poisson_with_departures_balanced(self, small_torus, rng):
+        model = PoissonArrivals(rate=2.0, departure_rate=2.0)
+        total = sum(
+            model.deltas(small_torus, t, rng).sum() for t in range(300)
+        )
+        assert abs(total) < 0.5 * 300 * small_torus.n  # near-zero drift
+
+    def test_burst_period(self, small_torus, rng):
+        model = BurstArrivals(burst=100, period=5)
+        for t in range(10):
+            total = model.deltas(small_torus, t, rng).sum()
+            assert total == (100.0 if t % 5 == 0 else 0.0)
+
+    def test_hotspot_fixed_nodes(self, small_torus, rng):
+        model = HotspotArrivals(nodes=[0, 5], rate=7)
+        deltas = model.deltas(small_torus, 3, rng)
+        assert deltas[0] == 7.0 and deltas[5] == 7.0
+        assert deltas.sum() == 14.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            BurstArrivals(burst=1, period=0)
+        with pytest.raises(ConfigurationError):
+            HotspotArrivals(nodes=[], rate=1)
+        with pytest.raises(ConfigurationError):
+            HotspotArrivals(nodes=[0], rate=-1)
+
+
+class TestDynamicSimulator:
+    def test_static_model_reduces_to_plain_run(self, small_torus):
+        rounds = 40
+        load = point_load(small_torus, 6400)
+        dynamic = DynamicSimulator(
+            _process(small_torus, rng=np.random.default_rng(1)),
+            NoArrivals(),
+        ).run(load, rounds)
+        static = _process(small_torus, rng=np.random.default_rng(1)).run(
+            load, rounds
+        )
+        assert np.array_equal(dynamic.final_state.load, static.load)
+
+    def test_total_accounting_exact(self, small_torus):
+        result = DynamicSimulator(
+            _process(small_torus),
+            PoissonArrivals(rate=2.0, departure_rate=1.0),
+            rng=np.random.default_rng(2),
+        ).run(uniform_load(small_torus, 100), rounds=60)
+        expected = 100.0 * small_torus.n
+        for rec in result.records:
+            expected += rec.arrived - rec.departed
+            assert rec.total_load == pytest.approx(expected)
+
+    def test_departures_clamped_at_zero(self, small_torus):
+        # Huge departure rate on an empty system: loads must never go
+        # negative through consumption.
+        result = DynamicSimulator(
+            _process(small_torus),
+            PoissonArrivals(rate=0.0, departure_rate=50.0),
+            rng=np.random.default_rng(3),
+        ).run(uniform_load(small_torus, 3), rounds=20)
+        assert result.final_state.load.sum() >= 0.0
+        assert result.records[-1].total_load == pytest.approx(
+            result.final_state.total_load
+        )
+
+    def test_steady_state_bounded_under_poisson(self, small_torus):
+        """SOS keeps the imbalance bounded while work arrives."""
+        result = DynamicSimulator(
+            _process(small_torus),
+            PoissonArrivals(rate=5.0),
+            rng=np.random.default_rng(4),
+        ).run(uniform_load(small_torus, 100), rounds=300)
+        # Total grew by ~5 * 300 per node, but the imbalance stays small.
+        assert result.steady_state_imbalance() < 40.0
+
+    def test_burst_recovery(self, small_torus):
+        """After each burst the imbalance decays back toward the residual."""
+        result = DynamicSimulator(
+            _process(small_torus),
+            BurstArrivals(burst=3200, period=100),
+            rng=np.random.default_rng(5),
+        ).run(uniform_load(small_torus, 100), rounds=200)
+        series = result.series("max_minus_avg")
+        # Imbalance right after the burst (round ~101) far exceeds the
+        # imbalance just before the next one (round ~199).
+        assert series[101] > 5 * series[99]
+        assert series[199] < series[101] / 5
+
+    def test_rejects_negative_rounds(self, small_torus):
+        sim = DynamicSimulator(_process(small_torus), NoArrivals())
+        with pytest.raises(ConfigurationError):
+            sim.run(uniform_load(small_torus, 1), rounds=-1)
+        with pytest.raises(ConfigurationError):
+            sim.run(uniform_load(small_torus, 1), rounds=0).steady_state_imbalance(0.0)

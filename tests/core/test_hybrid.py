@@ -1,0 +1,105 @@
+"""Unit tests for SOS->FOS switch policies."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FixedRoundSwitch,
+    LoadState,
+    LocalDifferenceSwitch,
+    NeverSwitch,
+    PotentialPlateauSwitch,
+    cycle,
+)
+
+
+def _state(topo, load, round_index):
+    return LoadState(
+        load=np.asarray(load, dtype=float),
+        flows=np.zeros(topo.m_edges),
+        round_index=round_index,
+    )
+
+
+class TestNeverSwitch:
+    def test_never_fires(self, tiny_cycle):
+        policy = NeverSwitch()
+        state = _state(tiny_cycle, np.zeros(8), 100)
+        assert not policy.should_switch(tiny_cycle, state)
+
+
+class TestFixedRound:
+    def test_fires_at_round(self, tiny_cycle):
+        policy = FixedRoundSwitch(5)
+        assert not policy.should_switch(tiny_cycle, _state(tiny_cycle, np.zeros(8), 4))
+        assert policy.should_switch(tiny_cycle, _state(tiny_cycle, np.zeros(8), 5))
+        assert policy.should_switch(tiny_cycle, _state(tiny_cycle, np.zeros(8), 9))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedRoundSwitch(-1)
+
+
+class TestLocalDifference:
+    def test_fires_when_local_diff_small(self, tiny_cycle):
+        policy = LocalDifferenceSwitch(threshold=3.0, min_rounds=0)
+        flat = _state(tiny_cycle, np.full(8, 10.0), 5)
+        assert policy.should_switch(tiny_cycle, flat)
+        spiky = _state(tiny_cycle, [10, 20, 10, 10, 10, 10, 10, 10], 5)
+        assert not policy.should_switch(tiny_cycle, spiky)
+
+    def test_min_rounds_guard(self, tiny_cycle):
+        policy = LocalDifferenceSwitch(threshold=100.0, min_rounds=10)
+        flat = _state(tiny_cycle, np.full(8, 1.0), 3)
+        assert not policy.should_switch(tiny_cycle, flat)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalDifferenceSwitch(threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            LocalDifferenceSwitch(min_rounds=-1)
+
+
+class TestPotentialPlateau:
+    def test_fires_on_stalled_potential(self, tiny_cycle):
+        policy = PotentialPlateauSwitch(window=3, min_drop=0.5, min_rounds=0)
+        # Constant potential: after the window fills, should fire.
+        load = [5, 0, 5, 0, 5, 0, 5, 0]
+        fired = False
+        for t in range(6):
+            fired = policy.should_switch(tiny_cycle, _state(tiny_cycle, load, t))
+        assert fired
+
+    def test_does_not_fire_while_decaying(self, tiny_cycle):
+        policy = PotentialPlateauSwitch(window=3, min_drop=0.5, min_rounds=0)
+        for t in range(8):
+            # Potential decays by 4x per step -> never plateaus.
+            scale = 0.5 ** t
+            load = np.array([5, 0, 5, 0, 5, 0, 5, 0], dtype=float) * scale
+            assert not policy.should_switch(tiny_cycle, _state(tiny_cycle, load, t))
+
+    def test_reset_clears_history(self, tiny_cycle):
+        policy = PotentialPlateauSwitch(window=3, min_drop=0.5, min_rounds=0)
+        load = [5, 0, 5, 0, 5, 0, 5, 0]
+        for t in range(5):
+            policy.should_switch(tiny_cycle, _state(tiny_cycle, load, t))
+        policy.reset()
+        # After reset the window must refill before it can fire.
+        assert not policy.should_switch(tiny_cycle, _state(tiny_cycle, load, 0))
+
+    def test_zero_potential_fires(self, tiny_cycle):
+        policy = PotentialPlateauSwitch(window=2, min_drop=0.5, min_rounds=0)
+        balanced = np.full(8, 3.0)
+        fired = False
+        for t in range(4):
+            fired = policy.should_switch(tiny_cycle, _state(tiny_cycle, balanced, t))
+        assert fired
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PotentialPlateauSwitch(window=1)
+        with pytest.raises(ConfigurationError):
+            PotentialPlateauSwitch(min_drop=0.0)
+        with pytest.raises(ConfigurationError):
+            PotentialPlateauSwitch(min_drop=1.0)

@@ -1,0 +1,168 @@
+"""Tests for the matching-based (dimension-exchange) baseline schemes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    DimensionExchangeScheme,
+    LoadBalancingProcess,
+    RandomMatchingScheme,
+    Simulator,
+    cycle,
+    greedy_edge_coloring,
+    hypercube,
+    lemma2_rhs,
+    matching_contribution_matrices,
+    point_load,
+    run_paired,
+    torus_2d,
+)
+
+
+class TestEdgeColoring:
+    def test_colors_are_matchings(self, small_torus):
+        matchings = greedy_edge_coloring(small_torus)
+        seen_edges = set()
+        for edges in matchings:
+            nodes = np.concatenate(
+                [small_torus.edge_u[edges], small_torus.edge_v[edges]]
+            )
+            assert np.unique(nodes).size == nodes.size  # no repeated endpoint
+            seen_edges.update(edges.tolist())
+        assert len(seen_edges) == small_torus.m_edges  # every edge coloured
+
+    def test_color_count_bounded(self, small_torus):
+        matchings = greedy_edge_coloring(small_torus)
+        assert len(matchings) <= 2 * small_torus.max_degree - 1
+
+    def test_hypercube_colors_are_dimensions(self):
+        topo = hypercube(4)
+        matchings = greedy_edge_coloring(topo)
+        assert len(matchings) == 4  # perfectly colourable by dimension
+        for edges in matchings:
+            assert edges.size == topo.n // 2  # perfect matchings
+
+
+class TestRandomMatching:
+    def test_matching_per_round_is_deterministic(self, small_torus):
+        scheme = RandomMatchingScheme(small_torus, seed=5)
+        a = scheme.matching_for_round(3)
+        b = scheme.matching_for_round(3)
+        assert np.array_equal(a, b)
+        c = scheme.matching_for_round(4)
+        assert not np.array_equal(a, c)
+
+    def test_matching_is_maximal(self, small_torus):
+        scheme = RandomMatchingScheme(small_torus, seed=1)
+        edges = scheme.matching_for_round(0)
+        matched = np.zeros(small_torus.n, dtype=bool)
+        matched[small_torus.edge_u[edges]] = True
+        matched[small_torus.edge_v[edges]] = True
+        # Maximal: no remaining edge has both endpoints free.
+        for k in range(small_torus.m_edges):
+            u, v = small_torus.edge_u[k], small_torus.edge_v[k]
+            assert matched[u] or matched[v]
+
+    def test_pair_averages_completely(self):
+        topo = cycle(4)
+        scheme = RandomMatchingScheme(topo, seed=0)
+        proc = LoadBalancingProcess(scheme)
+        state = proc.initial_state(np.array([8.0, 0.0, 4.0, 2.0]))
+        state, info = proc.step(state)
+        active = scheme.matching_for_round(0)
+        for e in active:
+            u, v = int(topo.edge_u[e]), int(topo.edge_v[e])
+            assert state.load[u] == pytest.approx(state.load[v])
+
+    def test_balances_on_torus(self, small_torus):
+        proc = LoadBalancingProcess(
+            RandomMatchingScheme(small_torus, seed=2),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        result = Simulator(proc).run(point_load(small_torus, 6400), rounds=400)
+        assert result.records[-1].max_minus_avg < 15.0
+        assert result.records[-1].total_load == 6400
+
+    def test_heterogeneous_pair_average(self):
+        topo = cycle(4)
+        speeds = np.array([1.0, 3.0, 1.0, 1.0])
+        scheme = RandomMatchingScheme(topo, speeds=speeds, seed=0)
+        proc = LoadBalancingProcess(scheme)
+        state = proc.initial_state(np.array([8.0, 0.0, 0.0, 0.0]))
+        state, _ = proc.step(state)
+        active = scheme.matching_for_round(0)
+        for e in active:
+            u, v = int(topo.edge_u[e]), int(topo.edge_v[e])
+            assert state.load[u] / speeds[u] == pytest.approx(
+                state.load[v] / speeds[v]
+            )
+
+
+class TestDimensionExchange:
+    def test_hypercube_sweep_balances_continuously(self):
+        """One sweep of all dimensions balances the continuous hypercube."""
+        topo = hypercube(5)
+        scheme = DimensionExchangeScheme(topo)
+        proc = LoadBalancingProcess(scheme)
+        state = proc.run(point_load(topo, 32.0 * 64), rounds=scheme.n_colors)
+        assert np.allclose(state.load, 64.0, atol=1e-9)
+
+    def test_rotation_covers_all_colors(self, small_torus):
+        scheme = DimensionExchangeScheme(small_torus)
+        total_active = sum(
+            scheme._active_edges(t).size for t in range(scheme.n_colors)
+        )
+        assert total_active == small_torus.m_edges
+
+    def test_rejects_edgeless_graph(self):
+        from repro import Topology
+
+        with pytest.raises(ConfigurationError):
+            DimensionExchangeScheme(Topology(3, []))
+
+    def test_discrete_balances_with_small_residual(self, small_torus):
+        proc = LoadBalancingProcess(
+            DimensionExchangeScheme(small_torus),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(1),
+        )
+        result = Simulator(proc).run(point_load(small_torus, 6400), rounds=300)
+        assert result.records[-1].max_minus_avg < 10.0
+
+
+class TestMatchingLemma2:
+    """Lemma 2 extends to the time-inhomogeneous matching schemes."""
+
+    @pytest.mark.parametrize("rounding", ["floor", "nearest", "randomized-excess"])
+    def test_identity_exact_dimension_exchange(self, rounding, rng):
+        topo = torus_2d(4, 4)
+        scheme = DimensionExchangeScheme(topo)
+        proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+        rounds = 9
+        paired = run_paired(proc, point_load(topo, 500), rounds=rounds)
+        mats = matching_contribution_matrices(scheme, rounds)
+        lhs = paired.deviation(rounds)
+        rhs = lemma2_rhs(topo, mats, paired.errors, rounds)
+        assert np.abs(lhs - rhs).max() < 1e-9
+
+    def test_identity_exact_random_matching(self, rng):
+        topo = cycle(10)
+        scheme = RandomMatchingScheme(topo, seed=7)
+        proc = LoadBalancingProcess(scheme, rounding="floor", rng=rng)
+        rounds = 8
+        paired = run_paired(proc, point_load(topo, 333), rounds=rounds)
+        mats = matching_contribution_matrices(scheme, rounds)
+        lhs = paired.deviation(rounds)
+        rhs = lemma2_rhs(topo, mats, paired.errors, rounds)
+        assert np.abs(lhs - rhs).max() < 1e-9
+
+    def test_round_matrices_are_column_stochastic(self):
+        topo = torus_2d(3, 4)
+        speeds = np.array([1.0, 2.0] * 6)
+        scheme = RandomMatchingScheme(topo, speeds=speeds, seed=0)
+        mats = matching_contribution_matrices(scheme, 5)
+        for s in range(1, 6):
+            assert np.allclose(mats[s].sum(axis=0), 1.0)
+            assert mats[s].min() >= 0.0

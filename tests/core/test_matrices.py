@@ -1,0 +1,109 @@
+"""Unit tests for diffusion matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    check_diffusion_matrix,
+    complete,
+    cycle,
+    diffusion_matrix,
+    diffusion_matrix_sparse,
+    star,
+    symmetrized_matrix,
+    torus_2d,
+    weighted_laplacian,
+)
+from tests.conftest import random_connected_graph
+
+
+class TestHomogeneous:
+    def test_torus_matrix_matches_paper_form(self):
+        topo = torus_2d(3, 3)
+        m = diffusion_matrix(topo)
+        # alpha = 1/5 on every edge, diagonal 1 - 4/5 = 1/5.
+        assert np.allclose(np.diag(m), 0.2)
+        for u, v in topo.edges():
+            assert m[u, v] == pytest.approx(0.2)
+        ok, msg = check_diffusion_matrix(m)
+        assert ok, msg
+
+    def test_doubly_stochastic_and_symmetric(self, any_small_graph):
+        m = diffusion_matrix(any_small_graph)
+        assert np.allclose(m.sum(axis=0), 1.0)
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert np.allclose(m, m.T)
+        assert m.min() >= 0.0
+
+    def test_preserves_uniform_vector(self, any_small_graph):
+        m = diffusion_matrix(any_small_graph)
+        ones = np.ones(any_small_graph.n)
+        assert np.allclose(m @ ones, ones)
+
+
+class TestHeterogeneous:
+    def test_column_stochastic_nonnegative(self, rng):
+        topo = random_connected_graph(rng, 20, extra_edges=15)
+        speeds = 1.0 + 5.0 * rng.random(topo.n)
+        m = diffusion_matrix(topo, speeds)
+        assert np.allclose(m.sum(axis=0), 1.0)
+        assert m.min() >= 0.0
+
+    def test_speed_vector_is_fixed_point(self, rng):
+        topo = star(8)
+        speeds = 1.0 + rng.integers(0, 5, topo.n).astype(float)
+        m = diffusion_matrix(topo, speeds)
+        assert np.allclose(m @ speeds, speeds)
+
+    def test_check_catches_bad_matrix(self):
+        m = np.array([[0.5, 0.6], [0.5, 0.5]])
+        ok, msg = check_diffusion_matrix(m)
+        assert not ok
+        assert "column" in msg
+
+    def test_check_catches_negative_entry(self):
+        m = np.array([[1.2, -0.2], [-0.2, 1.2]])
+        ok, msg = check_diffusion_matrix(m)
+        assert not ok
+
+    def test_check_catches_asymmetric_homogeneous(self):
+        m = np.array([[0.7, 0.5], [0.3, 0.5]])
+        ok, msg = check_diffusion_matrix(m)
+        assert not ok
+
+
+class TestRepresentations:
+    def test_sparse_matches_dense(self, rng):
+        topo = torus_2d(4, 5)
+        speeds = 1.0 + rng.random(topo.n)
+        dense = diffusion_matrix(topo, speeds)
+        sparse = diffusion_matrix_sparse(topo, speeds).toarray()
+        assert np.allclose(dense, sparse)
+
+    def test_symmetrized_is_symmetric_with_same_spectrum(self, rng):
+        topo = cycle(8)
+        speeds = 1.0 + 3.0 * rng.random(topo.n)
+        m = diffusion_matrix(topo, speeds)
+        sym, sqrt_s = symmetrized_matrix(topo, speeds)
+        assert np.allclose(sym, sym.T)
+        ev_m = np.sort(np.linalg.eigvals(m).real)
+        ev_sym = np.sort(np.linalg.eigvalsh(sym))
+        assert np.allclose(ev_m, ev_sym, atol=1e-8)
+
+    def test_symmetrized_sparse_matches_dense(self, rng):
+        topo = torus_2d(3, 4)
+        speeds = 1.0 + rng.random(topo.n)
+        dense, _ = symmetrized_matrix(topo, speeds)
+        sparse, _ = symmetrized_matrix(topo, speeds, sparse=True)
+        assert np.allclose(dense, sparse.toarray())
+
+    def test_weighted_laplacian_shape_check(self):
+        topo = cycle(5)
+        with pytest.raises(ConfigurationError):
+            weighted_laplacian(topo, np.ones(3))
+
+    def test_laplacian_psd(self):
+        topo = complete(5)
+        lap = weighted_laplacian(topo, np.full(topo.m_edges, 0.2))
+        assert np.linalg.eigvalsh(lap).min() >= -1e-12

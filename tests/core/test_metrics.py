@@ -1,0 +1,88 @@
+"""Unit tests for the Section VI metrics."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    cycle,
+    discrepancy,
+    initial_discrepancy_K,
+    max_deviation,
+    max_local_difference,
+    max_minus_average,
+    min_minus_average,
+    normalized_potential,
+    potential,
+    target_loads,
+)
+
+
+class TestTargets:
+    def test_homogeneous_targets(self):
+        targets = target_loads(100.0, np.ones(4))
+        assert np.allclose(targets, 25.0)
+
+    def test_heterogeneous_targets_proportional_to_speed(self):
+        speeds = np.array([1.0, 3.0])
+        targets = target_loads(100.0, speeds)
+        assert np.allclose(targets, [25.0, 75.0])
+        assert targets.sum() == pytest.approx(100.0)
+
+    def test_rejects_zero_speed_sum(self):
+        with pytest.raises(ConfigurationError):
+            target_loads(10.0, np.zeros(3))
+
+
+class TestLocalDifference:
+    def test_max_over_edges_only(self):
+        topo = cycle(4)
+        load = np.array([0.0, 10.0, 0.0, 1.0])
+        assert max_local_difference(topo, load) == 10.0
+
+    def test_edgeless_graph(self):
+        from repro import Topology
+
+        topo = Topology(2, [])
+        assert max_local_difference(topo, np.array([5.0, -5.0])) == 0.0
+
+
+class TestGlobalMetrics:
+    def test_max_minus_average(self):
+        load = np.array([1.0, 2.0, 9.0])
+        assert max_minus_average(load) == pytest.approx(9.0 - 4.0)
+
+    def test_max_minus_average_with_targets(self):
+        load = np.array([5.0, 5.0])
+        targets = np.array([2.0, 8.0])
+        assert max_minus_average(load, targets) == 3.0
+
+    def test_min_minus_average(self):
+        load = np.array([1.0, 2.0, 9.0])
+        assert min_minus_average(load) == pytest.approx(1.0 - 4.0)
+
+    def test_potential_matches_definition(self):
+        load = np.array([2.0, 6.0])
+        # mean 4 -> (2-4)^2 + (6-4)^2 = 8
+        assert potential(load) == 8.0
+        assert normalized_potential(load) == 4.0
+
+    def test_potential_zero_when_balanced(self):
+        assert potential(np.full(5, 3.0)) == 0.0
+
+    def test_potential_with_targets(self):
+        load = np.array([3.0, 3.0])
+        targets = np.array([1.0, 5.0])
+        assert potential(load, targets) == 8.0
+
+    def test_discrepancy_and_K(self):
+        load = np.array([3.0, -1.0, 7.0])
+        assert discrepancy(load) == 8.0
+        assert initial_discrepancy_K(load) == 8.0
+
+    def test_max_deviation(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([4.0, 1.0])
+        assert max_deviation(a, b) == 3.0
+        with pytest.raises(ConfigurationError):
+            max_deviation(a, np.ones(3))

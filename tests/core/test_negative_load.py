@@ -1,0 +1,134 @@
+"""Tests for the negative-load analysis (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    LoadBalancingProcess,
+    NegativeLoadTracker,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    initial_delta,
+    minimum_safe_initial_load,
+    observation5_bound,
+    point_load,
+    theorem10_bound,
+    theorem11_bound,
+    torus_2d,
+    torus_lambda,
+    uniform_load,
+)
+
+
+class TestDelta:
+    def test_homogeneous_delta(self):
+        load = np.array([10.0, 0.0, 2.0, 0.0])
+        # mean 3 -> max |x - 3| = 7
+        assert initial_delta(load) == 7.0
+
+    def test_heterogeneous_delta(self):
+        load = np.array([10.0, 0.0])
+        speeds = np.array([1.0, 4.0])
+        # targets (2, 8) -> deviations (8, 8)
+        assert initial_delta(load, speeds) == 8.0
+
+
+class TestBounds:
+    def test_observation5(self):
+        assert observation5_bound(100, 5.0) == -50.0
+        with pytest.raises(ConfigurationError):
+            observation5_bound(0, 1.0)
+
+    def test_theorem10_tighter_gap_means_lower_bound(self):
+        loose = theorem10_bound(100, 5.0, lam=0.5)
+        tight = theorem10_bound(100, 5.0, lam=0.99)
+        assert tight < loose < 0
+
+    def test_theorem11_adds_degree_term(self):
+        t10 = theorem10_bound(100, 5.0, 0.9)
+        t11 = theorem11_bound(100, 5.0, 0.9, max_degree=4)
+        assert t11 == pytest.approx(t10 - 16.0 / np.sqrt(0.1))
+
+    def test_minimum_safe_initial_load_signs(self):
+        cont = minimum_safe_initial_load(100, 5.0, 0.9)
+        disc = minimum_safe_initial_load(100, 5.0, 0.9, max_degree=4)
+        assert disc > cont > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem10_bound(100, 5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            theorem11_bound(100, 5.0, 0.9, max_degree=-1)
+
+
+class TestEmpiricalBounds:
+    """The simulated transient minimum must respect the paper's bounds."""
+
+    def _run(self, topo, lam, load, rounds, rounding):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta_opt(lam)),
+            rounding=rounding,
+            rng=np.random.default_rng(7),
+        )
+        return Simulator(proc).run(load, rounds)
+
+    def test_continuous_sos_respects_theorem10(self):
+        topo = torus_2d(6, 6)
+        lam = torus_lambda((6, 6))
+        load = point_load(topo, 36 * 50)
+        result = self._run(topo, lam, load, 200, "identity")
+        delta0 = initial_delta(load)
+        bound = theorem10_bound(topo.n, delta0, lam)
+        assert result.min_transient_overall >= bound
+
+    def test_discrete_sos_respects_theorem11(self):
+        topo = torus_2d(6, 6)
+        lam = torus_lambda((6, 6))
+        load = point_load(topo, 36 * 50)
+        result = self._run(topo, lam, load, 200, "randomized-excess")
+        delta0 = initial_delta(load)
+        bound = theorem11_bound(topo.n, delta0, lam, max_degree=4)
+        assert result.min_transient_overall >= bound
+
+    def test_safe_initial_load_prevents_negative(self):
+        topo = torus_2d(6, 6)
+        lam = torus_lambda((6, 6))
+        # Perturb a uniform load slightly: small Delta(0), big minimum.
+        base = 10000.0
+        load = uniform_load(topo, base)
+        load[0] += 36.0
+        load[1] -= 36.0
+        delta0 = initial_delta(load)
+        needed = minimum_safe_initial_load(topo.n, delta0, lam, max_degree=4)
+        assert base >= needed  # premise of the theorem holds
+        result = self._run(topo, lam, load, 300, "randomized-excess")
+        assert result.min_transient_overall >= 0.0
+
+    def test_point_load_does_go_negative(self):
+        """SOS from a point load overdraws — the behaviour Section V studies."""
+        topo = torus_2d(8, 8)
+        lam = torus_lambda((8, 8))
+        load = point_load(topo, 1000 * topo.n)
+        result = self._run(topo, lam, load, 150, "randomized-excess")
+        assert result.min_transient_overall < 0.0
+
+
+class TestTracker:
+    def test_tracks_minimum_and_first_round(self):
+        tracker = NegativeLoadTracker()
+        tracker.observe(0, 5.0)
+        tracker.observe(1, -2.0)
+        tracker.observe(2, -7.0)
+        tracker.observe(3, 1.0)
+        assert tracker.min_transient == -7.0
+        assert tracker.first_negative_round == 1
+        assert tracker.negative_rounds == 2
+        assert tracker.ever_negative
+
+    def test_summary_empty(self):
+        tracker = NegativeLoadTracker()
+        summary = tracker.summary()
+        assert summary["min_transient"] is None
+        assert not tracker.ever_negative

@@ -1,0 +1,85 @@
+"""Unit tests for the process wrapper (scheme + rounding)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    cycle,
+    point_load,
+    torus_2d,
+)
+
+
+class TestStep:
+    def test_conserves_total_load(self, small_torus, rng):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.6),
+            rounding="randomized-excess",
+            rng=rng,
+        )
+        state = proc.initial_state(point_load(small_torus, 6400))
+        total = state.total_load
+        for _ in range(30):
+            state, _ = proc.step(state)
+            assert state.total_load == pytest.approx(total)
+
+    def test_discrete_loads_stay_integral(self, small_torus, rng):
+        proc = LoadBalancingProcess(
+            FirstOrderScheme(small_torus), rounding="randomized-excess", rng=rng
+        )
+        state = proc.initial_state(point_load(small_torus, 999))
+        for _ in range(20):
+            state, _ = proc.step(state)
+            assert np.allclose(state.load, np.round(state.load))
+
+    def test_step_info_errors_consistent(self, small_torus, rng):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.5),
+            rounding="floor",
+            rng=rng,
+        )
+        state = proc.initial_state(point_load(small_torus, 500))
+        state, info = proc.step(state)
+        assert np.allclose(info.errors, info.scheduled - info.actual)
+        assert np.abs(info.errors).max() < 1.0
+
+    def test_min_transient_reported(self):
+        # Two nodes with a huge imbalance: identity FOS sends x/3 so the
+        # transient stays positive; check the reported value matches.
+        topo = cycle(4)
+        proc = LoadBalancingProcess(FirstOrderScheme(topo))
+        state = proc.initial_state(np.array([9.0, 0.0, 0.0, 0.0]))
+        _, info = proc.step(state)
+        assert info.min_transient == pytest.approx(0.0)
+
+    def test_is_discrete_flag(self, small_torus):
+        cont = LoadBalancingProcess(FirstOrderScheme(small_torus))
+        disc = LoadBalancingProcess(FirstOrderScheme(small_torus), rounding="floor")
+        assert not cont.is_discrete
+        assert disc.is_discrete
+
+    def test_run_shortcut(self, small_torus, rng):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.6),
+            rounding="randomized-excess",
+            rng=rng,
+        )
+        state = proc.run(point_load(small_torus, 6400), rounds=50)
+        assert state.round_index == 50
+        assert state.total_load == 6400
+
+    def test_continuous_fos_converges_to_average(self, small_torus):
+        proc = LoadBalancingProcess(FirstOrderScheme(small_torus))
+        state = proc.run(point_load(small_torus, 64.0), rounds=2000)
+        assert np.allclose(state.load, 1.0, atol=1e-6)
+
+    def test_continuous_sos_converges_to_average(self, small_torus):
+        from repro import beta_opt, torus_lambda
+
+        beta = beta_opt(torus_lambda((8, 8)))
+        proc = LoadBalancingProcess(SecondOrderScheme(small_torus, beta=beta))
+        state = proc.run(point_load(small_torus, 64.0), rounds=400)
+        assert np.allclose(state.load, 1.0, atol=1e-6)

@@ -1,0 +1,208 @@
+"""Unit and property tests for the rounding schemes (Section III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CeilRounding,
+    FloorRounding,
+    IdentityRounding,
+    NearestRounding,
+    RandomizedExcessRounding,
+    RoundingError,
+    UnbiasedEdgeRounding,
+    cycle,
+    make_rounding,
+    star,
+    torus_2d,
+)
+
+ALL_KEYS = ["identity", "floor", "nearest", "ceil", "unbiased-edge", "randomized-excess"]
+DISCRETE_KEYS = [k for k in ALL_KEYS if k != "identity"]
+
+
+def _random_flows(rng, topo, scale=5.0):
+    return rng.normal(scale=scale, size=topo.m_edges)
+
+
+class TestFactory:
+    def test_known_keys(self):
+        for key in ALL_KEYS:
+            scheme = make_rounding(key)
+            assert scheme.key == key
+
+    def test_passthrough_instance(self):
+        inst = FloorRounding()
+        assert make_rounding(inst) is inst
+
+    def test_unknown_key(self):
+        with pytest.raises(RoundingError):
+            make_rounding("bogus")
+        with pytest.raises(RoundingError):
+            make_rounding(42)
+
+
+class TestDeterministicSchemes:
+    def test_identity_returns_input(self, rng):
+        topo = cycle(6)
+        flows = _random_flows(rng, topo)
+        assert np.allclose(IdentityRounding().round_flows(topo, flows), flows)
+
+    def test_floor_truncates_toward_zero(self):
+        topo = cycle(3)
+        flows = np.array([1.7, -1.7, 0.3])
+        out = FloorRounding().round_flows(topo, flows)
+        assert out.tolist() == [1.0, -1.0, 0.0]
+
+    def test_ceil_rounds_magnitude_up(self):
+        topo = cycle(3)
+        flows = np.array([1.2, -1.2, 0.0])
+        out = CeilRounding().round_flows(topo, flows)
+        assert out.tolist() == [2.0, -2.0, 0.0]
+
+    def test_nearest(self):
+        topo = cycle(3)
+        flows = np.array([1.6, -1.6, 0.4])
+        out = NearestRounding().round_flows(topo, flows)
+        assert out.tolist() == [2.0, -2.0, 0.0]
+
+
+class TestErrorBounds:
+    FLOOR_OR_CEIL_KEYS = ["floor", "nearest", "ceil", "unbiased-edge"]
+
+    @pytest.mark.parametrize("key", FLOOR_OR_CEIL_KEYS)
+    def test_error_below_one_and_integral(self, key, rng):
+        topo = torus_2d(5, 5)
+        scheme = make_rounding(key)
+        for _ in range(20):
+            flows = _random_flows(rng, topo)
+            out = scheme.round_flows(topo, flows, rng)
+            assert np.allclose(out, np.round(out)), key
+            assert np.abs(flows - out).max() < 1.0 + 1e-9, key
+
+    def test_excess_scheme_error_bounds(self, rng):
+        """The paper's scheme: never under-sends by a full token; a node's
+        over-send on one edge is bounded by its excess budget ceil(r) <= d."""
+        topo = torus_2d(5, 5)
+        scheme = make_rounding("randomized-excess")
+        d = topo.max_degree
+        for _ in range(20):
+            flows = _random_flows(rng, topo)
+            out = scheme.round_flows(topo, flows, rng)
+            assert np.allclose(out, np.round(out))
+            err = flows - out
+            # Under-sending (out magnitude below scheduled): error toward the
+            # flow's own sign, strictly below one token.
+            assert (err * np.sign(flows)).max() < 1.0 + 1e-9
+            # Over-sending bounded by the sender's excess budget.
+            assert (-err * np.sign(flows)).max() <= d + 1e-9
+
+    @pytest.mark.parametrize("key", DISCRETE_KEYS)
+    def test_integral_flows_unchanged(self, key, rng):
+        topo = cycle(8)
+        flows = np.array([3.0, -2.0, 0.0, 1.0, -5.0, 4.0, 2.0, -1.0])
+        out = make_rounding(key).round_flows(topo, flows, rng)
+        assert np.allclose(out, flows), key
+
+
+class TestRandomizedExcess:
+    def test_unbiasedness(self, rng):
+        """E[rounded] must equal the continuous flow (Observation 1.2)."""
+        topo = star(6)  # hub 0 with 5 leaves
+        flows = np.array([0.3, 0.7, 1.4, 0.1, 2.5])  # all outgoing from hub
+        scheme = RandomizedExcessRounding()
+        trials = 4000
+        acc = np.zeros_like(flows)
+        for _ in range(trials):
+            acc += scheme.round_flows(topo, flows, rng)
+        mean = acc / trials
+        assert np.allclose(mean, flows, atol=0.05)
+
+    def test_excess_token_budget_per_node(self, rng):
+        """A node never sends more than floor + ceil(r) extra tokens total."""
+        topo = star(9)
+        scheme = RandomizedExcessRounding()
+        for _ in range(50):
+            flows = rng.random(topo.m_edges) * 2.0  # hub sends on all edges
+            out = scheme.round_flows(topo, flows, rng)
+            extra = out - np.floor(flows)
+            r = np.sum(flows - np.floor(flows))
+            assert extra.sum() <= np.ceil(r) + 1e-9
+            assert extra.min() >= -1e-9
+
+    def test_negative_flows_round_on_sender_side(self, rng):
+        topo = cycle(4)
+        flows = np.array([-0.5, -0.5, -0.5, -0.5])
+        scheme = RandomizedExcessRounding()
+        out = scheme.round_flows(topo, flows, rng)
+        assert np.all(out <= 0.0)
+        assert np.all(out >= -1.0)
+
+    def test_mixed_senders(self, rng):
+        """Each node's excess budget applies to its own outgoing edges only."""
+        topo = cycle(6)
+        scheme = RandomizedExcessRounding()
+        for _ in range(200):
+            flows = rng.normal(scale=0.7, size=topo.m_edges)
+            out = scheme.round_flows(topo, flows, rng)
+            # Antisymmetry is structural; verify the scheme's error bounds:
+            # under-send < 1 token, over-send <= excess budget (degree).
+            err = flows - out
+            assert (err * np.sign(flows)).max(initial=0.0) < 1.0
+            assert (-err * np.sign(flows)).max(initial=0.0) <= topo.max_degree
+            assert np.allclose(out, np.round(out))
+
+    def test_float_fuzz_near_integers(self, rng):
+        topo = cycle(4)
+        flows = np.array([2.0 - 1e-12, -3.0 + 1e-12, 1e-12, 5.0])
+        out = RandomizedExcessRounding().round_flows(topo, flows, rng)
+        assert out.tolist() == [2.0, -3.0, 0.0, 5.0]
+
+    def test_zero_flows(self, rng):
+        topo = cycle(4)
+        out = RandomizedExcessRounding().round_flows(topo, np.zeros(4), rng)
+        assert np.all(out == 0.0)
+
+
+class TestUnbiasedEdge:
+    def test_unbiasedness(self, rng):
+        topo = cycle(4)
+        flows = np.array([0.25, -0.75, 1.5, -2.1])
+        scheme = UnbiasedEdgeRounding()
+        acc = np.zeros_like(flows)
+        trials = 4000
+        for _ in range(trials):
+            acc += scheme.round_flows(topo, flows, rng)
+        assert np.allclose(acc / trials, flows, atol=0.06)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    key=st.sampled_from(DISCRETE_KEYS),
+)
+def test_property_rounding_is_integral_and_bounded(data, key):
+    """Property: every discrete scheme yields integral flows with errors
+    bounded by the scheme's guarantee (|e| < 1 for floor-or-ceil schemes,
+    under-send < 1 and over-send <= degree for the excess-token scheme)."""
+    topo = cycle(8)
+    flows = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                min_size=topo.m_edges,
+                max_size=topo.m_edges,
+            )
+        )
+    )
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    out = make_rounding(key).round_flows(topo, flows, rng)
+    assert np.allclose(out, np.round(out))
+    err = flows - out
+    if key == "randomized-excess":
+        assert (err * np.sign(flows)).max(initial=0.0) < 1.0 + 1e-6
+        assert (-err * np.sign(flows)).max(initial=0.0) <= topo.max_degree + 1e-6
+    else:
+        assert np.abs(err).max() < 1.0 + 1e-6

@@ -1,0 +1,129 @@
+"""Unit tests for FOS/SOS continuous schemes (equations (1)-(4))."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FirstOrderScheme,
+    LoadState,
+    SchemeError,
+    SecondOrderScheme,
+    apply_flows,
+    check_linearity,
+    cycle,
+    diffusion_matrix,
+    point_load,
+    torus_2d,
+)
+from tests.conftest import random_connected_graph
+
+
+class TestFirstOrder:
+    def test_matches_matrix_iteration(self, small_torus):
+        scheme = FirstOrderScheme(small_torus)
+        m = diffusion_matrix(small_torus)
+        load = point_load(small_torus, 640.0)
+        state = LoadState.initial(small_torus, load)
+        for _ in range(5):
+            flows = scheme.scheduled_flows(state)
+            new_load = apply_flows(small_torus, state.load, flows)
+            assert np.allclose(new_load, m @ state.load, atol=1e-9)
+            state = state.advanced(new_load, flows)
+
+    def test_flow_formula_equation1(self):
+        topo = cycle(4)
+        scheme = FirstOrderScheme(topo)
+        load = np.array([9.0, 3.0, 0.0, 0.0])
+        state = LoadState.initial(topo, load)
+        flows = scheme.scheduled_flows(state)
+        k = topo.edge_id(0, 1)
+        assert flows[k] == pytest.approx((9.0 - 3.0) / 3.0)
+
+    def test_ignores_flow_history(self):
+        topo = cycle(5)
+        scheme = FirstOrderScheme(topo)
+        assert scheme.uses_flow_history is False
+        load = np.arange(5, dtype=float)
+        s0 = LoadState(load=load, flows=np.zeros(topo.m_edges), round_index=3)
+        s1 = LoadState(load=load, flows=np.ones(topo.m_edges), round_index=3)
+        assert np.allclose(
+            scheme.scheduled_flows(s0), scheme.scheduled_flows(s1)
+        )
+
+
+class TestSecondOrder:
+    def test_first_round_is_fos(self, small_torus):
+        fos = FirstOrderScheme(small_torus)
+        sos = SecondOrderScheme(small_torus, beta=1.7)
+        state = LoadState.initial(small_torus, point_load(small_torus, 100.0))
+        assert np.allclose(
+            fos.scheduled_flows(state), sos.scheduled_flows(state)
+        )
+
+    def test_matches_matrix_recursion_equation4(self, small_torus):
+        beta = 1.6
+        scheme = SecondOrderScheme(small_torus, beta=beta)
+        m = diffusion_matrix(small_torus)
+        x_prev = point_load(small_torus, 640.0)
+        state = LoadState.initial(small_torus, x_prev)
+        flows = scheme.scheduled_flows(state)
+        x_cur = apply_flows(small_torus, state.load, flows)
+        state = state.advanced(x_cur, flows)
+        for _ in range(6):
+            flows = scheme.scheduled_flows(state)
+            x_next = apply_flows(small_torus, state.load, flows)
+            expected = beta * (m @ x_cur) + (1.0 - beta) * x_prev
+            assert np.allclose(x_next, expected, atol=1e-9)
+            state = state.advanced(x_next, flows)
+            x_prev, x_cur = x_cur, x_next
+
+    def test_flow_recursion_equation3(self):
+        topo = cycle(4)
+        beta = 1.5
+        scheme = SecondOrderScheme(topo, beta=beta)
+        load = np.array([8.0, 0.0, 4.0, 0.0])
+        prev = np.full(topo.m_edges, 0.5)
+        state = LoadState(load=load, flows=prev, round_index=2)
+        flows = scheme.scheduled_flows(state)
+        k = topo.edge_id(0, 1)
+        expected = (beta - 1.0) * 0.5 + beta * (8.0 - 0.0) / 3.0
+        assert flows[k] == pytest.approx(expected)
+
+    def test_beta_one_equals_fos(self, small_torus):
+        fos = FirstOrderScheme(small_torus)
+        sos = SecondOrderScheme(small_torus, beta=1.0)
+        state = LoadState(
+            load=np.arange(small_torus.n, dtype=float),
+            flows=np.ones(small_torus.m_edges),
+            round_index=4,
+        )
+        assert np.allclose(
+            sos.scheduled_flows(state), fos.scheduled_flows(state)
+        )
+
+    def test_beta_validation(self, small_torus):
+        with pytest.raises(SchemeError):
+            SecondOrderScheme(small_torus, beta=0.0)
+        with pytest.raises(SchemeError):
+            SecondOrderScheme(small_torus, beta=2.0)
+
+
+class TestLinearityLemma1:
+    """Lemma 1 / Definitions 2 and 4: FOS and SOS are linear processes."""
+
+    @pytest.mark.parametrize("kind", ["fos", "sos"])
+    def test_linearity_random_inputs(self, kind, rng):
+        topo = random_connected_graph(rng, 12, extra_edges=10)
+        speeds = 1.0 + 2.0 * rng.random(topo.n)
+        if kind == "fos":
+            scheme = FirstOrderScheme(topo, speeds=speeds)
+        else:
+            scheme = SecondOrderScheme(topo, beta=1.7, speeds=speeds)
+        for _ in range(10):
+            x1 = rng.normal(size=topo.n) * 100
+            x2 = rng.normal(size=topo.n) * 100
+            y1 = rng.normal(size=topo.m_edges) * 10
+            y2 = rng.normal(size=topo.m_edges) * 10
+            a, b = rng.normal(size=2)
+            violation = check_linearity(scheme, x1, x2, y1, y2, a, b)
+            assert violation < 1e-8

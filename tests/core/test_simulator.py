@@ -1,0 +1,153 @@
+"""Unit tests for the simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    FixedRoundSwitch,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Simulator,
+    point_load,
+)
+
+
+def _sos_process(topo, beta=1.6, rng=None):
+    return LoadBalancingProcess(
+        SecondOrderScheme(topo, beta=beta),
+        rounding="randomized-excess",
+        rng=rng or np.random.default_rng(0),
+    )
+
+
+class TestRun:
+    def test_records_every_round(self, small_torus):
+        sim = Simulator(_sos_process(small_torus))
+        result = sim.run(point_load(small_torus, 6400), rounds=25)
+        assert len(result.records) == 26  # round 0 included
+        assert result.rounds.tolist() == list(range(26))
+        assert result.final_state.round_index == 25
+
+    def test_record_every_k(self, small_torus):
+        sim = Simulator(_sos_process(small_torus), record_every=5)
+        result = sim.run(point_load(small_torus, 6400), rounds=23)
+        # rounds 0,5,10,15,20 plus the forced terminal record 23
+        assert result.rounds.tolist() == [0, 5, 10, 15, 20, 23]
+
+    def test_series_extraction(self, small_torus):
+        sim = Simulator(_sos_process(small_torus))
+        result = sim.run(point_load(small_torus, 6400), rounds=10)
+        series = result.series("max_minus_avg")
+        assert series.shape == (11,)
+        assert series[0] == pytest.approx(6400 - 100)
+
+    def test_keep_loads(self, small_torus):
+        sim = Simulator(_sos_process(small_torus), keep_loads=True)
+        result = sim.run(point_load(small_torus, 6400), rounds=8)
+        assert len(result.loads_history) == 9
+        assert result.loads_history[0].sum() == 6400
+
+    def test_metrics_monotone_for_continuous_fos(self, small_torus):
+        proc = LoadBalancingProcess(FirstOrderScheme(small_torus))
+        result = Simulator(proc).run(point_load(small_torus, 64.0), rounds=60)
+        pot = result.series("potential_per_node")
+        assert np.all(np.diff(pot) <= 1e-9)  # potential never increases (FOS)
+
+    def test_stop_when(self, small_torus):
+        sim = Simulator(_sos_process(small_torus))
+        result = sim.run(
+            point_load(small_torus, 6400),
+            rounds=500,
+            stop_when=lambda topo, st: st.load.max() - st.load.mean() <= 20,
+        )
+        assert result.stopped_at is not None
+        assert result.stopped_at < 500
+        assert result.records[-1].round_index == result.stopped_at
+
+    def test_rejects_negative_rounds(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            Simulator(_sos_process(small_torus)).run(
+                point_load(small_torus, 10), rounds=-1
+            )
+        with pytest.raises(ConfigurationError):
+            Simulator(_sos_process(small_torus), record_every=0)
+
+    def test_zero_rounds(self, small_torus):
+        result = Simulator(_sos_process(small_torus)).run(
+            point_load(small_torus, 10), rounds=0
+        )
+        assert len(result.records) == 1
+
+    def test_round_traffic_recorded(self, small_torus):
+        result = Simulator(_sos_process(small_torus)).run(
+            point_load(small_torus, 6400), rounds=20
+        )
+        traffic = result.series("round_traffic")
+        assert traffic[0] == 0.0  # initial record, nothing moved yet
+        assert traffic[1:].max() > 0.0
+        # Traffic can never exceed what apply-all-edges could move: each
+        # round's |flow| sum is bounded by the total load times max degree.
+        assert traffic.max() <= 6400 * small_torus.max_degree
+
+    def test_traffic_decays_as_system_balances(self, small_torus):
+        result = Simulator(_sos_process(small_torus)).run(
+            point_load(small_torus, 6400), rounds=200
+        )
+        traffic = result.series("round_traffic")
+        assert traffic[-10:].mean() < traffic[1:11].mean()
+
+    def test_total_load_column_constant(self, small_torus):
+        result = Simulator(_sos_process(small_torus)).run(
+            point_load(small_torus, 6400), rounds=40
+        )
+        totals = result.series("total_load")
+        assert np.all(totals == 6400.0)
+
+
+class TestSwitching:
+    def test_fixed_round_switch_swaps_scheme(self, small_torus):
+        proc = _sos_process(small_torus)
+        sim = Simulator(proc, switch_policy=FixedRoundSwitch(10))
+        result = sim.run(point_load(small_torus, 6400), rounds=30)
+        assert result.switched_at == 10
+        assert isinstance(proc.scheme, FirstOrderScheme)
+        schemes = [r.scheme for r in result.records]
+        assert schemes[5] == "SecondOrderScheme"
+        assert schemes[-1] == "FirstOrderScheme"
+
+    def test_switch_only_happens_once(self, small_torus):
+        proc = _sos_process(small_torus)
+        sim = Simulator(proc, switch_policy=FixedRoundSwitch(5))
+        result = sim.run(point_load(small_torus, 6400), rounds=20)
+        assert result.switched_at == 5
+
+    def test_no_switch_for_fos_process(self, small_torus):
+        proc = LoadBalancingProcess(
+            FirstOrderScheme(small_torus), rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        sim = Simulator(proc, switch_policy=FixedRoundSwitch(3))
+        result = sim.run(point_load(small_torus, 6400), rounds=10)
+        assert result.switched_at is None
+
+    def test_hybrid_improves_plateau(self, small_torus):
+        """The paper's headline: switching to FOS drops the residual."""
+        load = point_load(small_torus, 1000 * small_torus.n)
+        sos_only = Simulator(_sos_process(small_torus)).run(load, rounds=250)
+        hybrid = Simulator(
+            _sos_process(small_torus), switch_policy=FixedRoundSwitch(120)
+        ).run(load, rounds=250)
+        tail = slice(-40, None)
+        sos_tail = sos_only.series("max_minus_avg")[tail].mean()
+        hyb_tail = hybrid.series("max_minus_avg")[tail].mean()
+        assert hyb_tail <= sos_tail + 1e-9
+
+    def test_first_round_below(self, small_torus):
+        result = Simulator(_sos_process(small_torus)).run(
+            point_load(small_torus, 6400), rounds=200
+        )
+        r = result.first_round_below("max_minus_avg", 10.0)
+        assert r is not None
+        assert result.first_round_below("max_minus_avg", -1e9) is None

@@ -1,0 +1,185 @@
+"""Unit tests for the spectral toolkit (lambda, beta, Q(t), Lemma 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    SchemeError,
+    beta_opt,
+    complete,
+    complete_lambda,
+    cycle,
+    cycle_lambda,
+    diffusion_matrix,
+    eigenvalues,
+    gamma_closed_form,
+    hypercube,
+    hypercube_lambda,
+    hypercube_spectrum,
+    q_matrices,
+    q_matrix_at,
+    second_largest_eigenvalue,
+    spectral_gap,
+    torus_2d,
+    torus_lambda,
+    torus_spectrum,
+)
+
+# The beta values printed in Table I of the paper.
+PAPER_TABLE1 = {
+    (1000, 1000): 1.9920836447,
+    (100, 100): 1.9235874877,
+}
+
+
+class TestLambda:
+    def test_analytic_torus_matches_numeric(self):
+        topo = torus_2d(5, 7)
+        assert torus_lambda((5, 7)) == pytest.approx(
+            second_largest_eigenvalue(topo), abs=1e-10
+        )
+
+    def test_analytic_hypercube_matches_numeric(self):
+        topo = hypercube(5)
+        assert hypercube_lambda(5) == pytest.approx(
+            second_largest_eigenvalue(topo), abs=1e-10
+        )
+
+    def test_analytic_cycle_matches_numeric(self):
+        topo = cycle(9)
+        assert cycle_lambda(9) == pytest.approx(
+            second_largest_eigenvalue(topo), abs=1e-10
+        )
+
+    def test_complete_lambda_zero(self):
+        # K_n with alpha = 1/n: all non-stationary eigenvalues vanish.
+        assert complete_lambda(5) == 0.0
+        assert second_largest_eigenvalue(complete(5)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_torus_spectrum_full(self):
+        topo = torus_2d(4, 5)
+        numeric = eigenvalues(topo)
+        analytic = torus_spectrum((4, 5))
+        assert np.allclose(np.sort(numeric), analytic, atol=1e-10)
+
+    def test_hypercube_spectrum_full(self):
+        topo = hypercube(4)
+        numeric = eigenvalues(topo)
+        analytic = hypercube_spectrum(4)
+        assert np.allclose(np.sort(numeric), analytic, atol=1e-10)
+
+    def test_sparse_solver_agrees_with_dense(self):
+        topo = torus_2d(6, 6)
+        dense = second_largest_eigenvalue(topo, method="dense")
+        sparse = second_largest_eigenvalue(topo, method="sparse")
+        assert dense == pytest.approx(sparse, abs=1e-8)
+
+    def test_heterogeneous_lambda_below_one(self, rng):
+        topo = torus_2d(4, 4)
+        speeds = 1.0 + 3.0 * rng.random(topo.n)
+        lam = second_largest_eigenvalue(topo, speeds)
+        assert 0.0 < lam < 1.0
+
+    def test_dense_refuses_large(self):
+        topo = hypercube(13)
+        with pytest.raises(ConfigurationError):
+            eigenvalues(topo)
+
+    def test_torus_lambda_requires_sides_three(self):
+        with pytest.raises(ConfigurationError):
+            torus_lambda((2, 5))
+
+
+class TestBeta:
+    def test_table1_torus_betas(self):
+        for shape, printed in PAPER_TABLE1.items():
+            assert beta_opt(torus_lambda(shape)) == pytest.approx(printed, abs=5e-7)
+
+    def test_table1_hypercube_beta(self):
+        assert beta_opt(hypercube_lambda(20)) == pytest.approx(1.4026054847, abs=5e-9)
+
+    def test_beta_range(self):
+        assert beta_opt(0.0) == 1.0
+        assert 1.0 < beta_opt(0.9) < 2.0
+        with pytest.raises(SchemeError):
+            beta_opt(1.0)
+        with pytest.raises(SchemeError):
+            beta_opt(-0.1)
+
+    def test_spectral_gap(self):
+        assert spectral_gap(0.9) == pytest.approx(0.1)
+        with pytest.raises(SchemeError):
+            spectral_gap(1.5)
+
+
+class TestQMatrices:
+    def _setup(self, beta=None):
+        topo = cycle(7)
+        m = diffusion_matrix(topo)
+        lam = cycle_lambda(7)
+        return topo, m, lam, beta or beta_opt(lam)
+
+    def test_recursion_base_cases(self):
+        _, m, _, beta = self._setup()
+        mats = list(q_matrices(m, beta, 2))
+        assert np.allclose(mats[0], np.eye(7))
+        assert np.allclose(mats[1], beta * m)
+        assert np.allclose(mats[2], beta * m @ mats[1] + (1 - beta) * mats[0])
+
+    def test_q_matrix_at(self):
+        _, m, _, beta = self._setup()
+        mats = list(q_matrices(m, beta, 5))
+        assert np.allclose(q_matrix_at(m, beta, 5), mats[5])
+        with pytest.raises(ConfigurationError):
+            q_matrix_at(m, beta, -1)
+
+    def test_equal_column_sums_lemma7_3(self):
+        _, m, _, beta = self._setup()
+        for q in q_matrices(m, beta, 8):
+            sums = q.sum(axis=0)
+            assert np.allclose(sums, sums[0])
+
+    def test_eigenvalues_match_closed_form_lemma7_2(self):
+        topo, m, lam, beta = self._setup()
+        mu = np.sort(eigenvalues(topo))
+        for t, q in enumerate(q_matrices(m, beta, 10)):
+            q_eigs = np.sort(np.linalg.eigvals(q).real)
+            expected = np.sort(
+                [gamma_closed_form(float(x), lam, beta, t) for x in mu]
+            )
+            assert np.allclose(q_eigs, expected, atol=1e-7), f"t={t}"
+
+    def test_gamma_bound_lemma7_2(self):
+        # All non-stationary eigenvalues are bounded by (sqrt(beta-1))^t (t+1).
+        topo, m, lam, beta = self._setup()
+        mu = np.sort(eigenvalues(topo))[:-1]  # drop the stationary eigenvalue 1
+        for t in range(0, 25):
+            bound = (math.sqrt(beta - 1.0)) ** t * (t + 1) + 1e-9
+            for x in mu:
+                assert abs(gamma_closed_form(float(x), lam, beta, t)) <= bound
+
+    def test_stationary_gamma_closed_form(self):
+        _, m, lam, beta = self._setup()
+        for t in range(6):
+            expected = (1.0 - (beta - 1.0) ** (t + 1)) / (2.0 - beta)
+            assert gamma_closed_form(1.0, lam, beta, t) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_beta_validation(self):
+        _, m, _, _ = self._setup()
+        with pytest.raises(SchemeError):
+            list(q_matrices(m, 2.0, 2))
+        with pytest.raises(SchemeError):
+            gamma_closed_form(0.5, 0.9, 0.0, 3)
+
+    def test_beta_one_reduces_to_fos_powers(self):
+        # With beta = 1, Q(t) = M^t.
+        _, m, _, _ = self._setup()
+        power = np.eye(7)
+        for t, q in enumerate(q_matrices(m, 1.0 + 1e-12, 6)):
+            assert np.allclose(q, power, atol=1e-9), f"t={t}"
+            power = m @ power

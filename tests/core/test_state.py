@@ -1,0 +1,100 @@
+"""Unit tests for load state and edge-flow primitives."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    LoadState,
+    apply_flows,
+    cycle,
+    incoming_per_node,
+    outgoing_per_node,
+    point_load,
+    proportional_load,
+    random_load,
+    transient_loads,
+    uniform_load,
+)
+
+
+class TestLoadState:
+    def test_initial(self, tiny_cycle):
+        state = LoadState.initial(tiny_cycle, point_load(tiny_cycle, 80))
+        assert state.round_index == 0
+        assert state.total_load == 80.0
+        assert np.all(state.flows == 0.0)
+
+    def test_initial_rejects_wrong_shape(self, tiny_cycle):
+        with pytest.raises(ConfigurationError):
+            LoadState.initial(tiny_cycle, np.ones(3))
+
+    def test_advanced_increments_round(self, tiny_cycle):
+        state = LoadState.initial(tiny_cycle, uniform_load(tiny_cycle, 2))
+        nxt = state.advanced(state.load, state.flows)
+        assert nxt.round_index == 1
+        assert state.round_index == 0  # immutable
+
+
+class TestFlowPrimitives:
+    def test_apply_flows_moves_load(self):
+        topo = cycle(4)
+        load = np.array([10.0, 0.0, 0.0, 0.0])
+        flows = np.zeros(topo.m_edges)
+        flows[topo.edge_id(0, 1)] = 3.0  # 0 -> 1
+        flows[topo.edge_id(0, 3)] = -2.0  # oriented (0,3): negative = 3 -> 0
+        new = apply_flows(topo, load, flows)
+        assert new.tolist() == [9.0, 3.0, 0.0, -2.0]
+        assert new.sum() == load.sum()
+
+    def test_outgoing_incoming_split(self):
+        topo = cycle(4)
+        flows = np.zeros(topo.m_edges)
+        flows[topo.edge_id(0, 1)] = 3.0
+        flows[topo.edge_id(2, 3)] = -1.0  # 3 sends 1 to 2
+        out = outgoing_per_node(topo, flows)
+        inc = incoming_per_node(topo, flows)
+        assert out.tolist() == [3.0, 0.0, 0.0, 1.0]
+        assert inc.tolist() == [0.0, 3.0, 1.0, 0.0]
+        # Conservation: outgoing total equals incoming total.
+        assert out.sum() == inc.sum()
+
+    def test_transient_is_load_minus_outgoing(self):
+        topo = cycle(4)
+        load = np.array([5.0, 5.0, 5.0, 5.0])
+        flows = np.zeros(topo.m_edges)
+        flows[topo.edge_id(0, 1)] = 7.0
+        trans = transient_loads(topo, load, flows)
+        assert trans[0] == -2.0  # negative load event
+        assert trans[1] == 5.0
+
+
+class TestInitialLoads:
+    def test_point_load(self, tiny_cycle):
+        load = point_load(tiny_cycle, 100, node=3)
+        assert load[3] == 100.0
+        assert load.sum() == 100.0
+
+    def test_point_load_validation(self, tiny_cycle):
+        with pytest.raises(ConfigurationError):
+            point_load(tiny_cycle, 10, node=99)
+        with pytest.raises(ConfigurationError):
+            point_load(tiny_cycle, -1)
+
+    def test_uniform_load(self, tiny_cycle):
+        load = uniform_load(tiny_cycle, 7)
+        assert np.all(load == 7.0)
+        with pytest.raises(ConfigurationError):
+            uniform_load(tiny_cycle, -2)
+
+    def test_random_load_total_and_integrality(self, tiny_cycle, rng):
+        load = random_load(tiny_cycle, 1000, rng=rng)
+        assert load.sum() == 1000
+        assert np.allclose(load, np.round(load))
+
+    def test_proportional_load(self, tiny_cycle):
+        speeds = np.arange(1, 9, dtype=float)
+        load = proportional_load(tiny_cycle, speeds, per_unit=3.0)
+        assert np.allclose(load, 3.0 * speeds)
+        with pytest.raises(ConfigurationError):
+            proportional_load(tiny_cycle, np.ones(3), 1.0)

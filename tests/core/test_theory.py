@@ -1,0 +1,74 @@
+"""Unit tests for the theoretical bound formulas."""
+
+import math
+
+import pytest
+
+from repro import ConfigurationError, theory
+
+
+class TestConvergenceBounds:
+    def test_fos_scales_inverse_gap(self):
+        t1 = theory.fos_convergence_rounds(1000, 100, lam=0.9)
+        t2 = theory.fos_convergence_rounds(1000, 100, lam=0.99)
+        assert t2 == pytest.approx(10 * t1, rel=1e-9)
+
+    def test_sos_scales_inverse_sqrt_gap(self):
+        t1 = theory.sos_convergence_rounds(1000, 100, lam=0.9)
+        t2 = theory.sos_convergence_rounds(1000, 100, lam=0.99)
+        assert t2 == pytest.approx(math.sqrt(10) * t1, rel=1e-9)
+
+    def test_sos_faster_than_fos(self):
+        fos = theory.fos_convergence_rounds(1000, 100, lam=0.99)
+        sos = theory.sos_convergence_rounds(1000, 100, lam=0.99)
+        assert sos < fos
+
+    def test_smax_enters_logarithmically(self):
+        base = theory.fos_convergence_rounds(10, 10, 0.5, smax=1.0)
+        more = theory.fos_convergence_rounds(10, 10, 0.5, smax=math.e**2)
+        assert more == pytest.approx(base + 2.0 / 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.fos_convergence_rounds(0, 10, 0.5)
+        with pytest.raises(ConfigurationError):
+            theory.sos_convergence_rounds(10, 10, 1.0)
+
+
+class TestDeviationBounds:
+    def test_theorem3_form(self):
+        val = theory.theorem3_deviation(2.0, 4, 100)
+        assert val == pytest.approx(2.0 * math.sqrt(4 * math.log(100)))
+
+    def test_observation3_form(self):
+        val = theory.observation3_upsilon(4, gamma=2.0)
+        assert val == pytest.approx(math.sqrt(2.0 * 4 / (2.0 - 1.0)))
+
+    def test_theorem4_vs_theorem9_ordering(self):
+        # For small gap the SOS Upsilon bound ((1-lam)^-3/4) exceeds the
+        # FOS one ((1-lam)^-1/2)  — SOS pays for speed with deviation.
+        lam = 0.999
+        fos = theory.theorem4_upsilon(4, 8.0, lam)
+        sos = theory.theorem9_upsilon(4, 8.0, lam)
+        assert sos > fos
+
+    def test_theorem8_explicit_constant(self):
+        val = theory.theorem8_deviation(4, 100, 2.0, 0.9, scale=1.0)
+        assert val == pytest.approx(4 * math.sqrt(200) / 0.1)
+
+    def test_homogeneous_log_smax_floored(self):
+        # smax = 1 must not zero out the bound.
+        assert theory.theorem4_upsilon(4, 1.0, 0.5) > 0
+        assert theory.theorem9_deviation(4, 100, 1.0, 0.5) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.theorem4_upsilon(0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            theory.theorem8_deviation(4, 100, 0.5, 0.9)
+        with pytest.raises(ConfigurationError):
+            theory.theorem9_upsilon(4, 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            theory.observation3_upsilon(4, gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            theory.theorem3_deviation(-1.0, 4, 100)

@@ -1,0 +1,65 @@
+"""Tests for the Table I graph configuration registry."""
+
+import pytest
+
+from repro import ConfigurationError
+from repro.experiments import GRAPH_CONFIGS, PAPER_BETAS, build_graph
+
+
+class TestRegistry:
+    def test_all_table1_rows_present(self):
+        assert set(GRAPH_CONFIGS) == {
+            "torus-1000",
+            "torus-100",
+            "cm",
+            "rgg",
+            "hypercube",
+        }
+        assert set(PAPER_BETAS) == set(GRAPH_CONFIGS)
+
+    def test_every_config_builds_at_tiny_scale(self):
+        for key in GRAPH_CONFIGS:
+            built = build_graph(key, scale="tiny", seed=1)
+            assert built.topo.is_connected(), key
+            assert 0.0 <= built.lam < 1.0, key
+            assert 1.0 <= built.beta < 2.0, key
+
+    def test_unknown_key_and_scale(self):
+        with pytest.raises(ConfigurationError):
+            build_graph("petersen")
+        with pytest.raises(ConfigurationError):
+            GRAPH_CONFIGS["cm"].build(scale="galactic")
+
+    def test_lambda_sources(self):
+        assert build_graph("torus-1000", "tiny").lam_source == "analytic"
+        assert build_graph("hypercube", "tiny").lam_source == "analytic"
+        assert build_graph("cm", "tiny").lam_source == "numeric"
+
+    def test_seed_determinism_for_random_graphs(self):
+        a = build_graph("cm", "tiny", seed=3)
+        b = build_graph("cm", "tiny", seed=3)
+        c = build_graph("cm", "tiny", seed=4)
+        assert a.topo == b.topo
+        assert a.topo != c.topo
+
+
+class TestPaperBetas:
+    def test_analytic_paper_betas_match_printed_values(self):
+        """The closed-form spectra reproduce Table I's betas digit for digit
+        (tori and hypercube; the random graphs are instance-specific)."""
+        for key, digits in [
+            ("torus-1000", 6), ("torus-100", 6), ("hypercube", 8),
+        ]:
+            config = GRAPH_CONFIGS[key]
+            exact = config.analytic_paper_beta()
+            printed = config.paper_beta()
+            assert exact == pytest.approx(printed, abs=10 ** (-digits))
+
+    def test_random_configs_have_no_analytic_beta(self):
+        assert GRAPH_CONFIGS["cm"].analytic_paper_beta() is None
+        assert GRAPH_CONFIGS["rgg"].analytic_paper_beta() is None
+
+    def test_cm_beta_small_like_paper(self):
+        """Expander-like graphs have beta close to 1 (paper: 1.065)."""
+        built = build_graph("cm", "ci", seed=0)
+        assert built.beta < 1.35

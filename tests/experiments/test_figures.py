@@ -1,0 +1,116 @@
+"""Smoke + shape tests for the figure drivers at tiny scale.
+
+Each driver must run end to end, produce the documented series, and show the
+paper's qualitative shape where that is already visible at tiny scale.
+"""
+
+import pytest
+
+from repro.experiments import figures, list_experiments, run_experiment
+from repro.io import ExperimentRecord
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        names = list_experiments()
+        for expected in [
+            "table1", "fig01", "fig02", "fig03", "fig04_05", "fig06",
+            "fig07", "fig08", "fig09_11", "fig12", "fig13", "fig14", "fig15",
+        ]:
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        from repro import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_run_experiment_persists(self, tmp_path):
+        record = run_experiment(
+            "table1", output_dir=str(tmp_path), scale="tiny"
+        )
+        assert isinstance(record, ExperimentRecord)
+        assert (tmp_path / "table1.json").exists()
+
+
+class TestFigureDrivers:
+    def test_fig01_sos_beats_fos(self):
+        rec = figures.fig01_torus_sos_vs_fos(scale="tiny", rounds=300)
+        assert rec.summary["sos_round_below_10"] is not None
+        assert set(rec.series) >= {
+            "round", "sos_max_minus_avg", "fos_max_minus_avg",
+            "sos_max_local_diff", "sos_potential_per_node",
+        }
+        # SOS converges no later than FOS on the torus.
+        fos_round = rec.summary["fos_round_below_10"]
+        if fos_round is not None:
+            assert rec.summary["sos_round_below_10"] <= fos_round
+
+    def test_fig02_load_insensitivity(self):
+        rec = figures.fig02_initial_load(
+            scale="tiny", rounds=300, averages=(10, 1000)
+        )
+        # Plateau is a small constant regardless of the total load.
+        assert rec.summary["avg10_plateau"] < 20
+        assert rec.summary["avg1000_plateau"] < 20
+
+    def test_fig03_ideal_converges_lower(self):
+        rec = figures.fig03_discrete_vs_ideal(scale="tiny", rounds=300)
+        assert rec.summary["ideal_sos_final"] < 1.0
+        assert rec.summary["discrete_sos_final"] < 30
+
+    def test_fig04_05_switch_drops_residual(self):
+        rec = figures.fig04_05_switching(
+            scale="tiny", rounds=260, switch_rounds=(120, 160)
+        )
+        sos_plateau = rec.summary["sos_only_plateau_max_minus_avg"]
+        assert rec.summary["switch120_final_max_minus_avg"] <= sos_plateau + 1.0
+
+    def test_fig06_total_load_drift_negligible(self):
+        rec = figures.fig06_ideal_error(scale="tiny", rounds=200)
+        total = rec.params["n"] * 1000
+        assert rec.summary["max_total_drift"] < 1e-5 * total
+
+    def test_fig07_leading_mode_tracked(self):
+        rec = figures.fig07_eigencoefficients(scale="tiny", rounds=200)
+        assert len(rec.series["leading_coefficient"]) == 201
+        assert rec.summary["stable_leader_span_rounds"] >= 1
+
+    def test_fig08_switch_sweep(self):
+        rec = figures.fig08_switch_sweep(
+            scale="tiny", rounds=200, switch_rounds=(60, 120)
+        )
+        assert "fos60_max_minus_avg" in rec.series
+        assert rec.summary["fos60_final"] <= rec.summary["sos_only_final"] + 2.0
+
+    def test_fig09_11_renders(self, tmp_path):
+        rec = figures.fig09_11_renders(
+            scale="tiny", snapshot_rounds=(5, 20, 60), directory=str(tmp_path)
+        )
+        assert rec.summary["frames_written"] == 5  # 3 snapshots + 2 threshold
+        # After switching to FOS the picture gets whiter (less imbalance).
+        assert (
+            rec.summary["white_fraction_after_switch"]
+            >= rec.summary["white_fraction_before_switch"] - 0.05
+        )
+
+    @pytest.mark.parametrize(
+        "driver", [figures.fig12_random_graph, figures.fig13_hypercube]
+    )
+    def test_expander_like_graphs_show_small_gain(self, driver):
+        rec = driver(scale="tiny", rounds=120)
+        # SOS converges; speed-up is modest compared to the torus.
+        assert rec.summary["sos_round_below_10"] is not None
+        assert rec.summary["predicted_speedup"] < 4.0
+
+    def test_fig14_rgg_runs(self):
+        rec = figures.fig14_rgg(scale="tiny", rounds=200)
+        assert rec.summary["sos_round_below_10"] is not None
+
+    def test_fig15_combined(self):
+        rec = figures.fig15_torus_combined(scale="tiny", rounds=150, switch_round=80)
+        assert set(rec.series) >= {
+            "max_minus_avg", "max_local_diff", "potential_per_node",
+            "leading_coefficient", "hybrid_max_minus_avg",
+        }
+        assert rec.summary["hybrid_final"] <= rec.summary["sos_final"] + 1.0

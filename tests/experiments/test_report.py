@@ -1,0 +1,52 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.experiments import format_record, format_summary, format_table
+from repro.io import ExperimentRecord
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["torus", 1.99208], ["cm", None]],
+            title="Table I",
+        )
+        lines = text.split("\n")
+        assert lines[0] == "Table I"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "-" in lines[2]
+        assert "torus" in lines[3]
+        assert "-" in lines[4]  # None renders as dash
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234567.0], [0.00001], [3.5]])
+        assert "e+06" in text or "1.2346e+06" in text
+        assert "e-05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSummary:
+    def test_sorted_keys(self):
+        text = format_summary({"b": 2, "a": 1})
+        assert text.index("a") < text.index("b")
+
+    def test_empty(self):
+        assert "no summary" in format_summary({})
+
+
+class TestFormatRecord:
+    def test_contains_sections(self):
+        record = ExperimentRecord(
+            name="fig01",
+            params={"n": 100},
+            summary={"speedup": 2.0},
+            series={"round": [0, 1, 2]},
+        )
+        text = format_record(record)
+        assert "=== fig01 ===" in text
+        assert "params" in text
+        assert "speedup" in text
+        assert "'round': 3" in text

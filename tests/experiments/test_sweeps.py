@@ -1,0 +1,49 @@
+"""Tests for the sweep utility and power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.experiments import fit_power_law, torus_size_sweep
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**2
+        exponent, prefactor = fit_power_law(x, y)
+        assert exponent == pytest.approx(2.0)
+        assert prefactor == pytest.approx(3.0)
+
+    def test_ignores_nonpositive_points(self):
+        exponent, _ = fit_power_law([1, 2, 4, 0], [2, 4, 8, -1])
+        assert exponent == pytest.approx(1.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([0.0, 0.0], [1.0, 1.0])
+
+
+class TestTorusSizeSweep:
+    def test_sweep_points_structure(self):
+        points = torus_size_sweep([6, 8], kind="sos", average_load=100)
+        assert [p.size for p in points] == [6, 8]
+        for p in points:
+            assert p.n == p.size**2
+            assert 0.0 < p.lam < 1.0
+            assert p.rounds_to_balance is not None
+
+    def test_rounds_grow_with_size(self):
+        points = torus_size_sweep([6, 14], kind="sos", average_load=100)
+        assert points[1].rounds_to_balance > points[0].rounds_to_balance
+
+    def test_fos_slower_than_sos(self):
+        fos = torus_size_sweep([12], kind="fos", average_load=100)[0]
+        sos = torus_size_sweep([12], kind="sos", average_load=100)[0]
+        assert fos.rounds_to_balance > sos.rounds_to_balance
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            torus_size_sweep([6], kind="third-order")

@@ -1,0 +1,32 @@
+"""Tests for the Table I reproduction driver."""
+
+import pytest
+
+from repro.experiments import reproduce_table1
+
+
+class TestTable1:
+    def test_produces_all_rows(self):
+        rows = reproduce_table1(scale="tiny", seed=2)
+        assert len(rows) == 5
+        assert {r.key for r in rows} == {
+            "torus-1000", "torus-100", "cm", "rgg", "hypercube",
+        }
+
+    def test_rows_have_consistent_beta(self):
+        from repro import beta_opt
+
+        for row in reproduce_table1(scale="tiny", seed=2):
+            assert row.beta == pytest.approx(beta_opt(row.lam))
+
+    def test_paper_scale_errors_are_tiny(self):
+        rows = {r.key: r for r in reproduce_table1(scale="tiny", seed=2)}
+        for key in ("torus-1000", "torus-100", "hypercube"):
+            err = rows[key].beta_abs_error
+            assert err is not None
+            assert err < 1e-6, key
+
+    def test_random_rows_have_no_error_field(self):
+        rows = {r.key: r for r in reproduce_table1(scale="tiny", seed=2)}
+        assert rows["cm"].beta_abs_error is None
+        assert rows["rgg"].beta_abs_error is None

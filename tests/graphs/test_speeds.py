@@ -1,0 +1,90 @@
+"""Unit tests for heterogeneous speed vectors."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SpeedError,
+    geometric_speeds,
+    normalize_speeds,
+    powerlaw_speeds,
+    random_integer_speeds,
+    two_class_speeds,
+    uniform_speeds,
+    validate_speeds,
+)
+
+
+class TestValidation:
+    def test_accepts_valid_vector(self):
+        arr = validate_speeds([1.0, 2.0, 4.0])
+        assert arr.dtype == np.float64
+
+    def test_rejects_below_one(self):
+        with pytest.raises(SpeedError, match="minimum speed"):
+            validate_speeds([0.5, 1.0])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(SpeedError):
+            validate_speeds([1.0, np.nan])
+        with pytest.raises(SpeedError):
+            validate_speeds([1.0, np.inf])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(SpeedError, match="length"):
+            validate_speeds([1.0, 2.0], n=3)
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(SpeedError):
+            validate_speeds([])
+        with pytest.raises(SpeedError):
+            validate_speeds([[1.0, 2.0]])
+
+    def test_normalize(self):
+        arr = normalize_speeds([2.0, 4.0, 8.0])
+        assert arr.min() == 1.0
+        assert arr.tolist() == [1.0, 2.0, 4.0]
+
+    def test_normalize_rejects_nonpositive(self):
+        with pytest.raises(SpeedError):
+            normalize_speeds([0.0, 1.0])
+
+
+class TestGenerators:
+    def test_uniform(self):
+        assert np.all(uniform_speeds(5) == 1.0)
+        with pytest.raises(SpeedError):
+            uniform_speeds(0)
+
+    def test_two_class(self, rng):
+        speeds = two_class_speeds(100, fast_fraction=0.2, fast_speed=8.0, rng=rng)
+        assert (speeds == 8.0).sum() == 20
+        assert (speeds == 1.0).sum() == 80
+
+    def test_two_class_validation(self, rng):
+        with pytest.raises(SpeedError):
+            two_class_speeds(10, fast_fraction=1.5, rng=rng)
+        with pytest.raises(SpeedError):
+            two_class_speeds(10, fast_speed=0.5, rng=rng)
+
+    def test_powerlaw_bounds(self, rng):
+        speeds = powerlaw_speeds(500, exponent=2.0, s_max=32.0, rng=rng)
+        assert speeds.min() >= 1.0
+        assert speeds.max() <= 32.0
+        validate_speeds(speeds)
+
+    def test_powerlaw_validation(self, rng):
+        with pytest.raises(SpeedError):
+            powerlaw_speeds(10, exponent=1.0, rng=rng)
+        with pytest.raises(SpeedError):
+            powerlaw_speeds(10, s_max=0.5, rng=rng)
+
+    def test_geometric_levels(self, rng):
+        speeds = geometric_speeds(300, levels=3, base=2.0, rng=rng)
+        assert set(np.unique(speeds)).issubset({1.0, 2.0, 4.0})
+
+    def test_random_integers(self, rng):
+        speeds = random_integer_speeds(200, s_max=5, rng=rng)
+        assert speeds.min() >= 1.0
+        assert speeds.max() <= 5.0
+        assert np.allclose(speeds, np.round(speeds))

@@ -1,0 +1,142 @@
+"""Unit tests for the Topology substrate."""
+
+import numpy as np
+import pytest
+
+from repro import Topology, TopologyError, cycle, torus_2d
+
+
+class TestConstruction:
+    def test_basic_triangle(self):
+        topo = Topology(3, [(0, 1), (1, 2), (0, 2)])
+        assert topo.n == 3
+        assert topo.m_edges == 3
+        assert topo.max_degree == 2
+        assert topo.min_degree == 2
+
+    def test_edge_order_is_normalised(self):
+        topo = Topology(3, [(2, 1), (1, 0)])
+        assert list(topo.edges()) == [(0, 1), (1, 2)]
+        assert np.all(topo.edge_u < topo.edge_v)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError, match="self loop"):
+            Topology(3, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            Topology(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(TopologyError, match="out of range"):
+            Topology(3, [(0, 5)])
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(TopologyError):
+            Topology(0, [])
+
+    def test_single_node_no_edges(self):
+        topo = Topology(1, [])
+        assert topo.n == 1
+        assert topo.m_edges == 0
+        assert topo.is_connected()
+
+    def test_rejects_bad_edge_shape(self):
+        with pytest.raises(TopologyError, match="pairs"):
+            Topology(3, [(0, 1, 2)])
+
+    def test_arrays_are_read_only(self):
+        topo = cycle(5)
+        with pytest.raises(ValueError):
+            topo.edge_u[0] = 7
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self):
+        topo = Topology(4, [(0, 3), (0, 1), (0, 2)])
+        assert topo.neighbors(0).tolist() == [1, 2, 3]
+        assert topo.degree(0) == 3
+        assert topo.degree(1) == 1
+
+    def test_incident_edges_align_with_neighbors(self):
+        topo = Topology(4, [(0, 3), (0, 1), (2, 0)])
+        for i in range(4):
+            for nb, e in zip(topo.neighbors(i), topo.incident_edges(i)):
+                u, v = int(topo.edge_u[e]), int(topo.edge_v[e])
+                assert {u, v} == {i, int(nb)}
+
+    def test_degree_sum_equals_twice_edges(self):
+        topo = torus_2d(5, 4)
+        assert topo.degrees.sum() == 2 * topo.m_edges
+
+    def test_edge_id_lookup(self):
+        topo = cycle(6)
+        for k, (u, v) in enumerate(topo.edges()):
+            assert topo.edge_id(u, v) == k
+            assert topo.edge_id(v, u) == k
+
+    def test_edge_id_missing_raises(self):
+        topo = cycle(6)
+        with pytest.raises(TopologyError):
+            topo.edge_id(0, 3)
+
+    def test_has_edge(self):
+        topo = cycle(6)
+        assert topo.has_edge(0, 1)
+        assert topo.has_edge(5, 0)
+        assert not topo.has_edge(0, 3)
+        assert not topo.has_edge(0, 0)
+        assert not topo.has_edge(0, 99)
+
+
+class TestStructure:
+    def test_connectivity(self):
+        connected = cycle(5)
+        assert connected.is_connected()
+        disconnected = Topology(4, [(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+        with pytest.raises(TopologyError, match="not connected"):
+            disconnected.require_connected()
+
+    def test_components(self):
+        topo = Topology(5, [(0, 1), (2, 3)])
+        comps = sorted(topo.connected_components(), key=lambda c: c[0])
+        assert [c.tolist() for c in comps] == [[0, 1], [2, 3], [4]]
+
+    def test_bipartite_detection(self):
+        assert cycle(6).is_bipartite()
+        assert not cycle(5).is_bipartite()
+        assert torus_2d(4, 4).is_bipartite()
+        assert not torus_2d(5, 5).is_bipartite()
+
+    def test_diameter_lower_bound_cycle(self):
+        assert cycle(10).diameter_lower_bound() == 5
+
+
+class TestConversions:
+    def test_adjacency_matrix_symmetric(self):
+        topo = torus_2d(3, 3)
+        a = topo.adjacency_matrix()
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * topo.m_edges
+
+    def test_laplacian_rows_sum_to_zero(self):
+        lap = torus_2d(3, 4).laplacian_matrix()
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_networkx_round_trip(self):
+        topo = torus_2d(3, 4)
+        back = Topology.from_networkx(topo.to_networkx())
+        assert back == topo
+
+    def test_from_edge_list_infers_n(self):
+        topo = Topology.from_edge_list([(0, 1), (1, 4)])
+        assert topo.n == 5
+
+    def test_equality_and_hash(self):
+        a = cycle(5)
+        b = cycle(5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != cycle(6)

@@ -1,0 +1,49 @@
+"""Tests for experiment record persistence."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.io import ExperimentRecord, list_records, load_record, save_record
+
+
+class TestRecord:
+    def test_json_round_trip(self):
+        record = ExperimentRecord(
+            name="fig01",
+            params={"n": 100, "beta": 1.92},
+            summary={"speedup": 3.5, "rounds": None},
+            series={"max": [5.0, 3.0, 1.0]},
+        )
+        back = ExperimentRecord.from_json(record.to_json())
+        assert back == record
+
+    def test_numpy_values_serialised(self):
+        record = ExperimentRecord(
+            name="x",
+            params={"n": np.int64(5)},
+            summary={"v": np.float64(1.5), "arr": np.arange(3)},
+        )
+        back = ExperimentRecord.from_json(record.to_json())
+        assert back.params["n"] == 5
+        assert back.summary["arr"] == [0, 1, 2]
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRecord.from_json("{}")
+
+
+class TestPersistence:
+    def test_save_and_load(self, tmp_path):
+        record = ExperimentRecord(name="table1", summary={"ok": 1})
+        path = save_record(record, str(tmp_path / "out"))
+        assert path.endswith("table1.json")
+        assert load_record(path) == record
+
+    def test_list_records(self, tmp_path):
+        directory = str(tmp_path / "out")
+        assert list_records(directory) == []
+        save_record(ExperimentRecord(name="b"), directory)
+        save_record(ExperimentRecord(name="a"), directory)
+        names = [p.split("/")[-1] for p in list_records(directory)]
+        assert names == ["a.json", "b.json"]

@@ -1,0 +1,106 @@
+"""Unit tests for the synchronous message-passing engine."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, cycle, point_load, torus_2d
+from repro.network import SyncNetwork
+
+
+class TestBasics:
+    def test_conserves_load(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 6400),
+            scheme="sos",
+            beta=1.6,
+            rounding="randomized-excess",
+        )
+        total0 = net.total_load
+        net.run(40)
+        assert net.total_load == pytest.approx(total0)
+
+    def test_integral_loads_with_discrete_rounding(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 999),
+            scheme="fos",
+            rounding="randomized-excess",
+        )
+        net.run(15)
+        loads = net.loads()
+        assert np.allclose(loads, np.round(loads))
+
+    def test_rejects_bad_initial_load_shape(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            SyncNetwork(small_torus, np.ones(3))
+
+    def test_rejects_negative_rounds(self, small_torus):
+        net = SyncNetwork(small_torus, point_load(small_torus, 10))
+        with pytest.raises(ConfigurationError):
+            net.run(-1)
+
+    def test_flows_are_antisymmetric_views(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 6400),
+            scheme="sos",
+            beta=1.5,
+            rounding="floor",
+        )
+        net.run(5)
+        flows = net.flows()  # raises on endpoint disagreement
+        assert flows.shape == (small_torus.m_edges,)
+
+    def test_seeded_runs_are_reproducible(self, small_torus):
+        def run():
+            net = SyncNetwork(
+                small_torus,
+                point_load(small_torus, 6400),
+                scheme="sos",
+                beta=1.6,
+                rounding="randomized-excess",
+                seed=42,
+            )
+            net.run(30)
+            return net.loads()
+
+        assert np.array_equal(run(), run())
+
+    def test_different_seeds_differ(self, small_torus):
+        def run(seed):
+            net = SyncNetwork(
+                small_torus,
+                point_load(small_torus, 6400),
+                scheme="sos",
+                beta=1.6,
+                rounding="randomized-excess",
+                seed=seed,
+            )
+            net.run(30)
+            return net.loads()
+
+        assert not np.array_equal(run(1), run(2))
+
+    def test_min_transients_negative_for_point_load_sos(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 1000 * small_torus.n),
+            scheme="sos",
+            beta=1.8,
+            rounding="randomized-excess",
+        )
+        net.run(60)
+        assert net.min_transients().min() < 0.0
+
+    def test_balances_eventually(self):
+        topo = cycle(8)
+        net = SyncNetwork(
+            topo,
+            point_load(topo, 800),
+            scheme="fos",
+            rounding="randomized-excess",
+        )
+        net.run(400)
+        loads = net.loads()
+        assert loads.max() - loads.min() <= 12.0

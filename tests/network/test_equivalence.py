@@ -1,0 +1,120 @@
+"""Integration: message-passing engine == matrix engine, trace for trace.
+
+For deterministic roundings both engines must agree *exactly* (bit for bit)
+at every round — nodes compute flows from local messages, the matrix engine
+from global state, but the arithmetic is identical by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    point_load,
+    random_load,
+    torus_2d,
+)
+from repro.network import SyncNetwork
+from tests.conftest import random_connected_graph
+
+DETERMINISTIC = ["identity", "floor", "nearest", "ceil"]
+
+
+def _matrix_run(topo, load, scheme_name, beta, rounding, rounds, speeds=None):
+    if scheme_name == "fos":
+        scheme = FirstOrderScheme(topo, speeds=speeds)
+    else:
+        scheme = SecondOrderScheme(topo, beta=beta, speeds=speeds)
+    proc = LoadBalancingProcess(scheme, rounding=rounding)
+    return proc.run(load, rounds)
+
+
+@pytest.mark.parametrize("scheme_name,beta", [("fos", 1.0), ("sos", 1.7)])
+@pytest.mark.parametrize("rounding", DETERMINISTIC)
+def test_homogeneous_trace_equality(scheme_name, beta, rounding):
+    topo = torus_2d(5, 6)
+    load = point_load(topo, 1000 * topo.n)
+    net = SyncNetwork(topo, load, scheme=scheme_name, beta=beta, rounding=rounding)
+    net.run(30)
+    state = _matrix_run(topo, load, scheme_name, beta, rounding, 30)
+    if rounding == "identity":
+        # Continuous flows: engines sum incident flows in different orders,
+        # so agreement is to float accumulation accuracy, not bit-exact.
+        assert np.allclose(net.loads(), state.load, atol=1e-9)
+        assert np.allclose(net.flows(), state.flows, atol=1e-9)
+    else:
+        # Integral token moves: any divergence would be >= 1 token, so the
+        # traces must be bit-identical.
+        assert np.array_equal(net.loads(), state.load)
+        assert np.array_equal(net.flows(), state.flows)
+
+
+@pytest.mark.parametrize("rounding", DETERMINISTIC)
+def test_heterogeneous_trace_equality(rounding, rng):
+    topo = random_connected_graph(rng, 24, extra_edges=20)
+    speeds = 1.0 + rng.integers(0, 4, topo.n).astype(float)
+    load = random_load(topo, 5000, rng=rng)
+    net = SyncNetwork(
+        topo, load, scheme="sos", beta=1.5, rounding=rounding, speeds=speeds
+    )
+    net.run(25)
+    state = _matrix_run(topo, load, "sos", 1.5, rounding, 25, speeds=speeds)
+    if rounding == "identity":
+        assert np.allclose(net.loads(), state.load, atol=1e-9)
+    else:
+        assert np.array_equal(net.loads(), state.load)
+
+
+def test_randomized_engines_agree_statistically(small_torus):
+    """Randomized rounding draws differ, but both engines must land on the
+    same plateau (same distribution, not the same trace)."""
+    load = point_load(small_torus, 1000 * small_torus.n)
+    net = SyncNetwork(
+        small_torus, load, scheme="sos", beta=1.6,
+        rounding="randomized-excess", seed=5,
+    )
+    net.run(250)
+    state = _matrix_run(small_torus, load, "sos", 1.6, "randomized-excess", 250)
+    a = net.loads()
+    b = state.load
+    assert a.sum() == b.sum()
+    assert abs((a.max() - a.mean()) - (b.max() - b.mean())) <= 12.0
+
+
+@pytest.mark.parametrize("rounding", ["floor", "nearest"])
+def test_hybrid_switch_trace_equality(rounding, small_torus):
+    """The distributed synchronous SOS->FOS switch matches the matrix
+    engine's FixedRoundSwitch trace exactly."""
+    from repro import FixedRoundSwitch, Simulator
+
+    load = point_load(small_torus, 1000 * small_torus.n)
+    switch = 15
+    net = SyncNetwork(
+        small_torus, load, scheme="sos", beta=1.7, rounding=rounding,
+        switch_to_fos_at=switch,
+    )
+    net.run(40)
+    proc = LoadBalancingProcess(
+        SecondOrderScheme(small_torus, beta=1.7), rounding=rounding
+    )
+    result = Simulator(proc, switch_policy=FixedRoundSwitch(switch)).run(load, 40)
+    assert result.switched_at == switch
+    assert np.array_equal(net.loads(), result.final_state.load)
+
+
+def test_transient_minimum_matches_matrix_engine(small_torus):
+    """Deterministic rounding: per-node transient minima agree as well."""
+    from repro import Simulator
+
+    load = point_load(small_torus, 1000 * small_torus.n)
+    net = SyncNetwork(small_torus, load, scheme="sos", beta=1.7, rounding="nearest")
+    net.run(40)
+    proc = LoadBalancingProcess(
+        SecondOrderScheme(small_torus, beta=1.7), rounding="nearest"
+    )
+    result = Simulator(proc).run(load, 40)
+    assert net.min_transients().min() == pytest.approx(
+        min(result.min_transient_overall, float(load.min()))
+    )

@@ -1,0 +1,105 @@
+"""Unit tests for fault injection in the message-passing substrate."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, cycle, point_load, torus_2d
+from repro.network import (
+    LinkOutage,
+    NoFaults,
+    RandomLinkDrop,
+    SyncNetwork,
+    TokenTransfer,
+)
+
+
+def _msgs(pairs):
+    return [
+        TokenTransfer(sender=a, receiver=b, round_index=0, amount=1.0)
+        for a, b in pairs
+    ]
+
+
+class TestFaultModels:
+    def test_no_faults_delivers_all(self):
+        transfers = _msgs([(0, 1), (1, 2)])
+        delivered, bounced = NoFaults().filter_transfers(transfers, 0)
+        assert delivered == transfers
+        assert bounced == []
+
+    def test_random_drop_zero_probability(self):
+        transfers = _msgs([(0, 1), (1, 2)])
+        delivered, bounced = RandomLinkDrop(0.0).filter_transfers(transfers, 0)
+        assert delivered == transfers and bounced == []
+
+    def test_random_drop_full_probability(self):
+        transfers = _msgs([(0, 1), (1, 2)])
+        delivered, bounced = RandomLinkDrop(
+            1.0, np.random.default_rng(0)
+        ).filter_transfers(transfers, 0)
+        assert delivered == [] and bounced == transfers
+
+    def test_random_drop_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomLinkDrop(1.5)
+
+    def test_link_outage_window(self):
+        outage = LinkOutage([(1, 0)], start=2, end=4)
+        transfers = _msgs([(0, 1), (2, 3)])
+        for r, expect_drop in [(0, False), (2, True), (3, True), (4, False)]:
+            delivered, bounced = outage.filter_transfers(transfers, r)
+            if expect_drop:
+                assert len(bounced) == 1 and bounced[0].sender == 0
+            else:
+                assert bounced == []
+
+    def test_link_outage_forever(self):
+        outage = LinkOutage([(0, 1)], start=0, end=None)
+        _, bounced = outage.filter_transfers(_msgs([(0, 1)]), 999)
+        assert len(bounced) == 1
+
+    def test_link_outage_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkOutage([(0, 1)], start=5, end=3)
+
+
+class TestFaultyNetworks:
+    def test_drops_conserve_load(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 6400),
+            scheme="sos",
+            beta=1.6,
+            rounding="randomized-excess",
+            faults=RandomLinkDrop(0.3, np.random.default_rng(3)),
+            seed=1,
+        )
+        net.run(60)
+        assert net.total_load == pytest.approx(6400.0)
+
+    def test_outage_isolates_balanced_region(self):
+        # Cut the only two edges around node 0 on a cycle: its load is stuck.
+        topo = cycle(6)
+        load = point_load(topo, 600, node=0)
+        net = SyncNetwork(
+            topo,
+            load,
+            scheme="fos",
+            rounding="floor",
+            faults=LinkOutage([(0, 1), (5, 0)], start=0, end=None),
+        )
+        net.run(50)
+        assert net.loads()[0] == 600.0
+
+    def test_faulty_network_still_balances_somewhat(self, small_torus):
+        net = SyncNetwork(
+            small_torus,
+            point_load(small_torus, 1000 * small_torus.n),
+            scheme="fos",
+            rounding="randomized-excess",
+            faults=RandomLinkDrop(0.2, np.random.default_rng(9)),
+            seed=2,
+        )
+        net.run(400)
+        loads = net.loads()
+        assert loads.max() - loads.mean() < 0.2 * 1000 * small_torus.n

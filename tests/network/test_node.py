@@ -1,0 +1,122 @@
+"""Unit tests for the node agent."""
+
+import numpy as np
+import pytest
+
+from repro import ProtocolError
+from repro.network import BalancerNode, Hello, LoadAnnounce
+
+
+def _pair(scheme="fos", beta=1.0, rounding="identity", loads=(9.0, 3.0)):
+    """Two connected nodes with completed setup."""
+    a = BalancerNode(0, [1], speed=1.0, load=loads[0], scheme=scheme,
+                     beta=beta, rounding=rounding,
+                     rng=np.random.default_rng(1))
+    b = BalancerNode(1, [0], speed=1.0, load=loads[1], scheme=scheme,
+                     beta=beta, rounding=rounding,
+                     rng=np.random.default_rng(2))
+    for msg in a.hello_messages():
+        b.receive_hello(msg)
+    for msg in b.hello_messages():
+        a.receive_hello(msg)
+    return a, b
+
+
+class TestSetup:
+    def test_hello_carries_speed_and_degree(self):
+        a, b = _pair()
+        assert a.neighbor_speeds[1] == 1.0
+        assert a.neighbor_degrees[1] == 1
+        # alpha = min(1,1)/(max(1,1)+1) = 1/2
+        assert a.alpha[1] == pytest.approx(0.5)
+        assert b.alpha[0] == pytest.approx(0.5)
+
+    def test_hello_from_stranger_rejected(self):
+        a, _ = _pair()
+        with pytest.raises(ProtocolError):
+            a.receive_hello(Hello(sender=7, receiver=0, speed=1.0, degree=2))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ProtocolError):
+            BalancerNode(0, [1], 1.0, 0.0, scheme="third-order")
+        with pytest.raises(ProtocolError):
+            BalancerNode(0, [1], 1.0, 0.0, rounding="round-robin")
+
+
+class TestAnnouncements:
+    def test_announce_normalised_load(self):
+        a, _ = _pair()
+        a.speed = 2.0
+        (msg,) = a.announce()
+        assert msg.normalized_load == pytest.approx(a.load / 2.0)
+        assert msg.round_index == 0
+
+    def test_wrong_round_announce_rejected(self):
+        a, _ = _pair()
+        with pytest.raises(ProtocolError):
+            a.receive_announce(
+                LoadAnnounce(sender=1, receiver=0, round_index=5, normalized_load=1.0)
+            )
+
+    def test_missing_announcement_blocks_transfers(self):
+        a, _ = _pair()
+        with pytest.raises(ProtocolError, match="misses announcements"):
+            a.compute_transfers()
+
+
+class TestFlowDecisions:
+    def test_fos_flow_magnitude(self):
+        a, b = _pair(loads=(9.0, 3.0))
+        for msg in a.announce():
+            b.receive_announce(msg)
+        for msg in b.announce():
+            a.receive_announce(msg)
+        transfers = a.compute_transfers()
+        assert len(transfers) == 1
+        assert transfers[0].amount == pytest.approx((9.0 - 3.0) * 0.5)
+        # b computes the mirrored negative flow and sends nothing.
+        assert b.compute_transfers() == []
+
+    def test_balanced_nodes_send_nothing(self):
+        a, b = _pair(loads=(5.0, 5.0))
+        for msg in a.announce():
+            b.receive_announce(msg)
+        for msg in b.announce():
+            a.receive_announce(msg)
+        assert a.compute_transfers() == []
+        assert b.compute_transfers() == []
+
+    def test_sos_uses_previous_flow(self):
+        beta = 1.5
+        a, b = _pair(scheme="sos", beta=beta, loads=(6.0, 6.0))
+        a.round_index = b.round_index = 1  # past the FOS bootstrap round
+        a.prev_flow[1] = 2.0
+        b.prev_flow[0] = -2.0
+        for msg in a.announce():
+            b.receive_announce(msg)
+        for msg in b.announce():
+            a.receive_announce(msg)
+        transfers = a.compute_transfers()
+        # gradient = 0, so flow = (beta-1) * prev = 1.0
+        assert transfers[0].amount == pytest.approx(1.0)
+
+    def test_transfer_from_stranger_rejected(self):
+        from repro.network import TokenTransfer
+
+        a, _ = _pair()
+        with pytest.raises(ProtocolError):
+            a.receive_transfer(
+                TokenTransfer(sender=9, receiver=0, round_index=0, amount=1.0)
+            )
+
+    def test_send_phase_tracks_transient(self):
+        a, b = _pair(rounding="ceil", loads=(0.4, 0.0))
+        for msg in a.announce():
+            b.receive_announce(msg)
+        for msg in b.announce():
+            a.receive_announce(msg)
+        a.compute_transfers()
+        b.compute_transfers()
+        a.apply_send_phase()
+        # a had 0.4, sent ceil(0.2) = 1 -> transient -0.6.
+        assert a.min_transient == pytest.approx(-0.6)

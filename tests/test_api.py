@@ -1,0 +1,91 @@
+"""Public-API surface tests: exports, exception hierarchy, versioning."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} exported but missing"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.graphs
+        import repro.io
+        import repro.network
+        import repro.viz  # noqa: F401
+
+    def test_key_entry_points_are_callable_or_classes(self):
+        for name in (
+            "torus_2d",
+            "SecondOrderScheme",
+            "LoadBalancingProcess",
+            "Simulator",
+            "beta_opt",
+            "point_load",
+            "RandomizedExcessRounding",
+        ):
+            obj = getattr(repro, name)
+            assert callable(obj), name
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name, obj in vars(exceptions).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                if obj is not exceptions.ReproError:
+                    assert issubclass(obj, exceptions.ReproError), name
+
+    def test_configuration_family(self):
+        for cls in (
+            exceptions.TopologyError,
+            exceptions.SpeedError,
+            exceptions.SchemeError,
+        ):
+            assert issubclass(cls, exceptions.ConfigurationError)
+
+    def test_convergence_is_simulation_error(self):
+        assert issubclass(exceptions.ConvergenceError, exceptions.SimulationError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(exceptions.ReproError):
+            repro.cycle(1)
+        with pytest.raises(exceptions.ReproError):
+            repro.beta_opt(2.0)
+        with pytest.raises(exceptions.ReproError):
+            repro.make_rounding("nope")
+
+
+class TestDocstrings:
+    def test_public_callables_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if callable(getattr(repro, name, None))
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_modules_documented(self):
+        import repro.core.rounding
+        import repro.core.schemes
+        import repro.network.engine
+
+        for mod in (repro, repro.core.rounding, repro.core.schemes,
+                    repro.network.engine):
+            assert (mod.__doc__ or "").strip()

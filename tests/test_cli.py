@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_all_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        assert parser.parse_args(["table1"]).scale == "ci"
+        args = parser.parse_args(["figure", "fig01", "--scale", "tiny"])
+        assert args.name == "fig01" and args.scale == "tiny"
+        args = parser.parse_args(
+            ["simulate", "--graph", "cm", "--scheme", "fos", "--rounds", "7"]
+        )
+        assert args.graph == "cm" and args.rounds == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table1" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "torus-1000" in out
+        assert "1.99208" in out  # paper-scale analytic beta
+
+    def test_figure(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure",
+                "fig08",
+                "--scale",
+                "tiny",
+                "--rounds",
+                "60",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out
+        assert (tmp_path / "fig08.json").exists()
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--graph",
+                "torus-1000",
+                "--scale",
+                "tiny",
+                "--rounds",
+                "80",
+                "--switch-round",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "switched to FOS after round 40" in out
+        assert "max-avg" in out
+
+    def test_simulate_fos_identity(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "hypercube", "--scale", "tiny",
+                "--scheme", "fos", "--rounding", "identity", "--rounds", "30",
+            ]
+        )
+        assert code == 0
+
+    def test_render(self, capsys, tmp_path):
+        code = main(["render", "--out", str(tmp_path / "frames"), "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frames written" in out

@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the paper's headline claims, in miniature.
+
+These run full experiments at small scale and assert the qualitative
+results the paper reports — the cross-module contracts that individual unit
+tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FirstOrderScheme,
+    FixedRoundSwitch,
+    LoadBalancingProcess,
+    LocalDifferenceSwitch,
+    SecondOrderScheme,
+    Simulator,
+    beta_opt,
+    hypercube,
+    hypercube_lambda,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+from repro.analysis import measured_speedup, remaining_imbalance
+
+
+def _run(topo, scheme, rounds, seed=0, policy=None, rounding="randomized-excess"):
+    proc = LoadBalancingProcess(
+        scheme, rounding=rounding, rng=np.random.default_rng(seed)
+    )
+    return Simulator(proc, switch_policy=policy).run(
+        point_load(topo, 1000 * topo.n), rounds
+    )
+
+
+class TestPaperHeadlines:
+    def test_sos_much_faster_than_fos_on_torus(self):
+        """Section VI-A: 'a clear advantage of SOS over FOS' on tori."""
+        topo = torus_2d(20, 20)
+        lam = torus_lambda((20, 20))
+        sos = _run(topo, SecondOrderScheme(topo, beta=beta_opt(lam)), 800)
+        fos = _run(topo, FirstOrderScheme(topo), 800, seed=1)
+        report = measured_speedup(fos, sos, lam, threshold=10.0)
+        assert report.sos_round is not None
+        assert report.measured is None or report.measured > 2.0
+
+    def test_sos_close_to_fos_on_hypercube(self):
+        """Section VI-B: 'negligible difference' on the hypercube."""
+        topo = hypercube(8)
+        lam = hypercube_lambda(8)
+        sos = _run(topo, SecondOrderScheme(topo, beta=beta_opt(lam)), 150)
+        fos = _run(topo, FirstOrderScheme(topo), 150, seed=1)
+        report = measured_speedup(fos, sos, lam, threshold=10.0)
+        assert report.measured is not None
+        assert report.measured < 4.0
+
+    def test_sos_plateaus_then_hybrid_drops(self):
+        """Sections VI-A/VI: the hybrid switch cuts the SOS residual."""
+        topo = torus_2d(20, 20)
+        lam = torus_lambda((20, 20))
+        beta = beta_opt(lam)
+        sos = _run(topo, SecondOrderScheme(topo, beta=beta), 800)
+        hybrid = _run(
+            topo, SecondOrderScheme(topo, beta=beta), 800,
+            policy=FixedRoundSwitch(400),
+        )
+        sos_plateau = remaining_imbalance(sos).mean
+        hybrid_tail = hybrid.series("max_minus_avg")[-50:].mean()
+        assert hybrid_tail < sos_plateau
+        # The drop is meaningful, not noise.
+        assert hybrid_tail <= 0.8 * sos_plateau + 1.0
+
+    def test_local_difference_trigger_matches_fixed_switch(self):
+        """The paper's distributed-friendly switch criterion works as well
+        as a hand-tuned fixed round."""
+        topo = torus_2d(20, 20)
+        beta = beta_opt(torus_lambda((20, 20)))
+        fixed = _run(
+            topo, SecondOrderScheme(topo, beta=beta), 800,
+            policy=FixedRoundSwitch(400),
+        )
+        local = _run(
+            topo, SecondOrderScheme(topo, beta=beta), 800,
+            policy=LocalDifferenceSwitch(threshold=10.0),
+        )
+        assert local.switched_at is not None
+        fixed_tail = fixed.series("max_minus_avg")[-50:].mean()
+        local_tail = local.series("max_minus_avg")[-50:].mean()
+        assert local_tail <= fixed_tail + 3.0
+
+    def test_residual_independent_of_initial_load(self):
+        """Figure 2's observation at small scale."""
+        topo = torus_2d(16, 16)
+        beta = beta_opt(torus_lambda((16, 16)))
+        plateaus = []
+        for avg in (10, 1000):
+            proc = LoadBalancingProcess(
+                SecondOrderScheme(topo, beta=beta),
+                rounding="randomized-excess",
+                rng=np.random.default_rng(0),
+            )
+            result = Simulator(proc).run(point_load(topo, avg * topo.n), 400)
+            plateaus.append(remaining_imbalance(result).mean)
+        assert abs(plateaus[0] - plateaus[1]) < 10.0
+
+    def test_idealized_sos_balances_perfectly(self):
+        """Figure 6: the continuous scheme balances to float precision."""
+        topo = torus_2d(16, 16)
+        beta = beta_opt(torus_lambda((16, 16)))
+        result = _run(
+            topo, SecondOrderScheme(topo, beta=beta), 600, rounding="identity"
+        )
+        assert result.records[-1].max_minus_avg < 1e-6
+        drift = abs(result.records[-1].total_load - result.records[0].total_load)
+        assert drift < 1e-6
+
+    def test_discontinuities_at_wavefront_collision(self):
+        """Figure 1/9: the torus metrics jump when the wavefronts collide.
+
+        The point load spreads from node 0 in all four directions; the
+        max local difference spikes when the fronts meet.  We check the
+        max-minus-avg series is not monotone after the initial decay —
+        i.e. discontinuities exist.
+        """
+        topo = torus_2d(24, 24)
+        beta = beta_opt(torus_lambda((24, 24)))
+        result = _run(topo, SecondOrderScheme(topo, beta=beta), 300)
+        series = result.series("max_minus_avg")
+        # Strictly increasing steps (bumps) somewhere after round 5.
+        diffs = np.diff(series[5:])
+        assert (diffs > 0).any()
+
+    def test_full_pipeline_with_heterogeneous_speeds(self):
+        """Speeds + SOS + randomized rounding + hybrid, end to end."""
+        from repro import second_largest_eigenvalue, target_loads, two_class_speeds
+
+        topo = torus_2d(12, 12)
+        rng = np.random.default_rng(3)
+        speeds = two_class_speeds(topo.n, 0.25, 4.0, rng=rng)
+        lam = second_largest_eigenvalue(topo, speeds)
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta_opt(lam), speeds=speeds),
+            rounding="randomized-excess",
+            rng=rng,
+        )
+        load = point_load(topo, 1000 * topo.n)
+        targets = target_loads(float(load.sum()), speeds)
+        result = Simulator(
+            proc,
+            switch_policy=LocalDifferenceSwitch(threshold=12.0),
+            targets=targets,
+        ).run(load, 600)
+        final = result.final_state.load
+        assert np.abs(final - targets).max() < 40.0
+        assert result.records[-1].total_load == pytest.approx(load.sum())

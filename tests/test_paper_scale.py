@@ -1,0 +1,60 @@
+"""Paper-scale instance construction: the original Table I sizes build fine.
+
+The evaluation benches default to CI-scale instances, but nothing in the
+library caps the size: these tests construct the paper's million-node
+graphs (torus 1000x1000, hypercube 2^20) and run a few balancing rounds on
+them, confirming paper-scale experiments are a matter of runtime, not
+capability.  Kept to a handful of rounds so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    beta_opt,
+    hypercube,
+    hypercube_lambda,
+    point_load,
+    torus_2d,
+    torus_lambda,
+)
+
+
+class TestPaperScaleTorus:
+    def test_build_and_step_million_node_torus(self):
+        topo = torus_2d(1000, 1000)
+        assert topo.n == 10**6
+        assert topo.m_edges == 2 * 10**6
+        assert topo.min_degree == topo.max_degree == 4
+
+        beta = beta_opt(torus_lambda((1000, 1000)))
+        assert beta == pytest.approx(1.9920836447, abs=5e-7)  # Table I
+
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        state = proc.run(point_load(topo, 1000 * topo.n), rounds=3)
+        assert state.total_load == 1000 * topo.n
+        assert np.allclose(state.load, np.round(state.load))
+
+
+class TestPaperScaleHypercube:
+    def test_build_and_step_2_pow_20_hypercube(self):
+        topo = hypercube(20)
+        assert topo.n == 2**20
+        assert topo.min_degree == topo.max_degree == 20
+
+        beta = beta_opt(hypercube_lambda(20))
+        assert beta == pytest.approx(1.4026054847, abs=5e-9)  # Table I
+
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        state = proc.run(point_load(topo, 10 * topo.n), rounds=2)
+        assert state.total_load == 10 * topo.n

@@ -1,0 +1,172 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These nail the library's global invariants on randomly generated graphs,
+speed vectors, loads and parameters:
+
+* load conservation for every scheme x rounding,
+* integrality of discrete loads,
+* Lemma 2 as an exact identity on random instances,
+* diffusion matrix structure for random heterogeneous networks,
+* convergence of the continuous schemes to the speed-proportional target.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    SecondOrderScheme,
+    Topology,
+    check_diffusion_matrix,
+    contribution_matrices,
+    diffusion_matrix,
+    lemma2_rhs,
+    run_paired,
+    target_loads,
+)
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graph(draw, min_nodes=4, max_nodes=14):
+    """Random connected graph: random spanning tree + random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    edges = set()
+    order = rng.permutation(n)
+    for i in range(1, n):
+        a, b = int(order[i]), int(order[rng.integers(0, i)])
+        edges.add((min(a, b), max(a, b)))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    return Topology(n, sorted(edges))
+
+
+@st.composite
+def scheme_config(draw):
+    """(topology, speeds, scheme, rounding) tuple."""
+    topo = draw(connected_graph())
+    hetero = draw(st.booleans())
+    if hetero:
+        seed = draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        speeds = 1.0 + rng.integers(0, 4, topo.n).astype(float)
+    else:
+        speeds = np.ones(topo.n)
+    kind = draw(st.sampled_from(["fos", "sos"]))
+    beta = draw(st.floats(1.05, 1.9)) if kind == "sos" else None
+    rounding = draw(
+        st.sampled_from(
+            ["identity", "floor", "nearest", "ceil", "unbiased-edge",
+             "randomized-excess"]
+        )
+    )
+    if kind == "fos":
+        scheme = FirstOrderScheme(topo, speeds=speeds)
+    else:
+        scheme = SecondOrderScheme(topo, beta=beta, speeds=speeds)
+    return topo, speeds, scheme, rounding
+
+
+@settings(**SETTINGS)
+@given(config=scheme_config(), seed=st.integers(0, 2**31), total=st.integers(0, 5000))
+def test_property_load_conservation(config, seed, total):
+    """Total load is conserved exactly by every scheme x rounding combo."""
+    topo, _, scheme, rounding = config
+    rng = np.random.default_rng(seed)
+    load = np.bincount(
+        rng.integers(0, topo.n, size=total), minlength=topo.n
+    ).astype(float)
+    proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+    state = proc.run(load, rounds=8)
+    assert state.total_load == pytest.approx(float(total), abs=1e-6)
+
+
+@settings(**SETTINGS)
+@given(config=scheme_config(), seed=st.integers(0, 2**31))
+def test_property_discrete_loads_integral(config, seed):
+    """Discrete roundings keep every node's load integral forever."""
+    topo, _, scheme, rounding = config
+    if rounding == "identity":
+        return
+    rng = np.random.default_rng(seed)
+    load = np.bincount(
+        rng.integers(0, topo.n, size=300), minlength=topo.n
+    ).astype(float)
+    proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+    state = proc.run(load, rounds=10)
+    assert np.allclose(state.load, np.round(state.load))
+
+
+@settings(**SETTINGS)
+@given(config=scheme_config(), seed=st.integers(0, 2**31))
+def test_property_lemma2_identity(config, seed):
+    """Lemma 2 holds exactly on random graphs/speeds/schemes/roundings."""
+    topo, _, scheme, rounding = config
+    rng = np.random.default_rng(seed)
+    load = np.bincount(
+        rng.integers(0, topo.n, size=500), minlength=topo.n
+    ).astype(float)
+    proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+    rounds = 7
+    paired = run_paired(proc, load, rounds=rounds)
+    mats = contribution_matrices(scheme, rounds)
+    lhs = paired.deviation(rounds)
+    rhs = lemma2_rhs(topo, mats, paired.errors, rounds)
+    assert np.abs(lhs - rhs).max() < 1e-8
+
+
+@settings(**SETTINGS)
+@given(graph=connected_graph(), seed=st.integers(0, 2**31))
+def test_property_diffusion_matrix_structure(graph, seed):
+    """M is column-stochastic with non-negative entries and fixes speeds."""
+    rng = np.random.default_rng(seed)
+    speeds = 1.0 + 7.0 * rng.random(graph.n)
+    m = diffusion_matrix(graph, speeds)
+    ok, msg = check_diffusion_matrix(m, speeds)
+    assert ok, msg
+
+
+@settings(**SETTINGS)
+@given(graph=connected_graph(max_nodes=10), seed=st.integers(0, 2**31))
+def test_property_continuous_fos_converges_to_target(graph, seed):
+    """Continuous FOS converges to the speed-proportional target vector."""
+    rng = np.random.default_rng(seed)
+    speeds = 1.0 + rng.integers(0, 3, graph.n).astype(float)
+    load = np.bincount(
+        rng.integers(0, graph.n, size=1000), minlength=graph.n
+    ).astype(float)
+    proc = LoadBalancingProcess(FirstOrderScheme(graph, speeds=speeds))
+    state = proc.run(load, rounds=4000)
+    targets = target_loads(1000.0, speeds)
+    assert np.abs(state.load - targets).max() < 0.5
+
+
+@settings(**SETTINGS)
+@given(config=scheme_config(), seed=st.integers(0, 2**31))
+def test_property_flows_respect_rounding_error_bound(config, seed):
+    """Per-round rounding error never reaches a full token under-send."""
+    topo, _, scheme, rounding = config
+    if rounding == "identity":
+        return
+    rng = np.random.default_rng(seed)
+    load = np.bincount(
+        rng.integers(0, topo.n, size=400), minlength=topo.n
+    ).astype(float)
+    proc = LoadBalancingProcess(scheme, rounding=rounding, rng=rng)
+    state = proc.initial_state(load)
+    for _ in range(6):
+        state, info = proc.step(state)
+        signed = info.errors * np.sign(info.scheduled)
+        assert signed.max(initial=0.0) < 1.0 + 1e-9

@@ -1,0 +1,50 @@
+"""Tests for terminal visualisations."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.viz import ascii_heatmap, sparkline
+
+
+class TestHeatmap:
+    def test_balanced_grid_is_blank(self):
+        art = ascii_heatmap(np.full(16, 3.0), (4, 4))
+        assert set(art) <= {" ", "\n"}
+
+    def test_hotspot_is_darkest(self):
+        load = np.zeros(16)
+        load[0] = 100.0
+        art = ascii_heatmap(load, (4, 4))
+        assert "@" in art
+
+    def test_downsampling_caps_width(self):
+        load = np.zeros(200 * 200)
+        art = ascii_heatmap(load, (200, 200), width=40)
+        lines = art.split("\n")
+        assert max(len(l) for l in lines) <= 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_heatmap(np.ones(5), (2, 3))
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4, 5])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_downsamples_long_series(self):
+        s = sparkline(np.arange(1000), width=50)
+        assert len(s) <= 50
+
+    def test_log_scale(self):
+        s = sparkline([1, 10, 100, 1000], log=True)
+        assert s[0] == "▁" and s[-1] == "█"

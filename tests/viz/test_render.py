@@ -1,0 +1,61 @@
+"""Tests for the PGM renderer (Figures 9-11)."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.viz import load_to_grayscale, render_frames, write_pgm
+
+
+class TestGrayscale:
+    def test_balanced_load_is_white(self):
+        img = load_to_grayscale(np.full(12, 5.0), (3, 4))
+        assert img.shape == (3, 4)
+        assert np.all(img == 255)
+
+    def test_adaptive_extreme_is_black(self):
+        load = np.zeros(16)
+        load[0] = 16.0
+        img = load_to_grayscale(load, (4, 4), mode="adaptive")
+        assert img.reshape(-1)[0] == 0  # furthest from average
+        assert img.dtype == np.uint8
+
+    def test_threshold_mode_clips(self):
+        avg = 10.0
+        load = np.full(9, avg)
+        load[0] = avg + 50.0  # way past the threshold
+        load[1] = avg + 5.0   # halfway
+        img = load_to_grayscale(load, (3, 3), mode="threshold", threshold=10.0,
+                                average=avg)
+        flat = img.reshape(-1)
+        assert flat[0] == 0
+        assert flat[1] == round(255 * 0.5)
+        assert flat[2] == 255
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            load_to_grayscale(np.ones(5), (2, 3))
+        with pytest.raises(ConfigurationError):
+            load_to_grayscale(np.ones(6), (2, 3), mode="psychedelic")
+        with pytest.raises(ConfigurationError):
+            load_to_grayscale(np.ones(6), (2, 3), mode="threshold", threshold=0)
+
+
+class TestPgm:
+    def test_write_and_parse_header(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = write_pgm(str(tmp_path / "x.pgm"), img)
+        data = open(path, "rb").read()
+        assert data.startswith(b"P5\n4 3\n255\n")
+        assert data[len(b"P5\n4 3\n255\n"):] == img.tobytes()
+
+    def test_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_pgm(str(tmp_path / "x.pgm"), np.ones((2, 2)))  # float
+
+    def test_render_frames(self, tmp_path):
+        loads = [np.random.default_rng(i).random(16) for i in range(3)]
+        paths = render_frames(loads, (4, 4), str(tmp_path / "frames"))
+        assert len(paths) == 3
+        for p in paths:
+            assert open(p, "rb").read(2) == b"P5"

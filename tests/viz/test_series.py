@@ -1,0 +1,50 @@
+"""Tests for the CSV series exporter."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FirstOrderScheme,
+    LoadBalancingProcess,
+    Simulator,
+    cycle,
+    point_load,
+)
+from repro.viz import RESULT_COLUMNS, result_to_csv, write_csv
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(
+            str(tmp_path / "a.csv"), {"x": [1, 2], "y": [3.5, 4.5]}
+        )
+        rows = list(csv.DictReader(open(path)))
+        assert rows[0] == {"x": "1", "y": "3.5"}
+        assert len(rows) == 2
+
+    def test_rejects_ragged_columns(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(str(tmp_path / "a.csv"), {"x": [1], "y": [1, 2]})
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(str(tmp_path / "a.csv"), {})
+
+
+class TestResultToCsv:
+    def test_exports_all_metric_columns(self, tmp_path):
+        topo = cycle(8)
+        proc = LoadBalancingProcess(
+            FirstOrderScheme(topo),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        result = Simulator(proc).run(point_load(topo, 80), rounds=10)
+        path = result_to_csv(result, str(tmp_path / "run.csv"))
+        rows = list(csv.DictReader(open(path)))
+        assert len(rows) == 11
+        assert set(rows[0]) == set(RESULT_COLUMNS)
+        assert float(rows[0]["total_load"]) == 80.0
