@@ -1,10 +1,25 @@
-"""Engine comparison: vectorised matrix engine vs message-passing substrate.
+"""Engine comparison and batched-replica ensemble throughput.
 
-Both implement the identical protocol (the equivalence tests prove trace
-equality); this bench quantifies the abstraction cost of the per-node
-message-passing implementation and re-checks agreement on the fly.
+Three things are measured and archived:
+
+* **parity** — the reference (matrix), batched, and message-passing engines
+  produce identical traces for a deterministic rounding, and the vectorised
+  engines quantify the abstraction cost of the per-node implementation;
+* **replicas/sec** — ensemble throughput of the batched engine for
+  B in {1, 16, 128} replicas, in float64 (bit-exact mode) and float32 (the
+  ensemble-throughput mode), against sequential ``Simulator.run`` calls;
+* **the headline speedup** — a B=128 ensemble on the 32x32 torus must beat
+  128 sequential ``Simulator.run`` calls by >= 10x (float32 ensemble mode,
+  deterministic nearest rounding, sparse recording).  The float64 numbers
+  are reported alongside so the precision trade-off stays visible.
+
+The sequential baselines for the asserted configuration are measured in
+full; the slower randomized-rounding baselines are measured over
+min(B, 16) replicas and scaled linearly (per-replica cost is constant),
+flagged as such in the archived record.
 """
 
+import os
 import time
 
 import numpy as np
@@ -12,61 +27,207 @@ import numpy as np
 from repro import (
     LoadBalancingProcess,
     SecondOrderScheme,
+    Simulator,
+    beta_opt,
     point_load,
     torus_2d,
+    torus_lambda,
 )
+from repro.engines import EngineConfig, make_engine
 from repro.experiments import format_table
 from repro.io import ExperimentRecord
 from repro.network import SyncNetwork
 
 from _helpers import run_once
 
-SIDE = 16
-ROUNDS = 60
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+PARITY_SIDE = {"tiny": 8, "ci": 16, "paper": 16}[SCALE]
+PARITY_ROUNDS = {"tiny": 20, "ci": 60, "paper": 60}[SCALE]
+
+ENSEMBLE_SIDE = {"tiny": 12, "ci": 32, "paper": 32}[SCALE]
+ENSEMBLE_ROUNDS = {"tiny": 40, "ci": 300, "paper": 600}[SCALE]
+BATCH_SIZES = {"tiny": (1, 4, 16), "ci": (1, 16, 128), "paper": (1, 16, 128)}[SCALE]
+RECORD_EVERY = 10
+#: max replicas actually run for the slow sequential baselines; beyond this
+#: the baseline is extrapolated linearly (and marked in the record).
+SEQ_MEASURE_CAP = 16
 
 
-def _run_both():
-    topo = torus_2d(SIDE, SIDE)
+def _sequential_seconds(topo, beta, rounding, rounds, n_replicas):
+    """Wall time of ``n_replicas`` sequential Simulator.run calls.
+
+    Returns ``(seconds, measured_replicas)`` — replicas beyond
+    ``SEQ_MEASURE_CAP`` are extrapolated from the measured prefix, except
+    for the cheap deterministic roundings which are measured in full.
+    """
+    measure = n_replicas if rounding in ("nearest", "identity", "floor") else min(
+        n_replicas, SEQ_MEASURE_CAP
+    )
     load = point_load(topo, 1000 * topo.n)
+    t0 = time.perf_counter()
+    for b in range(measure):
+        process = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=beta),
+            rounding=rounding,
+            rng=np.random.default_rng(b),
+        )
+        Simulator(process, record_every=RECORD_EVERY).run(load, rounds)
+    elapsed = time.perf_counter() - t0
+    return elapsed * (n_replicas / measure), measure
+
+
+def _batched_seconds(topo, beta, rounding, rounds, n_replicas, precision):
+    loads = np.tile(point_load(topo, 1000 * topo.n), (n_replicas, 1))
+    config = EngineConfig(
+        scheme="sos",
+        beta=beta,
+        rounding=rounding,
+        rounds=rounds,
+        record_every=RECORD_EVERY,
+        seed=0,
+        precision=precision,
+    )
+    engine = make_engine("batched")
+    t0 = time.perf_counter()
+    results = engine.run(topo, config, loads)
+    elapsed = time.perf_counter() - t0
+    assert len(results) == n_replicas
+    # ensemble sanity: conservation holds in every replica
+    total = 1000.0 * topo.n
+    for result in results:
+        assert abs(result.final_state.load.sum() - total) <= 1e-4 * total
+    return elapsed
+
+
+# ----------------------------------------------------------------------
+def _run_parity():
+    topo = torus_2d(PARITY_SIDE, PARITY_SIDE)
+    load = point_load(topo, 1000 * topo.n)
+    config = EngineConfig(
+        scheme="sos", beta=1.7, rounding="nearest", rounds=PARITY_ROUNDS, seed=0
+    )
 
     t0 = time.perf_counter()
-    proc = LoadBalancingProcess(
-        SecondOrderScheme(topo, beta=1.7), rounding="nearest"
-    )
-    state = proc.run(load, ROUNDS)
+    proc = LoadBalancingProcess(SecondOrderScheme(topo, beta=1.7), rounding="nearest")
+    state = proc.run(load, PARITY_ROUNDS)
     t_matrix = time.perf_counter() - t0
 
     t0 = time.perf_counter()
+    batched = make_engine("batched").run(topo, config, load)[0]
+    t_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
     net = SyncNetwork(topo, load, scheme="sos", beta=1.7, rounding="nearest")
-    net.run(ROUNDS)
+    net.run(PARITY_ROUNDS)
     t_network = time.perf_counter() - t0
 
-    agree = bool(np.array_equal(net.loads(), state.load))
     return {
         "matrix_seconds": t_matrix,
+        "batched_seconds": t_batched,
         "message_passing_seconds": t_network,
-        "slowdown": t_network / max(t_matrix, 1e-12),
-        "traces_agree": agree,
+        "message_passing_slowdown": t_network / max(t_matrix, 1e-12),
+        "traces_agree": bool(
+            np.array_equal(net.loads(), state.load)
+            and np.array_equal(batched.final_state.load, state.load)
+        ),
         "n": topo.n,
-        "rounds": ROUNDS,
+        "rounds": PARITY_ROUNDS,
     }
 
 
-def test_engines(benchmark, archive):
-    s = run_once(benchmark, _run_both)
+def test_engine_parity(benchmark, archive):
+    s = run_once(benchmark, _run_parity)
     archive(ExperimentRecord(name="engines", summary=s))
-
     print()
     print(
         format_table(
             ["engine", "seconds"],
             [
-                ["matrix (vectorised)", s["matrix_seconds"]],
+                ["matrix (reference)", s["matrix_seconds"]],
+                ["batched (B=1)", s["batched_seconds"]],
                 ["message passing", s["message_passing_seconds"]],
             ],
-            title=f"engine comparison ({s['n']} nodes x {s['rounds']} rounds, "
-                  f"slowdown {s['slowdown']:.0f}x)",
+            title=f"engine parity ({s['n']} nodes x {s['rounds']} rounds, "
+            f"message passing {s['message_passing_slowdown']:.0f}x slower)",
         )
     )
     assert s["traces_agree"]
     assert s["matrix_seconds"] < s["message_passing_seconds"]
+
+
+# ----------------------------------------------------------------------
+def _run_throughput():
+    topo = torus_2d(ENSEMBLE_SIDE, ENSEMBLE_SIDE)
+    beta = beta_opt(torus_lambda((ENSEMBLE_SIDE, ENSEMBLE_SIDE)))
+    rounds = ENSEMBLE_ROUNDS
+    summary = {
+        "n": topo.n,
+        "rounds": rounds,
+        "record_every": RECORD_EVERY,
+        "beta": beta,
+        "batch_sizes": list(BATCH_SIZES),
+        "seq_measure_cap": SEQ_MEASURE_CAP,
+    }
+    rows = []
+    seq_cache = {}  # the sequential baseline is float64-only: one per rounding
+    for rounding, precision in (
+        ("nearest", "float32"),
+        ("nearest", "float64"),
+        ("randomized-excess", "float64"),
+    ):
+        if rounding not in seq_cache:
+            seq_cache[rounding] = _sequential_seconds(
+                topo, beta, rounding, rounds, max(BATCH_SIZES)
+            )
+        seq_seconds, seq_measured = seq_cache[rounding]
+        for n_replicas in BATCH_SIZES:
+            bat_seconds = _batched_seconds(
+                topo, beta, rounding, rounds, n_replicas, precision
+            )
+            seq_b = seq_seconds * n_replicas / max(BATCH_SIZES)
+            key = f"{rounding}_{precision}_B{n_replicas}"
+            summary[f"{key}_replicas_per_sec"] = n_replicas / bat_seconds
+            summary[f"{key}_speedup_vs_sequential"] = seq_b / bat_seconds
+            rows.append(
+                [
+                    rounding,
+                    precision,
+                    n_replicas,
+                    f"{n_replicas / bat_seconds:.1f}",
+                    f"{seq_b / bat_seconds:.1f}x",
+                    "full" if seq_measured == max(BATCH_SIZES) else
+                    f"extrapolated from {seq_measured}",
+                ]
+            )
+    summary["headline_speedup"] = summary[
+        f"nearest_float32_B{max(BATCH_SIZES)}_speedup_vs_sequential"
+    ]
+    summary["float64_speedup"] = summary[
+        f"nearest_float64_B{max(BATCH_SIZES)}_speedup_vs_sequential"
+    ]
+    summary["rows"] = rows
+    return summary
+
+
+def test_batched_replica_throughput(benchmark, archive):
+    s = run_once(benchmark, _run_throughput)
+    rows = s.pop("rows")
+    archive(ExperimentRecord(name="engine_throughput", summary=s))
+    print()
+    print(
+        format_table(
+            ["rounding", "precision", "B", "replicas/sec", "speedup", "baseline"],
+            rows,
+            title=(
+                f"batched ensemble throughput ({s['n']} nodes x {s['rounds']} "
+                f"rounds, record_every={s['record_every']})"
+            ),
+        )
+    )
+    if SCALE != "tiny":
+        # Acceptance: B=128 on the 32x32 torus beats 128 sequential
+        # Simulator.run calls by >= 10x (float32 ensemble mode).
+        assert s["headline_speedup"] >= 10.0, s["headline_speedup"]
+        # and the bit-exact float64 mode must still win clearly
+        assert s["float64_speedup"] >= 2.0, s["float64_speedup"]

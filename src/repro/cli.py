@@ -18,21 +18,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from .core import (
-    FirstOrderScheme,
-    FixedRoundSwitch,
-    LoadBalancingProcess,
-    SecondOrderScheme,
-    Simulator,
-    point_load,
-)
+from .core import point_load
+from .engines import ENGINES, make_engine
 from .experiments import (
     build_graph,
+    engine_config,
     format_record,
     format_table,
     list_experiments,
+    replica_ensemble,
     reproduce_table1,
     run_experiment,
 )
@@ -62,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--rounds", type=int, default=None)
     p_fig.add_argument("--output-dir", default=None)
+    p_fig.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(ENGINES),
+        help="execution backend for the driver's simulations",
+    )
 
     p_sim = sub.add_parser("simulate", help="run a free-form simulation")
     p_sim.add_argument(
@@ -87,6 +87,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--avg-load", type=int, default=1000)
     p_sim.add_argument("--switch-round", type=int, default=None)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--engine",
+        default="reference",
+        choices=sorted(ENGINES),
+        help="execution backend (batched runs all replicas per numpy step)",
+    )
+    p_sim.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent replicas; >1 runs an ensemble and reports statistics",
+    )
+    p_sim.add_argument(
+        "--record-every",
+        type=int,
+        default=1,
+        help="record metrics every this many rounds",
+    )
+    p_sim.add_argument(
+        "--precision",
+        default="float64",
+        choices=["float64", "float32"],
+        help="float32 is the batched engine's ensemble-throughput mode",
+    )
 
     p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
     p_render.add_argument("--out", required=True, help="output directory")
@@ -123,7 +147,9 @@ def _cmd_figure(args) -> int:
     kwargs = {"scale": args.scale, "seed": args.seed}
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
-    record = run_experiment(args.name, output_dir=args.output_dir, **kwargs)
+    record = run_experiment(
+        args.name, output_dir=args.output_dir, engine=args.engine, **kwargs
+    )
     print(format_record(record))
     for key in ("sos_max_minus_avg", "max_minus_avg"):
         if key in record.series:
@@ -135,25 +161,39 @@ def _cmd_figure(args) -> int:
 
 def _cmd_simulate(args) -> int:
     built = build_graph(args.graph, scale=args.scale, seed=args.seed)
-    if args.scheme == "sos":
-        scheme = SecondOrderScheme(built.topo, beta=built.beta)
-    else:
-        scheme = FirstOrderScheme(built.topo)
-    process = LoadBalancingProcess(
-        scheme, rounding=args.rounding, rng=np.random.default_rng(args.seed)
+    config = engine_config(
+        built,
+        scheme=args.scheme,
+        rounding=args.rounding,
+        rounds=args.rounds,
+        record_every=args.record_every,
+        seed=args.seed,
+        switch_round=args.switch_round,
+        precision=args.precision,
     )
-    policy = (
-        FixedRoundSwitch(args.switch_round) if args.switch_round is not None else None
-    )
-    sim = Simulator(process, switch_policy=policy)
-    result = sim.run(point_load(built.topo, args.avg_load * built.topo.n), args.rounds)
-    final = result.records[-1]
     print(
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "
-        f"beta={built.beta:.6f} scheme={args.scheme} rounding={args.rounding}"
+        f"beta={built.beta:.6f} scheme={args.scheme} rounding={args.rounding} "
+        f"engine={args.engine} replicas={args.replicas}"
     )
+    if args.replicas > 1:
+        ensemble = replica_ensemble(
+            built.topo,
+            config,
+            n_replicas=args.replicas,
+            average_load=args.avg_load,
+            engine=args.engine,
+        )
+        for key in sorted(ensemble.stats):
+            print(f"  {key} = {ensemble.stats[key]:.4g}")
+        result = ensemble.results[0]
+    else:
+        initial = point_load(built.topo, args.avg_load * built.topo.n)
+        result = make_engine(args.engine).run(built.topo, config, initial)[0]
+    final = result.records[-1]
     print(
-        f"after {final.round_index} rounds: max-avg={final.max_minus_avg:.2f} "
+        f"after {final.round_index} rounds (replica 0): "
+        f"max-avg={final.max_minus_avg:.2f} "
         f"local-diff={final.max_local_diff:.2f} "
         f"potential/n={final.potential_per_node:.4g} "
         f"min-transient={result.min_transient_overall:.1f}"

@@ -67,6 +67,7 @@ from .rounding import (
     make_rounding,
 )
 from .process import LoadBalancingProcess, StepInfo
+from .records import RECORD_FIELDS, RecordTable
 from .hybrid import (
     FixedRoundSwitch,
     LocalDifferenceSwitch,
@@ -74,7 +75,7 @@ from .hybrid import (
     PotentialPlateauSwitch,
     SwitchPolicy,
 )
-from .simulator import RoundRecord, SimulationResult, Simulator
+from .simulator import RoundRecord, SimulationResult, SimulationRun, Simulator
 from .metrics import (
     discrepancy,
     initial_discrepancy_K,
@@ -178,8 +179,11 @@ __all__ = [
     # process / simulator
     "LoadBalancingProcess",
     "StepInfo",
+    "RECORD_FIELDS",
+    "RecordTable",
     "RoundRecord",
     "SimulationResult",
+    "SimulationRun",
     "Simulator",
     # hybrid
     "FixedRoundSwitch",

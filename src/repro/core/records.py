@@ -1,0 +1,166 @@
+"""Columnar storage for per-round metric records.
+
+:class:`RecordTable` replaces the per-round list of
+:class:`~repro.core.simulator.RoundRecord` objects with preallocated numpy
+columns — one array per Section VI metric — so that
+
+* recording a round is a handful of scalar stores instead of an object
+  allocation,
+* :meth:`~repro.core.simulator.SimulationResult.series` returns a zero-copy
+  view instead of rebuilding a Python list per call, and
+* batched engines (:mod:`repro.engines`) can write whole ``(rounds, B)``
+  metric blocks and slice per-replica tables out without touching Python
+  objects.
+
+The canonical field set (:data:`RECORD_FIELDS`) is shared with the CSV
+exporter in :mod:`repro.viz.series` and the JSON archiver in
+:mod:`repro.io.results`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RECORD_FIELDS", "FLOAT_FIELDS", "RecordTable"]
+
+#: Every column of a record table, in canonical export order.
+RECORD_FIELDS = (
+    "round_index",
+    "scheme",
+    "max_minus_avg",
+    "min_minus_avg",
+    "max_local_diff",
+    "potential_per_node",
+    "min_load",
+    "min_transient",
+    "total_load",
+    "round_traffic",
+)
+
+#: The float64 metric columns (everything except round index and scheme).
+FLOAT_FIELDS = tuple(f for f in RECORD_FIELDS if f not in ("round_index", "scheme"))
+
+_SCHEME_DTYPE = "<U32"
+
+
+class RecordTable:
+    """Preallocated columnar table of per-round records.
+
+    Parameters
+    ----------
+    capacity:
+        Number of rows to preallocate.  The table grows automatically when
+        more rows are appended, but sizing it correctly up front
+        (``rounds // record_every + 2``) avoids reallocation entirely.
+    """
+
+    __slots__ = ("_capacity", "_size", "_round_index", "_scheme", "_floats")
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._size = 0
+        self._round_index = np.empty(self._capacity, dtype=np.int64)
+        self._scheme = np.empty(self._capacity, dtype=_SCHEME_DTYPE)
+        self._floats: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=np.float64) for name in FLOAT_FIELDS
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        self._round_index = np.resize(self._round_index, self._capacity)
+        self._scheme = np.resize(self._scheme, self._capacity)
+        for name, col in self._floats.items():
+            self._floats[name] = np.resize(col, self._capacity)
+
+    def append(self, round_index: int, scheme: str, **values: float) -> None:
+        """Append one row; ``values`` must cover every float field."""
+        i = self._size
+        if i == self._capacity:
+            self._grow()
+        self._round_index[i] = round_index
+        self._scheme[i] = scheme
+        floats = self._floats
+        for name in FLOAT_FIELDS:
+            floats[name][i] = values[name]
+        self._size = i + 1
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one column, trimmed to the filled rows."""
+        if name == "round_index":
+            out = self._round_index[: self._size]
+        elif name == "scheme":
+            out = self._scheme[: self._size]
+        else:
+            try:
+                out = self._floats[name][: self._size]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown record field {name!r}; known: {RECORD_FIELDS}"
+                ) from None
+        out = out.view()
+        out.setflags(write=False)
+        return out
+
+    def row(self, index: int) -> Dict[str, object]:
+        """One row as a plain field -> value dict."""
+        if not -self._size <= index < self._size:
+            raise IndexError(f"row {index} out of range for table of {self._size}")
+        if index < 0:
+            index += self._size
+        row: Dict[str, object] = {
+            "round_index": int(self._round_index[index]),
+            "scheme": str(self._scheme[index]),
+        }
+        for name in FLOAT_FIELDS:
+            row[name] = float(self._floats[name][index])
+        return row
+
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """All columns (trimmed views) keyed by field name, export order."""
+        return {name: self.column(name) for name in RECORD_FIELDS}
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        for i in range(self._size):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        round_index: np.ndarray,
+        scheme: np.ndarray,
+        floats: Dict[str, np.ndarray],
+    ) -> "RecordTable":
+        """Build a table directly from complete column arrays.
+
+        Used by the batched engine, which computes whole metric columns at
+        once instead of appending row by row.
+        """
+        round_index = np.asarray(round_index, dtype=np.int64)
+        size = round_index.shape[0]
+        missing = set(FLOAT_FIELDS) - set(floats)
+        if missing:
+            raise ConfigurationError(f"missing record columns: {sorted(missing)}")
+        table = cls(capacity=max(size, 1))
+        table._round_index[:size] = round_index
+        table._scheme[:size] = np.asarray(scheme, dtype=_SCHEME_DTYPE)
+        for name in FLOAT_FIELDS:
+            col = np.asarray(floats[name], dtype=np.float64)
+            if col.shape != (size,):
+                raise ConfigurationError(
+                    f"column {name!r} has shape {col.shape}, expected ({size},)"
+                )
+            table._floats[name][:size] = col
+        table._size = size
+        return table

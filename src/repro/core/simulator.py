@@ -3,22 +3,29 @@
 :class:`Simulator` wraps a :class:`~repro.core.process.LoadBalancingProcess`
 and runs it for a number of rounds while
 
-* recording the paper's Section VI metrics each round (:class:`RoundRecord`),
+* recording the paper's Section VI metrics each round into a columnar
+  :class:`~repro.core.records.RecordTable`,
 * tracking the minimum transient load (negative-load analysis, Section V),
 * applying an optional :class:`~repro.core.hybrid.SwitchPolicy` that swaps a
   second order scheme for its first order counterpart mid-run (the paper's
   hybrid strategy), and
 * supporting early stopping on convergence predicates.
 
-The result object (:class:`SimulationResult`) carries the full metric time
-series as plain numpy arrays ready for the benchmark harness and the series
-exporters in :mod:`repro.viz.series`.
+The driver is split into an incremental core (:meth:`Simulator.start`,
+:meth:`Simulator.advance`, :meth:`Simulator.finish`) so that engine adapters
+(:mod:`repro.engines`) can step replicas round by round through *exactly* the
+same code path :meth:`Simulator.run` uses — equivalence by construction, not
+by parallel maintenance.
+
+The result object (:class:`SimulationResult`) exposes the metric time series
+as zero-copy numpy views of the record table, ready for the benchmark
+harness and the series exporters in :mod:`repro.viz.series`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -33,10 +40,11 @@ from .metrics import (
     target_loads,
 )
 from .process import LoadBalancingProcess
+from .records import RecordTable
 from .schemes import FirstOrderScheme, SecondOrderScheme
 from .state import LoadState
 
-__all__ = ["RoundRecord", "SimulationResult", "Simulator"]
+__all__ = ["RoundRecord", "SimulationResult", "Simulator", "SimulationRun"]
 
 
 @dataclass(frozen=True)
@@ -60,44 +68,105 @@ class RoundRecord:
     round_traffic: float = 0.0
 
 
+def record_round(
+    table: RecordTable,
+    topo: Topology,
+    state: LoadState,
+    targets: np.ndarray,
+    scheme_name: str,
+    min_transient: float,
+    traffic: float,
+) -> None:
+    """Append one round's Section VI metrics to ``table``.
+
+    Shared by :class:`Simulator` and the reference engine so both record
+    bit-identical values for the same state.
+    """
+    table.append(
+        round_index=state.round_index,
+        scheme=scheme_name,
+        max_minus_avg=max_minus_average(state.load, targets),
+        min_minus_avg=min_minus_average(state.load, targets),
+        max_local_diff=max_local_difference(topo, state.load),
+        potential_per_node=normalized_potential(state.load, targets),
+        min_load=float(state.load.min()),
+        min_transient=min_transient,
+        total_load=state.total_load,
+        round_traffic=traffic,
+    )
+
+
 @dataclass
 class SimulationResult:
     """Outcome of a :meth:`Simulator.run` call.
 
-    ``records`` holds one :class:`RoundRecord` per recorded round (round 0 is
-    the initial state).  ``switched_at`` is the round index after which the
-    hybrid policy replaced SOS with FOS (``None`` when no switch happened);
-    ``stopped_at`` is the round at which an early-stop predicate fired.
+    ``table`` holds one row per recorded round (round 0 is the initial
+    state) in columnar form; :attr:`records` materialises the same rows as
+    :class:`RoundRecord` objects on first access.  ``switched_at`` is the
+    round index after which the hybrid policy replaced SOS with FOS
+    (``None`` when no switch happened); ``stopped_at`` is the round at which
+    an early-stop predicate fired.
     """
 
-    records: List[RoundRecord]
+    table: RecordTable
     final_state: LoadState
     switched_at: Optional[int] = None
     stopped_at: Optional[int] = None
     loads_history: Optional[List[np.ndarray]] = None
+    _records: Optional[List[RoundRecord]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def records(self) -> List[RoundRecord]:
+        """Recorded rounds as :class:`RoundRecord` objects (lazily built)."""
+        if self._records is None:
+            self._records = [RoundRecord(**row) for row in self.table.iter_rows()]
+        return self._records
 
     def series(self, fieldname: str) -> np.ndarray:
-        """Column ``fieldname`` of the record table as a float array."""
-        return np.asarray([getattr(r, fieldname) for r in self.records], dtype=np.float64)
+        """Column ``fieldname`` of the record table.
+
+        Returns a read-only zero-copy view of the table column, so repeated
+        calls are O(1) and always return identical data.
+        """
+        return self.table.column(fieldname)
 
     @property
     def rounds(self) -> np.ndarray:
         """Recorded round indices."""
-        return np.asarray([r.round_index for r in self.records], dtype=np.int64)
+        return self.table.column("round_index")
 
     @property
     def min_transient_overall(self) -> float:
         """Most negative transient load seen anywhere in the run."""
-        if not self.records:
+        if len(self.table) == 0:
             return 0.0
-        return float(min(r.min_transient for r in self.records))
+        return float(self.table.column("min_transient").min())
 
     def first_round_below(self, fieldname: str, threshold: float) -> Optional[int]:
         """First recorded round where ``fieldname`` drops to <= threshold."""
-        for rec in self.records:
-            if getattr(rec, fieldname) <= threshold:
-                return rec.round_index
-        return None
+        values = self.table.column(fieldname)
+        hits = np.nonzero(values <= threshold)[0]
+        if hits.size == 0:
+            return None
+        return int(self.table.column("round_index")[hits[0]])
+
+
+@dataclass
+class SimulationRun:
+    """Mutable in-flight state of one simulation (see :meth:`Simulator.start`)."""
+
+    state: LoadState
+    targets: np.ndarray
+    table: RecordTable
+    loads_history: Optional[List[np.ndarray]]
+    switched_at: Optional[int] = None
+    stopped_at: Optional[int] = None
+    # Terminal values of the *last executed* step, so the forced terminal
+    # record reports the final round's own transient/traffic.
+    last_min_transient: float = 0.0
+    last_traffic: float = 0.0
 
 
 class Simulator:
@@ -140,6 +209,77 @@ class Simulator:
         self._targets = targets
 
     # ------------------------------------------------------------------
+    # Incremental core
+    # ------------------------------------------------------------------
+    def start(self, initial_load: np.ndarray, rounds_hint: int = 0) -> SimulationRun:
+        """Initialise a run and record round 0; returns the mutable handle."""
+        state = self.process.initial_state(initial_load)
+        targets = self._targets
+        if targets is None:
+            targets = target_loads(state.total_load, self.process.speeds)
+        self.switch_policy.reset()
+        capacity = max(rounds_hint // self.record_every + 2, 2)
+        run = SimulationRun(
+            state=state,
+            targets=targets,
+            table=RecordTable(capacity),
+            loads_history=[] if self.keep_loads else None,
+            last_min_transient=float(state.load.min()),
+            last_traffic=0.0,
+        )
+        self._record(run)
+        return run
+
+    def advance(
+        self,
+        run: SimulationRun,
+        stop_when: Optional[Callable[[Topology, LoadState], bool]] = None,
+    ) -> bool:
+        """Execute one round; returns False when an early stop fired."""
+        topo = self.process.topo
+        state, info = self.process.step(run.state)
+        run.state = state
+        run.last_min_transient = info.min_transient
+        run.last_traffic = float(np.abs(info.actual).sum())
+        if state.round_index % self.record_every == 0:
+            self._record(run)
+        if run.switched_at is None and self.switch_policy.should_switch(topo, state):
+            if isinstance(self.process.scheme, SecondOrderScheme):
+                self._swap_to_fos()
+                run.switched_at = state.round_index
+        if stop_when is not None and stop_when(topo, state):
+            run.stopped_at = state.round_index
+            return False
+        return True
+
+    def finish(self, run: SimulationRun) -> SimulationResult:
+        """Seal a run: force a terminal record and build the result."""
+        if run.table.column("round_index")[-1] != run.state.round_index:
+            # Make sure the terminal state is present in the series, carrying
+            # the *final* step's transient/traffic (not the previous record's).
+            self._record(run)
+        return SimulationResult(
+            table=run.table,
+            final_state=run.state,
+            switched_at=run.switched_at,
+            stopped_at=run.stopped_at,
+            loads_history=run.loads_history,
+        )
+
+    def _record(self, run: SimulationRun) -> None:
+        record_round(
+            run.table,
+            self.process.topo,
+            run.state,
+            run.targets,
+            self.process.scheme.name,
+            run.last_min_transient,
+            run.last_traffic,
+        )
+        if run.loads_history is not None:
+            run.loads_history.append(run.state.load.copy())
+
+    # ------------------------------------------------------------------
     def run(
         self,
         initial_load: np.ndarray,
@@ -153,69 +293,11 @@ class Simulator:
         """
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
-        topo = self.process.topo
-        state = self.process.initial_state(initial_load)
-        targets = self._targets
-        if targets is None:
-            targets = target_loads(state.total_load, self.process.speeds)
-        self.switch_policy.reset()
-
-        records: List[RoundRecord] = []
-        loads_history: Optional[List[np.ndarray]] = [] if self.keep_loads else None
-        switched_at: Optional[int] = None
-        stopped_at: Optional[int] = None
-
-        def record(st: LoadState, min_transient: float, traffic: float) -> None:
-            records.append(
-                RoundRecord(
-                    round_index=st.round_index,
-                    scheme=self.process.scheme.name,
-                    max_minus_avg=max_minus_average(st.load, targets),
-                    min_minus_avg=min_minus_average(st.load, targets),
-                    max_local_diff=max_local_difference(topo, st.load),
-                    potential_per_node=normalized_potential(st.load, targets),
-                    min_load=float(st.load.min()),
-                    min_transient=min_transient,
-                    total_load=st.total_load,
-                    round_traffic=traffic,
-                )
-            )
-            if loads_history is not None:
-                loads_history.append(st.load.copy())
-
-        record(state, min_transient=float(state.load.min()), traffic=0.0)
-
+        run = self.start(initial_load, rounds_hint=rounds)
         for _ in range(rounds):
-            state, info = self.process.step(state)
-            if state.round_index % self.record_every == 0:
-                record(
-                    state,
-                    info.min_transient,
-                    traffic=float(np.abs(info.actual).sum()),
-                )
-            if switched_at is None and self.switch_policy.should_switch(topo, state):
-                if isinstance(self.process.scheme, SecondOrderScheme):
-                    self._swap_to_fos()
-                    switched_at = state.round_index
-            if stop_when is not None and stop_when(topo, state):
-                stopped_at = state.round_index
+            if not self.advance(run, stop_when):
                 break
-
-        if records[-1].round_index != state.round_index:
-            # Make sure the terminal state is present in the series.
-            record(
-                state,
-                min_transient=records[-1].min_transient,
-                traffic=records[-1].round_traffic,
-            )
-
-        return SimulationResult(
-            records=records,
-            final_state=state,
-            switched_at=switched_at,
-            stopped_at=stopped_at,
-            loads_history=loads_history,
-        )
+        return self.finish(run)
 
     # ------------------------------------------------------------------
     def _swap_to_fos(self) -> None:

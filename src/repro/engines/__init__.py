@@ -1,0 +1,81 @@
+"""Pluggable execution engines for replica ensembles.
+
+One protocol (:class:`~repro.engines.base.Engine`), three backends:
+
+=========  ==================================================================
+name       backend
+=========  ==================================================================
+reference  per-replica loop through the classic :class:`~repro.core.simulator.
+           Simulator` core — the semantic ground truth
+batched    :class:`~repro.engines.batched.BatchedVectorEngine` — a ``(B, n)``
+           load matrix advanced by CSR edge-wise numpy kernels, every replica
+           per step
+network    :class:`~repro.engines.network.NetworkEngine` — the message-passing
+           :class:`~repro.network.engine.SyncNetwork` behind the same protocol
+=========  ==================================================================
+
+Quickstart::
+
+    from repro import torus_2d, point_load
+    from repro.engines import EngineConfig, run_replicas
+
+    topo = torus_2d(32, 32)
+    config = EngineConfig(scheme="sos", beta=1.8, rounds=500, seed=0)
+    loads = [point_load(topo, 1000 * topo.n) for _ in range(128)]
+    results = run_replicas(topo, config, loads, engine="batched")
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.simulator import SimulationResult
+from ..graphs.topology import Topology
+
+from .base import (
+    ENGINES,
+    Engine,
+    EngineConfig,
+    RecordBatch,
+    StepBatch,
+    as_load_batch,
+    make_engine,
+    make_switch_policy,
+    register_engine,
+)
+from .reference import ReferenceEngine
+from .batched import BatchedVectorEngine
+from .network import NetworkEngine
+
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "EngineConfig",
+    "RecordBatch",
+    "StepBatch",
+    "ReferenceEngine",
+    "BatchedVectorEngine",
+    "NetworkEngine",
+    "as_load_batch",
+    "make_engine",
+    "make_switch_policy",
+    "register_engine",
+    "run_replicas",
+]
+
+
+def run_replicas(
+    topo: Topology,
+    config: EngineConfig,
+    initial_loads: np.ndarray,
+    engine: str = "batched",
+) -> List[SimulationResult]:
+    """Run a whole replica batch through the chosen engine backend.
+
+    ``initial_loads`` is one load vector ``(n,)`` or a batch ``(B, n)``;
+    one :class:`~repro.core.simulator.SimulationResult` per replica comes
+    back, regardless of backend.
+    """
+    return make_engine(engine).run(topo, config, initial_loads)

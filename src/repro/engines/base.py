@@ -1,0 +1,303 @@
+"""Execution-engine protocol: one abstraction, many backends.
+
+An :class:`Engine` runs a *batch* of independent replicas of the same
+workload (topology + scheme + rounding) and produces one
+:class:`~repro.core.simulator.SimulationResult` per replica.  The protocol
+is deliberately tiny::
+
+    handle = engine.prepare(topo, config, initial_loads)
+    for _ in range(config.rounds):
+        batch = engine.step(handle)        # StepBatch: loads/flows/transients
+    results = engine.metrics(handle).results()
+
+``engine.run(topo, config, initial_loads)`` wraps the loop (backends
+override it with fused fast paths).  Three backends ship with the library:
+
+* ``reference`` (:class:`~repro.engines.reference.ReferenceEngine`) — loops
+  replicas through the incremental :class:`~repro.core.simulator.Simulator`
+  core, one round at a time.  Semantics by definition.
+* ``batched`` (:class:`~repro.engines.batched.BatchedVectorEngine`) — runs
+  the whole ``(B, n)`` load matrix through CSR edge-wise numpy kernels; one
+  vectorised step advances every replica at once.
+* ``network`` (:class:`~repro.engines.network.NetworkEngine`) — adapts the
+  message-passing :class:`~repro.network.engine.SyncNetwork` to the same
+  protocol.
+
+See ``docs/architecture.md`` for the batching model and how to add a
+backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from ..core.hybrid import (
+    FixedRoundSwitch,
+    LocalDifferenceSwitch,
+    PotentialPlateauSwitch,
+    SwitchPolicy,
+)
+from ..core.simulator import SimulationResult
+
+__all__ = [
+    "EngineConfig",
+    "StepBatch",
+    "RecordBatch",
+    "Engine",
+    "ENGINES",
+    "make_engine",
+    "register_engine",
+    "make_switch_policy",
+    "as_load_batch",
+]
+
+#: Scheme-name strings recorded in result tables, indexed by scheme code
+#: (0 = first order, 1 = second order) — matching ``type(scheme).__name__``
+#: of the matrix engine's scheme classes.
+SCHEME_NAMES = np.array(["FirstOrderScheme", "SecondOrderScheme"], dtype="<U32")
+
+
+@dataclass
+class EngineConfig:
+    """Workload description shared by every engine backend.
+
+    Parameters mirror the classic ``LoadBalancingProcess`` + ``Simulator``
+    stack: ``scheme`` is ``"fos"`` or ``"sos"`` (with ``beta``), ``rounding``
+    is a :func:`repro.core.rounding.make_rounding` key, and ``switch``
+    optionally describes the hybrid SOS -> FOS policy as a tuple:
+
+    * ``("fixed", round)`` — every replica switches after ``round``,
+    * ``("local-diff", threshold, min_rounds)`` — each replica switches once
+      its own max local load difference drops to the threshold,
+    * ``("plateau", window, min_drop, min_rounds)`` — each replica switches
+      once its potential stops improving.
+
+    ``seed`` is a base seed; replica ``b`` derives an independent stream
+    from it, so runs are reproducible for any batch size.
+    """
+
+    scheme: str = "sos"
+    beta: float = 1.0
+    rounding: str = "randomized-excess"
+    rounds: int = 100
+    record_every: int = 1
+    seed: int = 0
+    speeds: Optional[np.ndarray] = None
+    alphas: Any = None
+    switch: Optional[Tuple] = None
+    targets: Optional[np.ndarray] = None
+    keep_loads: bool = False
+    #: ``"float64"`` (default, bit-exact with the reference engine for
+    #: deterministic roundings) or ``"float32"`` — the batched engine's
+    #: ensemble-throughput mode.  Token counts and integral loads stay exact
+    #: below 2**24; scheme coefficients are quantised at ~1e-7 relative, so
+    #: float32 traces are a valid discrete process of the same family but
+    #: not bit-identical to the float64 ones.  Only the batched backend
+    #: accepts float32.
+    precision: str = "float64"
+
+    def validate(self) -> "EngineConfig":
+        if self.scheme not in ("fos", "sos"):
+            raise ConfigurationError(
+                f"scheme must be 'fos' or 'sos', got {self.scheme!r}"
+            )
+        if self.precision not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"precision must be 'float64' or 'float32', got {self.precision!r}"
+            )
+        if self.rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {self.rounds}")
+        if self.record_every < 1:
+            raise ConfigurationError(
+                f"record_every must be >= 1, got {self.record_every}"
+            )
+        if self.switch is not None:
+            make_switch_policy(self.switch)  # raises on malformed specs
+        return self
+
+
+def make_switch_policy(spec) -> Optional[SwitchPolicy]:
+    """Build a fresh :class:`SwitchPolicy` from a config switch spec.
+
+    Only declarative specs are accepted — each replica must get its own
+    policy instance (stateful policies like the plateau window would
+    otherwise interleave every replica's history through one object).
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, SwitchPolicy):
+        raise ConfigurationError(
+            "pass a switch spec tuple (e.g. ('fixed', 500)) instead of a "
+            "SwitchPolicy instance, so every replica gets an independent policy"
+        )
+    if not isinstance(spec, (tuple, list)) or not spec:
+        raise ConfigurationError(f"cannot interpret switch spec {spec!r}")
+    kind, *args = spec
+    if kind == "fixed":
+        return FixedRoundSwitch(*args)
+    if kind == "local-diff":
+        return LocalDifferenceSwitch(*args)
+    if kind == "plateau":
+        return PotentialPlateauSwitch(*args)
+    raise ConfigurationError(
+        f"unknown switch kind {kind!r}; known: fixed, local-diff, plateau"
+    )
+
+
+def as_load_batch(initial_loads: np.ndarray, n: int) -> np.ndarray:
+    """Normalise initial loads to a ``(B, n)`` float64 matrix."""
+    loads = np.asarray(initial_loads, dtype=np.float64)
+    if loads.ndim == 1:
+        loads = loads[None, :]
+    if loads.ndim != 2 or loads.shape[1] != n:
+        raise ConfigurationError(
+            f"initial loads have shape {np.shape(initial_loads)}, "
+            f"expected (n,) or (B, n) with n={n}"
+        )
+    return loads
+
+
+@dataclass(frozen=True)
+class StepBatch:
+    """Everything that happened in one synchronous round, batch-wide.
+
+    ``loads``/``flows`` are ``(B, n)`` / ``(B, m)`` snapshots *after* the
+    round; ``min_transient`` and ``traffic`` are per-replica scalars for the
+    round itself.  ``switched`` flags replicas whose hybrid policy fired at
+    this round.
+    """
+
+    round_index: int
+    loads: np.ndarray
+    flows: np.ndarray
+    min_transient: np.ndarray
+    traffic: np.ndarray
+    switched: np.ndarray
+
+
+@dataclass
+class RecordBatch:
+    """Recorded metric columns of a finished batch run.
+
+    ``columns`` maps each float record field to a ``(rounds_recorded, B)``
+    array; ``round_index`` is shared across replicas, ``scheme_codes``
+    indexes :data:`SCHEME_NAMES` per record per replica.  ``results()``
+    slices the batch into per-replica
+    :class:`~repro.core.simulator.SimulationResult` objects backed by
+    columnar :class:`~repro.core.records.RecordTable` storage — or returns
+    pre-built results directly when a backend supplies them.
+    """
+
+    round_index: Optional[np.ndarray] = None
+    scheme_codes: Optional[np.ndarray] = None
+    columns: Optional[Dict[str, np.ndarray]] = None
+    final_loads: Optional[np.ndarray] = None
+    final_flows: Optional[np.ndarray] = None
+    switched_at: Optional[np.ndarray] = None
+    loads_history: Optional[List[np.ndarray]] = None
+    prebuilt: Optional[List[SimulationResult]] = None
+
+    def results(self) -> List[SimulationResult]:
+        if self.prebuilt is not None:
+            return self.prebuilt
+        from ..core.records import RecordTable
+        from ..core.state import LoadState
+
+        n_replicas = self.final_loads.shape[0]
+        rounds = int(self.round_index[-1]) if self.round_index.size else 0
+        out: List[SimulationResult] = []
+        for b in range(n_replicas):
+            table = RecordTable.from_columns(
+                self.round_index,
+                SCHEME_NAMES[self.scheme_codes[:, b]],
+                {name: col[:, b] for name, col in self.columns.items()},
+            )
+            switched = (
+                int(self.switched_at[b]) if self.switched_at[b] >= 0 else None
+            )
+            history = (
+                [snap[b] for snap in self.loads_history]
+                if self.loads_history is not None
+                else None
+            )
+            out.append(
+                SimulationResult(
+                    table=table,
+                    final_state=LoadState(
+                        load=self.final_loads[b],
+                        flows=self.final_flows[b],
+                        round_index=rounds,
+                    ),
+                    switched_at=switched,
+                    loads_history=history,
+                )
+            )
+        return out
+
+
+class Engine:
+    """Base class of every execution backend."""
+
+    #: Registry key (``make_engine`` name).
+    name: str = ""
+
+    def prepare(self, topo: Topology, config: EngineConfig, initial_loads):
+        """Build a run handle for a batch of replicas."""
+        raise NotImplementedError
+
+    def step(self, handle) -> StepBatch:
+        """Advance every replica one synchronous round."""
+        raise NotImplementedError
+
+    def metrics(self, handle) -> RecordBatch:
+        """Seal the run and return the recorded metric batch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        topo: Topology,
+        config: EngineConfig,
+        initial_loads: np.ndarray,
+    ) -> List[SimulationResult]:
+        """Prepare, step ``config.rounds`` times, and collect results.
+
+        Backends override this with fused fast paths; the default loop is
+        the protocol reference implementation.
+        """
+        handle = self.prepare(topo, config, initial_loads)
+        for _ in range(config.rounds):
+            self.step(handle)
+        return self.metrics(handle).results()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: Engine registry: name -> class.  Populated by ``register_engine``.
+ENGINES: Dict[str, Type[Engine]] = {}
+
+
+def register_engine(cls: Type[Engine]) -> Type[Engine]:
+    """Class decorator adding an engine backend to the registry."""
+    if not cls.name:
+        raise ConfigurationError(f"engine {cls.__name__} has no name")
+    ENGINES[cls.name] = cls
+    return cls
+
+
+def make_engine(name) -> Engine:
+    """Instantiate an engine backend by registry name (or pass through)."""
+    if isinstance(name, Engine):
+        return name
+    try:
+        return ENGINES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; known: {sorted(ENGINES)}"
+        ) from None

@@ -1,0 +1,604 @@
+"""Vectorised batched-replica engine: ``B`` independent runs per numpy step.
+
+The engine keeps the whole ensemble as two matrices — loads ``(n, B)`` and
+oriented edge flows ``(m, B)``, one replica per column — and advances every
+replica simultaneously with CSR edge-wise kernels:
+
+* the per-edge load difference ``x_u - x_v`` is one sparse matmul
+  ``E @ load`` with ``E[k] = +1 at edge_u[k], -1 at edge_v[k]`` (bit-exact
+  with the gather/subtract formulation because ``edge_u < edge_v`` keeps the
+  CSR accumulation in the same order),
+* applying flows is ``load += D @ act`` with ``D = +1 at (edge_v, k),
+  -1 at (edge_u, k)``,
+* per-node outgoing totals (negative-load tracking, Section V) come from the
+  identity ``outgoing = (W @ |act| - D @ act) / 2`` with ``W`` the unsigned
+  incidence operator — no extra scatter pass.
+
+FOS, SOS, rounding, per-replica hybrid switching and the Section VI metrics
+are all vectorised across the batch.  Hybrid switching uses the algebraic
+fact that FOS is SOS with ``beta = 1`` (``(1-1)*y + 1*gradient`` is exactly
+the gradient in IEEE arithmetic), so a per-replica beta row vector lets
+individual replicas switch mid-run without masking.
+
+For the deterministic roundings (floor / nearest / ceil) every elementwise
+operation reproduces the reference engine's expression tree, so integral
+traces agree *bit for bit* — the cross-engine equivalence suite enforces
+this.  Randomised roundings draw from the same distributions (Observation 1
+of the paper) but consume one batch-wide generator, so they match the
+reference statistically, not stream for stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConfigurationError, SchemeError, SimulationError
+from ..core.alphas import resolve_alphas
+from ..core.records import FLOAT_FIELDS
+from ..core.rounding import make_rounding
+from ..graphs.speeds import uniform_speeds, validate_speeds
+from ..graphs.topology import Topology
+
+from .base import (
+    Engine,
+    EngineConfig,
+    RecordBatch,
+    StepBatch,
+    as_load_batch,
+    register_engine,
+)
+
+__all__ = ["BatchedVectorEngine"]
+
+_FRAC_TOL = 1e-9  # matches repro.core.rounding
+
+try:  # pragma: no cover - exercised implicitly by every batched run
+    from scipy.sparse import _sparsetools as _st
+
+    def _csr_dot(
+        matrix: sp.csr_matrix,
+        x: np.ndarray,
+        out: np.ndarray,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        """``out [+]= matrix @ x`` without allocating the result."""
+        if not accumulate:
+            out.fill(0.0)
+        _st.csr_matvecs(
+            matrix.shape[0],
+            matrix.shape[1],
+            x.shape[1],
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            x.ravel(),
+            out.ravel(),
+        )
+        return out
+
+except Exception:  # pragma: no cover - scipy internals moved
+
+    def _csr_dot(
+        matrix: sp.csr_matrix,
+        x: np.ndarray,
+        out: np.ndarray,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        if accumulate:
+            out += matrix @ x
+        else:
+            out[...] = matrix @ x
+        return out
+
+
+@dataclass
+class _SwitchState:
+    """Vectorised hybrid-switch policy state."""
+
+    kind: Optional[str] = None
+    args: tuple = ()
+    phi_hist: Optional[np.ndarray] = None  # (window, B) ring buffer
+    phi_count: int = 0
+
+
+class _BatchedHandle:
+    """All state of one batched run: replicas, operators, scratch buffers."""
+
+    def __init__(self, topo: Topology, config: EngineConfig, loads: np.ndarray):
+        n, m = topo.n, topo.m_edges
+        B = loads.shape[0]
+        self.topo = topo
+        self.config = config
+        self.n_replicas = B
+        self.round_index = 0
+        dtype = np.float32 if config.precision == "float32" else np.float64
+        self.dtype = dtype
+        #: fuzz tolerance for the excess-token machinery, precision-scaled
+        self.frac_tol = _FRAC_TOL if dtype == np.float64 else 1e-5
+        #: relative conservation tolerance (float32 accumulates more drift)
+        self.conserve_tol = 1e-6 if dtype == np.float64 else 1e-4
+        # Unconditional copy: for B=1 a transposed (n, 1) view is still
+        # flagged contiguous, and the engine must never mutate caller data.
+        self.load = np.asarray(loads.T, dtype=dtype).copy(order="C")  # (n, B)
+        self.flows = np.zeros((m, B), dtype=dtype)
+
+        # -- substrate -------------------------------------------------
+        speeds = validate_speeds(
+            config.speeds if config.speeds is not None else uniform_speeds(n), n
+        )
+        self.speeds_col = speeds[:, None].astype(dtype)
+        self.uniform_speeds = bool(np.all(speeds == 1.0))
+        alphas = resolve_alphas(config.alphas, topo, speeds)
+        if m == 0 or np.all(alphas == alphas[0]):
+            self.alphas = float(alphas[0]) if m else 1.0
+        else:
+            self.alphas = alphas[:, None].astype(dtype)
+        self.scalar_beta = config.switch is None
+        self.beta_row = np.full(
+            (1, B), config.beta if config.scheme == "sos" else 1.0, dtype=dtype
+        )
+        self.sos_active = np.full(B, config.scheme == "sos")
+        self.switched_at = np.full(B, -1, dtype=np.int64)
+        self.last_switched = np.zeros(B, dtype=bool)
+
+        # -- CSR operators ---------------------------------------------
+        eu, ev = topo.edge_u, topo.edge_v
+        ar = np.arange(m)
+        # E: per-edge difference, entries ordered (+1 @ eu, -1 @ ev).
+        self.E = sp.csr_matrix(
+            (
+                np.tile(np.array([1.0, -1.0], dtype=dtype), m),
+                np.column_stack([eu, ev]).ravel() if m else np.empty(0, np.int64),
+                2 * np.arange(m + 1),
+            ),
+            shape=(m, n),
+        )
+        inc_rows = np.concatenate([eu, ev])
+        inc_cols = np.concatenate([ar, ar])
+        self.D = sp.coo_matrix(
+            (
+                np.concatenate([-np.ones(m), np.ones(m)]).astype(dtype),
+                (inc_rows, inc_cols),
+            ),
+            shape=(n, m),
+        ).tocsr()
+        self.W = sp.coo_matrix(
+            (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
+        ).tocsr()
+        # Fused gradient operators with the edge weights folded into the CSR
+        # data — a float-reassociation shortcut, used only where bitwise
+        # fidelity to the reference is not part of the contract (statistical
+        # roundings, the continuous identity process, and float32 mode).
+        self.fused_sched = m > 0 and (
+            dtype == np.float32
+            or config.rounding in ("randomized-excess", "unbiased-edge", "identity")
+        )
+        if self.fused_sched:
+            alpha_edge = (
+                np.full(m, self.alphas)
+                if np.isscalar(self.alphas)
+                else np.asarray(alphas, dtype=np.float64)
+            )
+            beta_scale = config.beta if config.scheme == "sos" else 1.0
+
+            def _scaled_e(scale):
+                data = np.repeat(alpha_edge * scale, 2).astype(dtype)
+                data[1::2] *= -1.0
+                return sp.csr_matrix(
+                    (data, self.E.indices.copy(), self.E.indptr.copy()),
+                    shape=(m, n),
+                )
+
+            self.E_alpha = _scaled_e(1.0)
+            self.E_alpha_beta = _scaled_e(beta_scale)
+
+        # -- padded adjacency for the excess-token machinery ------------
+        if config.rounding == "randomized-excess" and m:
+            dmax = int(topo.degrees.max())
+            adj_edges = np.full((n, dmax), m, dtype=np.int64)
+            slot_dirs = np.zeros((n, dmax))
+            idx_node = np.repeat(np.arange(n), topo.degrees)
+            pos_in_row = np.arange(idx_node.size) - topo.adj_indptr[idx_node]
+            adj_edges[idx_node, pos_in_row] = topo.adj_edge_ids
+            slot_dirs[idx_node, pos_in_row] = np.where(
+                idx_node < topo.adj_indices, 1.0, -1.0
+            )
+            self.dmax = dmax
+            self.adj_edges_flat = adj_edges.ravel()
+            self.slot_dirs_flat = slot_dirs.ravel()
+            # Outgoing-fraction gather indices per slot plane: a slot routes
+            # to the P block (positive fsg) when the node is the edge's u
+            # endpoint, to the N block (negative fsg) when it is v, and to
+            # the always-zero padding row otherwise.
+            self.slot_take = [
+                np.where(
+                    slot_dirs[:, j] > 0,
+                    adj_edges[:, j],
+                    np.where(slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m),
+                )
+                for j in range(dmax)
+            ]
+            # P/N blocks: rows [0, m) positive parts, row m zero padding,
+            # rows [m+1, 2m+1) negative parts, row 2m+1 zero padding.
+            self.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
+            # cumulative outgoing fractions per slot plane: (dmax, n, B)
+            self.cum_planes = np.empty((dmax, n, B), dtype=dtype)
+            self.slot_arange = np.arange(n * B)
+
+        # -- targets ----------------------------------------------------
+        if config.targets is not None:
+            self.targets = np.asarray(config.targets, dtype=dtype)[:, None]
+        else:
+            totals = self.load.sum(axis=0)  # (B,)
+            self.targets = (
+                (totals[None, :] * self.speeds_col) / speeds.sum()
+            ).astype(dtype, copy=False)
+        self.totals0 = self.load.sum(axis=0)
+
+        # -- switch policy ----------------------------------------------
+        self.switch = _SwitchState()
+        if config.switch is not None:
+            kind, *args = config.switch
+            self.switch = _SwitchState(kind=kind, args=tuple(args))
+            if kind == "plateau":
+                window = int(args[0]) if args else 50
+                self.switch.phi_hist = np.zeros((window, B))
+
+        # -- record storage ---------------------------------------------
+        capacity = config.rounds // config.record_every + 2
+        self.rec_round = np.empty(capacity, dtype=np.int64)
+        self.rec_scheme = np.empty((capacity, B), dtype=np.uint8)
+        self.rec_cols: Dict[str, np.ndarray] = {
+            name: np.empty((capacity, B)) for name in FLOAT_FIELDS
+        }
+        self.rec_count = 0
+        self.last_recorded_round = -1
+        self.loads_history: Optional[List[np.ndarray]] = (
+            [] if config.keep_loads else None
+        )
+
+        # -- scratch buffers --------------------------------------------
+        self.mb1 = np.empty((m, B), dtype=dtype)
+        self.mb2 = np.empty((m, B), dtype=dtype)
+        self.mb3 = np.empty((m, B), dtype=dtype)
+        self.act = np.empty((m, B), dtype=dtype)
+        self.nb1 = np.empty((n, B), dtype=dtype)
+        self.nb2 = np.empty((n, B), dtype=dtype)
+        self.nb3 = np.empty((n, B), dtype=dtype)
+        self.nb4 = np.empty((n, B), dtype=dtype)
+        self.rng = np.random.default_rng(config.seed)
+
+        self.last_min_transient = self.load.min(axis=0)
+        self.last_traffic = np.zeros(B)
+        self.last_mld: Optional[np.ndarray] = None
+
+
+@register_engine
+class BatchedVectorEngine(Engine):
+    """All replicas at once through CSR edge-wise numpy kernels."""
+
+    name = "batched"
+
+    def prepare(self, topo, config, initial_loads) -> _BatchedHandle:
+        config.validate()
+        if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
+            raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
+        make_rounding(config.rounding)  # validate the key early
+        loads = as_load_batch(initial_loads, topo.n)
+        h = _BatchedHandle(topo, config, loads)
+        self._record_current(h)
+        return h
+
+    # ==================================================================
+    # per-round kernel
+    # ==================================================================
+    def _advance(self, h: _BatchedHandle, want_info: bool) -> None:
+        """One synchronous round for every replica.
+
+        ``want_info`` additionally computes the round's per-replica transient
+        minima and traffic (needed on record rounds, the final round, and
+        protocol-level ``step()`` calls); the fused ensemble loop skips them
+        elsewhere, exactly like the classic simulator discards unrecorded
+        step info.
+        """
+        config = h.config
+        load, flows = h.load, h.flows
+
+        # -- scheduled flows (Yhat) ----------------------------------------
+        if h.uniform_speeds:
+            norm = load
+        else:
+            norm = np.divide(load, h.speeds_col, out=h.nb1)
+        if h.fused_sched and (h.round_index == 0 or h.scalar_beta):
+            # Fused form: scale flows in place, then accumulate the weighted
+            # gradient straight out of the CSR operator.  Bitwise this
+            # reorders the float products, which only statistical roundings
+            # may do; round 0 uses the plain-alpha operator (FOS opener).
+            if h.round_index == 0:
+                _csr_dot(h.E_alpha, norm, flows, accumulate=True)
+            else:
+                beta = float(h.beta_row[0, 0])
+                np.multiply(flows, beta - 1.0, out=flows)
+                _csr_dot(h.E_alpha_beta, norm, flows, accumulate=True)
+            sched = flows
+        else:
+            diff = _csr_dot(h.E, norm, h.mb1)  # x_u/s_u - x_v/s_v per edge
+            np.multiply(diff, h.alphas, out=diff)  # gradient
+            if h.round_index == 0:
+                # Both schemes open with a plain FOS round.
+                sched = diff
+            elif h.scalar_beta:
+                beta = float(h.beta_row[0, 0])
+                np.multiply(diff, beta, out=diff)
+                np.multiply(flows, beta - 1.0, out=flows)
+                np.add(flows, diff, out=flows)
+                sched = flows
+            else:
+                np.multiply(diff, h.beta_row, out=diff)
+                np.multiply(flows, h.beta_row - 1.0, out=flows)
+                np.add(flows, diff, out=flows)
+                sched = flows
+
+        # -- rounding ------------------------------------------------------
+        act = self._round_flows(h, sched)
+
+        # -- step info (transients / traffic), then apply ------------------
+        if want_info:
+            delta = _csr_dot(h.D, act, h.nb2)
+            absf = np.abs(act, out=h.mb2)
+            outgoing = _csr_dot(h.W, absf, h.nb3)
+            np.subtract(outgoing, delta, out=outgoing)
+            np.multiply(outgoing, 0.5, out=outgoing)
+            transient = np.subtract(load, outgoing, out=h.nb4)
+            h.last_min_transient = transient.min(axis=0)
+            h.last_traffic = absf.sum(axis=0)
+            np.add(load, delta, out=load)
+        else:
+            _csr_dot(h.D, act, load, accumulate=True)
+        h.round_index += 1
+        if act is h.act:
+            h.flows, h.act = h.act, h.flows
+        # (identity rounding leaves act aliased to sched == flows: no swap)
+
+        # -- record --------------------------------------------------------
+        if h.round_index % config.record_every == 0:
+            self._record_current(h)
+
+        # -- hybrid switch (checked after recording, like the simulator) ---
+        if h.switch.kind is not None:
+            self._check_switch(h)
+
+    def _round_flows(self, h: _BatchedHandle, sched: np.ndarray) -> np.ndarray:
+        """Vectorised rounding of the scheduled flows; returns the actuals."""
+        rounding = h.config.rounding
+        act = h.act
+        if rounding == "identity":
+            # The actual flows *are* the scheduled ones; keep them as the
+            # new flow state (round 0 schedules out of a scratch buffer).
+            if sched is not h.flows:
+                np.copyto(h.flows, sched)
+            return h.flows
+        if rounding == "floor":
+            return np.trunc(sched, out=act)
+        if rounding == "nearest":
+            # rint is symmetric, so rint(x) == sign(x) * rint(|x|) bit for bit
+            return np.rint(sched, out=act)
+        if rounding == "ceil":
+            absf = np.abs(sched, out=h.mb2)
+            np.ceil(absf, out=absf)
+            return np.copysign(absf, sched, out=act)
+        if rounding == "unbiased-edge":
+            absf = np.abs(sched, out=h.mb2)
+            np.floor(absf, out=act)
+            np.subtract(absf, act, out=absf)  # fractional parts
+            up = h.rng.random(sched.shape, dtype=h.dtype) < absf
+            np.add(act, up, out=act)
+            return np.copysign(act, sched, out=act)
+        if rounding == "randomized-excess":
+            return self._randomized_excess(h, sched)
+        raise ConfigurationError(f"unsupported rounding {rounding!r}")
+
+    def _randomized_excess(self, h: _BatchedHandle, sched: np.ndarray) -> np.ndarray:
+        """The paper's excess-token rounding, vectorised across the batch.
+
+        Floor every flow, pool each sender's fractional parts ``r``, then
+        dispatch ``ceil(r)`` excess tokens, each landing on outgoing edge
+        ``j`` with probability ``{Yhat_j} / ceil(r)`` and staying home
+        otherwise (Observation 1).  No per-round sorting: the signed
+        fractional parts are routed through the topology's fixed padded
+        adjacency into ``max_degree`` dense cumulative planes, whose last
+        plane *is* the surplus ``r``; every token then draws one uniform
+        scaled to ``[0, c)`` and finds its slot by comparing against the
+        planes.  A zero-width slot (no outgoing fraction) can never strictly
+        contain a draw, so sub-``1e-9`` float fuzz needs no explicit cleanup
+        here; ``c`` uses the same tolerance as the reference rounding.
+
+        The joint token-count distribution is the reference scheme's
+        multinomial exactly; only the generator's consumption order differs.
+        """
+        act = h.act
+        B = h.n_replicas
+        m = h.topo.m_edges
+        if m == 0:
+            return np.multiply(sched, 1.0, out=act)
+        # Signed base and fractional parts in two passes:
+        # trunc(x) == sign(x) * floor(|x|), and fsg = sched - trunc(sched).
+        np.trunc(sched, out=act)
+        fsg = np.subtract(sched, act, out=h.mb3)
+        # Split into positive / negative outgoing-fraction blocks so a slot's
+        # outgoing fraction is a single gather: P = max(fsg, 0), N = P - fsg.
+        pn = h.pn
+        p_block = pn[:m]
+        np.maximum(fsg, 0.0, out=p_block)
+        np.subtract(p_block, fsg, out=pn[m + 1 : 2 * m + 1])
+
+        # Cumulative outgoing-fraction planes over the node's incident edges
+        # (fixed permutation — no per-round sorting).
+        planes = h.cum_planes
+        np.take(pn, h.slot_take[0], axis=0, out=planes[0])
+        for j in range(1, h.dmax):
+            np.take(pn, h.slot_take[j], axis=0, out=planes[j])
+            np.add(planes[j], planes[j - 1], out=planes[j])
+        r = planes[h.dmax - 1]  # surplus per (node, replica)
+
+        # Token budget c = ceil(r - tol): exactly 0 (well, -0.0) for senders
+        # with no fractional surplus, so they emit no tokens.
+        c = np.subtract(r, h.frac_tol, out=h.nb3)
+        np.ceil(c, out=c)
+        c_flat = c.ravel()
+        counts = c_flat.astype(np.int64)
+        tok_slot = np.repeat(h.slot_arange, counts)
+        if tok_slot.size == 0:
+            return act
+        target = h.rng.random(tok_slot.size, dtype=h.dtype)
+        np.multiply(target, c_flat[tok_slot], out=target)
+        # slot index = number of cumulative planes <= target (searchsorted
+        # 'right' over the sender's segment, zero-width slots skipped)
+        planes_flat = planes.reshape(h.dmax, -1)
+        pos = (planes_flat[0][tok_slot] <= target).view(np.uint8).astype(np.int64)
+        for j in range(1, h.dmax):
+            pos += planes_flat[j][tok_slot] <= target
+        moved = np.flatnonzero(pos < h.dmax)  # the rest stay home
+        if moved.size:
+            tok_moved = tok_slot[moved]
+            node = tok_moved // B
+            col = tok_moved - node * B
+            flat_slot = node * h.dmax + pos[moved]
+            edge_ids = h.adj_edges_flat[flat_slot]
+            signs = h.slot_dirs_flat[flat_slot]
+            extra = np.bincount(
+                edge_ids * B + col, weights=signs, minlength=m * B
+            )
+            np.add(act, extra.reshape(m, B), out=act)
+        return act
+
+    # ------------------------------------------------------------------
+    def _mld(self, h: _BatchedHandle) -> np.ndarray:
+        """Per-replica max local load difference of the current loads."""
+        if h.topo.m_edges == 0:
+            return np.zeros(h.n_replicas)
+        ediff = _csr_dot(h.E, h.load, h.mb3)
+        np.abs(ediff, out=ediff)
+        return ediff.max(axis=0)
+
+    def _record_current(self, h: _BatchedHandle) -> None:
+        """Append the Section VI metrics of the current state."""
+        i = h.rec_count
+        if i == h.rec_round.shape[0]:  # defensive; sized exactly in prepare
+            h.rec_round = np.resize(h.rec_round, i * 2)
+            h.rec_scheme = np.resize(h.rec_scheme, (i * 2, h.n_replicas))
+            h.rec_cols = {
+                k: np.resize(v, (i * 2, h.n_replicas)) for k, v in h.rec_cols.items()
+            }
+        load = h.load
+        cols = h.rec_cols
+        dev = np.subtract(load, h.targets, out=h.nb1)
+        cols["max_minus_avg"][i] = dev.max(axis=0)
+        cols["min_minus_avg"][i] = dev.min(axis=0)
+        np.multiply(dev, dev, out=dev)
+        cols["potential_per_node"][i] = dev.sum(axis=0) / h.topo.n
+        cols["min_load"][i] = load.min(axis=0)
+        totals = load.sum(axis=0)
+        cols["total_load"][i] = totals
+        cols["min_transient"][i] = h.last_min_transient
+        cols["round_traffic"][i] = h.last_traffic
+        h.last_mld = self._mld(h)
+        cols["max_local_diff"][i] = h.last_mld
+        h.rec_round[i] = h.round_index
+        h.rec_scheme[i] = h.sos_active
+        h.rec_count = i + 1
+        h.last_recorded_round = h.round_index
+        if h.loads_history is not None:
+            h.loads_history.append(load.T.copy())
+        drift = np.abs(totals - h.totals0)
+        bad = drift > h.conserve_tol * np.maximum(1.0, np.abs(h.totals0))
+        if bad.any():
+            b = int(np.argmax(bad))
+            raise SimulationError(
+                f"load not conserved in replica {b} by round {h.round_index}: "
+                f"{h.totals0[b]} -> {totals[b]}"
+            )
+
+    # ------------------------------------------------------------------
+    def _check_switch(self, h: _BatchedHandle) -> None:
+        """Vectorised hybrid SOS -> FOS policies (per replica)."""
+        sw = h.switch
+        t = h.round_index
+        none = None
+        if sw.kind == "fixed":
+            newly = h.sos_active & (t >= int(sw.args[0]))
+        elif sw.kind == "local-diff":
+            threshold = float(sw.args[0]) if sw.args else 10.0
+            min_rounds = int(sw.args[1]) if len(sw.args) > 1 else 1
+            if t < min_rounds:
+                newly = none
+            else:
+                mld = h.last_mld if h.last_recorded_round == t else self._mld(h)
+                newly = h.sos_active & (mld <= threshold)
+        elif sw.kind == "plateau":
+            window = int(sw.args[0]) if sw.args else 50
+            min_drop = float(sw.args[1]) if len(sw.args) > 1 else 0.2
+            min_rounds = int(sw.args[2]) if len(sw.args) > 2 else 10
+            mean = h.load.mean(axis=0)
+            dev = np.subtract(h.load, mean, out=h.nb1)
+            np.multiply(dev, dev, out=dev)
+            phi = dev.sum(axis=0)
+            hist = sw.phi_hist
+            hist[sw.phi_count % window] = phi
+            sw.phi_count += 1
+            if t < min_rounds or sw.phi_count < window:
+                newly = none
+            else:
+                oldest = hist[sw.phi_count % window]
+                plateaued = (oldest <= 0.0) | (phi > (1.0 - min_drop) * oldest)
+                newly = h.sos_active & plateaued
+        else:
+            raise ConfigurationError(f"unknown switch kind {sw.kind!r}")
+        if newly is none:
+            h.last_switched = np.zeros(h.n_replicas, dtype=bool)
+            return
+        h.last_switched = newly
+        if newly.any():
+            h.beta_row[0, newly] = 1.0
+            h.sos_active[newly] = False
+            h.switched_at[newly] = t
+
+    # ==================================================================
+    # protocol surface
+    # ==================================================================
+    def step(self, h: _BatchedHandle) -> StepBatch:
+        self._advance(h, want_info=True)
+        return StepBatch(
+            round_index=h.round_index,
+            loads=h.load.T.copy(),
+            flows=h.flows.T.copy(),
+            min_transient=h.last_min_transient.copy(),
+            traffic=h.last_traffic.copy(),
+            switched=h.last_switched.copy(),
+        )
+
+    def metrics(self, h: _BatchedHandle) -> RecordBatch:
+        if h.last_recorded_round != h.round_index:
+            self._record_current(h)
+        count = h.rec_count
+        return RecordBatch(
+            round_index=h.rec_round[:count].copy(),
+            scheme_codes=h.rec_scheme[:count].copy(),
+            columns={k: v[:count].copy() for k, v in h.rec_cols.items()},
+            final_loads=h.load.T.copy(),
+            final_flows=h.flows.T.copy(),
+            switched_at=h.switched_at.copy(),
+            loads_history=h.loads_history,
+        )
+
+    def run(self, topo, config, initial_loads):
+        """Fused ensemble loop: transient/traffic info only where recorded."""
+        h = self.prepare(topo, config, initial_loads)
+        record_every = config.record_every
+        for r in range(1, config.rounds + 1):
+            self._advance(h, want_info=(r % record_every == 0 or r == config.rounds))
+        return self.metrics(h).results()

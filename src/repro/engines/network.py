@@ -1,0 +1,239 @@
+"""Message-passing adapter: :class:`SyncNetwork` behind the engine protocol.
+
+Each replica is a full :class:`~repro.network.engine.SyncNetwork` of
+autonomous nodes; the adapter drives the networks round by round and records
+the same Section VI metrics as the matrix engines, computed from the global
+trace (loads before/after each round plus the oriented flow vector).  For
+deterministic roundings the recorded values are bit-identical to the
+reference engine — the network equivalence suite proves it.
+
+Only the ``("fixed", round)`` hybrid switch is supported: the distributed
+engine implements the paper's *synchronous* switch, where every node flips
+at an agreed round, and metric-triggered policies would need global
+knowledge the nodes don't have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core.records import RecordTable
+from ..core.simulator import SimulationResult, record_round
+from ..core.state import LoadState, transient_loads
+from ..core.metrics import target_loads
+from ..graphs.speeds import uniform_speeds
+from ..graphs.topology import Topology
+from ..network.engine import SyncNetwork
+
+from .base import (
+    Engine,
+    EngineConfig,
+    RecordBatch,
+    StepBatch,
+    as_load_batch,
+    register_engine,
+)
+
+__all__ = ["NetworkEngine"]
+
+
+@dataclass
+class _Replica:
+    net: SyncNetwork
+    table: RecordTable
+    targets: np.ndarray
+    loads_history: Optional[List[np.ndarray]]
+    last_min_transient: float
+    last_traffic: float = 0.0
+
+
+@dataclass
+class _NetworkHandle:
+    topo: Topology
+    config: EngineConfig
+    switch_round: Optional[int]
+    replicas: List[_Replica]
+
+
+@register_engine
+class NetworkEngine(Engine):
+    """One :class:`SyncNetwork` per replica, driven in lockstep."""
+
+    name = "network"
+
+    def prepare(self, topo, config, initial_loads) -> _NetworkHandle:
+        config.validate()
+        if config.precision != "float64":
+            raise ConfigurationError(
+                "the network engine only supports precision='float64'"
+            )
+        loads = as_load_batch(initial_loads, topo.n)
+        switch_round: Optional[int] = None
+        if config.switch is not None:
+            if not (
+                isinstance(config.switch, (tuple, list))
+                and len(config.switch) == 2
+                and config.switch[0] == "fixed"
+            ):
+                raise ConfigurationError(
+                    "the network engine only supports the ('fixed', round) "
+                    f"switch spec, got {config.switch!r}"
+                )
+            switch_round = int(config.switch[1])
+        speeds = (
+            np.asarray(config.speeds, dtype=np.float64)
+            if config.speeds is not None
+            else uniform_speeds(topo.n)
+        )
+        replicas: List[_Replica] = []
+        for b, load in enumerate(loads):
+            net = SyncNetwork(
+                topo,
+                load,
+                scheme=config.scheme,
+                beta=config.beta if config.scheme == "sos" else 1.0,
+                rounding=config.rounding,
+                speeds=config.speeds,
+                seed=config.seed + b,
+                switch_to_fos_at=switch_round,
+            )
+            targets = (
+                config.targets
+                if config.targets is not None
+                else target_loads(float(load.sum()), speeds)
+            )
+            replica = _Replica(
+                net=net,
+                table=RecordTable(config.rounds // config.record_every + 2),
+                targets=targets,
+                loads_history=[] if config.keep_loads else None,
+                last_min_transient=float(load.min()),
+            )
+            self._record(
+                topo,
+                replica,
+                load,
+                np.zeros(topo.m_edges),
+                0,
+                "FirstOrderScheme" if config.scheme == "fos" else "SecondOrderScheme",
+            )
+            replicas.append(replica)
+        return _NetworkHandle(
+            topo=topo, config=config, switch_round=switch_round, replicas=replicas
+        )
+
+    # ------------------------------------------------------------------
+    def _scheme_name(self, handle_or_config, round_index: int) -> str:
+        config = (
+            handle_or_config.config
+            if isinstance(handle_or_config, _NetworkHandle)
+            else handle_or_config
+        )
+        if config.scheme == "fos":
+            return "FirstOrderScheme"
+        switch = getattr(handle_or_config, "switch_round", None)
+        if switch is not None and round_index > switch:
+            return "FirstOrderScheme"
+        return "SecondOrderScheme"
+
+    def _record(
+        self,
+        topo: Topology,
+        replica: _Replica,
+        load: np.ndarray,
+        flows: np.ndarray,
+        round_index: int,
+        scheme_name: str = "SecondOrderScheme",
+    ) -> None:
+        state = LoadState(load=load, flows=flows, round_index=round_index)
+        record_round(
+            replica.table,
+            topo,
+            state,
+            replica.targets,
+            scheme_name,
+            replica.last_min_transient,
+            replica.last_traffic,
+        )
+        if replica.loads_history is not None:
+            replica.loads_history.append(load.copy())
+
+    def _advance(self, handle: _NetworkHandle, replica: _Replica) -> None:
+        topo = handle.topo
+        before = replica.net.loads()
+        replica.net.step()
+        flows = replica.net.flows()
+        replica.last_min_transient = float(
+            transient_loads(topo, before, flows).min()
+        )
+        replica.last_traffic = float(np.abs(flows).sum())
+        round_index = replica.net.round_index
+        if round_index % handle.config.record_every == 0:
+            self._record(
+                topo,
+                replica,
+                replica.net.loads(),
+                flows,
+                round_index,
+                self._scheme_name(handle, round_index),
+            )
+
+    # ------------------------------------------------------------------
+    def step(self, handle: _NetworkHandle) -> StepBatch:
+        for replica in handle.replicas:
+            self._advance(handle, replica)
+        round_index = handle.replicas[0].net.round_index
+        return StepBatch(
+            round_index=round_index,
+            loads=np.stack([r.net.loads() for r in handle.replicas]),
+            flows=np.stack([r.net.flows() for r in handle.replicas]),
+            min_transient=np.array(
+                [r.last_min_transient for r in handle.replicas]
+            ),
+            traffic=np.array([r.last_traffic for r in handle.replicas]),
+            switched=np.full(
+                len(handle.replicas),
+                handle.switch_round == round_index
+                and handle.config.scheme == "sos",
+                dtype=bool,
+            ),
+        )
+
+    def metrics(self, handle: _NetworkHandle) -> RecordBatch:
+        results: List[SimulationResult] = []
+        for replica in handle.replicas:
+            net = replica.net
+            round_index = net.round_index
+            if replica.table.column("round_index")[-1] != round_index:
+                self._record(
+                    handle.topo,
+                    replica,
+                    net.loads(),
+                    net.flows(),
+                    round_index,
+                    self._scheme_name(handle, round_index),
+                )
+            switched = (
+                handle.switch_round
+                if handle.config.scheme == "sos"
+                and handle.switch_round is not None
+                and handle.switch_round <= round_index
+                else None
+            )
+            results.append(
+                SimulationResult(
+                    table=replica.table,
+                    final_state=LoadState(
+                        load=net.loads(),
+                        flows=net.flows(),
+                        round_index=round_index,
+                    ),
+                    switched_at=switched,
+                    loads_history=replica.loads_history,
+                )
+            )
+        return RecordBatch(prebuilt=results)

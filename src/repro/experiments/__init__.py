@@ -1,10 +1,23 @@
 """Experiment harness: Table I configs, figure drivers, registry, reports."""
 
-from .configs import GRAPH_CONFIGS, PAPER_BETAS, BuiltGraph, GraphConfig, build_graph
+from .configs import (
+    GRAPH_CONFIGS,
+    PAPER_BETAS,
+    BuiltGraph,
+    GraphConfig,
+    build_graph,
+    engine_config,
+)
 from .tables import Table1Row, reproduce_table1
 from .runner import EXPERIMENTS, list_experiments, run_experiment
 from .report import format_record, format_summary, format_table
-from .sweeps import SweepPoint, fit_power_law, torus_size_sweep
+from .sweeps import (
+    EnsembleResult,
+    SweepPoint,
+    fit_power_law,
+    replica_ensemble,
+    torus_size_sweep,
+)
 from . import figures
 
 __all__ = [
@@ -13,6 +26,7 @@ __all__ = [
     "BuiltGraph",
     "GraphConfig",
     "build_graph",
+    "engine_config",
     "Table1Row",
     "reproduce_table1",
     "EXPERIMENTS",
@@ -21,8 +35,10 @@ __all__ = [
     "format_record",
     "format_summary",
     "format_table",
+    "EnsembleResult",
     "SweepPoint",
     "fit_power_law",
+    "replica_ensemble",
     "torus_size_sweep",
     "figures",
 ]

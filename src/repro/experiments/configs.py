@@ -56,6 +56,7 @@ __all__ = [
     "GRAPH_CONFIGS",
     "PAPER_BETAS",
     "build_graph",
+    "engine_config",
 ]
 
 #: The beta values printed in Table I of the paper, for comparison.
@@ -233,3 +234,35 @@ def build_graph(key: str, scale: str = "ci", seed: int = 0) -> BuiltGraph:
             f"unknown graph config {key!r}; known: {sorted(GRAPH_CONFIGS)}"
         ) from None
     return config.build(scale=scale, seed=seed)
+
+
+def engine_config(
+    built: BuiltGraph,
+    scheme: str = "sos",
+    rounding: str = "randomized-excess",
+    rounds: int = 500,
+    record_every: int = 1,
+    seed: int = 0,
+    switch_round: Optional[int] = None,
+    keep_loads: bool = False,
+    precision: str = "float64",
+):
+    """An :class:`~repro.engines.EngineConfig` for a built Table I graph.
+
+    Uses the graph's own ``beta_opt`` for SOS and translates the classic
+    ``switch_round`` convention into the engine switch spec, so experiment
+    drivers can hand whole sweeps to any engine backend in one call.
+    """
+    from ..engines import EngineConfig
+
+    return EngineConfig(
+        scheme=scheme,
+        beta=built.beta if scheme == "sos" else 1.0,
+        rounding=rounding,
+        rounds=rounds,
+        record_every=record_every,
+        seed=seed,
+        switch=("fixed", switch_round) if switch_round is not None else None,
+        keep_loads=keep_loads,
+        precision=precision,
+    )

@@ -21,15 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core import (
-    FirstOrderScheme,
-    FixedRoundSwitch,
-    LoadBalancingProcess,
-    SecondOrderScheme,
-    Simulator,
-    point_load,
-    uniform_load,
-)
+from ..core import point_load, uniform_load
+from ..engines import make_engine
 from ..analysis import (
     TorusFourierAnalyzer,
     bump_period,
@@ -40,7 +33,7 @@ from ..analysis import (
 )
 from ..io import ExperimentRecord
 from ..viz import load_to_grayscale
-from .configs import BuiltGraph, build_graph
+from .configs import BuiltGraph, build_graph, engine_config
 
 __all__ = [
     "fig01_torus_sos_vs_fos",
@@ -72,28 +65,31 @@ def _simulate(
     record_every: int = 1,
     average_load: int = DEFAULT_AVERAGE_LOAD,
     initial: Optional[np.ndarray] = None,
+    engine: str = "reference",
 ):
-    """Run one scheme on a built graph with the paper's default workload."""
+    """Run one scheme on a built graph with the paper's default workload.
+
+    Dispatches through the pluggable engine layer; ``engine="reference"``
+    (the default) reproduces the classic per-round simulator exactly, while
+    ``"batched"`` or ``"network"`` select the vectorised ensemble engine or
+    the message-passing substrate.
+    """
     topo = built.topo
     if initial is None:
         initial = point_load(topo, average_load * topo.n, node=0)
-    if kind == "fos":
-        scheme = FirstOrderScheme(topo)
-    elif kind == "sos":
-        scheme = SecondOrderScheme(topo, beta=built.beta)
-    else:
+    if kind not in ("fos", "sos"):
         raise ValueError(f"unknown scheme kind {kind!r}")
-    process = LoadBalancingProcess(
-        scheme, rounding=rounding, rng=np.random.default_rng(seed)
-    )
-    policy = FixedRoundSwitch(switch_round) if switch_round is not None else None
-    sim = Simulator(
-        process,
-        switch_policy=policy,
+    config = engine_config(
+        built,
+        scheme=kind,
+        rounding=rounding,
+        rounds=rounds,
         record_every=record_every,
+        seed=seed,
+        switch_round=switch_round,
         keep_loads=keep_loads,
     )
-    return sim.run(initial, rounds)
+    return make_engine(engine).run(topo, config, initial)[0]
 
 
 def _default_rounds(built: BuiltGraph, factor: float = 3.0, cap: int = 20000) -> int:
@@ -108,14 +104,17 @@ def _default_rounds(built: BuiltGraph, factor: float = 3.0, cap: int = 20000) ->
 # ----------------------------------------------------------------------
 
 def fig01_torus_sos_vs_fos(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 1: max-avg, max local difference and potential under SOS,
     with the FOS max-avg curve as comparison (two-dimensional torus)."""
     built = build_graph("torus-1000", scale)
     rounds = rounds or _default_rounds(built)
-    sos = _simulate(built, "sos", rounds, seed=seed)
-    fos = _simulate(built, "fos", rounds, seed=seed + 1)
+    sos = _simulate(built, "sos", rounds, seed=seed, engine=engine)
+    fos = _simulate(built, "fos", rounds, seed=seed + 1, engine=engine)
     threshold = 10.0
     speedup = measured_speedup(fos, sos, built.lam, threshold=threshold)
     # The paper observes discontinuities whenever the wavefronts collide
@@ -165,6 +164,7 @@ def fig02_initial_load(
     rounds: Optional[int] = None,
     averages: Sequence[int] = (10, 100, 1000),
     seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 2: max-avg for three different total loads (avg 10/100/1000).
 
@@ -176,7 +176,9 @@ def fig02_initial_load(
     series: Dict[str, List[float]] = {}
     summary: Dict[str, float] = {}
     for idx, avg in enumerate(averages):
-        res = _simulate(built, "sos", rounds, seed=seed + idx, average_load=avg)
+        res = _simulate(
+            built, "sos", rounds, seed=seed + idx, average_load=avg, engine=engine
+        )
         series[f"avg{avg}_max_minus_avg"] = res.series("max_minus_avg").tolist()
         if "round" not in series:
             series["round"] = res.rounds.tolist()
@@ -203,16 +205,25 @@ def fig02_initial_load(
 # ----------------------------------------------------------------------
 
 def fig03_discrete_vs_ideal(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 3: SOS vs FOS max-avg — discrete (left) and idealized (right)."""
     built = build_graph("torus-1000", scale)
     rounds = rounds or _default_rounds(built)
     runs = {
-        "discrete_sos": _simulate(built, "sos", rounds, seed=seed),
-        "discrete_fos": _simulate(built, "fos", rounds, seed=seed + 1),
-        "ideal_sos": _simulate(built, "sos", rounds, rounding="identity"),
-        "ideal_fos": _simulate(built, "fos", rounds, rounding="identity"),
+        "discrete_sos": _simulate(built, "sos", rounds, seed=seed, engine=engine),
+        "discrete_fos": _simulate(
+            built, "fos", rounds, seed=seed + 1, engine=engine
+        ),
+        "ideal_sos": _simulate(
+            built, "sos", rounds, rounding="identity", engine=engine
+        ),
+        "ideal_fos": _simulate(
+            built, "fos", rounds, rounding="identity", engine=engine
+        ),
     }
     series = {"round": runs["discrete_sos"].rounds.tolist()}
     summary = {}
@@ -244,6 +255,7 @@ def fig04_05_switching(
     rounds: Optional[int] = None,
     switch_rounds: Optional[Sequence[int]] = None,
     seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figures 4/5: switching from SOS to FOS drops the residual imbalance.
 
@@ -257,7 +269,7 @@ def fig04_05_switching(
         switch_rounds = (base, int(base * 1.2))
     rounds = rounds or int(max(switch_rounds) * 1.6)
 
-    sos_only = _simulate(built, "sos", rounds, seed=seed)
+    sos_only = _simulate(built, "sos", rounds, seed=seed, engine=engine)
     series = {
         "round": sos_only.rounds.tolist(),
         "sos_only_max_minus_avg": sos_only.series("max_minus_avg").tolist(),
@@ -270,7 +282,9 @@ def fig04_05_switching(
         ).mean,
     }
     for switch in switch_rounds:
-        res = _simulate(built, "sos", rounds, seed=seed, switch_round=switch)
+        res = _simulate(
+            built, "sos", rounds, seed=seed, switch_round=switch, engine=engine
+        )
         tag = f"switch{switch}"
         series[f"{tag}_max_minus_avg"] = res.series("max_minus_avg").tolist()
         series[f"{tag}_max_local_diff"] = res.series("max_local_diff").tolist()
@@ -300,14 +314,17 @@ def fig04_05_switching(
 # ----------------------------------------------------------------------
 
 def fig06_ideal_error(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 6: idealized (double-precision) SOS vs randomized rounding,
     plus the absolute error of the idealized scheme's total load."""
     built = build_graph("torus-1000", scale)
     rounds = rounds or _default_rounds(built)
-    ideal = _simulate(built, "sos", rounds, rounding="identity")
-    discrete = _simulate(built, "sos", rounds, seed=seed)
+    ideal = _simulate(built, "sos", rounds, rounding="identity", engine=engine)
+    discrete = _simulate(built, "sos", rounds, seed=seed, engine=engine)
     total0 = ideal.records[0].total_load
     drift = [abs(r.total_load - total0) for r in ideal.records]
     return ExperimentRecord(
@@ -341,6 +358,7 @@ def fig07_eigencoefficients(
     rounds: Optional[int] = None,
     seed: int = 0,
     record_every: int = 1,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 7: eigen-coefficient magnitudes and the leading eigenvector.
 
@@ -352,7 +370,8 @@ def fig07_eigencoefficients(
     side = int(round(math.sqrt(built.n)))
     rounds = rounds or _default_rounds(built)
     res = _simulate(
-        built, "sos", rounds, seed=seed, keep_loads=True, record_every=record_every
+        built, "sos", rounds, seed=seed, keep_loads=True,
+        record_every=record_every, engine=engine,
     )
     analyzer = TorusFourierAnalyzer(side, side)
     trace = analyzer.trace(res.loads_history)
@@ -393,6 +412,7 @@ def fig08_switch_sweep(
     rounds: int = 1000,
     switch_rounds: Sequence[int] = (300, 500, 700, 900),
     seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 8: effect of the SOS->FOS switch round on the 100x100 torus.
 
@@ -401,7 +421,7 @@ def fig08_switch_sweep(
     1000-round run.
     """
     built = build_graph("torus-100", scale if scale != "paper" else "ci")
-    sos_only = _simulate(built, "sos", rounds, seed=seed)
+    sos_only = _simulate(built, "sos", rounds, seed=seed, engine=engine)
     series = {
         "round": sos_only.rounds.tolist(),
         "sos_only_max_minus_avg": sos_only.series("max_minus_avg").tolist(),
@@ -409,7 +429,9 @@ def fig08_switch_sweep(
     }
     summary = {"sos_only_final": sos_only.records[-1].max_minus_avg}
     for switch in switch_rounds:
-        res = _simulate(built, "sos", rounds, seed=seed, switch_round=switch)
+        res = _simulate(
+            built, "sos", rounds, seed=seed, switch_round=switch, engine=engine
+        )
         series[f"fos{switch}_max_minus_avg"] = res.series("max_minus_avg").tolist()
         tail = [r.max_minus_avg for r in res.records if r.round_index >= rounds - 50]
         summary[f"fos{switch}_final"] = float(np.mean(tail))
@@ -436,6 +458,7 @@ def fig09_11_renders(
     snapshot_rounds: Optional[Sequence[int]] = None,
     seed: int = 0,
     directory: Optional[str] = None,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figures 9-11: grayscale rasters of the load on the torus.
 
@@ -453,7 +476,7 @@ def fig09_11_renders(
             {int(horizon * f) for f in (0.15, 0.3, 0.4, 0.45, 0.6, 1.0)}
         )
     rounds = max(snapshot_rounds)
-    res = _simulate(built, "sos", rounds, seed=seed, keep_loads=True)
+    res = _simulate(built, "sos", rounds, seed=seed, keep_loads=True, engine=engine)
     avg = res.records[0].total_load / built.n
 
     written = []
@@ -473,7 +496,8 @@ def fig09_11_renders(
     # Figure 11: threshold renders around a switch (clamped into the run).
     switch = max(1, min(int(horizon * 0.8), int(rounds * 0.6)))
     res_switch = _simulate(
-        built, "sos", rounds, seed=seed, switch_round=switch, keep_loads=True
+        built, "sos", rounds, seed=seed, switch_round=switch, keep_loads=True,
+        engine=engine,
     )
     thr_before = load_to_grayscale(
         res_switch.loads_history[switch], (side, side), mode="threshold",
@@ -528,14 +552,17 @@ def _other_network_figure(
     rounds: Optional[int],
     switch_fraction: float,
     seed: int,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Shared driver for Figures 12 (CM), 13 (hypercube), 14 (RGG)."""
     built = build_graph(graph_key, scale, seed=seed)
     rounds = rounds or max(_default_rounds(built, factor=4.0), 60)
     switch = max(2, int(rounds * switch_fraction))
-    sos = _simulate(built, "sos", rounds, seed=seed)
-    fos = _simulate(built, "fos", rounds, seed=seed + 1)
-    hybrid = _simulate(built, "sos", rounds, seed=seed, switch_round=switch)
+    sos = _simulate(built, "sos", rounds, seed=seed, engine=engine)
+    fos = _simulate(built, "fos", rounds, seed=seed + 1, engine=engine)
+    hybrid = _simulate(
+        built, "sos", rounds, seed=seed, switch_round=switch, engine=engine
+    )
     # "Balanced up to an additive constant": the discrete residual scales
     # with the degree, so the convergence threshold must too (the RGG has
     # max degree ~35 at CI scale and plateaus above 10 tokens).
@@ -576,24 +603,33 @@ def _other_network_figure(
 
 
 def fig12_random_graph(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 12: configuration-model random graph — SOS barely beats FOS."""
-    return _other_network_figure("fig12", "cm", scale, rounds, 0.12, seed)
+    return _other_network_figure("fig12", "cm", scale, rounds, 0.12, seed, engine)
 
 
 def fig13_hypercube(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 13: hypercube — limited SOS improvement; switch to FOS midway."""
-    return _other_network_figure("fig13", "hypercube", scale, rounds, 0.25, seed)
+    return _other_network_figure("fig13", "hypercube", scale, rounds, 0.25, seed, engine)
 
 
 def fig14_rgg(
-    scale: str = "ci", rounds: Optional[int] = None, seed: int = 0
+    scale: str = "ci",
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 14: random geometric graph — torus-like behaviour."""
-    return _other_network_figure("fig14", "rgg", scale, rounds, 0.5, seed)
+    return _other_network_figure("fig14", "rgg", scale, rounds, 0.5, seed, engine)
 
 
 # ----------------------------------------------------------------------
@@ -605,13 +641,16 @@ def fig15_torus_combined(
     rounds: int = 1000,
     switch_round: int = 500,
     seed: int = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Figure 15: 100x100 torus — metrics, FOS switch at 500, and the
     leading eigen-coefficient overlay (``-a_4`` leads from ~100 to ~700)."""
     built = build_graph("torus-100", scale if scale != "paper" else "ci")
     side = int(round(math.sqrt(built.n)))
-    res = _simulate(built, "sos", rounds, seed=seed, keep_loads=True)
-    hybrid = _simulate(built, "sos", rounds, seed=seed, switch_round=switch_round)
+    res = _simulate(built, "sos", rounds, seed=seed, keep_loads=True, engine=engine)
+    hybrid = _simulate(
+        built, "sos", rounds, seed=seed, switch_round=switch_round, engine=engine
+    )
     analyzer = TorusFourierAnalyzer(side, side)
     trace = analyzer.trace(res.loads_history)
     span = trace.stable_leader_span()

@@ -61,15 +61,23 @@ def list_experiments() -> List[str]:
 def run_experiment(
     name: str,
     output_dir: Optional[str] = None,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> ExperimentRecord:
-    """Run one experiment by id; optionally persist the record as JSON."""
+    """Run one experiment by id; optionally persist the record as JSON.
+
+    ``engine`` selects the execution backend (``reference`` / ``batched`` /
+    ``network``) for drivers that simulate; ``None`` keeps each driver's
+    default (the reference engine).
+    """
     try:
         driver = EXPERIMENTS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {name!r}; known: {list_experiments()}"
         ) from None
+    if engine is not None:
+        kwargs["engine"] = engine
     record = driver(**kwargs)
     if output_dir is not None:
         save_record(record, output_dir)

@@ -1,4 +1,4 @@
-"""Parameter sweeps: convergence-time scaling measurements.
+"""Parameter sweeps: convergence-time scaling and replica ensembles.
 
 The paper's quantitative core is the convergence-time law — FOS needs
 ``O(log(Kn)/(1-lambda))`` rounds, SOS ``O(log(Kn)/sqrt(1-lambda))`` — so on
@@ -6,29 +6,38 @@ a ``k x k`` torus (gap ``~ 1/k^2``) the balancing time should scale like
 ``k^2`` for FOS but only ``k`` for SOS.  :func:`torus_size_sweep` measures
 the rounds-to-balance across torus sizes and :func:`fit_power_law` extracts
 the exponent, which the scaling bench compares against 2 and 1.
+
+:func:`replica_ensemble` is the ensemble-throughput path: it submits a whole
+batch of seeds/initial loads as *one* engine call (the batched backend runs
+every replica per vectorised step) and reduces the per-replica results to
+mean/std statistics of the Section VI metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..core import (
-    FirstOrderScheme,
-    LoadBalancingProcess,
-    SecondOrderScheme,
-    Simulator,
+    SimulationResult,
     beta_opt,
     point_load,
     torus_lambda,
 )
-from ..graphs import torus_2d
+from ..engines import EngineConfig, make_engine
+from ..graphs import Topology, torus_2d
 from ..analysis import convergence_round
 
-__all__ = ["SweepPoint", "torus_size_sweep", "fit_power_law"]
+__all__ = [
+    "SweepPoint",
+    "EnsembleResult",
+    "torus_size_sweep",
+    "replica_ensemble",
+    "fit_power_law",
+]
 
 
 @dataclass(frozen=True)
@@ -48,16 +57,19 @@ def torus_size_sweep(
     average_load: int = 1000,
     round_cap: int = 50000,
     seed: int = 0,
+    engine: str = "reference",
 ) -> List[SweepPoint]:
     """Measure rounds-to-balance of FOS or SOS across torus sizes.
 
     Each instance runs the discrete (randomized-excess) scheme from a point
     load until the max-above-average stays below ``threshold`` for three
     consecutive rounds, using an adaptive round budget derived from the
-    theoretical law (capped at ``round_cap``).
+    theoretical law (capped at ``round_cap``).  ``engine`` picks the
+    execution backend for every instance.
     """
     if kind not in ("fos", "sos"):
         raise ConfigurationError(f"kind must be 'fos' or 'sos', got {kind!r}")
+    backend = make_engine(engine)
     points: List[SweepPoint] = []
     for size in sizes:
         topo = torus_2d(size, size)
@@ -65,16 +77,17 @@ def torus_size_sweep(
         gap = 1.0 - lam
         k_disc = average_load * topo.n
         if kind == "fos":
-            scheme = FirstOrderScheme(topo)
             budget = 6.0 * np.log(k_disc) / gap
         else:
-            scheme = SecondOrderScheme(topo, beta=beta_opt(lam))
             budget = 6.0 * np.log(k_disc) / np.sqrt(gap)
-        rounds = int(min(budget, round_cap))
-        proc = LoadBalancingProcess(
-            scheme, rounding="randomized-excess", rng=np.random.default_rng(seed)
+        config = EngineConfig(
+            scheme=kind,
+            beta=beta_opt(lam) if kind == "sos" else 1.0,
+            rounding="randomized-excess",
+            rounds=int(min(budget, round_cap)),
+            seed=seed,
         )
-        result = Simulator(proc).run(point_load(topo, k_disc), rounds)
+        result = backend.run(topo, config, point_load(topo, k_disc))[0]
         points.append(
             SweepPoint(
                 size=size,
@@ -86,6 +99,64 @@ def torus_size_sweep(
             )
         )
     return points
+
+
+@dataclass
+class EnsembleResult:
+    """A replica ensemble's per-replica results plus reduced statistics.
+
+    ``stats`` maps ``<metric>_mean`` / ``<metric>_std`` over the final
+    recorded round of every replica, plus the distribution of
+    rounds-to-balance (``None`` entries excluded from the moments but
+    counted in ``unconverged``).
+    """
+
+    results: List[SimulationResult]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.results)
+
+
+def replica_ensemble(
+    topo: Topology,
+    config: EngineConfig,
+    initial_loads: Optional[np.ndarray] = None,
+    n_replicas: int = 16,
+    average_load: int = 1000,
+    threshold: float = 10.0,
+    engine: str = "batched",
+) -> EnsembleResult:
+    """Run ``n_replicas`` independent replicas as one batched engine call.
+
+    When ``initial_loads`` is omitted every replica starts from the paper's
+    point load; replicas always differ in their random streams (replica
+    ``b`` derives from ``config.seed + b`` on the per-replica backends, and
+    from one batch generator on the vectorised one).
+    """
+    if initial_loads is None:
+        if n_replicas < 1:
+            raise ConfigurationError(f"n_replicas must be >= 1, got {n_replicas}")
+        initial_loads = np.tile(point_load(topo, average_load * topo.n), (n_replicas, 1))
+    results = make_engine(engine).run(topo, config, initial_loads)
+    finals = {
+        name: np.array([r.series(name)[-1] for r in results])
+        for name in ("max_minus_avg", "max_local_diff", "min_transient")
+    }
+    stats: Dict[str, float] = {}
+    for name, values in finals.items():
+        stats[f"{name}_mean"] = float(values.mean())
+        stats[f"{name}_std"] = float(values.std())
+    balance_rounds = [
+        convergence_round(r, threshold=threshold, sustained=1) for r in results
+    ]
+    converged = [r for r in balance_rounds if r is not None]
+    stats["unconverged"] = float(len(balance_rounds) - len(converged))
+    if converged:
+        stats["rounds_to_balance_mean"] = float(np.mean(converged))
+        stats["rounds_to_balance_std"] = float(np.std(converged))
+    return EnsembleResult(results=results, stats=stats)
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:

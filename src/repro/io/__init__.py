@@ -1,5 +1,17 @@
 """Persistence helpers for experiment results."""
 
-from .results import ExperimentRecord, list_records, load_record, save_record
+from .results import (
+    ExperimentRecord,
+    list_records,
+    load_record,
+    result_record,
+    save_record,
+)
 
-__all__ = ["ExperimentRecord", "save_record", "load_record", "list_records"]
+__all__ = [
+    "ExperimentRecord",
+    "result_record",
+    "save_record",
+    "load_record",
+    "list_records",
+]

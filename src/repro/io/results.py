@@ -17,7 +17,13 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["ExperimentRecord", "save_record", "load_record", "list_records"]
+__all__ = [
+    "ExperimentRecord",
+    "result_record",
+    "save_record",
+    "load_record",
+    "list_records",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -73,6 +79,38 @@ class ExperimentRecord:
             summary=data.get("summary", {}),
             series=data.get("series", {}),
         )
+
+
+def result_record(
+    name: str,
+    result,
+    params: Optional[Dict[str, Any]] = None,
+    summary: Optional[Dict[str, Any]] = None,
+    fields: Optional[List[str]] = None,
+) -> ExperimentRecord:
+    """Archive a :class:`~repro.core.simulator.SimulationResult` as a record.
+
+    Consumes the result's columnar record table directly: every requested
+    metric column becomes a named series (the round index is always
+    included), without materialising per-round Python objects.
+    """
+    from ..core.records import FLOAT_FIELDS
+
+    table = result.table
+    series: Dict[str, List[float]] = {
+        "round": table.column("round_index").tolist()
+    }
+    for field_name in fields if fields is not None else FLOAT_FIELDS:
+        series[field_name] = table.column(field_name).tolist()
+    summary = dict(summary or {})
+    summary.setdefault("rounds_recorded", len(table))
+    if result.switched_at is not None:
+        summary.setdefault("switched_at", result.switched_at)
+    if result.stopped_at is not None:
+        summary.setdefault("stopped_at", result.stopped_at)
+    return ExperimentRecord(
+        name=name, params=dict(params or {}), summary=summary, series=series
+    )
 
 
 def save_record(record: ExperimentRecord, directory: str) -> str:

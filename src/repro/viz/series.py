@@ -13,23 +13,14 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..core.records import RECORD_FIELDS
 from ..core.simulator import SimulationResult
 
 __all__ = ["write_csv", "result_to_csv", "RESULT_COLUMNS"]
 
 #: Metric columns exported for every simulation result (paper Section VI).
-RESULT_COLUMNS = (
-    "round_index",
-    "scheme",
-    "max_minus_avg",
-    "min_minus_avg",
-    "max_local_diff",
-    "potential_per_node",
-    "min_load",
-    "min_transient",
-    "total_load",
-    "round_traffic",
-)
+#: Alias of the canonical record-table field order.
+RESULT_COLUMNS = RECORD_FIELDS
 
 
 def write_csv(path: str, columns: Dict[str, Sequence]) -> str:
@@ -49,9 +40,9 @@ def write_csv(path: str, columns: Dict[str, Sequence]) -> str:
 
 
 def result_to_csv(result: SimulationResult, path: str) -> str:
-    """Export every recorded round of a simulation result as CSV."""
-    columns = {
-        name: [getattr(rec, name) for rec in result.records]
-        for name in RESULT_COLUMNS
-    }
-    return write_csv(path, columns)
+    """Export every recorded round of a simulation result as CSV.
+
+    Consumes the columnar record table directly — no per-row Python objects
+    are materialised.
+    """
+    return write_csv(path, result.table.to_columns())

@@ -36,6 +36,24 @@ class TestRun:
         # rounds 0,5,10,15,20 plus the forced terminal record 23
         assert result.rounds.tolist() == [0, 5, 10, 15, 20, 23]
 
+    def test_terminal_record_uses_final_step_values(self, small_torus):
+        """Regression: the forced terminal record must report the *final*
+        round's min_transient and round_traffic, not the previous record's
+        (it used to copy round 20's values onto the round-23 row)."""
+        load = point_load(small_torus, 6400)
+        sparse = Simulator(_sos_process(small_torus), record_every=5).run(
+            load, rounds=23
+        )
+        dense = Simulator(_sos_process(small_torus), record_every=1).run(
+            load, rounds=23
+        )
+        assert sparse.rounds.tolist()[-1] == 23
+        assert sparse.records[-1].min_transient == dense.records[23].min_transient
+        assert sparse.records[-1].round_traffic == dense.records[23].round_traffic
+        # the other metric columns agree as well (state-derived)
+        for name in ("max_minus_avg", "max_local_diff", "total_load"):
+            assert sparse.series(name)[-1] == dense.series(name)[23]
+
     def test_series_extraction(self, small_torus):
         sim = Simulator(_sos_process(small_torus))
         result = sim.run(point_load(small_torus, 6400), rounds=10)

@@ -1,0 +1,173 @@
+"""Cross-engine equivalence: batched == reference == network, trace for trace.
+
+For deterministic roundings all integral traces must agree *bit for bit*
+across every backend and batch size — on the torus, the hypercube, and a
+random-regular graph, with and without mid-run hybrid switching.  The
+continuous identity process agrees to float accumulation accuracy, and the
+randomized roundings agree statistically (same plateau, exact conservation).
+"""
+
+import numpy as np
+import pytest
+
+from repro import hypercube, point_load, random_load, torus_2d
+from repro.graphs import random_regular_strict
+from repro.engines import EngineConfig, make_engine
+
+DETERMINISTIC = ["floor", "nearest", "ceil"]
+ENGINE_NAMES = ["reference", "batched", "network"]
+
+EXACT_FIELDS = (
+    "round_index",
+    "scheme",
+    "max_minus_avg",
+    "min_minus_avg",
+    "max_local_diff",
+    "min_load",
+    "min_transient",
+    "total_load",
+    "round_traffic",
+)
+
+
+def _topologies():
+    rng = np.random.default_rng(7)
+    return {
+        "torus": torus_2d(5, 6),
+        "hypercube": hypercube(5),
+        "random-regular": random_regular_strict(24, 3, rng=rng),
+    }
+
+
+TOPOLOGIES = _topologies()
+
+
+def _assert_same_result(result, reference, exact: bool):
+    if exact:
+        np.testing.assert_array_equal(
+            result.final_state.load, reference.final_state.load
+        )
+        np.testing.assert_array_equal(
+            result.final_state.flows, reference.final_state.flows
+        )
+        for fieldname in EXACT_FIELDS:
+            np.testing.assert_array_equal(
+                result.series(fieldname),
+                reference.series(fieldname),
+                err_msg=fieldname,
+            )
+        np.testing.assert_allclose(
+            result.series("potential_per_node"),
+            reference.series("potential_per_node"),
+            rtol=1e-12,
+        )
+    else:
+        np.testing.assert_allclose(
+            result.final_state.load, reference.final_state.load, atol=1e-9
+        )
+    assert result.switched_at == reference.switched_at
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("rounding", DETERMINISTIC + ["identity"])
+@pytest.mark.parametrize("scheme,beta", [("fos", 1.0), ("sos", 1.7)])
+def test_single_replica_equivalence(topo_name, rounding, scheme, beta):
+    topo = TOPOLOGIES[topo_name]
+    load = point_load(topo, 1000 * topo.n)
+    config = EngineConfig(
+        scheme=scheme, beta=beta, rounding=rounding, rounds=30, seed=0
+    )
+    reference = make_engine("reference").run(topo, config, load)[0]
+    for name in ("batched", "network"):
+        result = make_engine(name).run(topo, config, load)[0]
+        _assert_same_result(result, reference, exact=rounding != "identity")
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_multi_replica_batch_matches_reference_rows(topo_name):
+    """B > 1: every row of the batched run equals its own reference run."""
+    topo = TOPOLOGIES[topo_name]
+    rng = np.random.default_rng(3)
+    loads = np.stack(
+        [
+            point_load(topo, 1000 * topo.n, node=0),
+            point_load(topo, 500 * topo.n, node=topo.n - 1),
+            random_load(topo, 400 * topo.n, rng=rng),
+        ]
+    )
+    config = EngineConfig(scheme="sos", beta=1.7, rounding="nearest", rounds=40)
+    batched = make_engine("batched").run(topo, config, loads)
+    reference = make_engine("reference").run(topo, config, loads)
+    assert len(batched) == len(reference) == 3
+    for result, ref in zip(batched, reference):
+        _assert_same_result(result, ref, exact=True)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("rounding", ["floor", "nearest"])
+def test_hybrid_switch_equivalence(topo_name, rounding):
+    """Mid-run SOS -> FOS switching: all three engines agree bit for bit,
+    including the scheme column flipping at the right record."""
+    topo = TOPOLOGIES[topo_name]
+    load = point_load(topo, 1000 * topo.n)
+    config = EngineConfig(
+        scheme="sos", beta=1.7, rounding=rounding, rounds=40,
+        switch=("fixed", 15), seed=0,
+    )
+    reference = make_engine("reference").run(topo, config, load)[0]
+    assert reference.switched_at == 15
+    schemes = reference.series("scheme")
+    assert schemes[15] == "SecondOrderScheme"
+    assert schemes[16] == "FirstOrderScheme"
+    for name in ("batched", "network"):
+        result = make_engine(name).run(topo, config, load)[0]
+        _assert_same_result(result, reference, exact=True)
+
+
+def test_local_diff_switch_equivalence():
+    """The metric-triggered policy fires at the same round on batched and
+    reference (the network engine is fixed-switch only)."""
+    topo = TOPOLOGIES["torus"]
+    load = point_load(topo, 1000 * topo.n)
+    config = EngineConfig(
+        scheme="sos", beta=1.7, rounding="nearest", rounds=200,
+        switch=("local-diff", 10.0, 1), seed=0,
+    )
+    reference = make_engine("reference").run(topo, config, load)[0]
+    batched = make_engine("batched").run(topo, config, load)[0]
+    assert reference.switched_at is not None
+    _assert_same_result(batched, reference, exact=True)
+
+
+@pytest.mark.parametrize("rounding", ["unbiased-edge", "randomized-excess"])
+def test_randomized_engines_agree_statistically(rounding):
+    """Randomized draws differ across engines, but conservation is exact and
+    both land on the same plateau."""
+    topo = torus_2d(8, 8)
+    load = point_load(topo, 1000 * topo.n)
+    config = EngineConfig(
+        scheme="sos", beta=1.6, rounding=rounding, rounds=250, seed=5
+    )
+    reference = make_engine("reference").run(topo, config, load)[0]
+    batched = make_engine("batched").run(topo, config, load)[0]
+    a, b = batched.final_state.load, reference.final_state.load
+    assert a.sum() == b.sum()
+    assert np.all(a == np.round(a))  # integral token counts
+    assert abs((a.max() - a.mean()) - (b.max() - b.mean())) <= 12.0
+
+
+def test_float32_mode_matches_float64_statistically():
+    """The throughput precision mode keeps loads integral and conserved and
+    reaches the same plateau as the float64 engine."""
+    topo = torus_2d(8, 8)
+    load = point_load(topo, 1000 * topo.n)
+    base = dict(scheme="sos", beta=1.6, rounding="randomized-excess",
+                rounds=250, seed=5)
+    r64 = make_engine("batched").run(topo, EngineConfig(**base), load)[0]
+    r32 = make_engine("batched").run(
+        topo, EngineConfig(**base, precision="float32"), load
+    )[0]
+    a, b = r32.final_state.load, r64.final_state.load
+    assert a.sum() == b.sum() == 1000 * topo.n
+    assert np.all(a == np.round(a))
+    assert abs((a.max() - a.mean()) - (b.max() - b.mean())) <= 12.0

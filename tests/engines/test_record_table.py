@@ -1,0 +1,115 @@
+"""Unit tests for the columnar record table and its result integration."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    LoadBalancingProcess,
+    RecordTable,
+    RECORD_FIELDS,
+    SecondOrderScheme,
+    Simulator,
+    point_load,
+)
+from repro.core.records import FLOAT_FIELDS
+
+
+def _row(i):
+    values = {name: float(i * 10 + k) for k, name in enumerate(FLOAT_FIELDS)}
+    return values
+
+
+class TestRecordTable:
+    def test_append_and_columns(self):
+        table = RecordTable(capacity=2)
+        for i in range(5):  # forces growth past the initial capacity
+            table.append(round_index=i, scheme="FirstOrderScheme", **_row(i))
+        assert len(table) == 5
+        assert table.column("round_index").tolist() == [0, 1, 2, 3, 4]
+        assert table.column("scheme").tolist() == ["FirstOrderScheme"] * 5
+        np.testing.assert_array_equal(
+            table.column("max_minus_avg"),
+            [_row(i)["max_minus_avg"] for i in range(5)],
+        )
+
+    def test_columns_are_readonly_views(self):
+        table = RecordTable()
+        table.append(round_index=0, scheme="s", **_row(0))
+        col = table.column("min_load")
+        with pytest.raises(ValueError):
+            col[0] = 1.0
+
+    def test_row_and_iter(self):
+        table = RecordTable()
+        table.append(round_index=3, scheme="SecondOrderScheme", **_row(1))
+        row = table.row(0)
+        assert row["round_index"] == 3
+        assert row["scheme"] == "SecondOrderScheme"
+        assert row["total_load"] == _row(1)["total_load"]
+        assert table.row(-1) == row
+        assert list(table.iter_rows()) == [row]
+        with pytest.raises(IndexError):
+            table.row(1)
+
+    def test_unknown_column_rejected(self):
+        table = RecordTable()
+        with pytest.raises(ConfigurationError):
+            table.column("nope")
+
+    def test_to_columns_order(self):
+        table = RecordTable()
+        table.append(round_index=0, scheme="s", **_row(0))
+        assert tuple(table.to_columns()) == RECORD_FIELDS
+
+    def test_from_columns_roundtrip(self):
+        table = RecordTable()
+        for i in range(4):
+            table.append(round_index=i, scheme="x", **_row(i))
+        rebuilt = RecordTable.from_columns(
+            table.column("round_index"),
+            table.column("scheme"),
+            {name: table.column(name) for name in FLOAT_FIELDS},
+        )
+        assert len(rebuilt) == 4
+        for name in RECORD_FIELDS:
+            np.testing.assert_array_equal(rebuilt.column(name), table.column(name))
+
+    def test_from_columns_validates(self):
+        with pytest.raises(ConfigurationError):
+            RecordTable.from_columns(np.arange(3), np.array(["a"] * 3), {})
+
+
+class TestSeriesMemoization:
+    """Regression: repeated ``series()`` calls must not rebuild anything."""
+
+    def test_series_returns_same_backing_array(self, small_torus):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.6),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        result = Simulator(proc).run(point_load(small_torus, 6400), rounds=30)
+        first = result.series("max_minus_avg")
+        second = result.series("max_minus_avg")
+        # zero-copy views of the same table storage, identical content
+        assert first.base is result.table._floats["max_minus_avg"]
+        assert second.base is first.base
+        np.testing.assert_array_equal(first, second)
+        # and the view cannot mutate the table
+        with pytest.raises(ValueError):
+            first[0] = -1.0
+
+    def test_records_materialised_lazily_once(self, small_torus):
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.6),
+            rounding="nearest",
+        )
+        result = Simulator(proc).run(point_load(small_torus, 6400), rounds=10)
+        assert result._records is None  # nothing built until asked
+        records = result.records
+        assert result.records is records  # cached
+        assert [r.round_index for r in records] == list(range(11))
+        np.testing.assert_array_equal(
+            result.series("total_load"), [r.total_load for r in records]
+        )
