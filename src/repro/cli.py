@@ -18,10 +18,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import point_load
+from .core import make_arrival_model, point_load, uniform_load
 from .engines import ENGINES, make_engine
 from .experiments import (
     build_graph,
+    dynamic_replica_ensemble,
     engine_config,
     format_record,
     format_table,
@@ -111,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["float64", "float32"],
         help="float32 is the batched engine's ensemble-throughput mode",
     )
+    p_sim.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run the dynamic regime: tokens arrive/depart each round before "
+            "the balancing step.  SPEC is poisson:RATE[,depart=RATE] "
+            "(e.g. poisson:3.0,depart=1.0), burst:BURST/PERIOD "
+            "(e.g. burst:200/50), hotspot:N0,N1,...:RATE "
+            "(e.g. hotspot:0,1:5), or none.  Starts from the uniform "
+            "--avg-load and reports steady-state imbalance against the "
+            "moving average"
+        ),
+    )
 
     p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
     p_render.add_argument("--out", required=True, help="output directory")
@@ -175,7 +190,10 @@ def _cmd_simulate(args) -> int:
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "
         f"beta={built.beta:.6f} scheme={args.scheme} rounding={args.rounding} "
         f"engine={args.engine} replicas={args.replicas}"
+        + (f" arrivals={args.arrivals}" if args.arrivals else "")
     )
+    if args.arrivals is not None:
+        return _simulate_dynamic(args, built, config)
     if args.replicas > 1:
         ensemble = replica_ensemble(
             built.topo,
@@ -202,6 +220,45 @@ def _cmd_simulate(args) -> int:
         print(f"switched to FOS after round {result.switched_at}")
     print("max-avg (log sparkline):")
     print(sparkline(result.series("max_minus_avg"), log=True))
+    return 0
+
+
+def _simulate_dynamic(args, built, config) -> int:
+    """The dynamic-regime branch of ``simulate`` (``--arrivals SPEC``)."""
+    model = make_arrival_model(args.arrivals)
+    if args.replicas > 1:
+        ensemble = dynamic_replica_ensemble(
+            built.topo,
+            config,
+            [model],
+            seeds=range(args.replicas),
+            average_load=args.avg_load,
+            engine=args.engine,
+        )
+        for key in sorted(ensemble.stats):
+            print(f"  {key} = {ensemble.stats[key]:.6g}")
+        result = ensemble.results[0]
+    else:
+        config.arrivals = model
+        initial = uniform_load(built.topo, args.avg_load)
+        result = make_engine(args.engine).run_dynamic(
+            built.topo, config, initial
+        )[0]
+    table = result.table
+    if len(table):
+        print(
+            f"after {int(table.column('round_index')[-1])} rounds (replica 0): "
+            f"total={table.column('total_load')[-1]:,.0f} "
+            f"arrived={table.column('arrived').sum():,.0f} "
+            f"departed={table.column('departed').sum():,.0f} "
+            f"clamped={table.column('clamped').sum():,.0f}"
+        )
+        print(
+            "steady-state imbalance (moving average target): "
+            f"{result.steady_state_imbalance():.2f}"
+        )
+        print("max-avg (log sparkline):")
+        print(sparkline(result.series("max_minus_avg"), log=True))
     return 0
 
 

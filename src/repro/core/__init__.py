@@ -107,11 +107,16 @@ from .dynamic import (
     BurstArrivals,
     DynamicResult,
     DynamicRoundRecord,
+    DynamicRun,
     DynamicSimulator,
     HotspotArrivals,
     NoArrivals,
     PoissonArrivals,
+    arrival_stream,
+    arrival_streams,
+    make_arrival_model,
 )
+from .records import DynamicRecordTable
 from .negative_load import (
     NegativeLoadTracker,
     initial_delta,
@@ -218,12 +223,17 @@ __all__ = [
     # dynamic workloads
     "ArrivalModel",
     "BurstArrivals",
+    "DynamicRecordTable",
     "DynamicResult",
     "DynamicRoundRecord",
+    "DynamicRun",
     "DynamicSimulator",
     "HotspotArrivals",
     "NoArrivals",
     "PoissonArrivals",
+    "arrival_stream",
+    "arrival_streams",
+    "make_arrival_model",
     "NegativeLoadTracker",
     "initial_delta",
     "minimum_safe_initial_load",

@@ -10,19 +10,40 @@ balancing steps while recording imbalance relative to the *current* total.
 This is the "future work" regime: the interesting quantity is the steady
 state — with SOS the imbalance stays bounded by the per-round arrival volume
 plus the discrete residual, which `benchmarks/bench_dynamic.py` measures.
+
+Like the static :class:`~repro.core.simulator.Simulator`, the driver is
+split into an incremental core (:meth:`DynamicSimulator.start` /
+:meth:`inject` / :meth:`advance` / :meth:`finish`) so the engine adapters
+(:mod:`repro.engines`) can interleave the arrival hook with balancing steps
+through *exactly* the code path :meth:`DynamicSimulator.run` uses.  Records
+go into a columnar :class:`~repro.core.records.DynamicRecordTable` — one
+row per executed round with exact token accounting
+(``total[t] == total[t-1] + arrived[t] - departed[t]``, ``clamped`` being
+the departure volume refused because a node had nothing left to consume).
+
+RNG stream layout
+-----------------
+Replica ``b`` of a batched dynamic run draws its arrivals from the
+*spawned* stream :func:`arrival_stream`\\ ``(seed, b)`` — i.e.
+``default_rng(SeedSequence(seed, spawn_key=(b,)))`` — which is independent
+of the rounding generator (``default_rng(seed + b)`` on the per-replica
+backends, one batch generator on the vectorised one).  Seed a standalone
+:class:`DynamicSimulator` with ``rng=arrival_stream(seed, b)`` to reproduce
+engine replica ``b`` bit for bit (for deterministic roundings).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, SimulationError
 from ..graphs.topology import Topology
 from .metrics import max_local_difference, max_minus_average, normalized_potential
 from .process import LoadBalancingProcess
+from .records import DynamicRecordTable
 from .state import LoadState
 
 __all__ = [
@@ -31,8 +52,12 @@ __all__ = [
     "PoissonArrivals",
     "BurstArrivals",
     "HotspotArrivals",
+    "make_arrival_model",
+    "arrival_stream",
+    "arrival_streams",
     "DynamicRoundRecord",
     "DynamicResult",
+    "DynamicRun",
     "DynamicSimulator",
 ]
 
@@ -135,6 +160,88 @@ class HotspotArrivals(ArrivalModel):
         return f"HotspotArrivals(nodes={self.nodes}, rate={self.rate})"
 
 
+def make_arrival_model(spec: Union[str, ArrivalModel]) -> ArrivalModel:
+    """Build an :class:`ArrivalModel` from a CLI-style spec string.
+
+    Accepted forms (an :class:`ArrivalModel` instance passes through):
+
+    * ``none`` — :class:`NoArrivals`,
+    * ``poisson:RATE`` or ``poisson:RATE,depart=RATE`` —
+      :class:`PoissonArrivals`,
+    * ``burst:BURST/PERIOD`` — :class:`BurstArrivals`
+      (e.g. ``burst:200/50``),
+    * ``hotspot:N0,N1,...:RATE`` — :class:`HotspotArrivals`
+      (e.g. ``hotspot:0,1:5``).
+    """
+    if isinstance(spec, ArrivalModel):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"cannot interpret arrival spec {spec!r}; pass an ArrivalModel "
+            "or a spec string (none | poisson:... | burst:... | hotspot:...)"
+        )
+    key, _, rest = spec.strip().partition(":")
+    key = key.strip().lower()
+    try:
+        if key == "none":
+            return NoArrivals()
+        if key == "poisson":
+            parts = [p.strip() for p in rest.split(",") if p.strip()]
+            if not parts:
+                raise ConfigurationError("poisson spec needs a rate")
+            depart = 0.0
+            for extra in parts[1:]:
+                name, eq, value = extra.partition("=")
+                if name.strip() != "depart" or not eq:
+                    raise ConfigurationError(
+                        f"unknown poisson option {extra!r} (only depart=RATE)"
+                    )
+                depart = float(value)
+            return PoissonArrivals(rate=float(parts[0]), departure_rate=depart)
+        if key == "burst":
+            burst, sep, period = rest.partition("/")
+            if not sep:
+                raise ConfigurationError("burst spec is burst:BURST/PERIOD")
+            return BurstArrivals(burst=int(burst), period=int(period))
+        if key == "hotspot":
+            nodes_part, sep, rate = rest.rpartition(":")
+            if not sep:
+                raise ConfigurationError("hotspot spec is hotspot:N0,N1,...:RATE")
+            nodes = [int(v) for v in nodes_part.split(",") if v.strip() != ""]
+            return HotspotArrivals(nodes=nodes, rate=int(rate))
+    except ValueError as exc:  # int()/float() parse failures
+        raise ConfigurationError(f"bad arrival spec {spec!r}: {exc}") from None
+    raise ConfigurationError(
+        f"unknown arrival spec {spec!r}; "
+        "known: none, poisson:RATE[,depart=RATE], burst:BURST/PERIOD, "
+        "hotspot:N0,N1,...:RATE"
+    )
+
+
+def arrival_stream(seed: int, replica: int = 0) -> np.random.Generator:
+    """The arrival generator of batch replica ``replica`` under ``seed``.
+
+    This is the engine-wide RNG stream layout for dynamic workloads:
+    ``default_rng(SeedSequence(seed, spawn_key=(replica,)))`` — the same
+    child stream ``SeedSequence(seed).spawn(B)[replica]`` would produce, so
+    replica streams are statistically independent of each other *and* of the
+    plain ``default_rng(seed + b)`` rounding streams, and replica ``b``'s
+    arrivals do not depend on the batch size it runs in.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(int(replica),))
+    )
+
+
+def arrival_streams(
+    seed: int, replicas: Union[int, Sequence[int]]
+) -> List[np.random.Generator]:
+    """Arrival generators for a whole batch (count, or explicit stream keys)."""
+    if isinstance(replicas, (int, np.integer)):
+        replicas = range(int(replicas))
+    return [arrival_stream(seed, b) for b in replicas]
+
+
 @dataclass(frozen=True)
 class DynamicRoundRecord:
     """Per-round metrics of a dynamic run (targets move with the total)."""
@@ -146,20 +253,33 @@ class DynamicRoundRecord:
     max_minus_avg: float
     max_local_diff: float
     potential_per_node: float
+    #: Requested departure volume that was refused because the node had no
+    #: non-negative load left to consume (keeps totals exactly accountable).
+    clamped: float = 0.0
 
 
 @dataclass
 class DynamicResult:
-    """Outcome of a dynamic simulation."""
+    """Outcome of a dynamic simulation, backed by columnar storage."""
 
-    records: List[DynamicRoundRecord]
+    table: DynamicRecordTable
     final_state: LoadState
+    _records: Optional[List[DynamicRoundRecord]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def records(self) -> List[DynamicRoundRecord]:
+        """Recorded rounds as :class:`DynamicRoundRecord` (lazily built)."""
+        if self._records is None:
+            self._records = [
+                DynamicRoundRecord(**row) for row in self.table.iter_rows()
+            ]
+        return self._records
 
     def series(self, fieldname: str) -> np.ndarray:
-        """Column ``fieldname`` as a float array."""
-        return np.asarray(
-            [getattr(r, fieldname) for r in self.records], dtype=np.float64
-        )
+        """Column ``fieldname`` as a read-only zero-copy view."""
+        return self.table.column(fieldname)
 
     def steady_state_imbalance(self, tail_fraction: float = 0.5) -> float:
         """Mean max-above-average over the trailing part of the run."""
@@ -170,6 +290,24 @@ class DynamicResult:
         series = self.series("max_minus_avg")
         start = int(series.size * (1.0 - tail_fraction))
         return float(series[start:].mean())
+
+
+@dataclass
+class DynamicRun:
+    """Mutable in-flight state of one dynamic simulation."""
+
+    state: LoadState
+    table: DynamicRecordTable
+    #: Token accounting of the arrivals applied for the upcoming round.
+    pending_arrived: float = 0.0
+    pending_departed: float = 0.0
+    pending_clamped: float = 0.0
+    #: Whether :meth:`DynamicSimulator.inject` already ran this round.
+    injected: bool = False
+    # Final values of the last executed balancing step (engine adapters
+    # report these through the protocol-level StepBatch).
+    last_min_transient: float = 0.0
+    last_traffic: float = 0.0
 
 
 class DynamicSimulator:
@@ -184,47 +322,89 @@ class DynamicSimulator:
     def __init__(
         self,
         process: LoadBalancingProcess,
-        arrivals: ArrivalModel,
+        arrivals: Union[str, ArrivalModel],
         rng: Optional[np.random.Generator] = None,
     ):
         self.process = process
-        self.arrivals = arrivals
+        self.arrivals = make_arrival_model(arrivals)
         self.rng = rng or np.random.default_rng()
 
+    # ------------------------------------------------------------------
+    # Incremental core (the reference engine's arrival hook drives this)
+    # ------------------------------------------------------------------
+    def start(self, initial_load: np.ndarray, rounds_hint: int = 0) -> DynamicRun:
+        """Initialise a run; unlike the static core, round 0 is not recorded."""
+        state = self.process.initial_state(initial_load)
+        return DynamicRun(
+            state=state,
+            table=DynamicRecordTable(max(int(rounds_hint), 1) + 1),
+            last_min_transient=float(state.load.min()),
+        )
+
+    def inject(self, run: DynamicRun) -> tuple:
+        """Apply this round's arrivals; returns ``(arrived, departed, clamped)``.
+
+        Consumption is clamped at the (non-negative part of the) current
+        load — SOS can leave transiently negative loads, which departures
+        must not touch — and the clamped remainder is reported so callers
+        can account for every token.
+        """
+        if run.injected:
+            raise SimulationError(
+                f"arrivals already applied for round {run.state.round_index}"
+            )
+        deltas = np.asarray(
+            self.arrivals.deltas(
+                self.process.topo, run.state.round_index, self.rng
+            ),
+            dtype=np.float64,
+        )
+        positive = np.maximum(deltas, 0.0)
+        wanted_departures = np.maximum(-deltas, 0.0)
+        actual_departures = np.minimum(
+            wanted_departures, np.maximum(run.state.load, 0.0)
+        )
+        run.state = LoadState(
+            load=run.state.load + positive - actual_departures,
+            flows=run.state.flows,
+            round_index=run.state.round_index,
+        )
+        run.pending_arrived = float(positive.sum())
+        run.pending_departed = float(actual_departures.sum())
+        run.pending_clamped = float((wanted_departures - actual_departures).sum())
+        run.injected = True
+        return run.pending_arrived, run.pending_departed, run.pending_clamped
+
+    def advance(self, run: DynamicRun) -> None:
+        """One balancing round (injecting first if the hook wasn't called)."""
+        if not run.injected:
+            self.inject(run)
+        state, info = self.process.step(run.state)
+        run.state = state
+        run.last_min_transient = info.min_transient
+        run.last_traffic = float(np.abs(info.actual).sum())
+        run.table.append(
+            round_index=state.round_index,
+            total_load=state.total_load,
+            arrived=run.pending_arrived,
+            departed=run.pending_departed,
+            clamped=run.pending_clamped,
+            max_minus_avg=max_minus_average(state.load),
+            max_local_diff=max_local_difference(self.process.topo, state.load),
+            potential_per_node=normalized_potential(state.load),
+        )
+        run.injected = False
+
+    def finish(self, run: DynamicRun) -> DynamicResult:
+        """Seal a run into a :class:`DynamicResult`."""
+        return DynamicResult(table=run.table, final_state=run.state)
+
+    # ------------------------------------------------------------------
     def run(self, initial_load: np.ndarray, rounds: int) -> DynamicResult:
         """Run ``rounds`` arrival+balance rounds from ``initial_load``."""
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
-        topo = self.process.topo
-        state = self.process.initial_state(initial_load)
-        records: List[DynamicRoundRecord] = []
+        run = self.start(initial_load, rounds_hint=rounds)
         for _ in range(rounds):
-            deltas = np.asarray(
-                self.arrivals.deltas(topo, state.round_index, self.rng),
-                dtype=np.float64,
-            )
-            arrivals = float(np.maximum(deltas, 0.0).sum())
-            wanted_departures = np.maximum(-deltas, 0.0)
-            # Consume at most the (non-negative part of the) current load —
-            # SOS can leave transiently negative loads, which departures
-            # must not touch.
-            actual_departures = np.minimum(
-                wanted_departures, np.maximum(state.load, 0.0)
-            )
-            new_load = state.load + np.maximum(deltas, 0.0) - actual_departures
-            state = LoadState(
-                load=new_load, flows=state.flows, round_index=state.round_index
-            )
-            state, _ = self.process.step(state)
-            records.append(
-                DynamicRoundRecord(
-                    round_index=state.round_index,
-                    total_load=state.total_load,
-                    arrived=arrivals,
-                    departed=float(actual_departures.sum()),
-                    max_minus_avg=max_minus_average(state.load),
-                    max_local_diff=max_local_difference(topo, state.load),
-                    potential_per_node=normalized_potential(state.load),
-                )
-            )
-        return DynamicResult(records=records, final_state=state)
+            self.advance(run)
+        return self.finish(run)

@@ -25,7 +25,14 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["RECORD_FIELDS", "FLOAT_FIELDS", "RecordTable"]
+__all__ = [
+    "RECORD_FIELDS",
+    "FLOAT_FIELDS",
+    "DYNAMIC_FIELDS",
+    "DYNAMIC_FLOAT_FIELDS",
+    "RecordTable",
+    "DynamicRecordTable",
+]
 
 #: Every column of a record table, in canonical export order.
 RECORD_FIELDS = (
@@ -43,6 +50,28 @@ RECORD_FIELDS = (
 
 #: The float64 metric columns (everything except round index and scheme).
 FLOAT_FIELDS = tuple(f for f in RECORD_FIELDS if f not in ("round_index", "scheme"))
+
+#: Every column of a dynamic (online-arrival) record table.  Unlike the
+#: static fields, the imbalance metrics are measured against the *current*
+#: average — the natural target when the total changes over time — and the
+#: per-round token accounting (``arrived``/``departed``/``clamped``) makes
+#: totals exactly reconstructible:
+#: ``total[t] == total[t-1] + arrived[t] - departed[t]``, with ``clamped``
+#: the departure volume that was requested but refused because the node had
+#: no (non-negative) load left to consume.
+DYNAMIC_FIELDS = (
+    "round_index",
+    "total_load",
+    "arrived",
+    "departed",
+    "clamped",
+    "max_minus_avg",
+    "max_local_diff",
+    "potential_per_node",
+)
+
+#: The float64 columns of a dynamic record table.
+DYNAMIC_FLOAT_FIELDS = tuple(f for f in DYNAMIC_FIELDS if f != "round_index")
 
 _SCHEME_DTYPE = "<U32"
 
@@ -156,6 +185,116 @@ class RecordTable:
         table._round_index[:size] = round_index
         table._scheme[:size] = np.asarray(scheme, dtype=_SCHEME_DTYPE)
         for name in FLOAT_FIELDS:
+            col = np.asarray(floats[name], dtype=np.float64)
+            if col.shape != (size,):
+                raise ConfigurationError(
+                    f"column {name!r} has shape {col.shape}, expected ({size},)"
+                )
+            table._floats[name][:size] = col
+        table._size = size
+        return table
+
+
+class DynamicRecordTable:
+    """Preallocated columnar table of dynamic (online-arrival) round records.
+
+    Same storage discipline as :class:`RecordTable` — one numpy column per
+    :data:`DYNAMIC_FIELDS` entry, preallocated and trimmed on read — but for
+    the dynamic regime: no scheme column (the dynamic core does not switch
+    schemes mid-run) and one row per *executed* round (there is no round-0
+    row; the interesting state is always post-arrival, post-balance).
+    """
+
+    __slots__ = ("_capacity", "_size", "_round_index", "_floats")
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._size = 0
+        self._round_index = np.empty(self._capacity, dtype=np.int64)
+        self._floats: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=np.float64)
+            for name in DYNAMIC_FLOAT_FIELDS
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        self._round_index = np.resize(self._round_index, self._capacity)
+        for name, col in self._floats.items():
+            self._floats[name] = np.resize(col, self._capacity)
+
+    def append(self, round_index: int, **values: float) -> None:
+        """Append one row; ``values`` must cover every float field."""
+        i = self._size
+        if i == self._capacity:
+            self._grow()
+        self._round_index[i] = round_index
+        floats = self._floats
+        for name in DYNAMIC_FLOAT_FIELDS:
+            floats[name][i] = values[name]
+        self._size = i + 1
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one column, trimmed to the filled rows."""
+        if name == "round_index":
+            out = self._round_index[: self._size]
+        else:
+            try:
+                out = self._floats[name][: self._size]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown dynamic record field {name!r}; "
+                    f"known: {DYNAMIC_FIELDS}"
+                ) from None
+        out = out.view()
+        out.setflags(write=False)
+        return out
+
+    def row(self, index: int) -> Dict[str, object]:
+        """One row as a plain field -> value dict."""
+        if not -self._size <= index < self._size:
+            raise IndexError(f"row {index} out of range for table of {self._size}")
+        if index < 0:
+            index += self._size
+        row: Dict[str, object] = {"round_index": int(self._round_index[index])}
+        for name in DYNAMIC_FLOAT_FIELDS:
+            row[name] = float(self._floats[name][index])
+        return row
+
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """All columns (trimmed views) keyed by field name, export order."""
+        return {name: self.column(name) for name in DYNAMIC_FIELDS}
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        for i in range(self._size):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls, round_index: np.ndarray, floats: Dict[str, np.ndarray]
+    ) -> "DynamicRecordTable":
+        """Build a table directly from complete column arrays.
+
+        Used by the batched engine, which computes whole ``(rounds, B)``
+        dynamic metric blocks and slices per-replica tables out at the end.
+        """
+        round_index = np.asarray(round_index, dtype=np.int64)
+        size = round_index.shape[0]
+        missing = set(DYNAMIC_FLOAT_FIELDS) - set(floats)
+        if missing:
+            raise ConfigurationError(
+                f"missing dynamic record columns: {sorted(missing)}"
+            )
+        table = cls(capacity=max(size, 1))
+        table._round_index[:size] = round_index
+        for name in DYNAMIC_FLOAT_FIELDS:
             col = np.asarray(floats[name], dtype=np.float64)
             if col.shape != (size,):
                 raise ConfigurationError(

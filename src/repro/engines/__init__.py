@@ -36,6 +36,7 @@ from ..graphs.topology import Topology
 
 from .base import (
     ENGINES,
+    ArrivalBatch,
     Engine,
     EngineConfig,
     RecordBatch,
@@ -44,6 +45,8 @@ from .base import (
     make_engine,
     make_switch_policy,
     register_engine,
+    resolve_arrival_models,
+    resolve_arrival_rngs,
 )
 from .reference import ReferenceEngine
 from .batched import BatchedVectorEngine
@@ -51,6 +54,7 @@ from .network import NetworkEngine
 
 __all__ = [
     "ENGINES",
+    "ArrivalBatch",
     "Engine",
     "EngineConfig",
     "RecordBatch",
@@ -62,7 +66,10 @@ __all__ = [
     "make_engine",
     "make_switch_policy",
     "register_engine",
+    "resolve_arrival_models",
+    "resolve_arrival_rngs",
     "run_replicas",
+    "run_dynamic_replicas",
 ]
 
 
@@ -79,3 +86,19 @@ def run_replicas(
     back, regardless of backend.
     """
     return make_engine(engine).run(topo, config, initial_loads)
+
+
+def run_dynamic_replicas(
+    topo: Topology,
+    config: EngineConfig,
+    initial_loads: np.ndarray,
+    engine: str = "batched",
+) -> List:
+    """Run a dynamic-workload replica batch (``config.arrivals`` set).
+
+    Every round each replica's arrivals are applied (departures clamped at
+    the non-negative current load) before the balancing step; one
+    :class:`~repro.core.dynamic.DynamicResult` per replica comes back,
+    recorded every round against the current (moving) average.
+    """
+    return make_engine(engine).run_dynamic(topo, config, initial_loads)

@@ -47,6 +47,7 @@ from ..core.simulator import SimulationResult
 __all__ = [
     "EngineConfig",
     "StepBatch",
+    "ArrivalBatch",
     "RecordBatch",
     "Engine",
     "ENGINES",
@@ -54,6 +55,8 @@ __all__ = [
     "register_engine",
     "make_switch_policy",
     "as_load_batch",
+    "resolve_arrival_models",
+    "resolve_arrival_rngs",
 ]
 
 #: Scheme-name strings recorded in result tables, indexed by scheme code
@@ -100,6 +103,20 @@ class EngineConfig:
     #: not bit-identical to the float64 ones.  Only the batched backend
     #: accepts float32.
     precision: str = "float64"
+    #: Dynamic-workload arrival hook: ``None`` (static run), one
+    #: :class:`~repro.core.dynamic.ArrivalModel` (or spec string, see
+    #: :func:`~repro.core.dynamic.make_arrival_model`) shared by every
+    #: replica, or a sequence with one model/spec per replica.  A config
+    #: with arrivals runs through :meth:`Engine.run_dynamic`; each round the
+    #: engine applies clamped arrivals/departures before the balancing step
+    #: and records the dynamic metric columns (every round — dynamic runs
+    #: ignore ``record_every``).
+    arrivals: Any = None
+    #: Per-replica arrival stream keys: replica ``b`` draws arrivals from
+    #: ``arrival_stream(seed, arrival_seeds[b])`` (default key: ``b``).
+    #: Lets sweeps pin streams to seed *values* so a replica's trajectory
+    #: does not depend on its batch position.
+    arrival_seeds: Optional[Sequence[int]] = None
 
     def validate(self) -> "EngineConfig":
         if self.scheme not in ("fos", "sos"):
@@ -118,6 +135,17 @@ class EngineConfig:
             )
         if self.switch is not None:
             make_switch_policy(self.switch)  # raises on malformed specs
+        if self.arrivals is not None:
+            resolve_arrival_models(self.arrivals)  # raises on malformed specs
+            if self.switch is not None:
+                raise ConfigurationError(
+                    "dynamic runs (config.arrivals) do not support hybrid "
+                    "switch specs"
+                )
+        elif self.arrival_seeds is not None:
+            raise ConfigurationError(
+                "arrival_seeds only applies to dynamic runs (set arrivals)"
+            )
         return self
 
 
@@ -147,6 +175,61 @@ def make_switch_policy(spec) -> Optional[SwitchPolicy]:
     raise ConfigurationError(
         f"unknown switch kind {kind!r}; known: fixed, local-diff, plateau"
     )
+
+
+def resolve_arrival_models(spec, n_replicas: Optional[int] = None) -> Optional[List]:
+    """Normalise a config ``arrivals`` value to one model per replica.
+
+    ``spec`` is ``None``, one :class:`~repro.core.dynamic.ArrivalModel` (or
+    spec string) shared by every replica, or a sequence with one entry per
+    replica.  With ``n_replicas=None`` the spec is only parsed/validated.
+    Arrival models are stateless (all randomness flows through the per-call
+    generator), so sharing one instance across replicas is sound.
+    """
+    from ..core.dynamic import ArrivalModel, make_arrival_model
+
+    if spec is None:
+        return None
+    if isinstance(spec, (str, ArrivalModel)):
+        model = make_arrival_model(spec)
+        return [model] * n_replicas if n_replicas is not None else [model]
+    if not isinstance(spec, (list, tuple)):
+        raise ConfigurationError(
+            f"cannot interpret arrivals {spec!r}; pass an ArrivalModel, a "
+            "spec string, or a per-replica sequence of either"
+        )
+    models = [make_arrival_model(entry) for entry in spec]
+    if not models:
+        raise ConfigurationError("arrivals sequence must not be empty")
+    if n_replicas is not None and len(models) != n_replicas:
+        if len(models) == 1:
+            return models * n_replicas
+        raise ConfigurationError(
+            f"{len(models)} arrival models for {n_replicas} replicas"
+        )
+    return models
+
+
+def resolve_arrival_rngs(
+    config: "EngineConfig", n_replicas: int
+) -> List[np.random.Generator]:
+    """Per-replica arrival generators following the engine stream layout.
+
+    Replica ``b`` draws from ``arrival_stream(config.seed, key_b)`` with
+    ``key_b = config.arrival_seeds[b]`` (default ``b``) — independent of the
+    rounding streams and of the batch size.
+    """
+    from ..core.dynamic import arrival_streams
+
+    keys = config.arrival_seeds
+    if keys is None:
+        return arrival_streams(config.seed, n_replicas)
+    keys = [int(k) for k in keys]
+    if len(keys) != n_replicas:
+        raise ConfigurationError(
+            f"{len(keys)} arrival_seeds for {n_replicas} replicas"
+        )
+    return arrival_streams(config.seed, keys)
 
 
 def as_load_batch(initial_loads: np.ndarray, n: int) -> np.ndarray:
@@ -180,6 +263,22 @@ class StepBatch:
     switched: np.ndarray
 
 
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """What the per-round arrival hook did, batch-wide.
+
+    ``round_index`` is the (pre-step) round the arrivals precede;
+    ``arrived`` / ``departed`` / ``clamped`` are per-replica token totals —
+    created tokens, actually consumed tokens, and the requested consumption
+    refused because the node had no non-negative load left.
+    """
+
+    round_index: int
+    arrived: np.ndarray
+    departed: np.ndarray
+    clamped: np.ndarray
+
+
 @dataclass
 class RecordBatch:
     """Recorded metric columns of a finished batch run.
@@ -201,6 +300,48 @@ class RecordBatch:
     switched_at: Optional[np.ndarray] = None
     loads_history: Optional[List[np.ndarray]] = None
     prebuilt: Optional[List[SimulationResult]] = None
+    #: Dynamic-run storage: per-round index plus ``(rounds, B)`` dynamic
+    #: metric columns (batched backend), or pre-built per-replica results.
+    dynamic_round_index: Optional[np.ndarray] = None
+    dynamic_columns: Optional[Dict[str, np.ndarray]] = None
+    prebuilt_dynamic: Optional[List] = None
+
+    def dynamic_results(self) -> List:
+        """Per-replica :class:`~repro.core.dynamic.DynamicResult` objects."""
+        if self.prebuilt_dynamic is not None:
+            return self.prebuilt_dynamic
+        if self.dynamic_columns is None:
+            raise ConfigurationError(
+                "this run recorded no dynamic columns (config.arrivals was "
+                "None); use results() for static runs"
+            )
+        from ..core.dynamic import DynamicResult
+        from ..core.records import DynamicRecordTable
+        from ..core.state import LoadState
+
+        n_replicas = self.final_loads.shape[0]
+        rounds = (
+            int(self.dynamic_round_index[-1])
+            if self.dynamic_round_index.size
+            else 0
+        )
+        out: List[DynamicResult] = []
+        for b in range(n_replicas):
+            table = DynamicRecordTable.from_columns(
+                self.dynamic_round_index,
+                {name: col[:, b] for name, col in self.dynamic_columns.items()},
+            )
+            out.append(
+                DynamicResult(
+                    table=table,
+                    final_state=LoadState(
+                        load=self.final_loads[b],
+                        flows=self.final_flows[b],
+                        round_index=rounds,
+                    ),
+                )
+            )
+        return out
 
     def results(self) -> List[SimulationResult]:
         if self.prebuilt is not None:
@@ -254,6 +395,18 @@ class Engine:
         """Advance every replica one synchronous round."""
         raise NotImplementedError
 
+    def arrive(self, handle) -> ArrivalBatch:
+        """Per-round arrival hook of dynamic runs (``config.arrivals``).
+
+        Samples every replica's workload deltas for the upcoming round from
+        its own arrival stream and applies them — arrivals added, departures
+        clamped at the non-negative current load — returning the exact token
+        accounting.  Call once before each :meth:`step`; engines inject
+        automatically if a dynamic run steps without the hook, and raise on
+        a second call in the same round.
+        """
+        raise NotImplementedError
+
     def metrics(self, handle) -> RecordBatch:
         """Seal the run and return the recorded metric batch."""
         raise NotImplementedError
@@ -270,10 +423,38 @@ class Engine:
         Backends override this with fused fast paths; the default loop is
         the protocol reference implementation.
         """
+        if config.arrivals is not None:
+            raise ConfigurationError(
+                "config has arrival models; dynamic workloads run through "
+                "run_dynamic()"
+            )
         handle = self.prepare(topo, config, initial_loads)
         for _ in range(config.rounds):
             self.step(handle)
         return self.metrics(handle).results()
+
+    def run_dynamic(
+        self,
+        topo: Topology,
+        config: EngineConfig,
+        initial_loads: np.ndarray,
+    ) -> List:
+        """Run a dynamic workload: arrivals, then a balancing step, per round.
+
+        Requires ``config.arrivals``; returns one
+        :class:`~repro.core.dynamic.DynamicResult` per replica, recorded
+        every round against the current (moving) average.  Backends may
+        override with fused fast paths.
+        """
+        if config.arrivals is None:
+            raise ConfigurationError(
+                "run_dynamic() needs arrival models (set config.arrivals)"
+            )
+        handle = self.prepare(topo, config, initial_loads)
+        for _ in range(config.rounds):
+            self.arrive(handle)
+            self.step(handle)
+        return self.metrics(handle).dynamic_results()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

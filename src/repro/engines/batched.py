@@ -38,18 +38,21 @@ import scipy.sparse as sp
 
 from ..exceptions import ConfigurationError, SchemeError, SimulationError
 from ..core.alphas import resolve_alphas
-from ..core.records import FLOAT_FIELDS
+from ..core.records import DYNAMIC_FLOAT_FIELDS, FLOAT_FIELDS
 from ..core.rounding import make_rounding
 from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
 
 from .base import (
+    ArrivalBatch,
     Engine,
     EngineConfig,
     RecordBatch,
     StepBatch,
     as_load_batch,
     register_engine,
+    resolve_arrival_models,
+    resolve_arrival_rngs,
 )
 
 __all__ = ["BatchedVectorEngine"]
@@ -248,13 +251,15 @@ class _BatchedHandle:
                 window = int(args[0]) if args else 50
                 self.switch.phi_hist = np.zeros((window, B))
 
-        # -- record storage ---------------------------------------------
-        capacity = config.rounds // config.record_every + 2
-        self.rec_round = np.empty(capacity, dtype=np.int64)
-        self.rec_scheme = np.empty((capacity, B), dtype=np.uint8)
-        self.rec_cols: Dict[str, np.ndarray] = {
-            name: np.empty((capacity, B)) for name in FLOAT_FIELDS
-        }
+        # -- record storage (static runs only: dynamic runs record into
+        #    the dyn_* columns below and never touch these) ---------------
+        if config.arrivals is None:
+            capacity = config.rounds // config.record_every + 2
+            self.rec_round = np.empty(capacity, dtype=np.int64)
+            self.rec_scheme = np.empty((capacity, B), dtype=np.uint8)
+            self.rec_cols: Dict[str, np.ndarray] = {
+                name: np.empty((capacity, B)) for name in FLOAT_FIELDS
+            }
         self.rec_count = 0
         self.last_recorded_round = -1
         self.loads_history: Optional[List[np.ndarray]] = (
@@ -276,6 +281,28 @@ class _BatchedHandle:
         self.last_traffic = np.zeros(B)
         self.last_mld: Optional[np.ndarray] = None
 
+        # -- dynamic workload (per-round arrival hook) -------------------
+        self.arrival_models = resolve_arrival_models(config.arrivals, B)
+        if self.arrival_models is not None:
+            self.arrival_rngs = resolve_arrival_rngs(config, B)
+            self.arrivals_applied = False
+            self.last_arrival: Optional[ArrivalBatch] = None
+            #: exact expected totals, advanced by every arrival application
+            #: (token counts are integral, so float64 sums stay exact)
+            self.expected_totals = self.load.sum(axis=0, dtype=np.float64)
+            self.dyn_round = np.empty(config.rounds, dtype=np.int64)
+            self.dyn_cols: Dict[str, np.ndarray] = {
+                name: np.empty((config.rounds, B))
+                for name in DYNAMIC_FLOAT_FIELDS
+            }
+            self.dyn_count = 0
+            # arrival scratch: deltas / positive part / wanted departures /
+            # actual (clamped) departures, all (n, B)
+            self.arr_deltas = np.empty((n, B), dtype=dtype)
+            self.arr_pos = np.empty((n, B), dtype=dtype)
+            self.arr_want = np.empty((n, B), dtype=dtype)
+            self.arr_actual = np.empty((n, B), dtype=dtype)
+
 
 @register_engine
 class BatchedVectorEngine(Engine):
@@ -290,7 +317,8 @@ class BatchedVectorEngine(Engine):
         make_rounding(config.rounding)  # validate the key early
         loads = as_load_batch(initial_loads, topo.n)
         h = _BatchedHandle(topo, config, loads)
-        self._record_current(h)
+        if h.arrival_models is None:
+            self._record_current(h)
         return h
 
     # ==================================================================
@@ -307,6 +335,10 @@ class BatchedVectorEngine(Engine):
         """
         config = h.config
         load, flows = h.load, h.flows
+
+        # -- dynamic arrivals (auto-applied when the hook wasn't called) ---
+        if h.arrival_models is not None and not h.arrivals_applied:
+            self._apply_arrivals(h)
 
         # -- scheduled flows (Yhat) ----------------------------------------
         if h.uniform_speeds:
@@ -365,7 +397,10 @@ class BatchedVectorEngine(Engine):
         # (identity rounding leaves act aliased to sched == flows: no swap)
 
         # -- record --------------------------------------------------------
-        if h.round_index % config.record_every == 0:
+        if h.arrival_models is not None:
+            self._record_dynamic(h)
+            h.arrivals_applied = False
+        elif h.round_index % config.record_every == 0:
             self._record_current(h)
 
         # -- hybrid switch (checked after recording, like the simulator) ---
@@ -477,6 +512,94 @@ class BatchedVectorEngine(Engine):
         return act
 
     # ------------------------------------------------------------------
+    # dynamic workloads
+    # ------------------------------------------------------------------
+    def _apply_arrivals(self, h: _BatchedHandle) -> ArrivalBatch:
+        """Sample and apply one round of per-replica workload deltas.
+
+        Counts are drawn per replica from its own spawned stream (the price
+        of bit-exactness with the reference engine and ``DynamicSimulator``);
+        clamping and application are vectorised across the whole ``(n, B)``
+        batch.  The elementwise expression tree mirrors
+        ``DynamicSimulator.inject`` exactly, so B=1 float64 runs agree bit
+        for bit for deterministic roundings.
+        """
+        if h.arrivals_applied:
+            raise SimulationError(
+                f"arrivals already applied for round {h.round_index}"
+            )
+        topo, t = h.topo, h.round_index
+        deltas = h.arr_deltas
+        for b, (model, rng) in enumerate(zip(h.arrival_models, h.arrival_rngs)):
+            deltas[:, b] = model.deltas(topo, t, rng)
+        if not deltas.any():
+            # Quiet round (e.g. a burst model between bursts): the RNG
+            # streams were already consumed above, and applying all-zero
+            # deltas is the identity, so skip the clamping passes.
+            zeros = np.zeros(h.n_replicas)
+            h.arrivals_applied = True
+            h.last_arrival = ArrivalBatch(
+                round_index=t, arrived=zeros, departed=zeros.copy(),
+                clamped=zeros.copy(),
+            )
+            return h.last_arrival
+        pos = np.maximum(deltas, 0.0, out=h.arr_pos)
+        want = np.negative(deltas, out=h.arr_want)
+        np.maximum(want, 0.0, out=want)
+        # Consume at most the non-negative part of the current load (reuse
+        # the deltas buffer — pos/want already extracted).
+        relu_load = np.maximum(h.load, 0.0, out=deltas)
+        actual = np.minimum(want, relu_load, out=h.arr_actual)
+        np.add(h.load, pos, out=h.load)
+        np.subtract(h.load, actual, out=h.load)
+        arrived = pos.sum(axis=0, dtype=np.float64)
+        departed = actual.sum(axis=0, dtype=np.float64)
+        np.subtract(want, actual, out=want)
+        clamped = want.sum(axis=0, dtype=np.float64)
+        h.expected_totals += arrived
+        h.expected_totals -= departed
+        h.arrivals_applied = True
+        h.last_arrival = ArrivalBatch(
+            round_index=t, arrived=arrived, departed=departed, clamped=clamped
+        )
+        return h.last_arrival
+
+    def _record_dynamic(self, h: _BatchedHandle) -> None:
+        """Append this round's dynamic metrics (targets move with the total)."""
+        i = h.dyn_count
+        load = h.load
+        cols = h.dyn_cols
+        totals = load.sum(axis=0, dtype=np.float64)
+        arrival = h.last_arrival
+        cols["total_load"][i] = totals
+        cols["arrived"][i] = arrival.arrived
+        cols["departed"][i] = arrival.departed
+        cols["clamped"][i] = arrival.clamped
+        mean = totals / h.topo.n
+        cols["max_minus_avg"][i] = load.max(axis=0) - mean
+        cols["max_local_diff"][i] = self._mld(h)
+        dev = np.subtract(load, mean.astype(h.dtype, copy=False), out=h.nb1)
+        np.multiply(dev, dev, out=dev)
+        cols["potential_per_node"][i] = dev.sum(axis=0, dtype=np.float64) / h.topo.n
+        h.dyn_round[i] = h.round_index
+        h.dyn_count = i + 1
+        drift = np.abs(totals - h.expected_totals)
+        bad = drift > h.conserve_tol * np.maximum(1.0, np.abs(h.expected_totals))
+        if bad.any():
+            b = int(np.argmax(bad))
+            raise SimulationError(
+                f"load not conserved in replica {b} by round {h.round_index}: "
+                f"expected {h.expected_totals[b]}, got {totals[b]}"
+            )
+
+    def arrive(self, h: _BatchedHandle) -> ArrivalBatch:
+        if h.arrival_models is None:
+            raise ConfigurationError(
+                "arrive() needs a dynamic run (config.arrivals was None)"
+            )
+        return self._apply_arrivals(h)
+
+    # ------------------------------------------------------------------
     def _mld(self, h: _BatchedHandle) -> np.ndarray:
         """Per-replica max local load difference of the current loads."""
         if h.topo.m_edges == 0:
@@ -582,6 +705,17 @@ class BatchedVectorEngine(Engine):
         )
 
     def metrics(self, h: _BatchedHandle) -> RecordBatch:
+        if h.arrival_models is not None:
+            count = h.dyn_count
+            return RecordBatch(
+                dynamic_round_index=h.dyn_round[:count].copy(),
+                dynamic_columns={
+                    k: v[:count].copy() for k, v in h.dyn_cols.items()
+                },
+                final_loads=h.load.T.copy(),
+                final_flows=h.flows.T.copy(),
+                switched_at=h.switched_at.copy(),
+            )
         if h.last_recorded_round != h.round_index:
             self._record_current(h)
         count = h.rec_count
@@ -597,8 +731,27 @@ class BatchedVectorEngine(Engine):
 
     def run(self, topo, config, initial_loads):
         """Fused ensemble loop: transient/traffic info only where recorded."""
+        if config.arrivals is not None:
+            raise ConfigurationError(
+                "config has arrival models; dynamic workloads run through "
+                "run_dynamic()"
+            )
         h = self.prepare(topo, config, initial_loads)
         record_every = config.record_every
         for r in range(1, config.rounds + 1):
             self._advance(h, want_info=(r % record_every == 0 or r == config.rounds))
         return self.metrics(h).results()
+
+    def run_dynamic(self, topo, config, initial_loads):
+        """Fused dynamic ensemble loop: arrivals + balancing, all replicas
+        per vectorised step; transient/traffic info is never materialised
+        (dynamic records do not carry it, exactly like ``DynamicSimulator``).
+        """
+        if config.arrivals is None:
+            raise ConfigurationError(
+                "run_dynamic() needs arrival models (set config.arrivals)"
+            )
+        h = self.prepare(topo, config, initial_loads)
+        for _ in range(config.rounds):
+            self._advance(h, want_info=False)
+        return self.metrics(h).dynamic_results()

@@ -16,26 +16,35 @@ knowledge the nodes don't have.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
-from ..core.records import RecordTable
+from ..exceptions import ConfigurationError, SimulationError
+from ..core.dynamic import ArrivalModel, DynamicResult
+from ..core.records import DynamicRecordTable, RecordTable
 from ..core.simulator import SimulationResult, record_round
 from ..core.state import LoadState, transient_loads
-from ..core.metrics import target_loads
+from ..core.metrics import (
+    max_local_difference,
+    max_minus_average,
+    normalized_potential,
+    target_loads,
+)
 from ..graphs.speeds import uniform_speeds
 from ..graphs.topology import Topology
 from ..network.engine import SyncNetwork
 
 from .base import (
+    ArrivalBatch,
     Engine,
     EngineConfig,
     RecordBatch,
     StepBatch,
     as_load_batch,
     register_engine,
+    resolve_arrival_models,
+    resolve_arrival_rngs,
 )
 
 __all__ = ["NetworkEngine"]
@@ -59,19 +68,40 @@ class _NetworkHandle:
     replicas: List[_Replica]
 
 
+@dataclass
+class _DynamicNetReplica:
+    net: SyncNetwork
+    model: ArrivalModel
+    rng: np.random.Generator
+    table: DynamicRecordTable
+    pending: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    injected: bool = False
+    last_min_transient: float = 0.0
+    last_traffic: float = 0.0
+
+
+@dataclass
+class _DynamicNetworkHandle:
+    topo: Topology
+    config: EngineConfig
+    replicas: List[_DynamicNetReplica]
+
+
 @register_engine
 class NetworkEngine(Engine):
     """One :class:`SyncNetwork` per replica, driven in lockstep."""
 
     name = "network"
 
-    def prepare(self, topo, config, initial_loads) -> _NetworkHandle:
+    def prepare(self, topo, config, initial_loads):
         config.validate()
         if config.precision != "float64":
             raise ConfigurationError(
                 "the network engine only supports precision='float64'"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        if config.arrivals is not None:
+            return self._prepare_dynamic(topo, config, loads)
         switch_round: Optional[int] = None
         if config.switch is not None:
             if not (
@@ -124,6 +154,87 @@ class NetworkEngine(Engine):
             replicas.append(replica)
         return _NetworkHandle(
             topo=topo, config=config, switch_round=switch_round, replicas=replicas
+        )
+
+    def _prepare_dynamic(self, topo, config, loads) -> _DynamicNetworkHandle:
+        models = resolve_arrival_models(config.arrivals, loads.shape[0])
+        rngs = resolve_arrival_rngs(config, loads.shape[0])
+        replicas: List[_DynamicNetReplica] = []
+        for b, load in enumerate(loads):
+            net = SyncNetwork(
+                topo,
+                load,
+                scheme=config.scheme,
+                beta=config.beta if config.scheme == "sos" else 1.0,
+                rounding=config.rounding,
+                speeds=config.speeds,
+                seed=config.seed + b,
+            )
+            replicas.append(
+                _DynamicNetReplica(
+                    net=net,
+                    model=models[b],
+                    rng=rngs[b],
+                    table=DynamicRecordTable(max(config.rounds, 1) + 1),
+                    last_min_transient=float(load.min()),
+                )
+            )
+        return _DynamicNetworkHandle(topo=topo, config=config, replicas=replicas)
+
+    # ------------------------------------------------------------------
+    def _inject(self, handle: _DynamicNetworkHandle,
+                replica: _DynamicNetReplica) -> Tuple[float, float, float]:
+        """Sample one replica's deltas and deliver them as messages."""
+        if replica.injected:
+            raise SimulationError(
+                f"arrivals already applied for round {replica.net.round_index}"
+            )
+        deltas = replica.model.deltas(
+            handle.topo, replica.net.round_index, replica.rng
+        )
+        replica.pending = replica.net.inject_work(deltas)
+        replica.injected = True
+        return replica.pending
+
+    def _advance_dynamic(self, handle: _DynamicNetworkHandle,
+                         replica: _DynamicNetReplica) -> None:
+        if not replica.injected:
+            self._inject(handle, replica)
+        topo = handle.topo
+        before = replica.net.loads()
+        replica.net.step()
+        flows = replica.net.flows()
+        replica.last_min_transient = float(
+            transient_loads(topo, before, flows).min()
+        )
+        replica.last_traffic = float(np.abs(flows).sum())
+        loads = replica.net.loads()
+        arrived, departed, clamped = replica.pending
+        replica.table.append(
+            round_index=replica.net.round_index,
+            total_load=float(loads.sum()),
+            arrived=arrived,
+            departed=departed,
+            clamped=clamped,
+            max_minus_avg=max_minus_average(loads),
+            max_local_diff=max_local_difference(topo, loads),
+            potential_per_node=normalized_potential(loads),
+        )
+        replica.injected = False
+
+    def arrive(self, handle) -> ArrivalBatch:
+        if not isinstance(handle, _DynamicNetworkHandle):
+            raise ConfigurationError(
+                "arrive() needs a dynamic run (config.arrivals was None)"
+            )
+        accounting = np.array(
+            [self._inject(handle, replica) for replica in handle.replicas]
+        ).reshape(len(handle.replicas), 3)
+        return ArrivalBatch(
+            round_index=handle.replicas[0].net.round_index,
+            arrived=accounting[:, 0],
+            departed=accounting[:, 1],
+            clamped=accounting[:, 2],
         )
 
     # ------------------------------------------------------------------
@@ -183,7 +294,20 @@ class NetworkEngine(Engine):
             )
 
     # ------------------------------------------------------------------
-    def step(self, handle: _NetworkHandle) -> StepBatch:
+    def step(self, handle) -> StepBatch:
+        if isinstance(handle, _DynamicNetworkHandle):
+            for replica in handle.replicas:
+                self._advance_dynamic(handle, replica)
+            return StepBatch(
+                round_index=handle.replicas[0].net.round_index,
+                loads=np.stack([r.net.loads() for r in handle.replicas]),
+                flows=np.stack([r.net.flows() for r in handle.replicas]),
+                min_transient=np.array(
+                    [r.last_min_transient for r in handle.replicas]
+                ),
+                traffic=np.array([r.last_traffic for r in handle.replicas]),
+                switched=np.zeros(len(handle.replicas), dtype=bool),
+            )
         for replica in handle.replicas:
             self._advance(handle, replica)
         round_index = handle.replicas[0].net.round_index
@@ -203,7 +327,21 @@ class NetworkEngine(Engine):
             ),
         )
 
-    def metrics(self, handle: _NetworkHandle) -> RecordBatch:
+    def metrics(self, handle) -> RecordBatch:
+        if isinstance(handle, _DynamicNetworkHandle):
+            return RecordBatch(
+                prebuilt_dynamic=[
+                    DynamicResult(
+                        table=replica.table,
+                        final_state=LoadState(
+                            load=replica.net.loads(),
+                            flows=replica.net.flows(),
+                            round_index=replica.net.round_index,
+                        ),
+                    )
+                    for replica in handle.replicas
+                ]
+            )
         results: List[SimulationResult] = []
         for replica in handle.replicas:
             net = replica.net

@@ -6,6 +6,12 @@ are *the* reference semantics by construction — there is no second
 implementation to keep in sync.  Replica ``b`` seeds its rounding generator
 with ``default_rng(seed + b)``, so a one-replica run with seed ``s``
 reproduces the classic ``Simulator.run`` with ``default_rng(s)`` exactly.
+
+Dynamic workloads (``config.arrivals``) work the same way: each replica is
+an incremental :class:`~repro.core.dynamic.DynamicSimulator` run whose
+arrival stream is :func:`~repro.core.dynamic.arrival_stream`\\ ``(seed,
+key_b)``, so engine replica ``b`` reproduces a standalone
+``DynamicSimulator`` seeded with that stream bit for bit.
 """
 
 from __future__ import annotations
@@ -15,12 +21,14 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..core.dynamic import DynamicRun, DynamicSimulator
 from ..core.process import LoadBalancingProcess
 from ..core.schemes import FirstOrderScheme, SecondOrderScheme
 from ..core.simulator import SimulationRun, Simulator
 from ..graphs.topology import Topology
 
 from .base import (
+    ArrivalBatch,
     Engine,
     EngineConfig,
     RecordBatch,
@@ -28,6 +36,8 @@ from .base import (
     as_load_batch,
     make_switch_policy,
     register_engine,
+    resolve_arrival_models,
+    resolve_arrival_rngs,
 )
 
 __all__ = ["ReferenceEngine"]
@@ -49,13 +59,20 @@ class _ReferenceHandle:
     replicas: List[Tuple[Simulator, SimulationRun]]
 
 
+@dataclass
+class _DynamicReferenceHandle:
+    topo: Topology
+    config: EngineConfig
+    replicas: List[Tuple[DynamicSimulator, DynamicRun]]
+
+
 @register_engine
 class ReferenceEngine(Engine):
     """Per-replica loop over the incremental simulator core."""
 
     name = "reference"
 
-    def prepare(self, topo, config, initial_loads) -> _ReferenceHandle:
+    def prepare(self, topo, config, initial_loads):
         config.validate()
         if config.precision != "float64":
             from ..exceptions import ConfigurationError
@@ -64,6 +81,8 @@ class ReferenceEngine(Engine):
                 "the reference engine only supports precision='float64'"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        if config.arrivals is not None:
+            return self._prepare_dynamic(topo, config, loads)
         replicas: List[Tuple[Simulator, SimulationRun]] = []
         for b, load in enumerate(loads):
             process = LoadBalancingProcess(
@@ -81,31 +100,92 @@ class ReferenceEngine(Engine):
             replicas.append((sim, sim.start(load, rounds_hint=config.rounds)))
         return _ReferenceHandle(topo=topo, config=config, replicas=replicas)
 
-    def step(self, handle: _ReferenceHandle) -> StepBatch:
+    def _prepare_dynamic(self, topo, config, loads) -> _DynamicReferenceHandle:
+        models = resolve_arrival_models(config.arrivals, loads.shape[0])
+        rngs = resolve_arrival_rngs(config, loads.shape[0])
+        replicas: List[Tuple[DynamicSimulator, DynamicRun]] = []
+        for b, load in enumerate(loads):
+            process = LoadBalancingProcess(
+                build_scheme(topo, config),
+                rounding=config.rounding,
+                rng=np.random.default_rng(config.seed + b),
+            )
+            dsim = DynamicSimulator(process, models[b], rng=rngs[b])
+            replicas.append((dsim, dsim.start(load, rounds_hint=config.rounds)))
+        return _DynamicReferenceHandle(topo=topo, config=config, replicas=replicas)
+
+    def arrive(self, handle) -> ArrivalBatch:
+        if not isinstance(handle, _DynamicReferenceHandle):
+            from ..exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "arrive() needs a dynamic run (config.arrivals was None)"
+            )
+        accounting = np.array(
+            [dsim.inject(run) for dsim, run in handle.replicas]
+        ).reshape(len(handle.replicas), 3)
+        return ArrivalBatch(
+            round_index=handle.replicas[0][1].state.round_index,
+            arrived=accounting[:, 0],
+            departed=accounting[:, 1],
+            clamped=accounting[:, 2],
+        )
+
+    def step(self, handle) -> StepBatch:
         for sim, run in handle.replicas:
             sim.advance(run)
         runs = [run for _, run in handle.replicas]
         switched_round = runs[0].state.round_index
+        dynamic = isinstance(handle, _DynamicReferenceHandle)
         return StepBatch(
             round_index=switched_round,
             loads=np.stack([r.state.load for r in runs]),
             flows=np.stack([r.state.flows for r in runs]),
             min_transient=np.array([r.last_min_transient for r in runs]),
             traffic=np.array([r.last_traffic for r in runs]),
-            switched=np.array(
+            switched=np.zeros(len(runs), dtype=bool)
+            if dynamic
+            else np.array(
                 [r.switched_at == switched_round for r in runs], dtype=bool
             ),
         )
 
-    def metrics(self, handle: _ReferenceHandle) -> RecordBatch:
+    def metrics(self, handle) -> RecordBatch:
+        if isinstance(handle, _DynamicReferenceHandle):
+            return RecordBatch(
+                prebuilt_dynamic=[
+                    dsim.finish(run) for dsim, run in handle.replicas
+                ]
+            )
         return RecordBatch(
             prebuilt=[sim.finish(run) for sim, run in handle.replicas]
         )
 
     def run(self, topo, config, initial_loads):
         """Fused loop without per-round ``StepBatch`` materialisation."""
+        if config.arrivals is not None:
+            from ..exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "config has arrival models; dynamic workloads run through "
+                "run_dynamic()"
+            )
         handle = self.prepare(topo, config, initial_loads)
         for sim, run in handle.replicas:
             for _ in range(config.rounds):
                 sim.advance(run)
         return self.metrics(handle).results()
+
+    def run_dynamic(self, topo, config, initial_loads):
+        """Fused dynamic loop (``advance`` injects arrivals internally)."""
+        if config.arrivals is None:
+            from ..exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "run_dynamic() needs arrival models (set config.arrivals)"
+            )
+        handle = self.prepare(topo, config, initial_loads)
+        for dsim, run in handle.replicas:
+            for _ in range(config.rounds):
+                dsim.advance(run)
+        return self.metrics(handle).dynamic_results()

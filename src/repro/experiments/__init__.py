@@ -12,8 +12,10 @@ from .tables import Table1Row, reproduce_table1
 from .runner import EXPERIMENTS, list_experiments, run_experiment
 from .report import format_record, format_summary, format_table
 from .sweeps import (
+    DynamicEnsembleResult,
     EnsembleResult,
     SweepPoint,
+    dynamic_replica_ensemble,
     fit_power_law,
     replica_ensemble,
     torus_size_sweep,
@@ -35,8 +37,10 @@ __all__ = [
     "format_record",
     "format_summary",
     "format_table",
+    "DynamicEnsembleResult",
     "EnsembleResult",
     "SweepPoint",
+    "dynamic_replica_ensemble",
     "fit_power_law",
     "replica_ensemble",
     "torus_size_sweep",

@@ -11,21 +11,30 @@ the exponent, which the scaling bench compares against 2 and 1.
 batch of seeds/initial loads as *one* engine call (the batched backend runs
 every replica per vectorised step) and reduces the per-replica results to
 mean/std statistics of the Section VI metrics.
+
+:func:`dynamic_replica_ensemble` is the same idea for the dynamic regime:
+the full cross product seeds x arrival-models x initial-loads goes to the
+engine as *one* batched dynamic call, and the per-replica
+:class:`~repro.core.dynamic.DynamicResult` objects reduce to steady-state
+imbalance statistics per arrival model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..core import (
+    DynamicResult,
     SimulationResult,
     beta_opt,
+    make_arrival_model,
     point_load,
     torus_lambda,
+    uniform_load,
 )
 from ..engines import EngineConfig, make_engine
 from ..graphs import Topology, torus_2d
@@ -34,8 +43,10 @@ from ..analysis import convergence_round
 __all__ = [
     "SweepPoint",
     "EnsembleResult",
+    "DynamicEnsembleResult",
     "torus_size_sweep",
     "replica_ensemble",
+    "dynamic_replica_ensemble",
     "fit_power_law",
 ]
 
@@ -157,6 +168,115 @@ def replica_ensemble(
         stats["rounds_to_balance_mean"] = float(np.mean(converged))
         stats["rounds_to_balance_std"] = float(np.std(converged))
     return EnsembleResult(results=results, stats=stats)
+
+
+@dataclass
+class DynamicEnsembleResult:
+    """A dynamic ensemble's per-replica results plus reduced statistics.
+
+    ``labels[b]`` identifies replica ``b`` as ``(model_key, load_index,
+    seed)``; ``model_keys`` maps each key to the model's repr.  ``stats``
+    reduces every model's replicas to steady-state imbalance moments, the
+    mean final total, and exact arrival/departure volumes.
+    """
+
+    results: List[DynamicResult]
+    labels: List[Tuple[str, int, int]]
+    model_keys: Dict[str, str] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.results)
+
+
+def dynamic_replica_ensemble(
+    topo: Topology,
+    config: EngineConfig,
+    arrival_models: Sequence,
+    seeds: Sequence[int] = (0,),
+    initial_loads: Optional[np.ndarray] = None,
+    average_load: int = 100,
+    engine: str = "batched",
+    tail_fraction: float = 0.5,
+) -> DynamicEnsembleResult:
+    """Run seeds x arrival-models x initial-loads as ONE batched dynamic call.
+
+    Every combination becomes one replica of a single
+    :meth:`~repro.engines.base.Engine.run_dynamic` submission (models outer,
+    loads middle, seeds inner).  Each replica's *arrival* stream is keyed by
+    its seed value (``arrival_stream(config.seed, s)``), so same-seed
+    replicas share their arrival randomness across models — common random
+    numbers — independent of batch position.  (The rounding stream is still
+    keyed by batch position, so with randomized roundings a replica's full
+    trajectory does depend on the ensemble composition; use a deterministic
+    rounding when exact position-independence matters.)  When
+    ``initial_loads`` is omitted every replica starts from the uniform load
+    (``average_load`` per node), the natural base state of the dynamic
+    regime.
+    """
+    models = [make_arrival_model(m) for m in arrival_models]
+    if not models:
+        raise ConfigurationError("need at least one arrival model")
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if initial_loads is None:
+        initial_loads = uniform_load(topo, average_load)[None, :]
+    else:
+        initial_loads = np.asarray(initial_loads, dtype=np.float64)
+        if initial_loads.ndim == 1:
+            initial_loads = initial_loads[None, :]
+        if initial_loads.ndim != 2 or initial_loads.shape[1] != topo.n:
+            raise ConfigurationError(
+                f"initial loads have shape {initial_loads.shape}, "
+                f"expected (n,) or (L, n) with n={topo.n}"
+            )
+    n_loads = initial_loads.shape[0]
+    n_replicas = len(models) * n_loads * len(seeds)
+
+    batch_loads = np.empty((n_replicas, topo.n))
+    per_replica_models: List = []
+    stream_keys: List[int] = []
+    labels: List[Tuple[str, int, int]] = []
+    model_keys: Dict[str, str] = {}
+    b = 0
+    for mi, model in enumerate(models):
+        key = f"m{mi}"
+        model_keys[key] = repr(model)
+        for li in range(n_loads):
+            for s in seeds:
+                batch_loads[b] = initial_loads[li]
+                per_replica_models.append(model)
+                stream_keys.append(s)
+                labels.append((key, li, s))
+                b += 1
+    cfg = replace(config, arrivals=per_replica_models, arrival_seeds=stream_keys)
+    results = make_engine(engine).run_dynamic(topo, cfg, batch_loads)
+
+    stats: Dict[str, float] = {"n_replicas": float(n_replicas)}
+    for mi, model in enumerate(models):
+        key = f"m{mi}"
+        group = [
+            r for r, (k, _, _) in zip(results, labels) if k == key
+        ]
+        steady = np.array(
+            [r.steady_state_imbalance(tail_fraction) for r in group]
+        )
+        stats[f"{key}_steady_state_mean"] = float(steady.mean())
+        stats[f"{key}_steady_state_std"] = float(steady.std())
+        stats[f"{key}_final_total_mean"] = float(
+            np.mean([r.series("total_load")[-1] for r in group])
+        )
+        stats[f"{key}_arrived_total_mean"] = float(
+            np.mean([r.series("arrived").sum() for r in group])
+        )
+        stats[f"{key}_departed_total_mean"] = float(
+            np.mean([r.series("departed").sum() for r in group])
+        )
+    return DynamicEnsembleResult(
+        results=results, labels=labels, model_keys=model_keys, stats=stats
+    )
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:

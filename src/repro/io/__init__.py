@@ -2,6 +2,7 @@
 
 from .results import (
     ExperimentRecord,
+    dynamic_result_record,
     list_records,
     load_record,
     result_record,
@@ -11,6 +12,7 @@ from .results import (
 __all__ = [
     "ExperimentRecord",
     "result_record",
+    "dynamic_result_record",
     "save_record",
     "load_record",
     "list_records",

@@ -20,6 +20,7 @@ from ..exceptions import ConfigurationError
 __all__ = [
     "ExperimentRecord",
     "result_record",
+    "dynamic_result_record",
     "save_record",
     "load_record",
     "list_records",
@@ -108,6 +109,48 @@ def result_record(
         summary.setdefault("switched_at", result.switched_at)
     if result.stopped_at is not None:
         summary.setdefault("stopped_at", result.stopped_at)
+    return ExperimentRecord(
+        name=name, params=dict(params or {}), summary=summary, series=series
+    )
+
+
+def dynamic_result_record(
+    name: str,
+    result,
+    params: Optional[Dict[str, Any]] = None,
+    summary: Optional[Dict[str, Any]] = None,
+    fields: Optional[List[str]] = None,
+) -> ExperimentRecord:
+    """Archive a :class:`~repro.core.dynamic.DynamicResult` as a record.
+
+    Consumes the dynamic columnar record table directly — every requested
+    metric column becomes a named series (the round index is always
+    included) — and summarises the run with its exact token accounting and
+    the steady-state imbalance.
+    """
+    from ..core.records import DYNAMIC_FLOAT_FIELDS
+
+    table = result.table
+    series: Dict[str, List[float]] = {
+        "round": table.column("round_index").tolist()
+    }
+    for field_name in fields if fields is not None else DYNAMIC_FLOAT_FIELDS:
+        series[field_name] = table.column(field_name).tolist()
+    summary = dict(summary or {})
+    summary.setdefault("rounds_recorded", len(table))
+    if len(table):
+        summary.setdefault(
+            "final_total_load", float(table.column("total_load")[-1])
+        )
+        summary.setdefault(
+            "arrived_total", float(table.column("arrived").sum())
+        )
+        summary.setdefault(
+            "departed_total", float(table.column("departed").sum())
+        )
+        summary.setdefault(
+            "steady_state_imbalance", result.steady_state_imbalance()
+        )
     return ExperimentRecord(
         name=name, params=dict(params or {}), summary=summary, series=series
     )

@@ -20,7 +20,7 @@ roundings.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
 
 from .faults import FaultModel, NoFaults
-from .messages import TokenTransfer
+from .messages import TokenTransfer, WorkInjection
 from .node import BalancerNode
 
 __all__ = ["SyncNetwork"]
@@ -152,6 +152,42 @@ class SyncNetwork:
         for node in self.nodes:
             node.finish_round(received_from.get(node.node_id, ()))
         self.round_index += 1
+
+    def inject_work(self, deltas: np.ndarray) -> Tuple[float, float, float]:
+        """Deliver per-node workload deltas as :class:`WorkInjection` messages.
+
+        Positive entries create tokens at the node, negative entries request
+        consumption (each node clamps at its own available non-negative
+        load).  Call before :meth:`step` each round for the dynamic regime.
+        Returns ``(arrived, departed, clamped)`` token totals, ``clamped``
+        being the requested consumption the nodes refused.
+        """
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (self.topo.n,):
+            raise ConfigurationError(
+                f"work deltas have shape {deltas.shape}, "
+                f"expected ({self.topo.n},)"
+            )
+        arrived = departed = clamped = 0.0
+        for i, node in enumerate(self.nodes):
+            d = float(deltas[i])
+            if d == 0.0:
+                continue
+            arrive = d if d > 0.0 else 0.0
+            want = -d if d < 0.0 else 0.0
+            consumed = node.receive_work(
+                WorkInjection(
+                    sender=-1,
+                    receiver=i,
+                    round_index=self.round_index,
+                    arrive=arrive,
+                    depart=want,
+                )
+            )
+            arrived += arrive
+            departed += consumed
+            clamped += want - consumed
+        return arrived, departed, clamped
 
     def run(self, rounds: int) -> np.ndarray:
         """Run ``rounds`` rounds and return the final load vector."""

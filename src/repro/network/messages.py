@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Message", "Hello", "LoadAnnounce", "TokenTransfer"]
+__all__ = ["Message", "Hello", "LoadAnnounce", "TokenTransfer", "WorkInjection"]
 
 
 @dataclass(frozen=True)
@@ -51,3 +51,18 @@ class TokenTransfer(Message):
 
     round_index: int
     amount: float
+
+
+@dataclass(frozen=True)
+class WorkInjection(Message):
+    """External workload delta delivered to one node (dynamic regime).
+
+    ``arrive`` tokens are created at the receiver, ``depart`` tokens are
+    *requested* to be consumed — the node clamps consumption at its
+    available non-negative load and reports what it actually consumed.  The
+    sender is the outside world (``sender == -1``).
+    """
+
+    round_index: int
+    arrive: float
+    depart: float

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ProtocolError
-from .messages import Hello, LoadAnnounce, TokenTransfer
+from .messages import Hello, LoadAnnounce, TokenTransfer, WorkInjection
 
 __all__ = ["BalancerNode"]
 
@@ -114,6 +114,28 @@ class BalancerNode:
         self.alpha[msg.sender] = min(self.speed, msg.speed) / (
             max(self.degree, msg.degree) + 1.0
         )
+
+    def receive_work(self, msg: WorkInjection) -> float:
+        """Apply an external workload injection (dynamic regime).
+
+        Creates ``msg.arrive`` tokens and consumes up to ``msg.depart``,
+        clamped at this node's available non-negative load (SOS can leave
+        transiently negative loads, which departures must not touch).
+        Returns the tokens actually consumed so the injector can keep exact
+        totals.
+        """
+        if msg.round_index != self.round_index:
+            raise ProtocolError(
+                f"node {self.node_id}: work injection for round "
+                f"{msg.round_index} arrived in round {self.round_index}"
+            )
+        if msg.arrive < 0.0 or msg.depart < 0.0:
+            raise ProtocolError(
+                f"node {self.node_id}: negative work injection {msg!r}"
+            )
+        consumed = min(msg.depart, max(self.load, 0.0))
+        self.load = self.load + msg.arrive - consumed
+        return consumed
 
     # -- per-round protocol -----------------------------------------------
     def announce(self) -> List[LoadAnnounce]:

@@ -13,10 +13,14 @@ from repro import (
     NoArrivals,
     PoissonArrivals,
     SecondOrderScheme,
+    arrival_stream,
+    arrival_streams,
+    make_arrival_model,
     point_load,
     torus_2d,
     uniform_load,
 )
+from repro.exceptions import SimulationError
 
 
 def _process(topo, kind="sos", beta=1.6, rng=None):
@@ -136,3 +140,106 @@ class TestDynamicSimulator:
             sim.run(uniform_load(small_torus, 1), rounds=-1)
         with pytest.raises(ConfigurationError):
             sim.run(uniform_load(small_torus, 1), rounds=0).steady_state_imbalance(0.0)
+
+    def test_clamped_column_accounts_refused_departures(self, small_torus):
+        """departed + clamped replays the requested consumption exactly."""
+        result = DynamicSimulator(
+            _process(small_torus),
+            PoissonArrivals(rate=0.0, departure_rate=40.0),
+            rng=np.random.default_rng(6),
+        ).run(uniform_load(small_torus, 2), rounds=20)
+        clamped = result.series("clamped")
+        assert clamped.sum() > 0.0
+        assert np.all(clamped >= 0.0)
+        totals = result.series("total_load")
+        replay = 2.0 * small_torus.n + np.cumsum(
+            result.series("arrived") - result.series("departed")
+        )
+        assert np.array_equal(totals, replay)
+
+    def test_incremental_core_equals_run(self, small_torus):
+        """start/inject/advance/finish is the run() loop, bit for bit."""
+        load = uniform_load(small_torus, 50)
+        rounds = 30
+
+        def make():
+            return DynamicSimulator(
+                _process(small_torus, rng=np.random.default_rng(4)),
+                PoissonArrivals(rate=2.0, departure_rate=1.0),
+                rng=np.random.default_rng(9),
+            )
+
+        fused = make().run(load, rounds)
+        sim = make()
+        run = sim.start(load, rounds_hint=rounds)
+        for _ in range(rounds):
+            arrived, departed, clamped = sim.inject(run)
+            assert arrived >= 0.0 and departed >= 0.0 and clamped >= 0.0
+            sim.advance(run)
+        manual = sim.finish(run)
+        assert np.array_equal(manual.final_state.load, fused.final_state.load)
+        for name in ("total_load", "arrived", "departed", "clamped",
+                      "max_minus_avg", "max_local_diff"):
+            assert np.array_equal(manual.series(name), fused.series(name)), name
+
+    def test_double_inject_raises(self, small_torus):
+        sim = DynamicSimulator(
+            _process(small_torus), PoissonArrivals(rate=1.0)
+        )
+        run = sim.start(uniform_load(small_torus, 5))
+        sim.inject(run)
+        with pytest.raises(SimulationError):
+            sim.inject(run)
+
+
+class TestArrivalSpecs:
+    def test_poisson_spec(self):
+        model = make_arrival_model("poisson:3.0,depart=1.0")
+        assert isinstance(model, PoissonArrivals)
+        assert model.rate == 3.0 and model.departure_rate == 1.0
+        assert make_arrival_model("poisson:2.5").departure_rate == 0.0
+
+    def test_burst_spec(self):
+        model = make_arrival_model("burst:200/50")
+        assert isinstance(model, BurstArrivals)
+        assert model.burst == 200 and model.period == 50
+
+    def test_hotspot_spec(self):
+        model = make_arrival_model("hotspot:0,1:5")
+        assert isinstance(model, HotspotArrivals)
+        assert model.nodes == [0, 1] and model.rate == 5
+
+    def test_none_and_passthrough(self):
+        assert isinstance(make_arrival_model("none"), NoArrivals)
+        model = PoissonArrivals(1.0)
+        assert make_arrival_model(model) is model
+
+    def test_bad_specs_raise(self):
+        for spec in ("bogus:1", "poisson:", "poisson:1,x=2", "burst:5",
+                     "hotspot:0", "poisson:abc", 17):
+            with pytest.raises(ConfigurationError):
+                make_arrival_model(spec)
+
+
+class TestArrivalStreams:
+    def test_streams_reproducible_and_distinct(self):
+        a = arrival_stream(5, 0).random(8)
+        assert np.array_equal(a, arrival_stream(5, 0).random(8))
+        assert not np.array_equal(a, arrival_stream(5, 1).random(8))
+        assert not np.array_equal(a, arrival_stream(6, 0).random(8))
+
+    def test_streams_match_seedsequence_spawn(self):
+        """The layout is SeedSequence(seed).spawn(B)[b], so a replica's
+        stream never depends on the batch size it runs in."""
+        children = np.random.SeedSequence(11).spawn(3)
+        for b in range(3):
+            assert np.array_equal(
+                arrival_stream(11, b).random(4),
+                np.random.default_rng(children[b]).random(4),
+            )
+
+    def test_streams_list_forms(self):
+        count = arrival_streams(3, 2)
+        keyed = arrival_streams(3, [0, 1])
+        for a, b in zip(count, keyed):
+            assert np.array_equal(a.random(4), b.random(4))

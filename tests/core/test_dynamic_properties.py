@@ -1,0 +1,203 @@
+"""Property-based token-conservation invariants of the dynamic regime.
+
+Hypothesis drives random (topology, arrival model, rounding, seed, rounds)
+combinations through every engine backend and checks the exact accounting
+identities that hold for *any* dynamic run:
+
+* ``total[t] == total[t-1] + arrived[t] - departed[t]`` every round, i.e.
+  the final total replays exactly from the initial load plus the reported
+  arrival/departure volumes (token counts are integral, so the float sums
+  are exact);
+* ``departed[t] + clamped[t]`` is the *requested* consumption —
+  ``clamped`` is never negative and only the clamped remainder keeps the
+  totals from going below what the nodes actually held;
+* applying arrivals never drives a node below zero through consumption
+  (non-negativity after clamping): a node that was non-negative stays
+  non-negative, and a transiently negative node is never made worse;
+* re-running with the same seed reproduces the trajectory bit for bit, and
+  a different arrival stream key changes it (determinism under re-seeding).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BurstArrivals,
+    HotspotArrivals,
+    PoissonArrivals,
+    cycle,
+    hypercube,
+    torus_2d,
+    uniform_load,
+)
+from repro.engines import EngineConfig, make_engine
+
+ENGINE_NAMES = ["reference", "batched", "network"]
+
+TOPOLOGIES = {
+    "torus": torus_2d(4, 5),
+    "cycle": cycle(9),
+    "hypercube": hypercube(4),
+}
+
+ROUNDINGS = ["floor", "nearest", "ceil", "unbiased-edge", "randomized-excess"]
+
+
+@st.composite
+def dynamic_cases(draw):
+    topo = TOPOLOGIES[draw(st.sampled_from(sorted(TOPOLOGIES)))]
+    kind = draw(st.sampled_from(["poisson", "burst", "hotspot"]))
+    if kind == "poisson":
+        model = PoissonArrivals(
+            rate=draw(st.floats(0.0, 6.0)),
+            departure_rate=draw(st.floats(0.0, 6.0)),
+        )
+    elif kind == "burst":
+        model = BurstArrivals(
+            burst=draw(st.integers(0, 500)), period=draw(st.integers(1, 5))
+        )
+    else:
+        model = HotspotArrivals(
+            nodes=[draw(st.integers(0, topo.n - 1))],
+            rate=draw(st.integers(0, 40)),
+        )
+    return {
+        "topo": topo,
+        "model": model,
+        "rounding": draw(st.sampled_from(ROUNDINGS)),
+        "seed": draw(st.integers(0, 2**16)),
+        "rounds": draw(st.integers(1, 10)),
+        "level": draw(st.integers(0, 30)),
+    }
+
+
+def _config(case, **kwargs):
+    return EngineConfig(
+        scheme="sos",
+        beta=1.6,
+        rounding=case["rounding"],
+        rounds=case["rounds"],
+        seed=case["seed"],
+        arrivals=case["model"],
+        **kwargs,
+    )
+
+
+def _handle_loads(engine_name, engine, handle) -> np.ndarray:
+    """Current ``(B, n)`` loads of an in-flight dynamic run."""
+    if engine_name == "batched":
+        return handle.load.T.copy()
+    if engine_name == "network":
+        return np.stack([r.net.loads() for r in handle.replicas])
+    return np.stack([run.state.load for _, run in handle.replicas])
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(case=dynamic_cases())
+def test_token_conservation_exact(engine_name, case):
+    topo = case["topo"]
+    result = make_engine(engine_name).run_dynamic(
+        topo, _config(case), uniform_load(topo, case["level"])
+    )[0]
+    totals = result.series("total_load")
+    arrived = result.series("arrived")
+    departed = result.series("departed")
+    clamped = result.series("clamped")
+    assert np.all(arrived >= 0.0)
+    assert np.all(departed >= 0.0)
+    assert np.all(clamped >= 0.0)
+    replay = case["level"] * float(topo.n) + np.cumsum(arrived - departed)
+    np.testing.assert_array_equal(totals, replay)
+    assert float(result.final_state.load.sum()) == pytest.approx(
+        totals[-1], rel=1e-12
+    )
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(case=dynamic_cases())
+def test_non_negativity_after_clamping(engine_name, case):
+    """The arrival hook never drives a node below zero through consumption,
+    and never makes a transiently negative node worse."""
+    topo = case["topo"]
+    engine = make_engine(engine_name)
+    handle = engine.prepare(
+        topo, _config(case), uniform_load(topo, case["level"])
+    )
+    for _ in range(case["rounds"]):
+        before = _handle_loads(engine_name, engine, handle)
+        engine.arrive(handle)
+        after = _handle_loads(engine_name, engine, handle)
+        floor = np.minimum(before, 0.0)
+        assert np.all(after >= floor - 1e-9)
+        assert np.all(after[before >= 0.0] >= 0.0)
+        engine.step(handle)
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(case=dynamic_cases())
+def test_determinism_under_reseeding(engine_name, case):
+    topo = case["topo"]
+    load = uniform_load(topo, case["level"])
+    engine = make_engine(engine_name)
+    first = engine.run_dynamic(topo, _config(case), load)[0]
+    second = engine.run_dynamic(topo, _config(case), load)[0]
+    np.testing.assert_array_equal(
+        first.final_state.load, second.final_state.load
+    )
+    for fieldname in ("total_load", "arrived", "departed", "clamped",
+                      "max_minus_avg"):
+        np.testing.assert_array_equal(
+            first.series(fieldname), second.series(fieldname),
+            err_msg=fieldname,
+        )
+
+
+def test_different_stream_keys_change_stochastic_arrivals():
+    """arrival_seeds picks the stream: same batch position, different key,
+    different Poisson draws (and the same key reproduces them)."""
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 20)
+    model = PoissonArrivals(rate=4.0)
+
+    def run(keys):
+        config = EngineConfig(
+            scheme="sos", beta=1.6, rounding="nearest", rounds=6, seed=0,
+            arrivals=model, arrival_seeds=keys,
+        )
+        return make_engine("batched").run_dynamic(topo, config, load)[0]
+
+    base = run([0])
+    np.testing.assert_array_equal(
+        base.series("arrived"), run([0]).series("arrived")
+    )
+    assert not np.array_equal(
+        base.series("arrived"), run([7]).series("arrived")
+    )
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_departure_only_workload_never_goes_negative(engine_name):
+    """Huge departure demand on a nearly empty system: clamping reports the
+    refused volume and the total never crosses zero."""
+    topo = TOPOLOGIES["torus"]
+    case = {
+        "topo": topo,
+        "model": PoissonArrivals(rate=0.0, departure_rate=50.0),
+        "rounding": "randomized-excess",
+        "seed": 11,
+        "rounds": 15,
+        "level": 3,
+    }
+    result = make_engine(engine_name).run_dynamic(
+        topo, _config(case), uniform_load(topo, 3)
+    )[0]
+    assert float(result.series("total_load")[-1]) >= 0.0
+    assert float(result.series("clamped").sum()) > 0.0
+    replay = 3.0 * topo.n + np.cumsum(
+        result.series("arrived") - result.series("departed")
+    )
+    np.testing.assert_array_equal(result.series("total_load"), replay)

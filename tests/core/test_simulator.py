@@ -54,6 +54,52 @@ class TestRun:
         for name in ("max_minus_avg", "max_local_diff", "total_load"):
             assert sparse.series(name)[-1] == dense.series(name)[23]
 
+    def test_terminal_record_fix_holds_in_incremental_core(self, small_torus):
+        """Regression (incremental core): driving start/advance/finish by
+        hand — the path every engine adapter uses — must also put the final
+        step's min_transient/round_traffic on the forced terminal record."""
+        load = point_load(small_torus, 6400)
+        sim = Simulator(_sos_process(small_torus), record_every=5)
+        run = sim.start(load, rounds_hint=23)
+        for _ in range(23):
+            sim.advance(run)
+        # the values the last executed step reported, captured pre-finish
+        expect_transient = run.last_min_transient
+        expect_traffic = run.last_traffic
+        result = sim.finish(run)
+        assert result.rounds.tolist()[-1] == 23
+        assert result.records[-1].min_transient == expect_transient
+        assert result.records[-1].round_traffic == expect_traffic
+        dense = Simulator(_sos_process(small_torus), record_every=1).run(
+            load, rounds=23
+        )
+        assert result.records[-1].min_transient == dense.records[23].min_transient
+        assert result.records[-1].round_traffic == dense.records[23].round_traffic
+
+    def test_terminal_record_fix_holds_in_every_engine(self, small_torus):
+        """Regression (engine layer): a sparse-recorded run through each
+        backend carries the final round's own transient/traffic on the
+        forced terminal record, bit-identical to a densely recorded run."""
+        from repro.engines import EngineConfig, make_engine
+
+        load = point_load(small_torus, 6400)
+        base = dict(scheme="sos", beta=1.6, rounding="nearest", seed=0)
+        dense = make_engine("reference").run(
+            small_torus, EngineConfig(rounds=23, record_every=1, **base), load
+        )[0]
+        for name in ("reference", "batched", "network"):
+            sparse = make_engine(name).run(
+                small_torus,
+                EngineConfig(rounds=23, record_every=5, **base),
+                load,
+            )[0]
+            assert sparse.rounds.tolist() == [0, 5, 10, 15, 20, 23], name
+            for fieldname in ("min_transient", "round_traffic"):
+                assert (
+                    sparse.series(fieldname)[-1]
+                    == dense.series(fieldname)[23]
+                ), (name, fieldname)
+
     def test_series_extraction(self, small_torus):
         sim = Simulator(_sos_process(small_torus))
         result = sim.run(point_load(small_torus, 6400), rounds=10)

@@ -1,0 +1,275 @@
+"""Cross-engine dynamic equivalence: all backends, trace for trace.
+
+For deterministic roundings every dynamic run — arrivals applied, then one
+balancing step, per round — must agree *bit for bit* across the reference,
+batched, and network backends, on the torus, the hypercube, and a
+random-regular graph, with Poisson, burst, and hotspot arrival models, for
+B=1 and B>1.  The engine stream layout also makes engine replica 0
+reproduce a standalone ``DynamicSimulator`` seeded with
+``arrival_stream(seed, 0)`` exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BurstArrivals,
+    DynamicSimulator,
+    HotspotArrivals,
+    LoadBalancingProcess,
+    PoissonArrivals,
+    SecondOrderScheme,
+    arrival_stream,
+    hypercube,
+    point_load,
+    torus_2d,
+    uniform_load,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.graphs import random_regular_strict
+from repro.engines import EngineConfig, make_engine, run_dynamic_replicas
+
+ENGINE_NAMES = ["reference", "batched", "network"]
+
+#: Dynamic record columns that must be bit-identical across engines for
+#: deterministic roundings (the potential column is a sum of squares whose
+#: accumulation order differs between 1-D and batched reductions, so it is
+#: compared at 1e-12 like the static suite does).
+EXACT_FIELDS = (
+    "round_index",
+    "total_load",
+    "arrived",
+    "departed",
+    "clamped",
+    "max_minus_avg",
+    "max_local_diff",
+)
+
+
+def _topologies():
+    rng = np.random.default_rng(7)
+    return {
+        "torus": torus_2d(5, 6),
+        "hypercube": hypercube(5),
+        "random-regular": random_regular_strict(24, 3, rng=rng),
+    }
+
+
+TOPOLOGIES = _topologies()
+
+MODELS = {
+    "poisson": lambda: PoissonArrivals(rate=2.0, departure_rate=1.0),
+    "burst": lambda: BurstArrivals(burst=150, period=7),
+    "hotspot": lambda: HotspotArrivals(nodes=[0, 3], rate=4),
+}
+
+
+def _config(model, rounds=25, seed=3, **kwargs):
+    return EngineConfig(
+        scheme=kwargs.pop("scheme", "sos"),
+        beta=kwargs.pop("beta", 1.7),
+        rounding=kwargs.pop("rounding", "nearest"),
+        rounds=rounds,
+        seed=seed,
+        arrivals=model,
+        **kwargs,
+    )
+
+
+def _assert_same_dynamic(result, reference):
+    np.testing.assert_array_equal(
+        result.final_state.load, reference.final_state.load
+    )
+    for fieldname in EXACT_FIELDS:
+        np.testing.assert_array_equal(
+            result.series(fieldname),
+            reference.series(fieldname),
+            err_msg=fieldname,
+        )
+    np.testing.assert_allclose(
+        result.series("potential_per_node"),
+        reference.series("potential_per_node"),
+        rtol=1e-12,
+    )
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_single_replica_equivalence(topo_name, model_name):
+    topo = TOPOLOGIES[topo_name]
+    load = uniform_load(topo, 50)
+    reference = make_engine("reference").run_dynamic(
+        topo, _config(MODELS[model_name]()), load
+    )[0]
+    for name in ("batched", "network"):
+        result = make_engine(name).run_dynamic(
+            topo, _config(MODELS[model_name]()), load
+        )[0]
+        _assert_same_dynamic(result, reference)
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_engine_replica_matches_plain_dynamic_simulator(model_name):
+    """Replica 0 of every backend IS a DynamicSimulator run under the
+    engine stream layout (rounding default_rng(seed), arrivals
+    arrival_stream(seed, 0)) — the tentpole's B=1 bit-exactness contract."""
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 50)
+    seed = 3
+    process = LoadBalancingProcess(
+        SecondOrderScheme(topo, beta=1.7),
+        rounding="nearest",
+        rng=np.random.default_rng(seed),
+    )
+    plain = DynamicSimulator(
+        process, MODELS[model_name](), rng=arrival_stream(seed, 0)
+    ).run(load, 25)
+    for name in ENGINE_NAMES:
+        result = make_engine(name).run_dynamic(
+            topo, _config(MODELS[model_name](), seed=seed), load
+        )[0]
+        _assert_same_dynamic(result, plain)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_multi_replica_batch_matches_reference_rows(topo_name, model_name):
+    """B > 1: every row of the batched and network runs equals its own
+    reference replica — same spawned arrival stream per row."""
+    topo = TOPOLOGIES[topo_name]
+    loads = np.stack(
+        [
+            uniform_load(topo, 50),
+            point_load(topo, 40 * topo.n),
+            uniform_load(topo, 10),
+        ]
+    )
+    config = _config(MODELS[model_name](), rounds=20)
+    reference = make_engine("reference").run_dynamic(topo, config, loads)
+    for name in ("batched", "network"):
+        results = make_engine(name).run_dynamic(topo, config, loads)
+        assert len(results) == len(reference) == 3
+        for result, ref in zip(results, reference):
+            _assert_same_dynamic(result, ref)
+
+
+@pytest.mark.parametrize("rounding", ["floor", "ceil"])
+def test_other_deterministic_roundings_agree(rounding):
+    topo = TOPOLOGIES["hypercube"]
+    load = uniform_load(topo, 30)
+    config = _config(MODELS["poisson"](), rounding=rounding)
+    reference = make_engine("reference").run_dynamic(topo, config, load)[0]
+    for name in ("batched", "network"):
+        result = make_engine(name).run_dynamic(topo, config, load)[0]
+        _assert_same_dynamic(result, reference)
+
+
+def test_fos_dynamic_equivalence():
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 50)
+    config = _config(MODELS["poisson"](), scheme="fos", beta=1.0)
+    reference = make_engine("reference").run_dynamic(topo, config, load)[0]
+    for name in ("batched", "network"):
+        result = make_engine(name).run_dynamic(topo, config, load)[0]
+        _assert_same_dynamic(result, reference)
+
+
+def test_protocol_level_arrive_step_loop_matches_fused_run():
+    """Driving arrive()/step() by hand equals the fused run_dynamic()."""
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 50)
+    for name in ENGINE_NAMES:
+        engine = make_engine(name)
+        fused = engine.run_dynamic(topo, _config(MODELS["poisson"]()), load)[0]
+        handle = engine.prepare(topo, _config(MODELS["poisson"]()), load)
+        for _ in range(25):
+            batch = engine.arrive(handle)
+            assert batch.arrived.shape == (1,)
+            assert np.all(batch.arrived >= 0.0)
+            assert np.all(batch.departed >= 0.0)
+            assert np.all(batch.clamped >= 0.0)
+            engine.step(handle)
+        manual = engine.metrics(handle).dynamic_results()[0]
+        _assert_same_dynamic(manual, fused)
+
+
+def test_randomized_rounding_conserves_and_plateaus():
+    """Randomized draws differ across engines, but the token accounting is
+    exact everywhere and both land on the same bounded plateau."""
+    topo = torus_2d(8, 8)
+    load = uniform_load(topo, 100)
+    config = _config(
+        PoissonArrivals(rate=3.0, departure_rate=3.0),
+        rounds=150,
+        rounding="randomized-excess",
+        seed=5,
+    )
+    results = {
+        name: make_engine(name).run_dynamic(topo, config, load)[0]
+        for name in ENGINE_NAMES
+    }
+    for name, result in results.items():
+        totals = result.series("total_load")
+        replay = float(load.sum()) + np.cumsum(
+            result.series("arrived") - result.series("departed")
+        )
+        np.testing.assert_array_equal(totals, replay, err_msg=name)
+        assert result.steady_state_imbalance() < 40.0, name
+    # Arrival draws share the stream layout, so the injected volumes agree
+    # bit for bit even though the rounding streams differ.
+    np.testing.assert_array_equal(
+        results["reference"].series("arrived"),
+        results["batched"].series("arrived"),
+    )
+    np.testing.assert_array_equal(
+        results["reference"].series("arrived"),
+        results["network"].series("arrived"),
+    )
+
+
+def test_dynamic_rejects_switch_and_static_run():
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 50)
+    with pytest.raises(ConfigurationError):
+        EngineConfig(
+            arrivals=PoissonArrivals(1.0), switch=("fixed", 5)
+        ).validate()
+    for name in ENGINE_NAMES:
+        engine = make_engine(name)
+        with pytest.raises(ConfigurationError):
+            engine.run(topo, _config(MODELS["poisson"]()), load)
+        with pytest.raises(ConfigurationError):
+            engine.run_dynamic(
+                topo,
+                EngineConfig(scheme="sos", beta=1.7, rounds=5),
+                load,
+            )
+
+
+def test_double_arrive_raises():
+    topo = TOPOLOGIES["torus"]
+    load = uniform_load(topo, 50)
+    for name in ENGINE_NAMES:
+        engine = make_engine(name)
+        handle = engine.prepare(topo, _config(MODELS["poisson"]()), load)
+        engine.arrive(handle)
+        with pytest.raises(SimulationError):
+            engine.arrive(handle)
+
+
+def test_float32_dynamic_stays_integral_and_conserved():
+    topo = torus_2d(8, 8)
+    load = uniform_load(topo, 100)
+    config = _config(
+        PoissonArrivals(rate=2.0, departure_rate=1.0),
+        rounds=100,
+        rounding="randomized-excess",
+        precision="float32",
+    )
+    result = run_dynamic_replicas(topo, config, load, engine="batched")[0]
+    final = result.final_state.load
+    assert np.all(final == np.round(final))
+    replay = float(load.sum()) + np.cumsum(
+        result.series("arrived") - result.series("departed")
+    )
+    np.testing.assert_array_equal(result.series("total_load"), replay)

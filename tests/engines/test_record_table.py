@@ -12,7 +12,12 @@ from repro import (
     Simulator,
     point_load,
 )
-from repro.core.records import FLOAT_FIELDS
+from repro.core.records import (
+    DYNAMIC_FIELDS,
+    DYNAMIC_FLOAT_FIELDS,
+    DynamicRecordTable,
+    FLOAT_FIELDS,
+)
 
 
 def _row(i):
@@ -110,6 +115,81 @@ class TestSeriesMemoization:
         records = result.records
         assert result.records is records  # cached
         assert [r.round_index for r in records] == list(range(11))
+        np.testing.assert_array_equal(
+            result.series("total_load"), [r.total_load for r in records]
+        )
+
+
+class TestDynamicRecordTable:
+    @staticmethod
+    def _row(i):
+        return {
+            name: float(i * 10 + k)
+            for k, name in enumerate(DYNAMIC_FLOAT_FIELDS)
+        }
+
+    def test_append_grow_and_columns(self):
+        table = DynamicRecordTable(capacity=2)
+        for i in range(5):  # forces growth past the initial capacity
+            table.append(round_index=i + 1, **self._row(i))
+        assert len(table) == 5
+        assert table.column("round_index").tolist() == [1, 2, 3, 4, 5]
+        np.testing.assert_array_equal(
+            table.column("arrived"),
+            [self._row(i)["arrived"] for i in range(5)],
+        )
+        col = table.column("total_load")
+        with pytest.raises(ValueError):
+            col[0] = 1.0  # read-only view
+
+    def test_row_iter_and_order(self):
+        table = DynamicRecordTable()
+        table.append(round_index=7, **self._row(2))
+        row = table.row(0)
+        assert row["round_index"] == 7
+        assert row["clamped"] == self._row(2)["clamped"]
+        assert table.row(-1) == row
+        assert list(table.iter_rows()) == [row]
+        assert tuple(table.to_columns()) == DYNAMIC_FIELDS
+        with pytest.raises(IndexError):
+            table.row(1)
+        with pytest.raises(ConfigurationError):
+            table.column("scheme")  # static-only field
+
+    def test_from_columns_roundtrip_and_validation(self):
+        table = DynamicRecordTable()
+        for i in range(4):
+            table.append(round_index=i + 1, **self._row(i))
+        rebuilt = DynamicRecordTable.from_columns(
+            table.column("round_index"),
+            {name: table.column(name) for name in DYNAMIC_FLOAT_FIELDS},
+        )
+        for name in DYNAMIC_FIELDS:
+            np.testing.assert_array_equal(
+                rebuilt.column(name), table.column(name)
+            )
+        with pytest.raises(ConfigurationError):
+            DynamicRecordTable.from_columns(np.arange(3), {})
+        with pytest.raises(ConfigurationError):
+            DynamicRecordTable(capacity=0)
+
+    def test_dynamic_result_series_zero_copy(self, small_torus):
+        """DynamicResult.series is a zero-copy view of the table storage."""
+        from repro import DynamicSimulator, PoissonArrivals
+
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(small_torus, beta=1.6),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        result = DynamicSimulator(
+            proc, PoissonArrivals(rate=2.0), rng=np.random.default_rng(1)
+        ).run(point_load(small_torus, 6400), rounds=12)
+        first = result.series("max_minus_avg")
+        assert first.base is result.table._floats["max_minus_avg"]
+        assert result.series("max_minus_avg").base is first.base
+        records = result.records
+        assert result.records is records  # cached
         np.testing.assert_array_equal(
             result.series("total_load"), [r.total_load for r in records]
         )

@@ -47,3 +47,95 @@ class TestTorusSizeSweep:
     def test_rejects_unknown_kind(self):
         with pytest.raises(ConfigurationError):
             torus_size_sweep([6], kind="third-order")
+
+class TestDynamicReplicaEnsemble:
+    def _config(self, rounds=20, seed=2):
+        from repro.engines import EngineConfig
+
+        return EngineConfig(
+            scheme="sos", beta=1.6, rounding="nearest", rounds=rounds,
+            seed=seed,
+        )
+
+    def test_one_batched_call_covers_full_cross_product(self):
+        from repro import torus_2d, uniform_load
+        from repro.experiments import dynamic_replica_ensemble
+
+        topo = torus_2d(4, 5)
+        loads = np.stack([uniform_load(topo, 10), uniform_load(topo, 30)])
+        ensemble = dynamic_replica_ensemble(
+            topo,
+            self._config(),
+            ["poisson:2.0,depart=1.0", "burst:100/5"],
+            seeds=[0, 7, 11],
+            initial_loads=loads,
+        )
+        assert ensemble.n_replicas == 2 * 2 * 3
+        # labels enumerate models outer, loads middle, seeds inner
+        assert ensemble.labels[0] == ("m0", 0, 0)
+        assert ensemble.labels[-1] == ("m1", 1, 11)
+        assert "PoissonArrivals" in ensemble.model_keys["m0"]
+        assert "BurstArrivals" in ensemble.model_keys["m1"]
+        for key in ("m0", "m1"):
+            assert f"{key}_steady_state_mean" in ensemble.stats
+            assert ensemble.stats[f"{key}_arrived_total_mean"] >= 0.0
+
+    def test_streams_keyed_by_seed_value_not_batch_position(self):
+        """A replica's trajectory is identical whether it runs alone or
+        inside a bigger ensemble — common random numbers by seed value."""
+        from repro import torus_2d
+        from repro.experiments import dynamic_replica_ensemble
+
+        topo = torus_2d(4, 5)
+        small = dynamic_replica_ensemble(
+            topo, self._config(), ["poisson:2.0"], seeds=[7]
+        )
+        big = dynamic_replica_ensemble(
+            topo, self._config(), ["poisson:2.0", "hotspot:0:3"],
+            seeds=[3, 7],
+        )
+        alone = small.results[0]
+        # model m0, seed 7 sits at batch position 1 in the big ensemble
+        assert big.labels[1] == ("m0", 0, 7)
+        inside = big.results[1]
+        np.testing.assert_array_equal(
+            alone.final_state.load, inside.final_state.load
+        )
+        np.testing.assert_array_equal(
+            alone.series("arrived"), inside.series("arrived")
+        )
+
+    def test_matches_reference_engine(self):
+        from repro import torus_2d
+        from repro.experiments import dynamic_replica_ensemble
+
+        topo = torus_2d(4, 5)
+        batched = dynamic_replica_ensemble(
+            topo, self._config(), ["burst:80/4"], seeds=[0, 1]
+        )
+        reference = dynamic_replica_ensemble(
+            topo, self._config(), ["burst:80/4"], seeds=[0, 1],
+            engine="reference",
+        )
+        for b, r in zip(batched.results, reference.results):
+            np.testing.assert_array_equal(
+                b.final_state.load, r.final_state.load
+            )
+        assert batched.stats == pytest.approx(reference.stats)
+
+    def test_validates_inputs(self):
+        from repro import torus_2d
+        from repro.experiments import dynamic_replica_ensemble
+
+        topo = torus_2d(4, 5)
+        with pytest.raises(ConfigurationError):
+            dynamic_replica_ensemble(topo, self._config(), [])
+        with pytest.raises(ConfigurationError):
+            dynamic_replica_ensemble(
+                topo, self._config(), ["poisson:1.0"], seeds=[]
+            )
+        with pytest.raises(ConfigurationError):
+            dynamic_replica_ensemble(
+                topo, self._config(), ["poisson:1.0"],
+                initial_loads=np.zeros((2, topo.n + 1)),
+            )

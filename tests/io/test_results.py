@@ -47,3 +47,58 @@ class TestPersistence:
         save_record(ExperimentRecord(name="a"), directory)
         names = [p.split("/")[-1] for p in list_records(directory)]
         assert names == ["a.json", "b.json"]
+
+class TestDynamicResultRecord:
+    def _result(self):
+        import numpy as np
+
+        from repro import (
+            DynamicSimulator,
+            LoadBalancingProcess,
+            PoissonArrivals,
+            SecondOrderScheme,
+            torus_2d,
+            uniform_load,
+        )
+
+        topo = torus_2d(4, 4)
+        proc = LoadBalancingProcess(
+            SecondOrderScheme(topo, beta=1.5),
+            rounding="randomized-excess",
+            rng=np.random.default_rng(0),
+        )
+        return DynamicSimulator(
+            proc, PoissonArrivals(rate=2.0, departure_rate=1.0),
+            rng=np.random.default_rng(1),
+        ).run(uniform_load(topo, 20), rounds=15)
+
+    def test_dynamic_record_series_and_summary(self):
+        from repro.core.records import DYNAMIC_FLOAT_FIELDS
+        from repro.io import dynamic_result_record
+
+        result = self._result()
+        record = dynamic_result_record(
+            "dyn", result, params={"graph": "torus-4"}
+        )
+        assert record.name == "dyn"
+        assert record.params == {"graph": "torus-4"}
+        assert set(record.series) == {"round", *DYNAMIC_FLOAT_FIELDS}
+        assert len(record.series["round"]) == 15
+        assert record.summary["rounds_recorded"] == 15
+        assert record.summary["final_total_load"] == result.series(
+            "total_load"
+        )[-1]
+        assert record.summary["arrived_total"] == result.series("arrived").sum()
+        assert record.summary["steady_state_imbalance"] == pytest.approx(
+            result.steady_state_imbalance()
+        )
+
+    def test_dynamic_record_round_trips_json(self, tmp_path):
+        from repro.io import dynamic_result_record, load_record, save_record
+
+        record = dynamic_result_record("dyn", self._result(), fields=["total_load"])
+        assert set(record.series) == {"round", "total_load"}
+        path = save_record(record, str(tmp_path))
+        loaded = load_record(path)
+        assert loaded.series == record.series
+        assert loaded.summary == record.summary

@@ -85,3 +85,55 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "frames written" in out
+
+
+class TestSimulateArrivals:
+    def test_simulate_dynamic_poisson(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-1000", "--scale", "tiny",
+                "--rounds", "60", "--avg-load", "50",
+                "--arrivals", "poisson:2.0,depart=1.0",
+                "--engine", "batched",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrivals=poisson:2.0,depart=1.0" in out
+        assert "steady-state imbalance" in out
+        assert "max-avg" in out
+
+    def test_simulate_dynamic_ensemble(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-1000", "--scale", "tiny",
+                "--rounds", "40", "--avg-load", "50",
+                "--arrivals", "burst:200/10", "--replicas", "3",
+                "--engine", "batched",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m0_steady_state_mean" in out
+
+    def test_simulate_dynamic_hotspot_reference(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "hypercube", "--scale", "tiny",
+                "--rounds", "30", "--avg-load", "20",
+                "--arrivals", "hotspot:0,1:5", "--engine", "reference",
+            ]
+        )
+        assert code == 0
+        assert "steady-state imbalance" in capsys.readouterr().out
+
+    def test_simulate_bad_arrival_spec_raises(self):
+        from repro import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "simulate", "--graph", "torus-1000", "--scale", "tiny",
+                    "--rounds", "10", "--arrivals", "bogus:1",
+                ]
+            )
