@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+import json
+import os
+
+import numpy as np
+
+#: Repository root — machine-readable bench outputs land here as
+#: ``BENCH_<name>.json`` so every PR leaves a perf trajectory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing.
@@ -11,3 +20,32 @@ def run_once(benchmark, func, *args, **kwargs):
     adding information, so every bench uses a single timed iteration.
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        value = value.item()
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)  # JSON has no NaN/Inf
+    return value
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write one machine-readable bench summary to ``BENCH_<name>.json``.
+
+    Every bench routes its summary through this helper so downstream PRs
+    (and the CI artifact upload) get a uniform perf trajectory at the repo
+    root instead of scraping stdout.  Returns the path written.
+    """
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,276 @@
+"""Scaling frontier: the large-n fast path and tiled streaming engine.
+
+The paper's headline results are asymptotic — the SOS gap over FOS only
+shows at paper scale (n around 10^6) — so this bench tracks how far one
+process gets as the graph grows:
+
+* **rounds/sec across n** for the edge-wise batched identity path, the
+  closed-form matmul tier (one CSR matmul per round against the folded
+  diffusion matrix), and the closed-form spectral tier (per-Fourier-mode
+  recurrence on the torus; per-round cost independent of the replica
+  count);
+* **the fast-path floor** — at n = 10^4 (identity rounding, B >= 16) the
+  closed-form spectral kernel must beat the edge-wise batched path by
+  >= 5x rounds/sec;
+* **bounded-memory large-n runs** — at paper scale a 10^6-node torus runs
+  the discrete randomized-excess process in tiled + streaming-summary mode
+  and must stay under the documented peak-RSS budget
+  (``TILED_RSS_BUDGET_MB``), and the closed-form tiers complete the same
+  graph in seconds;
+* **an unstructured-graph entry** (configuration-model random regular
+  graph) where only the matmul tier applies.
+
+Every run writes the machine-readable ``BENCH_scaling.json`` at the repo
+root via ``_helpers.write_bench_json`` so later PRs inherit the perf
+trajectory; CI uploads it as an artifact at tiny scale.
+"""
+
+import os
+import resource
+import time
+
+import numpy as np
+
+from repro import point_load, torus_2d, beta_opt, torus_lambda
+from repro.engines import EngineConfig, make_engine
+from repro.experiments import format_table
+from repro.graphs import configuration_model
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+#: Documented peak-RSS budget (MiB) of the paper-scale 10^6-node discrete
+#: run in tiled + summary mode — the whole process, including the python/
+#: numpy baseline, the topology, the CSR operators and the edge-space flow
+#: state (which is inherent to discrete roundings at O(m) floats).
+TILED_RSS_BUDGET_MB = 2048
+
+#: Record sparsity of every measured run (a scaling study records summary
+#: curves, not every round).
+RECORD_EVERY = 50
+
+#: Node-space record columns: dropping min_transient/round_traffic is what
+#: makes the closed-form fast path eligible, and the edge-wise baseline
+#: honours the same trimmed field set, so the comparison is like for like.
+NODE_FIELDS = (
+    "max_minus_avg", "min_minus_avg", "potential_per_node", "min_load",
+    "total_load",
+)
+
+#: Torus sweep entries per scale: (side, replicas, rounds, measure_edge).
+TORUS_SWEEP = {
+    "tiny": [(32, 4, 100, True), (100, 4, 100, True)],
+    "ci": [(32, 16, 300, True), (100, 16, 300, True), (316, 16, 100, True)],
+    "paper": [
+        (32, 16, 300, True),
+        (100, 16, 300, True),
+        (316, 16, 100, True),
+        (1000, 4, 40, True),
+    ],
+}[SCALE]
+
+#: The asserted fast-path floor applies at n = 10^4 (side 100), B >= 16.
+ASSERT_SIDE = 100
+FAST_PATH_FLOOR = 5.0
+
+#: Paper scale additionally runs the 10^6-node tiled discrete process.
+RUN_MILLION_TILED = SCALE == "paper"
+MILLION_SIDE = 1000
+MILLION_ROUNDS = 10
+
+CM_NODES = {"tiny": 1024, "ci": 10_000, "paper": 10_000}[SCALE]
+CM_DEGREE = 8
+CM_ROUNDS = {"tiny": 100, "ci": 200, "paper": 200}[SCALE]
+
+
+def _peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process in MiB (Linux: ru_maxrss is KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _rounds_per_sec(topo, beta, loads, rounds, fast_path, **options):
+    config = EngineConfig(
+        scheme="sos",
+        beta=beta,
+        rounding="identity",
+        rounds=rounds,
+        record_every=RECORD_EVERY,
+        seed=0,
+        fast_path=fast_path,
+        record_fields=NODE_FIELDS,
+        **options,
+    )
+    engine = make_engine("batched")
+    t0 = time.perf_counter()
+    results = engine.run(topo, config, loads)
+    elapsed = time.perf_counter() - t0
+    assert len(results) == loads.shape[0]
+    total = loads[0].sum()
+    final = results[0].final_state.load.sum()
+    assert abs(final - total) <= 1e-6 * total
+    return rounds / elapsed
+
+
+def _measure_torus(side, n_replicas, rounds, measure_edge):
+    topo = torus_2d(side, side)
+    beta = beta_opt(torus_lambda((side, side)))
+    loads = np.tile(point_load(topo, 1000 * topo.n), (n_replicas, 1))
+    entry = {
+        "graph": f"torus-{side}x{side}",
+        "n": topo.n,
+        "m": topo.m_edges,
+        "replicas": n_replicas,
+        "rounds": rounds,
+        "record_every": RECORD_EVERY,
+    }
+    if measure_edge:
+        entry["edgewise_rounds_per_sec"] = _rounds_per_sec(
+            topo, beta, loads, rounds, "never"
+        )
+    entry["matmul_rounds_per_sec"] = _rounds_per_sec(
+        topo, beta, loads, rounds, "matmul"
+    )
+    entry["spectral_rounds_per_sec"] = _rounds_per_sec(
+        topo, beta, loads, rounds, "spectral"
+    )
+    if measure_edge:
+        edge = entry["edgewise_rounds_per_sec"]
+        entry["matmul_speedup"] = entry["matmul_rounds_per_sec"] / edge
+        entry["spectral_speedup"] = entry["spectral_rounds_per_sec"] / edge
+    entry["peak_rss_mb"] = _peak_rss_mb()
+    return entry
+
+
+def _measure_cm(n, degree, rounds):
+    topo = configuration_model(n, degree, rng=np.random.default_rng(0))
+    from repro import second_largest_eigenvalue
+
+    lam = second_largest_eigenvalue(topo, method="sparse")
+    beta = beta_opt(min(lam, 0.999999))
+    loads = np.tile(point_load(topo, 1000 * topo.n), (8, 1))
+    entry = {
+        "graph": f"cm-{n}-d{degree}",
+        "n": topo.n,
+        "m": topo.m_edges,
+        "replicas": 8,
+        "rounds": rounds,
+        "record_every": RECORD_EVERY,
+        "edgewise_rounds_per_sec": _rounds_per_sec(
+            topo, beta, loads, rounds, "never"
+        ),
+        "matmul_rounds_per_sec": _rounds_per_sec(
+            topo, beta, loads, rounds, "matmul"
+        ),
+    }
+    entry["matmul_speedup"] = (
+        entry["matmul_rounds_per_sec"] / entry["edgewise_rounds_per_sec"]
+    )
+    return entry
+
+
+def _measure_million_tiled():
+    """The 10^6-node discrete run: tiled kernels + streaming summaries."""
+    topo = torus_2d(MILLION_SIDE, MILLION_SIDE)
+    beta = beta_opt(torus_lambda((MILLION_SIDE, MILLION_SIDE)))
+    load = point_load(topo, 100 * topo.n)
+    config = EngineConfig(
+        scheme="sos",
+        beta=beta,
+        rounding="randomized-excess",
+        rounds=MILLION_ROUNDS,
+        record_every=1,
+        seed=0,
+        tile_size="auto",
+        memory_budget_mb=256.0,
+        record_mode="summary",
+    )
+    engine = make_engine("batched")
+    t0 = time.perf_counter()
+    results = engine.run(topo, config, load)
+    elapsed = time.perf_counter() - t0
+    summary = results[0].table.summary()
+    total = load.sum()
+    assert abs(results[0].final_state.load.sum() - total) <= 1e-6 * total
+    return {
+        "graph": f"torus-{MILLION_SIDE}x{MILLION_SIDE}-discrete-tiled",
+        "n": topo.n,
+        "m": topo.m_edges,
+        "replicas": 1,
+        "rounds": MILLION_ROUNDS,
+        "rounding": "randomized-excess",
+        "tile_size": "auto(256MiB)",
+        "record_mode": "summary",
+        "seconds": elapsed,
+        "rounds_per_sec": MILLION_ROUNDS / elapsed,
+        "final_max_minus_avg": summary["max_minus_avg_last"],
+        "peak_rss_mb": _peak_rss_mb(),
+        "rss_budget_mb": TILED_RSS_BUDGET_MB,
+    }
+
+
+def _run_frontier():
+    summary = {
+        "scale": SCALE,
+        "record_every": RECORD_EVERY,
+        "record_fields": list(NODE_FIELDS),
+        "fast_path_floor": FAST_PATH_FLOOR,
+        "entries": [],
+    }
+    for side, n_replicas, rounds, measure_edge in TORUS_SWEEP:
+        summary["entries"].append(
+            _measure_torus(side, n_replicas, rounds, measure_edge)
+        )
+    summary["entries"].append(_measure_cm(CM_NODES, CM_DEGREE, CM_ROUNDS))
+    if RUN_MILLION_TILED:
+        summary["entries"].append(_measure_million_tiled())
+    for entry in summary["entries"]:
+        if entry["n"] == ASSERT_SIDE * ASSERT_SIDE and "spectral_speedup" in entry:
+            summary["asserted_spectral_speedup"] = entry["spectral_speedup"]
+    summary["peak_rss_mb"] = _peak_rss_mb()
+    return summary
+
+
+def test_scaling_frontier(benchmark, archive):
+    s = run_once(benchmark, _run_frontier)
+    archive(ExperimentRecord(name="scaling", summary=s))
+
+    print()
+    rows = []
+    for e in s["entries"]:
+        rows.append(
+            [
+                e["graph"],
+                e["n"],
+                e["replicas"],
+                f"{e['edgewise_rounds_per_sec']:.0f}"
+                if "edgewise_rounds_per_sec" in e
+                else f"{e.get('rounds_per_sec', float('nan')):.1f} (tiled)",
+                f"{e.get('matmul_rounds_per_sec', float('nan')):.0f}",
+                f"{e.get('spectral_rounds_per_sec', float('nan')):.0f}",
+                f"{e.get('spectral_speedup', e.get('matmul_speedup', float('nan'))):.1f}x",
+                f"{e.get('peak_rss_mb', float('nan')):.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "n", "B", "edge r/s", "matmul r/s", "spectral r/s",
+             "best speedup", "rss MB"],
+            rows,
+            title=(
+                f"scaling frontier (identity rounding, record_every="
+                f"{RECORD_EVERY}, node-space record fields)"
+            ),
+        )
+    )
+
+    if SCALE != "tiny":
+        # Acceptance: the closed-form fast path sustains >= 5x rounds/sec
+        # over the edge-wise batched path at n = 10^4, B >= 16.
+        assert s["asserted_spectral_speedup"] >= FAST_PATH_FLOOR, s[
+            "asserted_spectral_speedup"
+        ]
+    if RUN_MILLION_TILED:
+        tiled = s["entries"][-1]
+        assert tiled["peak_rss_mb"] <= TILED_RSS_BUDGET_MB, tiled

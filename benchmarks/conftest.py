@@ -17,6 +17,8 @@ import pytest
 from repro.experiments import format_record
 from repro.io import save_record
 
+from _helpers import write_bench_json
+
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -29,10 +31,16 @@ def bench_scale() -> str:
 
 @pytest.fixture
 def archive():
-    """Persist a record to benchmarks/out/ and print it."""
+    """Persist a record to benchmarks/out/, print it, and write the
+    machine-readable ``BENCH_<name>.json`` at the repo root (params +
+    summary only — the compact perf trajectory every bench shares)."""
 
     def _archive(record):
         save_record(record, OUT_DIR)
+        write_bench_json(
+            record.name,
+            {"scale": SCALE, "params": record.params, "summary": record.summary},
+        )
         print()
         print(format_record(record))
         return record

@@ -63,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ENGINES),
         help="execution backend for the driver's simulations",
     )
+    p_fig.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help=(
+            "seed replicas per curve for the seed-averaged drivers "
+            "(fig02, fig08): one batched ensemble call produces mean/std "
+            "series"
+        ),
+    )
 
     p_sim = sub.add_parser("simulate", help="run a free-form simulation")
     p_sim.add_argument(
@@ -126,6 +136,67 @@ def build_parser() -> argparse.ArgumentParser:
             "moving average"
         ),
     )
+    p_sim.add_argument(
+        "--arrival-sampling",
+        default="stream",
+        choices=["stream", "batch"],
+        help=(
+            "batched-engine arrival sampling: 'stream' (default) draws each "
+            "replica from its own spawned stream (bit-exact with the "
+            "reference engine), 'batch' draws the whole (n, B) count plane "
+            "in one vectorised call — much faster for per-node Poisson "
+            "churn, at the price of stream-for-stream cross-engine parity"
+        ),
+    )
+    p_sim.add_argument(
+        "--fast-path",
+        default="auto",
+        choices=["auto", "never", "matmul", "spectral"],
+        help=(
+            "closed-form continuous fast path of the batched engine "
+            "(identity rounding, no switch, transient/traffic columns "
+            "dropped): 'auto' engages it when eligible, 'matmul' forces the "
+            "one-CSR-matmul-per-round tier, 'spectral' the torus Fourier "
+            "kernel"
+        ),
+    )
+    p_sim.add_argument(
+        "--tile-size",
+        default=None,
+        metavar="N|auto",
+        help=(
+            "node-tile width of the batched engine's streaming kernels: an "
+            "int, or 'auto' to derive it from --memory-budget-mb; default "
+            "keeps dense whole-batch scratch"
+        ),
+    )
+    p_sim.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=256.0,
+        help="scratch budget (MiB) used by --tile-size auto",
+    )
+    p_sim.add_argument(
+        "--record-mode",
+        default="table",
+        choices=["table", "summary"],
+        help=(
+            "'summary' streams records through running min/max/sum/last "
+            "aggregates instead of dense per-round columns (memory "
+            "independent of the round count; batched engine only)"
+        ),
+    )
+    p_sim.add_argument(
+        "--record-fields",
+        default=None,
+        metavar="FIELDS",
+        help=(
+            "comma-separated record columns to compute (batched engine), "
+            "or 'node' for every node-space column — i.e. everything except "
+            "min_transient/round_traffic, which is what lets --fast-path "
+            "auto engage on identity rounding"
+        ),
+    )
 
     p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
     p_render.add_argument("--out", required=True, help="output directory")
@@ -162,6 +233,20 @@ def _cmd_figure(args) -> int:
     kwargs = {"scale": args.scale, "seed": args.seed}
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
+    if args.seeds > 1:
+        import inspect
+
+        from .experiments.runner import EXPERIMENTS
+
+        driver = EXPERIMENTS.get(args.name)
+        if driver is None or "n_seeds" not in inspect.signature(driver).parameters:
+            print(
+                f"--seeds applies to the seed-averaged drivers only "
+                f"(fig02, fig08); {args.name} runs single-seed",
+                file=sys.stderr,
+            )
+        else:
+            kwargs["n_seeds"] = args.seeds
     record = run_experiment(
         args.name, output_dir=args.output_dir, engine=args.engine, **kwargs
     )
@@ -172,6 +257,27 @@ def _cmd_figure(args) -> int:
             print(sparkline(record.series[key], log=True))
             break
     return 0
+
+
+def _parse_tile_size(value):
+    if value is None or value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(f"--tile-size must be an int or 'auto', got {value!r}")
+
+
+def _parse_record_fields(value):
+    if value is None:
+        return None
+    if value == "node":
+        from .core.records import FLOAT_FIELDS
+
+        return tuple(
+            f for f in FLOAT_FIELDS if f not in ("min_transient", "round_traffic")
+        )
+    return tuple(f.strip() for f in value.split(",") if f.strip())
 
 
 def _cmd_simulate(args) -> int:
@@ -185,6 +291,12 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         switch_round=args.switch_round,
         precision=args.precision,
+        fast_path=args.fast_path,
+        tile_size=_parse_tile_size(args.tile_size),
+        memory_budget_mb=args.memory_budget_mb,
+        record_mode=args.record_mode,
+        record_fields=_parse_record_fields(args.record_fields),
+        arrival_sampling=args.arrival_sampling,
     )
     print(
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "
@@ -208,14 +320,18 @@ def _cmd_simulate(args) -> int:
     else:
         initial = point_load(built.topo, args.avg_load * built.topo.n)
         result = make_engine(args.engine).run(built.topo, config, initial)[0]
+    import math
+
     final = result.records[-1]
-    print(
-        f"after {final.round_index} rounds (replica 0): "
-        f"max-avg={final.max_minus_avg:.2f} "
-        f"local-diff={final.max_local_diff:.2f} "
-        f"potential/n={final.potential_per_node:.4g} "
-        f"min-transient={result.min_transient_overall:.1f}"
-    )
+    parts = [
+        f"after {final.round_index} rounds (replica 0): ",
+        f"max-avg={final.max_minus_avg:.2f} ",
+        f"local-diff={final.max_local_diff:.2f} ",
+        f"potential/n={final.potential_per_node:.4g}",
+    ]
+    if not math.isnan(result.min_transient_overall):
+        parts.append(f" min-transient={result.min_transient_overall:.1f}")
+    print("".join(parts))
     if result.switched_at is not None:
         print(f"switched to FOS after round {result.switched_at}")
     print("max-avg (log sparkline):")

@@ -114,6 +114,7 @@ from .dynamic import (
     PoissonArrivals,
     arrival_stream,
     arrival_streams,
+    batch_arrival_stream,
     make_arrival_model,
 )
 from .records import DynamicRecordTable
@@ -233,6 +234,7 @@ __all__ = [
     "PoissonArrivals",
     "arrival_stream",
     "arrival_streams",
+    "batch_arrival_stream",
     "make_arrival_model",
     "NegativeLoadTracker",
     "initial_delta",

@@ -55,6 +55,7 @@ __all__ = [
     "make_arrival_model",
     "arrival_stream",
     "arrival_streams",
+    "batch_arrival_stream",
     "DynamicRoundRecord",
     "DynamicResult",
     "DynamicRun",
@@ -74,6 +75,24 @@ class ArrivalModel:
                rng: np.random.Generator) -> np.ndarray:
         """Integral per-node load delta for this round."""
         raise NotImplementedError
+
+    def batch_deltas(self, topo: Topology, round_index: int,
+                     rng: np.random.Generator, n_replicas: int) -> np.ndarray:
+        """Per-node deltas for a whole replica batch: ``(n, B)``, one column
+        per replica, all drawn from the *one* generator ``rng``.
+
+        This is the ``arrival_sampling="batch"`` hook: replicas sampled
+        together from a shared batch stream instead of one spawned stream
+        each, trading stream-for-stream reproducibility against the
+        reference engine for vectorised sampling.  The default draws the
+        replicas one :meth:`deltas` call at a time (correct for any model);
+        models whose sampling vectorises — per-node Poisson — override it
+        with a single batched draw.
+        """
+        return np.stack(
+            [self.deltas(topo, round_index, rng) for _ in range(n_replicas)],
+            axis=1,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -99,17 +118,100 @@ class PoissonArrivals(ArrivalModel):
         expectation.
     """
 
+    #: Rates above this fall back to ``rng.poisson`` in batch mode (the
+    #: inverse-CDF table would be long and the generator's own transformed
+    #: rejection method is competitive at large lambda).
+    _TABLE_RATE_LIMIT = 64.0
+
     def __init__(self, rate: float, departure_rate: float = 0.0):
         if rate < 0 or departure_rate < 0:
             raise ConfigurationError("rates must be >= 0")
         self.rate = float(rate)
         self.departure_rate = float(departure_rate)
+        self._cdf_cache: dict = {}
 
     def deltas(self, topo, round_index, rng):
         out = rng.poisson(self.rate, size=topo.n).astype(np.float64)
         if self.departure_rate > 0:
             out -= rng.poisson(self.departure_rate, size=topo.n)
         return out
+
+    @staticmethod
+    def _pmf_table(rate: float) -> np.ndarray:
+        """Poisson(rate) pmf out to float64 resolution (index = count)."""
+        terms = [np.exp(-rate)]
+        k = 0
+        # Extend until the tail mass vanishes at float64 resolution
+        # (the loop is bounded: ~rate + 40*sqrt(rate) + 50 terms).
+        while terms[-1] > 1e-18 * max(1.0, rate) or k < rate:
+            k += 1
+            terms.append(terms[-1] * rate / k)
+        return np.asarray(terms)
+
+    def _cdf(self, rate: float) -> np.ndarray:
+        """Cumulative Poisson(rate) table out to float64 resolution."""
+        cdf = self._cdf_cache.get(rate)
+        if cdf is None:
+            cdf = np.cumsum(self._pmf_table(rate))
+            self._cdf_cache[rate] = cdf
+        return cdf
+
+    def _net_cdf(self) -> tuple:
+        """CDF and offset of the *net* delta ``A - D`` (Skellam law).
+
+        The engine consumes only the net per-node delta (the arrival hook
+        derives arrived/departed from its sign), so one inverse-CDF draw
+        from the exact difference distribution — the convolution of the
+        arrival pmf with the reversed departure pmf — replaces two Poisson
+        draws without changing anything the process observes.
+        """
+        key = ("net", self.rate, self.departure_rate)
+        cached = self._cdf_cache.get(key)
+        if cached is None:
+            pmf_a = self._pmf_table(self.rate)
+            pmf_d = self._pmf_table(self.departure_rate)
+            # index i of the convolution = net delta i - (len(pmf_d) - 1)
+            net = np.convolve(pmf_a, pmf_d[::-1])
+            cached = (np.cumsum(net), len(pmf_d) - 1)
+            self._cdf_cache[key] = cached
+        return cached
+
+    def _sample_batch(self, rng, rate: float, shape) -> np.ndarray:
+        """Poisson(rate) counts for a whole plane.
+
+        Small rates (the per-node-churn regime) sample by inverse CDF
+        against a cached table: one fast uniform per count plus a
+        ``searchsorted`` — several times cheaper per variate than the
+        generator's poisson method, which is what actually lifts the
+        Poisson-churn sampling ceiling.  The table carries the pmf to
+        float64 resolution, so counts are Poisson-distributed exactly up
+        to the uniform draw's own 2^-53 granularity.
+        """
+        if rate == 0.0:
+            return np.zeros(shape)
+        if rate > self._TABLE_RATE_LIMIT:
+            return rng.poisson(rate, size=shape).astype(np.float64)
+        cdf = self._cdf(rate)
+        u = rng.random(shape)
+        return np.searchsorted(cdf, u.ravel(), side="right").reshape(
+            shape
+        ).astype(np.float64)
+
+    def batch_deltas(self, topo, round_index, rng, n_replicas):
+        # One vectorised draw for the whole (n, B) plane from the shared
+        # batch stream; with departures, a single draw from the exact net
+        # (Skellam) distribution instead of two Poisson draws.
+        shape = (topo.n, n_replicas)
+        if self.departure_rate == 0.0:
+            return self._sample_batch(rng, self.rate, shape)
+        if max(self.rate, self.departure_rate) > self._TABLE_RATE_LIMIT:
+            out = self._sample_batch(rng, self.rate, shape)
+            out -= self._sample_batch(rng, self.departure_rate, shape)
+            return out
+        cdf, offset = self._net_cdf()
+        u = rng.random(shape)
+        counts = np.searchsorted(cdf, u.ravel(), side="right")
+        return counts.reshape(shape).astype(np.float64) - offset
 
     def __repr__(self) -> str:
         return (
@@ -240,6 +342,18 @@ def arrival_streams(
     if isinstance(replicas, (int, np.integer)):
         replicas = range(int(replicas))
     return [arrival_stream(seed, b) for b in replicas]
+
+
+def batch_arrival_stream(seed: int) -> np.random.Generator:
+    """The single shared generator of ``arrival_sampling="batch"`` runs.
+
+    Keyed by a two-element spawn key so it can never collide with any
+    per-replica :func:`arrival_stream` (those use one-element keys), whatever
+    ``arrival_seeds`` values a sweep pins.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(0, 0))
+    )
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ __all__ = [
     "DYNAMIC_FLOAT_FIELDS",
     "RecordTable",
     "DynamicRecordTable",
+    "StreamingStats",
 ]
 
 #: Every column of a record table, in canonical export order.
@@ -76,6 +77,104 @@ DYNAMIC_FLOAT_FIELDS = tuple(f for f in DYNAMIC_FIELDS if f != "round_index")
 _SCHEME_DTYPE = "<U32"
 
 
+class StreamingStats:
+    """Running aggregates of record columns: min / max / sum / last per field.
+
+    The streaming counterpart of keeping a dense ``(rounds, width)`` column
+    block: each :meth:`update` folds one recorded round into ``O(fields x
+    width)`` state, so memory is independent of how many rounds are recorded.
+    ``width`` is the replica count for batched engines (each aggregate is a
+    ``(width,)`` array).  Sums accumulate row by row — the same order
+    :meth:`RecordTable.summary` uses — so a streaming run and a dense table
+    reduce to bit-identical aggregates.
+    """
+
+    __slots__ = (
+        "fields",
+        "width",
+        "count",
+        "first_round",
+        "last_round",
+        "mins",
+        "maxs",
+        "sums",
+        "last",
+    )
+
+    def __init__(self, fields, width: int):
+        self.fields = tuple(fields)
+        self.width = int(width)
+        self.count = 0
+        self.first_round = -1
+        self.last_round = -1
+        self.mins = {f: np.full(self.width, np.inf) for f in self.fields}
+        self.maxs = {f: np.full(self.width, -np.inf) for f in self.fields}
+        self.sums = {f: np.zeros(self.width) for f in self.fields}
+        self.last = {f: np.full(self.width, np.nan) for f in self.fields}
+
+    def update(self, round_index: int, values: Dict[str, np.ndarray]) -> None:
+        """Fold one recorded round (``values[field]`` is ``(width,)``) in."""
+        if self.count == 0:
+            self.first_round = int(round_index)
+        self.last_round = int(round_index)
+        self.count += 1
+        for name in self.fields:
+            v = np.asarray(values[name], dtype=np.float64)
+            np.minimum(self.mins[name], v, out=self.mins[name])
+            np.maximum(self.maxs[name], v, out=self.maxs[name])
+            self.sums[name] += v
+            self.last[name][...] = v
+
+    def replica_summary(self, b: int, all_fields=None) -> Dict[str, float]:
+        """One replica's aggregates as the flat :meth:`RecordTable.summary`
+        dict; fields outside the tracked set come back as NaN."""
+        out: Dict[str, object] = {
+            "rows": self.count,
+            "first_round": self.first_round,
+            "last_round": self.last_round,
+        }
+        for name in all_fields if all_fields is not None else self.fields:
+            if name in self.sums and self.count:
+                out[f"{name}_min"] = float(self.mins[name][b])
+                out[f"{name}_max"] = float(self.maxs[name][b])
+                out[f"{name}_sum"] = float(self.sums[name][b])
+                out[f"{name}_mean"] = float(self.sums[name][b]) / self.count
+                out[f"{name}_last"] = float(self.last[name][b])
+            else:
+                for suffix in ("min", "max", "sum", "mean", "last"):
+                    out[f"{name}_{suffix}"] = float("nan")
+        return out
+
+
+def _column_summary(
+    fields, rows: int, column, round_index: np.ndarray
+) -> Dict[str, object]:
+    """Flat aggregate dict over a dense table's columns.
+
+    Sums accumulate row by row to match :class:`StreamingStats` bit for bit.
+    """
+    out: Dict[str, object] = {
+        "rows": rows,
+        "first_round": int(round_index[0]) if rows else -1,
+        "last_round": int(round_index[-1]) if rows else -1,
+    }
+    for name in fields:
+        if rows:
+            col = column(name)
+            acc = 0.0
+            for i in range(rows):
+                acc += float(col[i])
+            out[f"{name}_min"] = float(col.min())
+            out[f"{name}_max"] = float(col.max())
+            out[f"{name}_sum"] = acc
+            out[f"{name}_mean"] = acc / rows
+            out[f"{name}_last"] = float(col[-1])
+        else:
+            for suffix in ("min", "max", "sum", "mean", "last"):
+                out[f"{name}_{suffix}"] = float("nan")
+    return out
+
+
 class RecordTable:
     """Preallocated columnar table of per-round records.
 
@@ -87,7 +186,7 @@ class RecordTable:
         (``rounds // record_every + 2``) avoids reallocation entirely.
     """
 
-    __slots__ = ("_capacity", "_size", "_round_index", "_scheme", "_floats")
+    __slots__ = ("_capacity", "_size", "_round_index", "_scheme", "_floats", "_summary")
 
     def __init__(self, capacity: int = 16):
         if capacity < 1:
@@ -99,6 +198,8 @@ class RecordTable:
         self._floats: Dict[str, np.ndarray] = {
             name: np.empty(self._capacity, dtype=np.float64) for name in FLOAT_FIELDS
         }
+        #: pre-aggregated summary of a streaming-mode run (None = dense table)
+        self._summary: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -163,7 +264,48 @@ class RecordTable:
         for i in range(self._size):
             yield self.row(i)
 
+    def summary(self) -> Dict[str, object]:
+        """Aggregates per float field: ``<field>_{min,max,sum,mean,last}``
+        plus ``rows`` / ``first_round`` / ``last_round``.
+
+        A streaming table (:meth:`from_summary`) returns its stored running
+        aggregates; a dense table reduces its columns on the fly with the
+        same accumulation order, so both modes agree bit for bit.
+        """
+        if self._summary is not None:
+            return dict(self._summary)
+        return _column_summary(
+            FLOAT_FIELDS, self._size, self.column, self._round_index
+        )
+
     # ------------------------------------------------------------------
+    @classmethod
+    def from_summary(
+        cls,
+        last_round: int,
+        last_scheme: str,
+        last_values: Dict[str, float],
+        summary: Dict[str, object],
+    ) -> "RecordTable":
+        """Build a streaming (single-row) table from running aggregates.
+
+        The one stored row is the *last* recorded round, so terminal-state
+        consumers (``records[-1]``, final-value reductions) keep working;
+        the full per-round history was never materialised.  Float fields
+        missing from ``last_values`` are stored as NaN.
+        """
+        table = cls(capacity=1)
+        table.append(
+            int(last_round),
+            last_scheme,
+            **{
+                name: float(last_values.get(name, float("nan")))
+                for name in FLOAT_FIELDS
+            },
+        )
+        table._summary = dict(summary)
+        return table
+
     @classmethod
     def from_columns(
         cls,
@@ -205,7 +347,7 @@ class DynamicRecordTable:
     row; the interesting state is always post-arrival, post-balance).
     """
 
-    __slots__ = ("_capacity", "_size", "_round_index", "_floats")
+    __slots__ = ("_capacity", "_size", "_round_index", "_floats", "_summary")
 
     def __init__(self, capacity: int = 16):
         if capacity < 1:
@@ -217,6 +359,8 @@ class DynamicRecordTable:
             name: np.empty(self._capacity, dtype=np.float64)
             for name in DYNAMIC_FLOAT_FIELDS
         }
+        #: pre-aggregated summary of a streaming-mode run (None = dense table)
+        self._summary: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -275,7 +419,34 @@ class DynamicRecordTable:
         for i in range(self._size):
             yield self.row(i)
 
+    def summary(self) -> Dict[str, object]:
+        """Aggregates per float field — see :meth:`RecordTable.summary`."""
+        if self._summary is not None:
+            return dict(self._summary)
+        return _column_summary(
+            DYNAMIC_FLOAT_FIELDS, self._size, self.column, self._round_index
+        )
+
     # ------------------------------------------------------------------
+    @classmethod
+    def from_summary(
+        cls,
+        last_round: int,
+        last_values: Dict[str, float],
+        summary: Dict[str, object],
+    ) -> "DynamicRecordTable":
+        """Build a streaming (single-row) table from running aggregates."""
+        table = cls(capacity=1)
+        table.append(
+            int(last_round),
+            **{
+                name: float(last_values.get(name, float("nan")))
+                for name in DYNAMIC_FLOAT_FIELDS
+            },
+        )
+        table._summary = dict(summary)
+        return table
+
     @classmethod
     def from_columns(
         cls, round_index: np.ndarray, floats: Dict[str, np.ndarray]

@@ -38,6 +38,7 @@ __all__ = [
     "beta_opt",
     "torus_lambda",
     "torus_spectrum",
+    "torus_rfft_eigenvalues",
     "hypercube_lambda",
     "hypercube_spectrum",
     "cycle_lambda",
@@ -150,6 +151,32 @@ def torus_spectrum(shape: Sequence[int]) -> np.ndarray:
     )
     mu = (1.0 + sum(grids)) / denom
     return np.sort(mu.ravel())
+
+
+def torus_rfft_eigenvalues(shape: Sequence[int], alpha: float) -> np.ndarray:
+    """Eigenvalues of ``M = I - alpha L`` on a torus, in ``rfftn`` mode layout.
+
+    The diffusion matrix of a full-wrap torus is diagonalised by the
+    ``k``-dimensional DFT: the mode with frequencies ``(a_1, ..., a_k)`` has
+    eigenvalue ``1 - alpha * (2k - 2 sum_r cos(2 pi a_r / n_r))``.  This
+    returns those eigenvalues as a *real* array shaped like the output of
+    ``numpy.fft.rfftn`` on a ``shape``-shaped signal — full frequency range
+    on every axis except the last, which keeps only the non-negative half —
+    so continuous diffusion trajectories can be advanced per mode:
+    ``rfftn`` the load grid once, multiply the coefficients by the scalar
+    recurrence of each mode, ``irfftn`` back whenever node-space values are
+    needed.  Sides of 1 or 2 change the degree structure and are rejected.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 3 for s in shape):
+        raise ConfigurationError(
+            f"torus Fourier eigenvalues need all sides >= 3, got {shape}"
+        )
+    k = len(shape)
+    axes = [2.0 * np.cos(2.0 * np.pi * np.arange(s) / s) for s in shape]
+    axes[-1] = axes[-1][: shape[-1] // 2 + 1]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return 1.0 - alpha * (2.0 * k - sum(grids))
 
 
 def torus_lambda(shape: Sequence[int]) -> float:

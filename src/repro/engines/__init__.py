@@ -47,6 +47,8 @@ from .base import (
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    resolve_record_fields,
+    resolve_tile_size,
 )
 from .reference import ReferenceEngine
 from .batched import BatchedVectorEngine
@@ -68,6 +70,8 @@ __all__ = [
     "register_engine",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
+    "resolve_record_fields",
+    "resolve_tile_size",
     "run_replicas",
     "run_dynamic_replicas",
 ]

@@ -57,6 +57,8 @@ __all__ = [
     "as_load_batch",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
+    "resolve_record_fields",
+    "resolve_tile_size",
 ]
 
 #: Scheme-name strings recorded in result tables, indexed by scheme code
@@ -117,6 +119,52 @@ class EngineConfig:
     #: Lets sweeps pin streams to seed *values* so a replica's trajectory
     #: does not depend on its batch position.
     arrival_seeds: Optional[Sequence[int]] = None
+    #: Arrival-count sampling discipline of the batched engine: ``"stream"``
+    #: (default) draws each replica's per-round counts from its own spawned
+    #: stream — the cross-engine bit-exactness contract — while ``"batch"``
+    #: draws the whole ``(n, B)`` count plane in one vectorised call from a
+    #: dedicated batch stream.  Batch sampling lifts the per-node-Poisson
+    #: sampling ceiling (~3x at B=128) at the documented price of replica
+    #: trajectories that no longer match the reference engine stream for
+    #: stream (they stay exactly distributed and reproducible per seed).
+    #: Batched engine only; requires one shared arrival model.
+    arrival_sampling: str = "stream"
+    #: Static-run record columns to compute, as a subset of
+    #: :data:`~repro.core.records.FLOAT_FIELDS`; ``None`` means all of them.
+    #: Excluded columns are stored as NaN.  Dropping ``min_transient`` and
+    #: ``round_traffic`` lets the batched engine skip the per-round
+    #: transient/traffic kernels — and is the precondition for the
+    #: closed-form ``identity``-rounding fast path.  Batched engine only;
+    #: the per-replica backends always record every column.
+    record_fields: Optional[Sequence[str]] = None
+    #: Closed-form continuous fast path of the batched engine: ``"auto"``
+    #: (default) engages it whenever eligible — ``identity`` rounding, no
+    #: switch policy, no arrivals, and ``record_fields`` excluding
+    #: ``min_transient``/``round_traffic`` — preferring the Fourier kernel
+    #: on graphs that advertise one (full-wrap tori) and the one-matmul-
+    #: per-round CSR kernel otherwise.  ``"never"`` disables it;
+    #: ``"matmul"`` / ``"spectral"`` force a tier (raising when the config
+    #: or graph is not eligible).
+    fast_path: str = "auto"
+    #: Node-tile width of the batched engine's streaming kernels: ``None``
+    #: (default) keeps the dense whole-``(n, B)`` scratch planes, an ``int``
+    #: processes loads/arrivals/metric reductions and the excess-token
+    #: planes in tiles of that many nodes, and ``"auto"`` derives the tile
+    #: from ``memory_budget_mb``.  Tiled runs are bit-identical to dense
+    #: runs whenever the summed quantities are integral (every discrete
+    #: rounding); the continuous ``identity`` process agrees to accumulation
+    #: accuracy.  Batched engine only.
+    tile_size: Any = None
+    #: Memory budget (MiB) for the *tiled scratch planes* when
+    #: ``tile_size="auto"`` — the bound covers the per-tile node scratch and
+    #: excess-token planes, not the O(n + m) state and operators.
+    memory_budget_mb: float = 256.0
+    #: ``"table"`` (default) stores every recorded round in dense columns;
+    #: ``"summary"`` streams records through running min/max/sum/last
+    #: aggregates (O(fields x B) memory regardless of round count) and
+    #: returns single-row tables whose ``summary()`` carries the
+    #: aggregates.  Batched engine only.
+    record_mode: str = "table"
 
     def validate(self) -> "EngineConfig":
         if self.scheme not in ("fos", "sos"):
@@ -145,6 +193,36 @@ class EngineConfig:
         elif self.arrival_seeds is not None:
             raise ConfigurationError(
                 "arrival_seeds only applies to dynamic runs (set arrivals)"
+            )
+        if self.arrival_sampling not in ("stream", "batch"):
+            raise ConfigurationError(
+                "arrival_sampling must be 'stream' or 'batch', "
+                f"got {self.arrival_sampling!r}"
+            )
+        if self.fast_path not in ("auto", "never", "matmul", "spectral"):
+            raise ConfigurationError(
+                "fast_path must be 'auto', 'never', 'matmul' or 'spectral', "
+                f"got {self.fast_path!r}"
+            )
+        resolve_record_fields(self.record_fields)  # raises on unknown fields
+        if self.record_fields is not None and self.arrivals is not None:
+            raise ConfigurationError(
+                "record_fields applies to static runs only (dynamic runs "
+                "record the fixed dynamic column set)"
+            )
+        if self.tile_size is not None and self.tile_size != "auto":
+            if not isinstance(self.tile_size, (int, np.integer)) or self.tile_size < 1:
+                raise ConfigurationError(
+                    f"tile_size must be None, 'auto' or an int >= 1, "
+                    f"got {self.tile_size!r}"
+                )
+        if not self.memory_budget_mb > 0:
+            raise ConfigurationError(
+                f"memory_budget_mb must be > 0, got {self.memory_budget_mb}"
+            )
+        if self.record_mode not in ("table", "summary"):
+            raise ConfigurationError(
+                f"record_mode must be 'table' or 'summary', got {self.record_mode!r}"
             )
         return self
 
@@ -232,6 +310,81 @@ def resolve_arrival_rngs(
     return arrival_streams(config.seed, keys)
 
 
+def resolve_record_fields(spec) -> Tuple[str, ...]:
+    """Normalise a config ``record_fields`` value to an ordered field tuple.
+
+    ``None`` means every float record field.  Order follows the canonical
+    :data:`~repro.core.records.FLOAT_FIELDS` order regardless of the spec's.
+    """
+    from ..core.records import FLOAT_FIELDS
+
+    if spec is None:
+        return tuple(FLOAT_FIELDS)
+    wanted = set(spec)
+    unknown = wanted - set(FLOAT_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown record fields {sorted(unknown)}; known: {FLOAT_FIELDS}"
+        )
+    if not wanted:
+        raise ConfigurationError("record_fields must name at least one field")
+    return tuple(f for f in FLOAT_FIELDS if f in wanted)
+
+
+def resolve_tile_size(
+    config: "EngineConfig",
+    n: int,
+    n_replicas: int,
+    itemsize: int,
+    planes: int = 0,
+) -> Optional[int]:
+    """Resolve a config ``tile_size`` to ``None`` (dense) or a node count.
+
+    ``"auto"`` sizes the tile so the per-tile scratch — about four node-space
+    planes plus ``planes`` excess-token planes, each ``tile x B x itemsize``
+    bytes — fits the config's ``memory_budget_mb``.  The result is clamped to
+    ``[1, n]``; a budget generous enough for the whole graph resolves to
+    ``None`` (dense scratch is the exact same computation, minus the loop).
+    """
+    spec = config.tile_size
+    if spec is None:
+        return None
+    if spec == "auto":
+        per_node = (4 + planes) * n_replicas * itemsize
+        tile = int(config.memory_budget_mb * 2**20) // max(per_node, 1)
+        if tile >= n:
+            return None
+        return max(1, tile)
+    return min(int(spec), n) if int(spec) < n else None
+
+
+def reject_batched_only(config: "EngineConfig", engine_name: str) -> None:
+    """Refuse batched-engine-only config features on per-replica backends.
+
+    The scaling knobs (tiling, streaming summaries, trimmed record fields,
+    batch-wide arrival sampling, forced fast-path tiers) are implemented by
+    the vectorised engine; silently ignoring them elsewhere would make
+    cross-engine comparisons lie about what ran.
+    """
+    offending = []
+    if config.arrival_sampling != "stream":
+        offending.append(f"arrival_sampling={config.arrival_sampling!r}")
+    if config.tile_size is not None:
+        offending.append(f"tile_size={config.tile_size!r}")
+    if config.record_mode != "table":
+        offending.append(f"record_mode={config.record_mode!r}")
+    if config.record_fields is not None:
+        offending.append("record_fields")
+    if config.fast_path in ("matmul", "spectral"):
+        offending.append(f"fast_path={config.fast_path!r}")
+    if offending:
+        raise ConfigurationError(
+            f"the {engine_name} engine does not support "
+            + ", ".join(offending)
+            + " (batched engine only)"
+        )
+
+
 def as_load_batch(initial_loads: np.ndarray, n: int) -> np.ndarray:
     """Normalise initial loads to a ``(B, n)`` float64 matrix."""
     loads = np.asarray(initial_loads, dtype=np.float64)
@@ -300,25 +453,48 @@ class RecordBatch:
     switched_at: Optional[np.ndarray] = None
     loads_history: Optional[List[np.ndarray]] = None
     prebuilt: Optional[List[SimulationResult]] = None
+    #: Streaming-summary storage (``record_mode="summary"``): running
+    #: aggregates instead of dense columns, plus the last scheme codes.
+    summary_stats: Optional[object] = None
+    scheme_last: Optional[np.ndarray] = None
     #: Dynamic-run storage: per-round index plus ``(rounds, B)`` dynamic
     #: metric columns (batched backend), or pre-built per-replica results.
     dynamic_round_index: Optional[np.ndarray] = None
     dynamic_columns: Optional[Dict[str, np.ndarray]] = None
+    dynamic_summary_stats: Optional[object] = None
     prebuilt_dynamic: Optional[List] = None
 
     def dynamic_results(self) -> List:
         """Per-replica :class:`~repro.core.dynamic.DynamicResult` objects."""
         if self.prebuilt_dynamic is not None:
             return self.prebuilt_dynamic
+        from ..core.dynamic import DynamicResult
+        from ..core.records import DYNAMIC_FLOAT_FIELDS, DynamicRecordTable
+        from ..core.state import LoadState
+
+        if self.dynamic_summary_stats is not None:
+            stats = self.dynamic_summary_stats
+            rounds = max(stats.last_round, 0)
+            return [
+                DynamicResult(
+                    table=DynamicRecordTable.from_summary(
+                        stats.last_round,
+                        {f: stats.last[f][b] for f in stats.fields},
+                        stats.replica_summary(b, DYNAMIC_FLOAT_FIELDS),
+                    ),
+                    final_state=LoadState(
+                        load=self.final_loads[b],
+                        flows=self.final_flows[b],
+                        round_index=rounds,
+                    ),
+                )
+                for b in range(self.final_loads.shape[0])
+            ]
         if self.dynamic_columns is None:
             raise ConfigurationError(
                 "this run recorded no dynamic columns (config.arrivals was "
                 "None); use results() for static runs"
             )
-        from ..core.dynamic import DynamicResult
-        from ..core.records import DynamicRecordTable
-        from ..core.state import LoadState
-
         n_replicas = self.final_loads.shape[0]
         rounds = (
             int(self.dynamic_round_index[-1])
@@ -349,6 +525,8 @@ class RecordBatch:
         from ..core.records import RecordTable
         from ..core.state import LoadState
 
+        if self.summary_stats is not None:
+            return self._summary_results()
         n_replicas = self.final_loads.shape[0]
         rounds = int(self.round_index[-1]) if self.round_index.size else 0
         out: List[SimulationResult] = []
@@ -357,6 +535,43 @@ class RecordBatch:
                 self.round_index,
                 SCHEME_NAMES[self.scheme_codes[:, b]],
                 {name: col[:, b] for name, col in self.columns.items()},
+            )
+            switched = (
+                int(self.switched_at[b]) if self.switched_at[b] >= 0 else None
+            )
+            history = (
+                [snap[b] for snap in self.loads_history]
+                if self.loads_history is not None
+                else None
+            )
+            out.append(
+                SimulationResult(
+                    table=table,
+                    final_state=LoadState(
+                        load=self.final_loads[b],
+                        flows=self.final_flows[b],
+                        round_index=rounds,
+                    ),
+                    switched_at=switched,
+                    loads_history=history,
+                )
+            )
+        return out
+
+    def _summary_results(self) -> List[SimulationResult]:
+        """Streaming-mode results: single-row tables carrying the aggregates."""
+        from ..core.records import FLOAT_FIELDS, RecordTable
+        from ..core.state import LoadState
+
+        stats = self.summary_stats
+        rounds = max(stats.last_round, 0)
+        out: List[SimulationResult] = []
+        for b in range(self.final_loads.shape[0]):
+            table = RecordTable.from_summary(
+                stats.last_round,
+                str(SCHEME_NAMES[self.scheme_last[b]]),
+                {f: stats.last[f][b] for f in stats.fields},
+                stats.replica_summary(b, FLOAT_FIELDS),
             )
             switched = (
                 int(self.switched_at[b]) if self.switched_at[b] >= 0 else None

@@ -38,8 +38,13 @@ import scipy.sparse as sp
 
 from ..exceptions import ConfigurationError, SchemeError, SimulationError
 from ..core.alphas import resolve_alphas
-from ..core.records import DYNAMIC_FLOAT_FIELDS, FLOAT_FIELDS
+from ..core.records import (
+    DYNAMIC_FLOAT_FIELDS,
+    FLOAT_FIELDS,
+    StreamingStats,
+)
 from ..core.rounding import make_rounding
+from ..core.spectral import torus_rfft_eigenvalues
 from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
 
@@ -53,9 +58,120 @@ from .base import (
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    resolve_record_fields,
+    resolve_tile_size,
 )
 
 __all__ = ["BatchedVectorEngine"]
+
+#: Fields whose per-round computation needs the full transient/traffic pass.
+_INFO_FIELDS = ("min_transient", "round_traffic")
+
+
+def _tiles(total: int, tile: int) -> List[tuple]:
+    """Half-open ``[a, b)`` ranges covering ``0..total`` in ``tile`` steps."""
+    return [(a, min(a + tile, total)) for a in range(0, max(total, 0), tile)]
+
+
+def _tiled_mld(
+    load: np.ndarray,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_tiles: List[tuple],
+    s1: np.ndarray,
+    s2: np.ndarray,
+) -> np.ndarray:
+    """Max local load difference via per-edge-tile gathers.
+
+    Bit-identical to ``max |E @ load|``: the CSR row for edge ``k`` computes
+    ``(+1 * x_u) + (-1 * x_v)``, which IEEE arithmetic makes exactly the
+    gathered subtraction, and max is tile-decomposable exactly.
+    """
+    mx = np.full(load.shape[1], -np.inf, dtype=load.dtype)
+    for a, b in edge_tiles:
+        k = b - a
+        xu = np.take(load, edge_u[a:b], axis=0, out=s1[:k])
+        xv = np.take(load, edge_v[a:b], axis=0, out=s2[:k])
+        np.subtract(xu, xv, out=xu)
+        np.abs(xu, out=xu)
+        np.maximum(mx, xu.max(axis=0), out=mx)
+    return mx
+
+
+def _node_metrics(
+    load: np.ndarray,
+    targets: np.ndarray,
+    fields,
+    scratch: np.ndarray,
+    node_tiles: Optional[List[tuple]],
+) -> tuple:
+    """Requested node-space record metrics plus the per-replica totals.
+
+    ``node_tiles=None`` runs the dense whole-plane expressions (the exact
+    op sequence the engine always used); otherwise the same reductions
+    stream over node tiles with ``scratch`` bounded to ``(tile, B)``.
+    Min/max reductions decompose over tiles exactly; sums accumulate per
+    tile, which is exact whenever the summed values are integral (every
+    discrete rounding) and accumulation-accurate for the continuous
+    ``identity`` process.  Totals are always computed — they feed the
+    conservation check — but stored only when requested.
+    """
+    n = load.shape[0]
+    values: Dict[str, np.ndarray] = {}
+    if node_tiles is None:
+        dev = np.subtract(load, targets, out=scratch)
+        if "max_minus_avg" in fields:
+            values["max_minus_avg"] = dev.max(axis=0)
+        if "min_minus_avg" in fields:
+            values["min_minus_avg"] = dev.min(axis=0)
+        if "potential_per_node" in fields:
+            np.multiply(dev, dev, out=dev)
+            values["potential_per_node"] = dev.sum(axis=0) / n
+        if "min_load" in fields:
+            values["min_load"] = load.min(axis=0)
+        totals = load.sum(axis=0)
+        if "total_load" in fields:
+            values["total_load"] = totals
+        return values, totals
+
+    B = load.shape[1]
+    dtype = load.dtype
+    broadcast_targets = targets.shape[0] != n
+    mx = np.full(B, -np.inf, dtype=dtype)
+    mn = np.full(B, np.inf, dtype=dtype)
+    pot = np.zeros(B, dtype=dtype)
+    mload = np.full(B, np.inf, dtype=dtype)
+    totals = np.zeros(B, dtype=dtype)
+    want_dev = any(
+        f in fields for f in ("max_minus_avg", "min_minus_avg", "potential_per_node")
+    )
+    for a, b in node_tiles:
+        k = b - a
+        tile_load = load[a:b]
+        if want_dev:
+            t = targets if broadcast_targets else targets[a:b]
+            dev = np.subtract(tile_load, t, out=scratch[:k])
+            if "max_minus_avg" in fields:
+                np.maximum(mx, dev.max(axis=0), out=mx)
+            if "min_minus_avg" in fields:
+                np.minimum(mn, dev.min(axis=0), out=mn)
+            if "potential_per_node" in fields:
+                np.multiply(dev, dev, out=dev)
+                pot += dev.sum(axis=0)
+        if "min_load" in fields:
+            np.minimum(mload, tile_load.min(axis=0), out=mload)
+        totals += tile_load.sum(axis=0)
+    if "max_minus_avg" in fields:
+        values["max_minus_avg"] = mx
+    if "min_minus_avg" in fields:
+        values["min_minus_avg"] = mn
+    if "potential_per_node" in fields:
+        values["potential_per_node"] = pot / n
+    if "min_load" in fields:
+        values["min_load"] = mload
+    if "total_load" in fields:
+        values["total_load"] = totals
+    return values, totals
 
 _FRAC_TOL = 1e-9  # matches repro.core.rounding
 
@@ -98,6 +214,150 @@ except Exception:  # pragma: no cover - scipy internals moved
         return out
 
 
+def _diffusion_matrix(
+    topo: Topology, alphas: np.ndarray, speeds: np.ndarray, dtype
+) -> sp.csr_matrix:
+    """The folded diffusion matrix ``M = I + D A E S^{-1}`` as one CSR.
+
+    Row ``u``: diagonal ``1 - sum(alpha_k)/s_u`` over incident edges and
+    ``+alpha_uv/s_v`` per neighbour — so the whole identity-rounding round
+    ``x <- x + D @ (A E S^{-1} x)`` is a single ``(n, B)`` matmul.
+    """
+    n, m = topo.n, topo.m_edges
+    eu, ev = topo.edge_u, topo.edge_v
+    alpha_edge = np.asarray(alphas, dtype=np.float64)
+    if alpha_edge.ndim == 0:
+        alpha_edge = np.full(m, float(alpha_edge))
+    incident = np.bincount(eu, weights=alpha_edge, minlength=n) + np.bincount(
+        ev, weights=alpha_edge, minlength=n
+    )
+    diag = 1.0 - incident / speeds
+    rows = np.concatenate([eu, ev, np.arange(n)])
+    cols = np.concatenate([ev, eu, np.arange(n)])
+    data = np.concatenate([alpha_edge / speeds[ev], alpha_edge / speeds[eu], diag])
+    matrix = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    matrix.sort_indices()
+    return matrix.astype(dtype)
+
+
+class _FastRecorder:
+    """Record storage of a closed-form fast-path run.
+
+    Owns the tile-aware metric reductions (no edge-space state exists on
+    the fast path, so the local-difference metric gathers endpoint loads in
+    bounded edge chunks), the table/summary storage, the conservation
+    check, and the final :class:`RecordBatch`.
+    """
+
+    #: edge-gather chunk when the run is not node-tiled (bounds the mld
+    #: scratch without affecting results — gathers tile exactly)
+    EDGE_CHUNK = 1 << 16
+
+    def __init__(self, topo, config, x0, speeds, dtype):
+        n, B = x0.shape
+        self.topo = topo
+        self.config = config
+        self.n_replicas = B
+        self.dtype = dtype
+        self.fields = resolve_record_fields(config.record_fields)
+        self.tile = resolve_tile_size(config, n, B, np.dtype(dtype).itemsize)
+        self.node_tiles = _tiles(n, self.tile) if self.tile else None
+        totals = x0.sum(axis=0)
+        speeds_col = speeds[:, None].astype(dtype)
+        if config.targets is not None:
+            self.targets = np.asarray(config.targets, dtype=dtype)[:, None]
+        elif np.all(speeds == speeds[0]):
+            self.targets = (
+                (totals[None, :] * speeds_col[:1]) / speeds.sum()
+            ).astype(dtype, copy=False)
+        else:
+            self.targets = (
+                (totals[None, :] * speeds_col) / speeds.sum()
+            ).astype(dtype, copy=False)
+        self.totals0 = totals.copy()
+        self.conserve_tol = 1e-6 if dtype == np.float64 else 1e-4
+        scratch_rows = self.tile if self.tile else n
+        self.scratch = np.empty((scratch_rows, B), dtype=dtype)
+        if "max_local_diff" in self.fields and topo.m_edges:
+            chunk = self.tile if self.tile else min(topo.m_edges, self.EDGE_CHUNK)
+            self.edge_tiles = _tiles(topo.m_edges, chunk)
+            self.es1 = np.empty((chunk, B), dtype=dtype)
+            self.es2 = np.empty((chunk, B), dtype=dtype)
+        self.scheme_code = 1 if config.scheme == "sos" else 0
+        self.stats: Optional[StreamingStats] = None
+        if config.record_mode == "summary":
+            self.stats = StreamingStats(self.fields, B)
+        else:
+            capacity = config.rounds // config.record_every + 2
+            self.rec_round = np.empty(capacity, dtype=np.int64)
+            self.rec_cols: Dict[str, np.ndarray] = {}
+            for name in FLOAT_FIELDS:
+                col = np.empty((capacity, B))
+                if name not in self.fields:
+                    col.fill(np.nan)
+                self.rec_cols[name] = col
+        self.rec_count = 0
+        self.loads_history: Optional[List[np.ndarray]] = (
+            [] if config.keep_loads else None
+        )
+
+    def record(self, round_index: int, x: np.ndarray) -> None:
+        values, totals = _node_metrics(
+            x, self.targets, self.fields, self.scratch, self.node_tiles
+        )
+        if "max_local_diff" in self.fields:
+            if self.topo.m_edges:
+                values["max_local_diff"] = _tiled_mld(
+                    x, self.topo.edge_u, self.topo.edge_v, self.edge_tiles,
+                    self.es1, self.es2,
+                )
+            else:
+                values["max_local_diff"] = np.zeros(self.n_replicas)
+        if self.stats is not None:
+            self.stats.update(round_index, values)
+        else:
+            i = self.rec_count
+            for name, value in values.items():
+                self.rec_cols[name][i] = value
+            self.rec_round[i] = round_index
+        self.rec_count += 1
+        if self.loads_history is not None:
+            self.loads_history.append(x.T.copy())
+        drift = np.abs(totals - self.totals0)
+        bad = drift > self.conserve_tol * np.maximum(1.0, np.abs(self.totals0))
+        if bad.any():
+            b = int(np.argmax(bad))
+            raise SimulationError(
+                f"load not conserved in replica {b} by round {round_index}: "
+                f"{self.totals0[b]} -> {totals[b]}"
+            )
+
+    def batch(self, final_x: np.ndarray) -> RecordBatch:
+        B = self.n_replicas
+        final_flows = np.broadcast_to(
+            np.zeros(self.topo.m_edges), (B, self.topo.m_edges)
+        )
+        common = dict(
+            final_loads=final_x.T.astype(np.float64, copy=True),
+            final_flows=final_flows,
+            switched_at=np.full(B, -1, dtype=np.int64),
+            loads_history=self.loads_history,
+        )
+        if self.stats is not None:
+            return RecordBatch(
+                summary_stats=self.stats,
+                scheme_last=np.full(B, self.scheme_code, dtype=np.uint8),
+                **common,
+            )
+        count = self.rec_count
+        return RecordBatch(
+            round_index=self.rec_round[:count].copy(),
+            scheme_codes=np.full((count, B), self.scheme_code, dtype=np.uint8),
+            columns={k: v[:count].copy() for k, v in self.rec_cols.items()},
+            **common,
+        )
+
+
 @dataclass
 class _SwitchState:
     """Vectorised hybrid-switch policy state."""
@@ -124,6 +384,20 @@ class _BatchedHandle:
         self.frac_tol = _FRAC_TOL if dtype == np.float64 else 1e-5
         #: relative conservation tolerance (float32 accumulates more drift)
         self.conserve_tol = 1e-6 if dtype == np.float64 else 1e-4
+        #: static record columns actually computed (dynamic runs ignore this)
+        self.fields = resolve_record_fields(config.record_fields)
+        #: whether any record round needs the transient/traffic pass
+        self.info_fields = any(f in self.fields for f in _INFO_FIELDS)
+        #: node-tile width of the streaming kernels (None = dense scratch)
+        excess_planes = (
+            int(topo.degrees.max()) if config.rounding == "randomized-excess" and m
+            else 0
+        )
+        self.tile = resolve_tile_size(
+            config, n, B, np.dtype(dtype).itemsize, planes=excess_planes
+        )
+        self.node_tiles = _tiles(n, self.tile) if self.tile else []
+        self.edge_tiles = _tiles(m, self.tile) if self.tile else []
         # Unconditional copy: for B=1 a transposed (n, 1) view is still
         # flagged contiguous, and the engine must never mutate caller data.
         self.load = np.asarray(loads.T, dtype=dtype).copy(order="C")  # (n, B)
@@ -172,6 +446,13 @@ class _BatchedHandle:
         self.W = sp.coo_matrix(
             (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
         ).tocsr()
+        if self.tile:
+            # Row blocks of the incidence operators: CSR row slicing keeps
+            # each row's accumulation untouched, so the tiled apply/transient
+            # loops reproduce the dense matvecs bit for bit.
+            self.D_tiles = [self.D[a:b] for a, b in self.node_tiles]
+            self.W_tiles = [self.W[a:b] for a, b in self.node_tiles]
+            self.D = self.W = None  # the full operators are never used tiled
         # Fused gradient operators with the edge weights folded into the CSR
         # data — a float-reassociation shortcut, used only where bitwise
         # fidelity to the reference is not part of the contract (statistical
@@ -229,12 +510,23 @@ class _BatchedHandle:
             # rows [m+1, 2m+1) negative parts, row 2m+1 zero padding.
             self.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
             # cumulative outgoing fractions per slot plane: (dmax, n, B)
-            self.cum_planes = np.empty((dmax, n, B), dtype=dtype)
-            self.slot_arange = np.arange(n * B)
+            # dense, or lazily (dmax, tile, B) when the run is tiled — the
+            # dominant scratch allocation of large-n discrete runs.
+            plane_rows = self.tile if self.tile else n
+            self.cum_planes = np.empty((dmax, plane_rows, B), dtype=dtype)
+            self.slot_arange = np.arange(plane_rows * B)
 
         # -- targets ----------------------------------------------------
         if config.targets is not None:
             self.targets = np.asarray(config.targets, dtype=dtype)[:, None]
+        elif self.uniform_speeds:
+            # One shared row: with uniform speeds every node's target is the
+            # replica average, and ``totals * s / sum(s)`` is bitwise the
+            # same number for every node — no need for an (n, B) plane.
+            totals = self.load.sum(axis=0)  # (B,)
+            self.targets = (
+                (totals[None, :] * self.speeds_col[:1]) / speeds.sum()
+            ).astype(dtype, copy=False)
         else:
             totals = self.load.sum(axis=0)  # (B,)
             self.targets = (
@@ -253,13 +545,20 @@ class _BatchedHandle:
 
         # -- record storage (static runs only: dynamic runs record into
         #    the dyn_* columns below and never touch these) ---------------
+        self.rec_stats: Optional[StreamingStats] = None
         if config.arrivals is None:
-            capacity = config.rounds // config.record_every + 2
-            self.rec_round = np.empty(capacity, dtype=np.int64)
-            self.rec_scheme = np.empty((capacity, B), dtype=np.uint8)
-            self.rec_cols: Dict[str, np.ndarray] = {
-                name: np.empty((capacity, B)) for name in FLOAT_FIELDS
-            }
+            if config.record_mode == "summary":
+                self.rec_stats = StreamingStats(self.fields, B)
+            else:
+                capacity = config.rounds // config.record_every + 2
+                self.rec_round = np.empty(capacity, dtype=np.int64)
+                self.rec_scheme = np.empty((capacity, B), dtype=np.uint8)
+                self.rec_cols: Dict[str, np.ndarray] = {}
+                for name in FLOAT_FIELDS:
+                    col = np.empty((capacity, B))
+                    if name not in self.fields:
+                        col.fill(np.nan)  # excluded columns stay NaN
+                    self.rec_cols[name] = col
         self.rec_count = 0
         self.last_recorded_round = -1
         self.loads_history: Optional[List[np.ndarray]] = (
@@ -267,14 +566,29 @@ class _BatchedHandle:
         )
 
         # -- scratch buffers --------------------------------------------
+        # Edge-space scratch is inherent state of the discrete process (the
+        # flow history and per-edge actuals); node-space scratch is dense
+        # (nb1..nb4) or a bounded (tile, B) bank in tiled mode.
         self.mb1 = np.empty((m, B), dtype=dtype)
         self.mb2 = np.empty((m, B), dtype=dtype)
         self.mb3 = np.empty((m, B), dtype=dtype)
         self.act = np.empty((m, B), dtype=dtype)
-        self.nb1 = np.empty((n, B), dtype=dtype)
-        self.nb2 = np.empty((n, B), dtype=dtype)
-        self.nb3 = np.empty((n, B), dtype=dtype)
-        self.nb4 = np.empty((n, B), dtype=dtype)
+        if self.tile:
+            self.ts1 = np.empty((self.tile, B), dtype=dtype)
+            self.ts2 = np.empty((self.tile, B), dtype=dtype)
+            self.ts3 = np.empty((self.tile, B), dtype=dtype)
+            # Full-width node scratch only where a kernel is not tileable:
+            # the speed-normalised gradient input and the plateau policy.
+            need_nb1 = not self.uniform_speeds or (
+                config.switch is not None and config.switch[0] == "plateau"
+            )
+            self.nb1 = np.empty((n, B), dtype=dtype) if need_nb1 else None
+            self.nb2 = self.nb3 = self.nb4 = None
+        else:
+            self.nb1 = np.empty((n, B), dtype=dtype)
+            self.nb2 = np.empty((n, B), dtype=dtype)
+            self.nb3 = np.empty((n, B), dtype=dtype)
+            self.nb4 = np.empty((n, B), dtype=dtype)
         self.rng = np.random.default_rng(config.seed)
 
         self.last_min_transient = self.load.min(axis=0)
@@ -283,25 +597,50 @@ class _BatchedHandle:
 
         # -- dynamic workload (per-round arrival hook) -------------------
         self.arrival_models = resolve_arrival_models(config.arrivals, B)
+        self.dyn_stats: Optional[StreamingStats] = None
         if self.arrival_models is not None:
-            self.arrival_rngs = resolve_arrival_rngs(config, B)
+            if config.arrival_sampling == "batch":
+                from ..core.dynamic import batch_arrival_stream
+
+                if any(m_ is not self.arrival_models[0] for m_ in self.arrival_models):
+                    raise ConfigurationError(
+                        "arrival_sampling='batch' needs one shared arrival "
+                        "model (per-replica model sequences sample per "
+                        "replica by definition)"
+                    )
+                if config.arrival_seeds is not None:
+                    raise ConfigurationError(
+                        "arrival_seeds pin per-replica streams, which "
+                        "arrival_sampling='batch' replaces with one shared "
+                        "batch stream"
+                    )
+                self.arrival_rngs = None
+                self.arrival_batch_rng = batch_arrival_stream(config.seed)
+            else:
+                self.arrival_rngs = resolve_arrival_rngs(config, B)
+                self.arrival_batch_rng = None
             self.arrivals_applied = False
             self.last_arrival: Optional[ArrivalBatch] = None
             #: exact expected totals, advanced by every arrival application
             #: (token counts are integral, so float64 sums stay exact)
             self.expected_totals = self.load.sum(axis=0, dtype=np.float64)
-            self.dyn_round = np.empty(config.rounds, dtype=np.int64)
-            self.dyn_cols: Dict[str, np.ndarray] = {
-                name: np.empty((config.rounds, B))
-                for name in DYNAMIC_FLOAT_FIELDS
-            }
+            if config.record_mode == "summary":
+                self.dyn_stats = StreamingStats(DYNAMIC_FLOAT_FIELDS, B)
+            else:
+                self.dyn_round = np.empty(config.rounds, dtype=np.int64)
+                self.dyn_cols: Dict[str, np.ndarray] = {
+                    name: np.empty((config.rounds, B))
+                    for name in DYNAMIC_FLOAT_FIELDS
+                }
             self.dyn_count = 0
-            # arrival scratch: deltas / positive part / wanted departures /
-            # actual (clamped) departures, all (n, B)
+            # arrival scratch: the sampled deltas stay a full (n, B) plane
+            # (the model API fills whole columns); the clamping scratch is
+            # the tile bank in tiled mode, dense planes otherwise.
             self.arr_deltas = np.empty((n, B), dtype=dtype)
-            self.arr_pos = np.empty((n, B), dtype=dtype)
-            self.arr_want = np.empty((n, B), dtype=dtype)
-            self.arr_actual = np.empty((n, B), dtype=dtype)
+            if not self.tile:
+                self.arr_pos = np.empty((n, B), dtype=dtype)
+                self.arr_want = np.empty((n, B), dtype=dtype)
+                self.arr_actual = np.empty((n, B), dtype=dtype)
 
 
 @register_engine
@@ -315,6 +654,15 @@ class BatchedVectorEngine(Engine):
         if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
             raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
         make_rounding(config.rounding)  # validate the key early
+        if config.fast_path in ("matmul", "spectral"):
+            # The closed-form tiers live in the fused run() loop; a forced
+            # fast path through the step-by-step protocol would silently run
+            # edge-wise, so refuse it here (fast_path="auto" steps edge-wise
+            # by design).
+            raise ConfigurationError(
+                f"fast_path={config.fast_path!r} runs through engine.run(); "
+                "the prepare()/step() protocol is always edge-wise"
+            )
         loads = as_load_batch(initial_loads, topo.n)
         h = _BatchedHandle(topo, config, loads)
         if h.arrival_models is None:
@@ -380,15 +728,33 @@ class BatchedVectorEngine(Engine):
 
         # -- step info (transients / traffic), then apply ------------------
         if want_info:
-            delta = _csr_dot(h.D, act, h.nb2)
-            absf = np.abs(act, out=h.mb2)
-            outgoing = _csr_dot(h.W, absf, h.nb3)
-            np.subtract(outgoing, delta, out=outgoing)
-            np.multiply(outgoing, 0.5, out=outgoing)
-            transient = np.subtract(load, outgoing, out=h.nb4)
-            h.last_min_transient = transient.min(axis=0)
-            h.last_traffic = absf.sum(axis=0)
-            np.add(load, delta, out=load)
+            if h.tile:
+                absf = np.abs(act, out=h.mb2)
+                h.last_traffic = absf.sum(axis=0)
+                mins = np.full(h.n_replicas, np.inf, dtype=h.dtype)
+                for (a, b), d_t, w_t in zip(h.node_tiles, h.D_tiles, h.W_tiles):
+                    k = b - a
+                    delta = _csr_dot(d_t, act, h.ts1[:k])
+                    outgoing = _csr_dot(w_t, absf, h.ts2[:k])
+                    np.subtract(outgoing, delta, out=outgoing)
+                    np.multiply(outgoing, 0.5, out=outgoing)
+                    np.subtract(load[a:b], outgoing, out=outgoing)  # transient
+                    np.minimum(mins, outgoing.min(axis=0), out=mins)
+                    np.add(load[a:b], delta, out=load[a:b])
+                h.last_min_transient = mins
+            else:
+                delta = _csr_dot(h.D, act, h.nb2)
+                absf = np.abs(act, out=h.mb2)
+                outgoing = _csr_dot(h.W, absf, h.nb3)
+                np.subtract(outgoing, delta, out=outgoing)
+                np.multiply(outgoing, 0.5, out=outgoing)
+                transient = np.subtract(load, outgoing, out=h.nb4)
+                h.last_min_transient = transient.min(axis=0)
+                h.last_traffic = absf.sum(axis=0)
+                np.add(load, delta, out=load)
+        elif h.tile:
+            for (a, b), d_t in zip(h.node_tiles, h.D_tiles):
+                _csr_dot(d_t, act, load[a:b], accumulate=True)
         else:
             _csr_dot(h.D, act, load, accumulate=True)
         h.round_index += 1
@@ -471,6 +837,9 @@ class BatchedVectorEngine(Engine):
         np.maximum(fsg, 0.0, out=p_block)
         np.subtract(p_block, fsg, out=pn[m + 1 : 2 * m + 1])
 
+        if h.tile:
+            return self._excess_tokens_tiled(h, act)
+
         # Cumulative outgoing-fraction planes over the node's incident edges
         # (fixed permutation — no per-round sorting).
         planes = h.cum_planes
@@ -511,6 +880,58 @@ class BatchedVectorEngine(Engine):
             np.add(act, extra.reshape(m, B), out=act)
         return act
 
+    def _excess_tokens_tiled(self, h: _BatchedHandle, act: np.ndarray) -> np.ndarray:
+        """Lazy token-plane variant of the excess dispatch: the cumulative
+        outgoing-fraction planes are built one node tile at a time, bounding
+        the dominant ``(max_degree, n, B)`` scratch to ``(max_degree, tile,
+        B)``.  Tokens draw from the generator in global node order — exactly
+        the dense path's consumption order, since consecutive
+        ``Generator.random`` calls continue one stream — so tiled and dense
+        dispatches are bit-identical for any tile size.
+        """
+        B = h.n_replicas
+        m = h.topo.m_edges
+        pn = h.pn
+        planes = h.cum_planes
+        tok_cols: List[np.ndarray] = []
+        tok_signs: List[np.ndarray] = []
+        for a, b in h.node_tiles:
+            k = b - a
+            pl = planes[:, :k]
+            np.take(pn, h.slot_take[0][a:b], axis=0, out=pl[0])
+            for j in range(1, h.dmax):
+                np.take(pn, h.slot_take[j][a:b], axis=0, out=pl[j])
+                np.add(pl[j], pl[j - 1], out=pl[j])
+            c = np.subtract(pl[h.dmax - 1], h.frac_tol, out=h.ts1[:k])
+            np.ceil(c, out=c)
+            c_flat = c.ravel()
+            counts = c_flat.astype(np.int64)
+            tok_slot = np.repeat(h.slot_arange[: k * B], counts)
+            if tok_slot.size == 0:
+                continue
+            target = h.rng.random(tok_slot.size, dtype=h.dtype)
+            np.multiply(target, c_flat[tok_slot], out=target)
+            pl_flat = pl.reshape(h.dmax, -1)
+            pos = (pl_flat[0][tok_slot] <= target).view(np.uint8).astype(np.int64)
+            for j in range(1, h.dmax):
+                pos += pl_flat[j][tok_slot] <= target
+            moved = np.flatnonzero(pos < h.dmax)
+            if moved.size:
+                tok_moved = tok_slot[moved]
+                node = tok_moved // B
+                col = tok_moved - node * B
+                flat_slot = (node + a) * h.dmax + pos[moved]
+                tok_cols.append(h.adj_edges_flat[flat_slot] * B + col)
+                tok_signs.append(h.slot_dirs_flat[flat_slot])
+        if tok_cols:
+            extra = np.bincount(
+                np.concatenate(tok_cols),
+                weights=np.concatenate(tok_signs),
+                minlength=m * B,
+            )
+            np.add(act, extra.reshape(m, B), out=act)
+        return act
+
     # ------------------------------------------------------------------
     # dynamic workloads
     # ------------------------------------------------------------------
@@ -530,8 +951,19 @@ class BatchedVectorEngine(Engine):
             )
         topo, t = h.topo, h.round_index
         deltas = h.arr_deltas
-        for b, (model, rng) in enumerate(zip(h.arrival_models, h.arrival_rngs)):
-            deltas[:, b] = model.deltas(topo, t, rng)
+        if h.arrival_batch_rng is not None:
+            # Batch-wide sampling: one vectorised draw for every replica from
+            # the shared batch stream (the opt-out of stream-for-stream
+            # cross-engine exactness; counts keep the exact per-replica
+            # distribution).
+            deltas[...] = h.arrival_models[0].batch_deltas(
+                topo, t, h.arrival_batch_rng, h.n_replicas
+            )
+        else:
+            for b, (model, rng) in enumerate(
+                zip(h.arrival_models, h.arrival_rngs)
+            ):
+                deltas[:, b] = model.deltas(topo, t, rng)
         if not deltas.any():
             # Quiet round (e.g. a burst model between bursts): the RNG
             # streams were already consumed above, and applying all-zero
@@ -543,19 +975,38 @@ class BatchedVectorEngine(Engine):
                 clamped=zeros.copy(),
             )
             return h.last_arrival
-        pos = np.maximum(deltas, 0.0, out=h.arr_pos)
-        want = np.negative(deltas, out=h.arr_want)
-        np.maximum(want, 0.0, out=want)
-        # Consume at most the non-negative part of the current load (reuse
-        # the deltas buffer — pos/want already extracted).
-        relu_load = np.maximum(h.load, 0.0, out=deltas)
-        actual = np.minimum(want, relu_load, out=h.arr_actual)
-        np.add(h.load, pos, out=h.load)
-        np.subtract(h.load, actual, out=h.load)
-        arrived = pos.sum(axis=0, dtype=np.float64)
-        departed = actual.sum(axis=0, dtype=np.float64)
-        np.subtract(want, actual, out=want)
-        clamped = want.sum(axis=0, dtype=np.float64)
+        if h.tile:
+            arrived = np.zeros(h.n_replicas)
+            departed = np.zeros(h.n_replicas)
+            clamped = np.zeros(h.n_replicas)
+            for a, b in h.node_tiles:
+                k = b - a
+                d_t = deltas[a:b]
+                pos = np.maximum(d_t, 0.0, out=h.ts1[:k])
+                want = np.negative(d_t, out=h.ts2[:k])
+                np.maximum(want, 0.0, out=want)
+                relu_load = np.maximum(h.load[a:b], 0.0, out=h.ts3[:k])
+                actual = np.minimum(want, relu_load, out=relu_load)
+                np.add(h.load[a:b], pos, out=h.load[a:b])
+                np.subtract(h.load[a:b], actual, out=h.load[a:b])
+                arrived += pos.sum(axis=0, dtype=np.float64)
+                departed += actual.sum(axis=0, dtype=np.float64)
+                np.subtract(want, actual, out=want)
+                clamped += want.sum(axis=0, dtype=np.float64)
+        else:
+            pos = np.maximum(deltas, 0.0, out=h.arr_pos)
+            want = np.negative(deltas, out=h.arr_want)
+            np.maximum(want, 0.0, out=want)
+            # Consume at most the non-negative part of the current load
+            # (reuse the deltas buffer — pos/want already extracted).
+            relu_load = np.maximum(h.load, 0.0, out=deltas)
+            actual = np.minimum(want, relu_load, out=h.arr_actual)
+            np.add(h.load, pos, out=h.load)
+            np.subtract(h.load, actual, out=h.load)
+            arrived = pos.sum(axis=0, dtype=np.float64)
+            departed = actual.sum(axis=0, dtype=np.float64)
+            np.subtract(want, actual, out=want)
+            clamped = want.sum(axis=0, dtype=np.float64)
         h.expected_totals += arrived
         h.expected_totals -= departed
         h.arrivals_applied = True
@@ -566,23 +1017,49 @@ class BatchedVectorEngine(Engine):
 
     def _record_dynamic(self, h: _BatchedHandle) -> None:
         """Append this round's dynamic metrics (targets move with the total)."""
-        i = h.dyn_count
         load = h.load
-        cols = h.dyn_cols
-        totals = load.sum(axis=0, dtype=np.float64)
         arrival = h.last_arrival
-        cols["total_load"][i] = totals
-        cols["arrived"][i] = arrival.arrived
-        cols["departed"][i] = arrival.departed
-        cols["clamped"][i] = arrival.clamped
-        mean = totals / h.topo.n
-        cols["max_minus_avg"][i] = load.max(axis=0) - mean
-        cols["max_local_diff"][i] = self._mld(h)
-        dev = np.subtract(load, mean.astype(h.dtype, copy=False), out=h.nb1)
-        np.multiply(dev, dev, out=dev)
-        cols["potential_per_node"][i] = dev.sum(axis=0, dtype=np.float64) / h.topo.n
-        h.dyn_round[i] = h.round_index
-        h.dyn_count = i + 1
+        values: Dict[str, np.ndarray] = {
+            "arrived": arrival.arrived,
+            "departed": arrival.departed,
+            "clamped": arrival.clamped,
+        }
+        if h.tile:
+            B = h.n_replicas
+            totals = np.zeros(B)
+            maxs = np.full(B, -np.inf, dtype=h.dtype)
+            for a, b in h.node_tiles:
+                totals += load[a:b].sum(axis=0, dtype=np.float64)
+                np.maximum(maxs, load[a:b].max(axis=0), out=maxs)
+            mean = totals / h.topo.n
+            mean_t = mean.astype(h.dtype, copy=False)
+            pot = np.zeros(B)
+            for a, b in h.node_tiles:
+                k = b - a
+                dev = np.subtract(load[a:b], mean_t, out=h.ts1[:k])
+                np.multiply(dev, dev, out=dev)
+                pot += dev.sum(axis=0, dtype=np.float64)
+            values["max_minus_avg"] = maxs - mean
+            values["potential_per_node"] = pot / h.topo.n
+        else:
+            totals = load.sum(axis=0, dtype=np.float64)
+            mean = totals / h.topo.n
+            values["max_minus_avg"] = load.max(axis=0) - mean
+            dev = np.subtract(load, mean.astype(h.dtype, copy=False), out=h.nb1)
+            np.multiply(dev, dev, out=dev)
+            values["potential_per_node"] = (
+                dev.sum(axis=0, dtype=np.float64) / h.topo.n
+            )
+        values["total_load"] = totals
+        values["max_local_diff"] = self._mld(h)
+        if h.dyn_stats is not None:
+            h.dyn_stats.update(h.round_index, values)
+        else:
+            i = h.dyn_count
+            for name, value in values.items():
+                h.dyn_cols[name][i] = value
+            h.dyn_round[i] = h.round_index
+        h.dyn_count += 1
         drift = np.abs(totals - h.expected_totals)
         bad = drift > h.conserve_tol * np.maximum(1.0, np.abs(h.expected_totals))
         if bad.any():
@@ -604,36 +1081,46 @@ class BatchedVectorEngine(Engine):
         """Per-replica max local load difference of the current loads."""
         if h.topo.m_edges == 0:
             return np.zeros(h.n_replicas)
+        if h.tile:
+            return _tiled_mld(
+                h.load, h.topo.edge_u, h.topo.edge_v, h.edge_tiles,
+                h.ts1, h.ts2,
+            )
         ediff = _csr_dot(h.E, h.load, h.mb3)
         np.abs(ediff, out=ediff)
         return ediff.max(axis=0)
 
     def _record_current(self, h: _BatchedHandle) -> None:
-        """Append the Section VI metrics of the current state."""
-        i = h.rec_count
-        if i == h.rec_round.shape[0]:  # defensive; sized exactly in prepare
-            h.rec_round = np.resize(h.rec_round, i * 2)
-            h.rec_scheme = np.resize(h.rec_scheme, (i * 2, h.n_replicas))
-            h.rec_cols = {
-                k: np.resize(v, (i * 2, h.n_replicas)) for k, v in h.rec_cols.items()
-            }
+        """Append the requested Section VI metrics of the current state."""
         load = h.load
-        cols = h.rec_cols
-        dev = np.subtract(load, h.targets, out=h.nb1)
-        cols["max_minus_avg"][i] = dev.max(axis=0)
-        cols["min_minus_avg"][i] = dev.min(axis=0)
-        np.multiply(dev, dev, out=dev)
-        cols["potential_per_node"][i] = dev.sum(axis=0) / h.topo.n
-        cols["min_load"][i] = load.min(axis=0)
-        totals = load.sum(axis=0)
-        cols["total_load"][i] = totals
-        cols["min_transient"][i] = h.last_min_transient
-        cols["round_traffic"][i] = h.last_traffic
-        h.last_mld = self._mld(h)
-        cols["max_local_diff"][i] = h.last_mld
-        h.rec_round[i] = h.round_index
-        h.rec_scheme[i] = h.sos_active
-        h.rec_count = i + 1
+        fields = h.fields
+        scratch = h.ts1 if h.tile else h.nb1
+        values, totals = _node_metrics(
+            load, h.targets, fields, scratch, h.node_tiles if h.tile else None
+        )
+        if "min_transient" in fields:
+            values["min_transient"] = h.last_min_transient
+        if "round_traffic" in fields:
+            values["round_traffic"] = h.last_traffic
+        if "max_local_diff" in fields:
+            h.last_mld = self._mld(h)
+            values["max_local_diff"] = h.last_mld
+        if h.rec_stats is not None:
+            h.rec_stats.update(h.round_index, values)
+        else:
+            i = h.rec_count
+            if i == h.rec_round.shape[0]:  # defensive; sized exactly in prepare
+                h.rec_round = np.resize(h.rec_round, i * 2)
+                h.rec_scheme = np.resize(h.rec_scheme, (i * 2, h.n_replicas))
+                h.rec_cols = {
+                    k: np.resize(v, (i * 2, h.n_replicas))
+                    for k, v in h.rec_cols.items()
+                }
+            for name, value in values.items():
+                h.rec_cols[name][i] = value
+            h.rec_round[i] = h.round_index
+            h.rec_scheme[i] = h.sos_active
+        h.rec_count += 1
         h.last_recorded_round = h.round_index
         if h.loads_history is not None:
             h.loads_history.append(load.T.copy())
@@ -660,7 +1147,11 @@ class BatchedVectorEngine(Engine):
             if t < min_rounds:
                 newly = none
             else:
-                mld = h.last_mld if h.last_recorded_round == t else self._mld(h)
+                fresh = (
+                    h.last_recorded_round == t
+                    and "max_local_diff" in h.fields
+                )
+                mld = h.last_mld if fresh else self._mld(h)
                 newly = h.sos_active & (mld <= threshold)
         elif sw.kind == "plateau":
             window = int(sw.args[0]) if sw.args else 50
@@ -706,6 +1197,13 @@ class BatchedVectorEngine(Engine):
 
     def metrics(self, h: _BatchedHandle) -> RecordBatch:
         if h.arrival_models is not None:
+            if h.dyn_stats is not None:
+                return RecordBatch(
+                    dynamic_summary_stats=h.dyn_stats,
+                    final_loads=h.load.T.copy(),
+                    final_flows=h.flows.T.copy(),
+                    switched_at=h.switched_at.copy(),
+                )
             count = h.dyn_count
             return RecordBatch(
                 dynamic_round_index=h.dyn_round[:count].copy(),
@@ -718,6 +1216,15 @@ class BatchedVectorEngine(Engine):
             )
         if h.last_recorded_round != h.round_index:
             self._record_current(h)
+        if h.rec_stats is not None:
+            return RecordBatch(
+                summary_stats=h.rec_stats,
+                scheme_last=h.sos_active.astype(np.uint8),
+                final_loads=h.load.T.copy(),
+                final_flows=h.flows.T.copy(),
+                switched_at=h.switched_at.copy(),
+                loads_history=h.loads_history,
+            )
         count = h.rec_count
         return RecordBatch(
             round_index=h.rec_round[:count].copy(),
@@ -730,17 +1237,181 @@ class BatchedVectorEngine(Engine):
         )
 
     def run(self, topo, config, initial_loads):
-        """Fused ensemble loop: transient/traffic info only where recorded."""
+        """Fused ensemble loop: transient/traffic info only where recorded
+        *and* requested; dispatches to the closed-form continuous fast path
+        when the config is eligible (see :meth:`_fast_path_mode`)."""
         if config.arrivals is not None:
             raise ConfigurationError(
                 "config has arrival models; dynamic workloads run through "
                 "run_dynamic()"
             )
+        config.validate()
+        if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
+            # prepare() enforces this for the edge-wise path; the fast path
+            # never reaches prepare(), and a beta outside (0, 2) makes the
+            # recurrence divergent rather than merely wrong.
+            raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
+        mode = self._fast_path_mode(topo, config)
+        if mode is not None:
+            return self._run_fast(topo, config, initial_loads, mode)
         h = self.prepare(topo, config, initial_loads)
         record_every = config.record_every
         for r in range(1, config.rounds + 1):
-            self._advance(h, want_info=(r % record_every == 0 or r == config.rounds))
+            record = r % record_every == 0 or r == config.rounds
+            self._advance(h, want_info=record and h.info_fields)
         return self.metrics(h).results()
+
+    # ==================================================================
+    # closed-form continuous fast path
+    # ==================================================================
+    def _fast_path_mode(self, topo, config) -> Optional[str]:
+        """``None`` (edge-wise), ``"matmul"`` or ``"spectral"``.
+
+        Eligibility: ``identity`` rounding, no switch policy, no arrivals,
+        and ``record_fields`` excluding the transient/traffic columns —
+        those are the only quantities whose definition needs edge space.
+        ``"auto"`` prefers the Fourier kernel on graphs advertising a
+        ``grid_shape`` (full-wrap tori with uniform speeds and alphas) and
+        the one-matmul-per-round CSR kernel otherwise; forcing a tier
+        raises when the run is not eligible for it.
+        """
+        if config.fast_path == "never":
+            return None
+        forced = config.fast_path in ("matmul", "spectral")
+        fields = resolve_record_fields(config.record_fields)
+        blockers = []
+        if config.rounding != "identity":
+            blockers.append(f"rounding {config.rounding!r} (needs 'identity')")
+        if config.switch is not None:
+            blockers.append("a hybrid switch policy")
+        if any(f in fields for f in _INFO_FIELDS):
+            blockers.append(
+                "record_fields requesting min_transient/round_traffic"
+            )
+        if blockers:
+            if forced:
+                raise ConfigurationError(
+                    f"fast_path={config.fast_path!r} is blocked by "
+                    + " and ".join(blockers)
+                )
+            return None
+        spectral_reason = self._spectral_blocker(topo, config)
+        if config.fast_path == "spectral":
+            if spectral_reason:
+                raise ConfigurationError(
+                    f"fast_path='spectral' unavailable: {spectral_reason}"
+                )
+            return "spectral"
+        if config.fast_path == "matmul":
+            return "matmul"
+        return "matmul" if spectral_reason else "spectral"
+
+    def _spectral_blocker(self, topo, config) -> Optional[str]:
+        """Why the Fourier kernel cannot run (None when it can)."""
+        if topo.grid_shape is None:
+            return "the topology advertises no torus grid_shape"
+        speeds = (
+            config.speeds if config.speeds is not None else uniform_speeds(topo.n)
+        )
+        speeds = validate_speeds(speeds, topo.n)
+        if not np.all(speeds == speeds[0]):
+            return "node speeds are heterogeneous"
+        alphas = resolve_alphas(config.alphas, topo, speeds)
+        if alphas.size and not np.all(alphas == alphas[0]):
+            return "edge alphas are heterogeneous"
+        return None
+
+    def _run_fast(self, topo, config, initial_loads, mode: str):
+        """Advance the continuous (identity-rounding) process in closed form.
+
+        ``"matmul"``: the SOS recurrence ``x(t+1) = beta M x(t) +
+        (1-beta) x(t-1)`` — algebraically identical to the edge-wise update
+        with identity rounding — advanced with a single ``(n, B)`` CSR
+        matmul per round against the folded diffusion matrix
+        ``M = I + D A E S^{-1}``, bypassing edge space entirely.
+
+        ``"spectral"``: the same recurrence per *Fourier mode* of a
+        full-wrap torus: one ``rfftn`` of the initial loads, a scalar
+        three-term recurrence on the ``O(n)`` mode multipliers per round
+        (independent of the replica count), and one ``irfftn`` per record
+        round to materialise node space.
+
+        Both tiers agree with the edge-wise identity path to float
+        accumulation accuracy; records carry NaN for the excluded
+        transient/traffic columns and zero flows in the final state (the
+        continuous scheduled flows are never materialised).
+        """
+        loads = as_load_batch(initial_loads, topo.n)
+        n = topo.n
+        B = loads.shape[0]
+        dtype = np.float32 if config.precision == "float32" else np.float64
+        x = np.asarray(loads.T, dtype=dtype).copy(order="C")
+        speeds = validate_speeds(
+            config.speeds if config.speeds is not None else uniform_speeds(n), n
+        )
+        alphas = resolve_alphas(config.alphas, topo, speeds)
+        beta = float(config.beta) if config.scheme == "sos" else 1.0
+        recorder = _FastRecorder(topo, config, x, speeds, dtype)
+        recorder.record(0, x)
+        rounds = config.rounds
+        record_every = config.record_every
+        if rounds == 0:
+            return recorder.batch(x).results()
+
+        if mode == "spectral":
+            shape = topo.grid_shape
+            axes = tuple(range(len(shape)))
+            alpha_eff = (float(alphas[0]) if alphas.size else 0.0) / float(
+                speeds[0]
+            )
+            mu = torus_rfft_eigenvalues(shape, alpha_eff)
+            if dtype == np.float32:
+                mu = mu.astype(np.float32)
+            coeff0 = np.fft.rfftn(x.reshape(*shape, B), axes=axes)
+            g_prev = np.ones_like(mu)
+            g_cur = mu.copy()
+            g_next = np.empty_like(mu)
+            one_minus_beta = 1.0 - beta
+
+            def materialize():
+                coeff = coeff0 * g_cur[..., None]
+                out = np.fft.irfftn(coeff, s=shape, axes=axes)
+                return np.ascontiguousarray(out.reshape(n, B), dtype=dtype)
+
+            x_t = x
+            for r in range(1, rounds + 1):
+                if r >= 2:
+                    np.multiply(g_prev, one_minus_beta, out=g_prev)
+                    np.multiply(mu, g_cur, out=g_next)
+                    np.multiply(g_next, beta, out=g_next)
+                    np.add(g_next, g_prev, out=g_next)
+                    g_prev, g_cur, g_next = g_cur, g_next, g_prev
+                if r % record_every == 0 or r == rounds:
+                    x_t = materialize()
+                    recorder.record(r, x_t)
+            return recorder.batch(x_t).results()
+
+        m1 = _diffusion_matrix(topo, alphas, speeds, dtype)
+        mb = sp.csr_matrix(
+            ((m1.data * dtype(beta)), m1.indices, m1.indptr), shape=m1.shape
+        )
+        cur = np.empty_like(x)
+        scratch = np.empty_like(x)
+        _csr_dot(m1, x, cur)  # round 1: both schemes open with FOS
+        prev = x
+        if 1 % record_every == 0 or rounds == 1:
+            recorder.record(1, cur)
+        one_minus_beta = dtype(1.0 - beta)
+        for r in range(2, rounds + 1):
+            if beta == 1.0:
+                _csr_dot(m1, cur, scratch)
+            else:
+                np.multiply(prev, one_minus_beta, out=scratch)
+                _csr_dot(mb, cur, scratch, accumulate=True)
+            prev, cur, scratch = cur, scratch, prev
+            if r % record_every == 0 or r == rounds:
+                recorder.record(r, cur)
+        return recorder.batch(cur).results()
 
     def run_dynamic(self, topo, config, initial_loads):
         """Fused dynamic ensemble loop: arrivals + balancing, all replicas

@@ -45,6 +45,7 @@ from .base import (
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    reject_batched_only,
 )
 
 __all__ = ["NetworkEngine"]
@@ -95,6 +96,7 @@ class NetworkEngine(Engine):
 
     def prepare(self, topo, config, initial_loads):
         config.validate()
+        reject_batched_only(config, 'network')
         if config.precision != "float64":
             raise ConfigurationError(
                 "the network engine only supports precision='float64'"

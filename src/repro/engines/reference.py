@@ -38,6 +38,7 @@ from .base import (
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    reject_batched_only,
 )
 
 __all__ = ["ReferenceEngine"]
@@ -74,6 +75,7 @@ class ReferenceEngine(Engine):
 
     def prepare(self, topo, config, initial_loads):
         config.validate()
+        reject_batched_only(config, 'reference')
         if config.precision != "float64":
             from ..exceptions import ConfigurationError
 

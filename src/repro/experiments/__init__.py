@@ -16,6 +16,7 @@ from .sweeps import (
     EnsembleResult,
     SweepPoint,
     dynamic_replica_ensemble,
+    ensemble_series,
     fit_power_law,
     replica_ensemble,
     torus_size_sweep,
@@ -41,6 +42,7 @@ __all__ = [
     "EnsembleResult",
     "SweepPoint",
     "dynamic_replica_ensemble",
+    "ensemble_series",
     "fit_power_law",
     "replica_ensemble",
     "torus_size_sweep",

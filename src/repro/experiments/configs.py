@@ -246,12 +246,16 @@ def engine_config(
     switch_round: Optional[int] = None,
     keep_loads: bool = False,
     precision: str = "float64",
+    **engine_options,
 ):
     """An :class:`~repro.engines.EngineConfig` for a built Table I graph.
 
     Uses the graph's own ``beta_opt`` for SOS and translates the classic
     ``switch_round`` convention into the engine switch spec, so experiment
     drivers can hand whole sweeps to any engine backend in one call.
+    Extra keyword arguments (``fast_path``, ``tile_size``, ``record_mode``,
+    ``record_fields``, ``arrival_sampling``, ...) pass straight through to
+    :class:`~repro.engines.EngineConfig`.
     """
     from ..engines import EngineConfig
 
@@ -265,4 +269,5 @@ def engine_config(
         switch=("fixed", switch_round) if switch_round is not None else None,
         keep_loads=keep_loads,
         precision=precision,
+        **engine_options,
     )

@@ -165,27 +165,71 @@ def fig02_initial_load(
     averages: Sequence[int] = (10, 100, 1000),
     seed: int = 0,
     engine: str = "reference",
+    n_seeds: int = 1,
 ) -> ExperimentRecord:
     """Figure 2: max-avg for three different total loads (avg 10/100/1000).
 
     The paper's observation: the amount of initial load only has limited
     impact on behaviour, especially after convergence.
+
+    With ``n_seeds > 1`` the whole sweep — every (average load, seed)
+    combination — is submitted as *one* :func:`~repro.experiments.sweeps
+    .replica_ensemble` call (the batched engine advances all replicas per
+    vectorised step) and each average's curve comes back seed-averaged:
+    ``avg<K>_max_minus_avg`` is the cross-seed mean and
+    ``avg<K>_max_minus_avg_std`` the cross-seed deviation.
     """
     built = build_graph("torus-1000", scale)
     rounds = rounds or _default_rounds(built)
     series: Dict[str, List[float]] = {}
     summary: Dict[str, float] = {}
-    for idx, avg in enumerate(averages):
-        res = _simulate(
-            built, "sos", rounds, seed=seed + idx, average_load=avg, engine=engine
+    if n_seeds <= 1:
+        for idx, avg in enumerate(averages):
+            res = _simulate(
+                built, "sos", rounds, seed=seed + idx, average_load=avg,
+                engine=engine,
+            )
+            series[f"avg{avg}_max_minus_avg"] = res.series("max_minus_avg").tolist()
+            if "round" not in series:
+                series["round"] = res.rounds.tolist()
+            summary[f"avg{avg}_plateau"] = remaining_imbalance(res).mean
+            summary[f"avg{avg}_round_below_10"] = convergence_round(
+                res, threshold=10.0, sustained=3
+            )
+    else:
+        from .sweeps import ensemble_series, replica_ensemble
+
+        topo = built.topo
+        batch = np.stack(
+            [
+                point_load(topo, avg * topo.n, node=0)
+                for avg in averages
+                for _ in range(n_seeds)
+            ]
         )
-        series[f"avg{avg}_max_minus_avg"] = res.series("max_minus_avg").tolist()
-        if "round" not in series:
-            series["round"] = res.rounds.tolist()
-        summary[f"avg{avg}_plateau"] = remaining_imbalance(res).mean
-        summary[f"avg{avg}_round_below_10"] = convergence_round(
-            res, threshold=10.0, sustained=3
+        config = engine_config(
+            built, scheme="sos", rounds=rounds, seed=seed
         )
+        ensemble = replica_ensemble(
+            topo, config, initial_loads=batch, engine=engine
+        )
+        series["round"] = ensemble.results[0].rounds.tolist()
+        for gi, avg in enumerate(averages):
+            group = ensemble.results[gi * n_seeds : (gi + 1) * n_seeds]
+            mean, std = ensemble_series(group, "max_minus_avg")
+            series[f"avg{avg}_max_minus_avg"] = mean.tolist()
+            series[f"avg{avg}_max_minus_avg_std"] = std.tolist()
+            summary[f"avg{avg}_plateau"] = float(
+                np.mean([remaining_imbalance(r).mean for r in group])
+            )
+            below = [
+                convergence_round(r, threshold=10.0, sustained=3) for r in group
+            ]
+            converged = [r for r in below if r is not None]
+            summary[f"avg{avg}_round_below_10"] = (
+                float(np.mean(converged)) if converged else None
+            )
+            summary[f"avg{avg}_unconverged"] = len(below) - len(converged)
     return ExperimentRecord(
         name="fig02",
         params={
@@ -194,6 +238,7 @@ def fig02_initial_load(
             "n": built.n,
             "rounds": rounds,
             "averages": list(averages),
+            "n_seeds": n_seeds,
         },
         series=series,
         summary=summary,
@@ -413,28 +458,80 @@ def fig08_switch_sweep(
     switch_rounds: Sequence[int] = (300, 500, 700, 900),
     seed: int = 0,
     engine: str = "reference",
+    n_seeds: int = 1,
 ) -> ExperimentRecord:
     """Figure 8: effect of the SOS->FOS switch round on the 100x100 torus.
 
     The paper's parameters are used verbatim (this figure is already at CI
     scale in the paper): switches at rounds 300/500/700/900 within a
     1000-round run.
+
+    With ``n_seeds > 1`` each curve (SOS-only and one per switch round)
+    runs its seed replicas as one batched
+    :func:`~repro.experiments.sweeps.replica_ensemble` call and the series
+    come back seed-averaged with ``_std`` companions.
     """
     built = build_graph("torus-100", scale if scale != "paper" else "ci")
-    sos_only = _simulate(built, "sos", rounds, seed=seed, engine=engine)
-    series = {
-        "round": sos_only.rounds.tolist(),
-        "sos_only_max_minus_avg": sos_only.series("max_minus_avg").tolist(),
-        "sos_only_max_local_diff": sos_only.series("max_local_diff").tolist(),
-    }
-    summary = {"sos_only_final": sos_only.records[-1].max_minus_avg}
-    for switch in switch_rounds:
-        res = _simulate(
-            built, "sos", rounds, seed=seed, switch_round=switch, engine=engine
-        )
-        series[f"fos{switch}_max_minus_avg"] = res.series("max_minus_avg").tolist()
-        tail = [r.max_minus_avg for r in res.records if r.round_index >= rounds - 50]
-        summary[f"fos{switch}_final"] = float(np.mean(tail))
+    series: Dict[str, List[float]] = {}
+    summary: Dict[str, float] = {}
+    if n_seeds <= 1:
+        sos_only = _simulate(built, "sos", rounds, seed=seed, engine=engine)
+        series["round"] = sos_only.rounds.tolist()
+        series["sos_only_max_minus_avg"] = sos_only.series(
+            "max_minus_avg"
+        ).tolist()
+        series["sos_only_max_local_diff"] = sos_only.series(
+            "max_local_diff"
+        ).tolist()
+        summary["sos_only_final"] = sos_only.records[-1].max_minus_avg
+        for switch in switch_rounds:
+            res = _simulate(
+                built, "sos", rounds, seed=seed, switch_round=switch,
+                engine=engine,
+            )
+            series[f"fos{switch}_max_minus_avg"] = res.series(
+                "max_minus_avg"
+            ).tolist()
+            tail = [
+                r.max_minus_avg
+                for r in res.records
+                if r.round_index >= rounds - 50
+            ]
+            summary[f"fos{switch}_final"] = float(np.mean(tail))
+    else:
+        from .sweeps import ensemble_series, replica_ensemble
+
+        def run_curve(tag: str, switch_round: Optional[int]):
+            config = engine_config(
+                built, scheme="sos", rounds=rounds, seed=seed,
+                switch_round=switch_round,
+            )
+            ensemble = replica_ensemble(
+                built.topo, config, n_replicas=n_seeds,
+                average_load=DEFAULT_AVERAGE_LOAD, engine=engine,
+            )
+            group = ensemble.results
+            if "round" not in series:
+                series["round"] = group[0].rounds.tolist()
+            for fieldname in ("max_minus_avg", "max_local_diff"):
+                mean, std = ensemble_series(group, fieldname)
+                series[f"{tag}_{fieldname}"] = mean.tolist()
+                series[f"{tag}_{fieldname}_std"] = std.tolist()
+            finals = [
+                float(
+                    np.mean(
+                        np.asarray(r.series("max_minus_avg"))[
+                            np.asarray(r.rounds) >= rounds - 50
+                        ]
+                    )
+                )
+                for r in group
+            ]
+            summary[f"{tag}_final"] = float(np.mean(finals))
+
+        run_curve("sos_only", None)
+        for switch in switch_rounds:
+            run_curve(f"fos{switch}", switch)
     return ExperimentRecord(
         name="fig08",
         params={
@@ -443,6 +540,7 @@ def fig08_switch_sweep(
             "n": built.n,
             "rounds": rounds,
             "switch_rounds": list(switch_rounds),
+            "n_seeds": n_seeds,
         },
         series=series,
         summary=summary,

@@ -47,6 +47,7 @@ __all__ = [
     "torus_size_sweep",
     "replica_ensemble",
     "dynamic_replica_ensemble",
+    "ensemble_series",
     "fit_power_law",
 ]
 
@@ -251,7 +252,16 @@ def dynamic_replica_ensemble(
                 stream_keys.append(s)
                 labels.append((key, li, s))
                 b += 1
-    cfg = replace(config, arrivals=per_replica_models, arrival_seeds=stream_keys)
+    # Batch-wide sampling draws every replica from one shared stream, so the
+    # per-seed stream keys (common random numbers across models) do not
+    # apply — and the engine rejects them.
+    cfg = replace(
+        config,
+        arrivals=per_replica_models,
+        arrival_seeds=(
+            stream_keys if config.arrival_sampling != "batch" else None
+        ),
+    )
     results = make_engine(engine).run_dynamic(topo, cfg, batch_loads)
 
     stats: Dict[str, float] = {"n_replicas": float(n_replicas)}
@@ -277,6 +287,22 @@ def dynamic_replica_ensemble(
     return DynamicEnsembleResult(
         results=results, labels=labels, model_keys=model_keys, stats=stats
     )
+
+
+def ensemble_series(
+    results: Sequence[SimulationResult], fieldname: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and standard deviation of one metric across replica results.
+
+    All results must share a record grid (same engine call, or same
+    ``record_every``); returns ``(mean, std)`` over the replica axis, one
+    entry per recorded round.  This is how the seed-averaged figure drivers
+    reduce a batched ensemble to the paper's curves.
+    """
+    if not results:
+        raise ConfigurationError("need at least one replica result")
+    stacked = np.stack([np.asarray(r.series(fieldname)) for r in results])
+    return stacked.mean(axis=0), stacked.std(axis=0)
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:

@@ -55,6 +55,7 @@ class Topology:
         "adj_edge_ids",
         "degrees",
         "name",
+        "grid_shape",
         "_edge_id_lookup",
     )
 
@@ -91,6 +92,12 @@ class Topology:
         self.edge_u = u
         self.edge_v = v
         self.name = name
+        #: Optional spectral hint set by structured-graph builders: the side
+        #: lengths of a full-wrap torus whose node ``(c_1, ..., c_k)`` has id
+        #: ``ravel_multi_index(c, grid_shape)``.  ``None`` for every other
+        #: graph.  Engines use it to switch to closed-form Fourier kernels;
+        #: it carries no structural information beyond the edge list.
+        self.grid_shape: Optional[Tuple[int, ...]] = None
 
         # Build CSR adjacency: for every incidence store (node, neighbour,
         # edge id) and bucket by node.

@@ -61,7 +61,13 @@ def torus_nd(shape: Sequence[int], name: str = "") -> Topology:
     else:
         edge_array = np.empty((0, 2), dtype=np.int64)
     label = name or ("torus-" + "x".join(str(s) for s in shape))
-    return Topology(n, edge_array, name=label)
+    topo = Topology(n, edge_array, name=label)
+    if all(s >= 3 for s in shape):
+        # Full-wrap torus: every dimension contributes two distinct edges per
+        # node, so the analytic Fourier spectrum applies (sides of 1 or 2
+        # change the degree structure and are left unhinted).
+        topo.grid_shape = shape
+    return topo
 
 
 def grid_2d(rows: int, cols: int) -> Topology:

@@ -179,3 +179,56 @@ def test_poisson_stream_layout_is_reproducible_and_independent():
     c = model.deltas(topo, 0, arrival_stream(5, 1))
     np.testing.assert_array_equal(a, b)
     assert not np.array_equal(a, c)
+
+
+# ----------------------------------------------------------------------
+# Batch-wide arrival sampling (inverse-CDF / net-delta tables)
+# ----------------------------------------------------------------------
+
+def test_batch_poisson_inverse_cdf_chisquare():
+    """The tabulated inverse-CDF sampler is Poisson to chi-square scrutiny."""
+    from repro.core.dynamic import batch_arrival_stream
+
+    topo = torus_2d(24, 24)
+    model = PoissonArrivals(rate=3.0)
+    counts = model.batch_deltas(
+        topo, 0, batch_arrival_stream(0), 200
+    ).ravel().astype(int)
+    kmax = counts.max()
+    observed = np.bincount(counts, minlength=kmax + 1).astype(float)
+    expected = stats.poisson.pmf(np.arange(kmax + 1), 3.0) * counts.size
+    expected[-1] += (1.0 - stats.poisson.cdf(kmax, 3.0)) * counts.size
+    mask = expected > 5
+    chi2 = ((observed[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+    pvalue = 1.0 - stats.chi2.cdf(chi2, mask.sum() - 1)
+    assert pvalue > 0.005, (chi2, pvalue)
+
+
+def test_batch_net_delta_is_skellam_chisquare():
+    """With departures, the single net-delta draw follows the exact
+    difference (Skellam) distribution of the two Poisson laws."""
+    from repro.core.dynamic import batch_arrival_stream
+
+    topo = torus_2d(24, 24)
+    model = PoissonArrivals(rate=3.0, departure_rate=2.0)
+    deltas = model.batch_deltas(
+        topo, 0, batch_arrival_stream(1), 300
+    ).ravel().astype(int)
+    lo, hi = deltas.min(), deltas.max()
+    observed = np.bincount(deltas - lo, minlength=hi - lo + 1).astype(float)
+    expected = stats.skellam.pmf(np.arange(lo, hi + 1), 3.0, 2.0) * deltas.size
+    mask = expected > 5
+    chi2 = ((observed[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+    pvalue = 1.0 - stats.chi2.cdf(chi2, mask.sum() - 1)
+    assert pvalue > 0.005, (chi2, pvalue)
+    assert abs(deltas.mean() - 1.0) < 0.05
+    assert abs(deltas.var() - 5.0) < 0.2
+
+
+def test_batch_large_rate_falls_back_to_generator():
+    from repro.core.dynamic import batch_arrival_stream
+
+    topo = torus_2d(8, 8)
+    model = PoissonArrivals(rate=100.0, departure_rate=90.0)
+    deltas = model.batch_deltas(topo, 0, batch_arrival_stream(2), 100)
+    assert abs(deltas.mean() - 10.0) < 1.0

@@ -1,0 +1,301 @@
+"""The closed-form continuous fast path: matmul and spectral tiers.
+
+The identity-rounding SOS recurrence ``x(t+1) = beta M x(t) + (1-beta)
+x(t-1)`` must reproduce the edge-wise batched path to float accumulation
+accuracy (ulp-level over short horizons), agree with the dense spectral
+theory of ``core/spectral.py``, honour the eligibility rules, and fill the
+excluded transient/traffic columns with NaN.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    point_load,
+    random_load,
+    torus_2d,
+)
+from repro.core.spectral import q_matrix_at, torus_rfft_eigenvalues
+from repro.core.matrices import diffusion_matrix
+from repro.engines import EngineConfig, make_engine
+from repro.graphs import random_regular_strict
+
+#: Every record column the fast path can compute (no edge-space history).
+NODE_FIELDS = (
+    "max_minus_avg", "min_minus_avg", "potential_per_node", "min_load",
+    "total_load", "max_local_diff",
+)
+
+TORUS = torus_2d(10, 12)
+RR = random_regular_strict(36, 4, rng=np.random.default_rng(2))
+
+
+def _loads(topo, n_replicas):
+    rng = np.random.default_rng(11)
+    rows = [point_load(topo, 1000 * topo.n)]
+    rows += [
+        random_load(topo, 500 * topo.n, rng=rng) for _ in range(n_replicas - 1)
+    ]
+    return np.stack(rows)
+
+
+def _config(**kwargs):
+    base = dict(
+        scheme="sos", beta=1.6, rounding="identity", rounds=60,
+        record_every=4, seed=0, record_fields=NODE_FIELDS,
+    )
+    base.update(kwargs)
+    return EngineConfig(**base)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", ["matmul", "spectral"])
+    @pytest.mark.parametrize("scheme,beta", [("fos", 1.0), ("sos", 1.6)])
+    @pytest.mark.parametrize("n_replicas", [1, 5])
+    def test_matches_edgewise_identity(self, mode, scheme, beta, n_replicas):
+        topo = TORUS
+        loads = _loads(topo, n_replicas)
+        edge = make_engine("batched").run(
+            topo, _config(scheme=scheme, beta=beta, fast_path="never"), loads
+        )
+        fast = make_engine("batched").run(
+            topo, _config(scheme=scheme, beta=beta, fast_path=mode), loads
+        )
+        for f_res, e_res in zip(fast, edge):
+            np.testing.assert_allclose(
+                f_res.final_state.load, e_res.final_state.load,
+                rtol=1e-10, atol=1e-7,
+            )
+            np.testing.assert_array_equal(f_res.rounds, e_res.rounds)
+            for fieldname in NODE_FIELDS:
+                np.testing.assert_allclose(
+                    f_res.series(fieldname), e_res.series(fieldname),
+                    rtol=1e-8, atol=1e-6, err_msg=fieldname,
+                )
+
+    def test_matmul_on_unstructured_graph(self):
+        loads = _loads(RR, 3)
+        edge = make_engine("batched").run(RR, _config(fast_path="never"), loads)
+        fast = make_engine("batched").run(RR, _config(fast_path="auto"), loads)
+        for f_res, e_res in zip(fast, edge):
+            np.testing.assert_allclose(
+                f_res.final_state.load, e_res.final_state.load,
+                rtol=1e-10, atol=1e-7,
+            )
+
+    def test_heterogeneous_speeds_matmul(self):
+        topo = TORUS
+        speeds = 1.0 + np.random.default_rng(5).random(topo.n)
+        loads = _loads(topo, 2)
+        edge = make_engine("batched").run(
+            topo, _config(fast_path="never", speeds=speeds), loads
+        )
+        fast = make_engine("batched").run(
+            topo, _config(fast_path="auto", speeds=speeds), loads
+        )
+        for f_res, e_res in zip(fast, edge):
+            np.testing.assert_allclose(
+                f_res.final_state.load, e_res.final_state.load,
+                rtol=1e-9, atol=1e-6,
+            )
+
+    def test_matches_reference_engine(self):
+        """End to end: fast path == classic simulator identity process."""
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        ref = make_engine("reference").run(
+            topo,
+            EngineConfig(scheme="sos", beta=1.6, rounding="identity",
+                         rounds=50, seed=0),
+            load,
+        )[0]
+        fast = make_engine("batched").run(topo, _config(rounds=50), load)[0]
+        np.testing.assert_allclose(
+            fast.final_state.load, ref.final_state.load, rtol=1e-10, atol=1e-7
+        )
+
+
+class TestSpectralTheory:
+    def test_fos_matches_q_matrix_power(self):
+        """FOS identity: x(t) = M^t x(0) = Q(t)|_{beta=1} x(0) exactly."""
+        topo = TORUS
+        load = point_load(topo, 1000.0 * topo.n)
+        t = 20
+        fast = make_engine("batched").run(
+            topo, _config(scheme="fos", beta=1.0, rounds=t, record_every=t),
+            load,
+        )[0]
+        m_dense = diffusion_matrix(topo)
+        predicted = q_matrix_at(m_dense, 1.0, t) @ load
+        np.testing.assert_allclose(
+            fast.final_state.load, predicted, rtol=1e-8, atol=1e-6
+        )
+
+    def test_sos_matches_dense_recurrence(self):
+        """SOS identity (FOS opening round) == the dense three-term
+        recurrence iterated with numpy — an implementation-independent
+        check of both fast tiers."""
+        topo = TORUS
+        beta = 1.6
+        load = random_load(topo, 800 * topo.n, rng=np.random.default_rng(9))
+        t = 25
+        m_dense = diffusion_matrix(topo)
+        x_prev = load.copy()
+        x = m_dense @ load
+        for _ in range(2, t + 1):
+            x, x_prev = beta * (m_dense @ x) + (1.0 - beta) * x_prev, x
+        for mode in ("matmul", "spectral"):
+            fast = make_engine("batched").run(
+                topo,
+                _config(beta=beta, rounds=t, record_every=t, fast_path=mode),
+                load,
+            )[0]
+            np.testing.assert_allclose(
+                fast.final_state.load, x, rtol=1e-9, atol=1e-6, err_msg=mode
+            )
+
+    def test_torus_rfft_eigenvalues_match_dense_spectrum(self):
+        """The rfftn-layout eigenvalues are exactly the dense spectrum."""
+        topo = torus_2d(6, 7)
+        alpha = 1.0 / 5.0
+        mu = torus_rfft_eigenvalues((6, 7), alpha)
+        assert mu.shape == (6, 7 // 2 + 1)
+        dense = np.sort(np.linalg.eigvalsh(diffusion_matrix(topo)))
+        # Expand the half-spectrum back to full multiplicity.
+        full = np.empty((6, 7))
+        full[:, : 7 // 2 + 1] = mu
+        for a2 in range(7 // 2 + 1, 7):
+            full[:, a2] = mu[:, 7 - a2]
+        np.testing.assert_allclose(np.sort(full.ravel()), dense, atol=1e-12)
+
+    def test_rejects_bad_torus_sides(self):
+        with pytest.raises(ConfigurationError):
+            torus_rfft_eigenvalues((2, 5), 0.2)
+
+
+class TestEligibility:
+    def test_auto_requires_identity(self):
+        """Discrete roundings never take the fast path: bit-exactness of the
+        cross-engine suite is the proof, here we just check the records
+        still carry real transient data with default fields."""
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        config = EngineConfig(
+            scheme="sos", beta=1.6, rounding="nearest", rounds=20, seed=0
+        )
+        res = make_engine("batched").run(topo, config, load)[0]
+        assert np.isfinite(res.series("min_transient")).all()
+        assert np.isfinite(res.series("round_traffic")).all()
+
+    def test_forced_fast_path_needs_identity(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        config = _config(rounding="nearest", fast_path="matmul")
+        with pytest.raises(ConfigurationError, match="blocked"):
+            make_engine("batched").run(topo, config, load)
+
+    def test_forced_fast_path_needs_trimmed_fields(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        config = _config(record_fields=None, fast_path="spectral")
+        with pytest.raises(ConfigurationError, match="min_transient"):
+            make_engine("batched").run(topo, config, load)
+
+    def test_forced_spectral_needs_torus(self):
+        load = point_load(RR, 1000 * RR.n)
+        with pytest.raises(ConfigurationError, match="grid_shape"):
+            make_engine("batched").run(RR, _config(fast_path="spectral"), load)
+
+    def test_forced_spectral_needs_uniform_speeds(self):
+        load = point_load(TORUS, 1000 * TORUS.n)
+        speeds = 1.0 + np.arange(TORUS.n, dtype=np.float64) / TORUS.n
+        config = _config(fast_path="spectral", speeds=speeds)
+        with pytest.raises(ConfigurationError, match="speeds"):
+            make_engine("batched").run(TORUS, config, load)
+
+    def test_forced_spectral_needs_uniform_alphas(self):
+        load = point_load(TORUS, 1000 * TORUS.n)
+        alphas = np.full(TORUS.m_edges, 0.2)
+        alphas[0] = 0.1
+        config = _config(fast_path="spectral", alphas=alphas)
+        with pytest.raises(ConfigurationError, match="alphas"):
+            make_engine("batched").run(TORUS, config, load)
+
+    def test_auto_falls_back_to_matmul_on_heterogeneous_speeds(self):
+        """auto on a torus with heterogeneous speeds: still fast, matmul."""
+        load = point_load(TORUS, 1000 * TORUS.n)
+        speeds = 1.0 + np.arange(TORUS.n, dtype=np.float64) / TORUS.n
+        edge = make_engine("batched").run(
+            TORUS, _config(fast_path="never", speeds=speeds), load
+        )[0]
+        auto = make_engine("batched").run(
+            TORUS, _config(fast_path="auto", speeds=speeds), load
+        )[0]
+        np.testing.assert_allclose(
+            auto.final_state.load, edge.final_state.load, rtol=1e-9, atol=1e-6
+        )
+
+    def test_switch_blocks_fast_path(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        config = _config(switch=("fixed", 10), fast_path="matmul")
+        with pytest.raises(ConfigurationError, match="switch"):
+            make_engine("batched").run(topo, config, load)
+
+    def test_prepare_rejects_forced_fast_path(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        with pytest.raises(ConfigurationError, match="prepare"):
+            make_engine("batched").prepare(topo, _config(fast_path="matmul"), load)
+
+    def test_excluded_columns_are_nan(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        res = make_engine("batched").run(topo, _config(), load)[0]
+        assert np.isnan(res.series("min_transient")).all()
+        assert np.isnan(res.series("round_traffic")).all()
+        assert np.isfinite(res.series("max_minus_avg")).all()
+        # zero flows: the continuous scheduled flows are never materialised
+        np.testing.assert_array_equal(
+            res.final_state.flows, np.zeros(topo.m_edges)
+        )
+
+    def test_keep_loads_on_fast_path(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        res = make_engine("batched").run(
+            topo, _config(keep_loads=True, rounds=12, record_every=4), load
+        )[0]
+        assert len(res.loads_history) == len(res.rounds)
+        np.testing.assert_allclose(
+            res.loads_history[-1], res.final_state.load, rtol=1e-12
+        )
+
+    def test_reference_engine_rejects_batched_only_options(self):
+        topo = TORUS
+        load = point_load(topo, 1000 * topo.n)
+        for kwargs in (
+            dict(record_fields=NODE_FIELDS),
+            dict(tile_size=8),
+            dict(record_mode="summary"),
+            dict(fast_path="matmul"),
+        ):
+            config = EngineConfig(
+                scheme="sos", beta=1.6, rounding="identity", rounds=5, **kwargs
+            )
+            with pytest.raises(ConfigurationError, match="batched"):
+                make_engine("reference").run(topo, config, load)
+
+
+def test_fast_path_validates_beta_range():
+    """The fused run() enforces the SOS beta range even when the fast path
+    bypasses prepare()."""
+    from repro import SchemeError
+
+    load = point_load(TORUS, 1000 * TORUS.n)
+    for fast_path in ("never", "auto"):
+        with pytest.raises(SchemeError, match="beta"):
+            make_engine("batched").run(
+                TORUS, _config(beta=2.5, fast_path=fast_path), load
+            )

@@ -83,6 +83,33 @@ class TestFigureDrivers:
         assert "fos60_max_minus_avg" in rec.series
         assert rec.summary["fos60_final"] <= rec.summary["sos_only_final"] + 2.0
 
+    def test_fig02_batched_seed_ensemble(self):
+        """ROADMAP port: one batched call produces mean/std curves."""
+        rec = figures.fig02_initial_load(
+            scale="tiny", rounds=120, averages=(10, 1000),
+            engine="batched", n_seeds=4,
+        )
+        assert rec.params["n_seeds"] == 4
+        for avg in (10, 1000):
+            mean = rec.series[f"avg{avg}_max_minus_avg"]
+            std = rec.series[f"avg{avg}_max_minus_avg_std"]
+            assert len(mean) == len(std) == len(rec.series["round"])
+            assert all(s >= 0 for s in std)
+            assert rec.summary[f"avg{avg}_plateau"] < 20
+        # ensemble randomness: seeds diverge, so the curve has spread
+        assert max(rec.series["avg1000_max_minus_avg_std"]) > 0
+
+    def test_fig08_batched_seed_ensemble(self):
+        rec = figures.fig08_switch_sweep(
+            scale="tiny", rounds=120, switch_rounds=(40, 80),
+            engine="batched", n_seeds=4,
+        )
+        for tag in ("sos_only", "fos40", "fos80"):
+            assert f"{tag}_max_minus_avg" in rec.series
+            assert f"{tag}_max_minus_avg_std" in rec.series
+            assert f"{tag}_final" in rec.summary
+        assert rec.summary["fos40_final"] <= rec.summary["sos_only_final"] + 2.0
+
     def test_fig09_11_renders(self, tmp_path):
         rec = figures.fig09_11_renders(
             scale="tiny", snapshot_rounds=(5, 20, 60), directory=str(tmp_path)

@@ -137,3 +137,82 @@ class TestSimulateArrivals:
                     "--rounds", "10", "--arrivals", "bogus:1",
                 ]
             )
+
+
+class TestScalingFlags:
+    """The large-n knobs: --fast-path, --tile-size, --record-mode, --seeds."""
+
+    def test_simulate_fast_path_spectral(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounding", "identity", "--rounds", "60",
+                "--engine", "batched", "--record-fields", "node",
+                "--fast-path", "spectral",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max-avg" in out
+        assert "min-transient" not in out  # excluded column stays silent
+
+    def test_simulate_tiled_summary(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "50", "--engine", "batched",
+                "--tile-size", "17", "--record-mode", "summary",
+            ]
+        )
+        assert code == 0
+        assert "max-avg" in capsys.readouterr().out
+
+    def test_simulate_tile_auto(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "30", "--engine", "batched",
+                "--tile-size", "auto", "--memory-budget-mb", "0.05",
+            ]
+        )
+        assert code == 0
+
+    def test_simulate_bad_tile_size(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--engine", "batched", "--tile-size", "huge",
+                ]
+            )
+
+    def test_simulate_batch_arrival_sampling(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "40", "--engine", "batched",
+                "--arrivals", "poisson:2.0,depart=2.0",
+                "--arrival-sampling", "batch", "--replicas", "4",
+            ]
+        )
+        assert code == 0
+        assert "steady-state" in capsys.readouterr().out
+
+    def test_figure_seeds_ensemble(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure", "fig02", "--scale", "tiny", "--rounds", "60",
+                "--engine", "batched", "--seeds", "3",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig02.json").exists()
+
+    def test_figure_seeds_on_single_seed_driver_warns(self, capsys):
+        code = main(
+            ["figure", "fig06", "--scale", "tiny", "--rounds", "40",
+             "--seeds", "3"]
+        )
+        assert code == 0
+        assert "single-seed" in capsys.readouterr().err
