@@ -102,7 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="reference",
         choices=sorted(ENGINES),
-        help="execution backend (batched runs all replicas per numpy step)",
+        help=(
+            "execution backend (batched runs all replicas per numpy step; "
+            "sharded splits them across worker processes, see --workers)"
+        ),
     )
     p_sim.add_argument(
         "--replicas",
@@ -197,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
             "auto engage on identity rounding"
         ),
     )
+    p_sim.add_argument(
+        "--workers",
+        default=None,
+        metavar="N|auto",
+        help=(
+            "worker-process count of the sharded engine (--engine sharded): "
+            "an int, or 'auto' to use every usable CPU; the replica batch "
+            "splits into contiguous column shards, one batched engine per "
+            "worker, bit-identical to the single-process batched run"
+        ),
+    )
 
     p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
     p_render.add_argument("--out", required=True, help="output directory")
@@ -268,6 +282,15 @@ def _parse_tile_size(value):
         raise SystemExit(f"--tile-size must be an int or 'auto', got {value!r}")
 
 
+def _parse_workers(value):
+    if value is None or value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(f"--workers must be an int or 'auto', got {value!r}")
+
+
 def _parse_record_fields(value):
     if value is None:
         return None
@@ -297,6 +320,7 @@ def _cmd_simulate(args) -> int:
         record_mode=args.record_mode,
         record_fields=_parse_record_fields(args.record_fields),
         arrival_sampling=args.arrival_sampling,
+        workers=_parse_workers(args.workers),
     )
     print(
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "

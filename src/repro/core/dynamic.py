@@ -27,9 +27,12 @@ Replica ``b`` of a batched dynamic run draws its arrivals from the
 *spawned* stream :func:`arrival_stream`\\ ``(seed, b)`` — i.e.
 ``default_rng(SeedSequence(seed, spawn_key=(b,)))`` — which is independent
 of the rounding generator (``default_rng(seed + b)`` on the per-replica
-backends, one batch generator on the vectorised one).  Seed a standalone
-:class:`DynamicSimulator` with ``rng=arrival_stream(seed, b)`` to reproduce
-engine replica ``b`` bit for bit (for deterministic roundings).
+backends, the spawned per-replica stream
+:func:`~repro.engines.base.rounding_stream`\\ ``(seed, b)`` with
+two-element spawn key ``(b, 1)`` on the vectorised ones).  Seed a
+standalone :class:`DynamicSimulator` with ``rng=arrival_stream(seed, b)``
+to reproduce engine replica ``b`` bit for bit (for deterministic
+roundings).
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ exporter in :mod:`repro.viz.series` and the JSON archiver in
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -124,6 +124,45 @@ class StreamingStats:
             np.maximum(self.maxs[name], v, out=self.maxs[name])
             self.sums[name] += v
             self.last[name][...] = v
+
+    @classmethod
+    def concat(cls, parts: Sequence["StreamingStats"]) -> "StreamingStats":
+        """Width-concatenate per-shard stats into one batch-wide object.
+
+        The sharded engine's merge step: each worker streams its own
+        replica columns through a :class:`StreamingStats`, and because
+        every aggregate is per-replica (no cross-replica reduction ever
+        happens), concatenating the aggregate arrays reproduces exactly
+        the object a single-process run over the full batch would hold.
+        All parts must describe the same record grid (same fields, same
+        round count and first/last round) — anything else means the shards
+        ran different workloads, which raises.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ConfigurationError("concat needs at least one StreamingStats")
+        first = parts[0]
+        for other in parts[1:]:
+            if (
+                other.fields != first.fields
+                or other.count != first.count
+                or other.first_round != first.first_round
+                or other.last_round != first.last_round
+            ):
+                raise ConfigurationError(
+                    "cannot concatenate StreamingStats with different "
+                    "fields or record grids"
+                )
+        merged = cls(first.fields, sum(p.width for p in parts))
+        merged.count = first.count
+        merged.first_round = first.first_round
+        merged.last_round = first.last_round
+        for name in first.fields:
+            for store in ("mins", "maxs", "sums", "last"):
+                getattr(merged, store)[name] = np.concatenate(
+                    [getattr(p, store)[name] for p in parts]
+                )
+        return merged
 
     def replica_summary(self, b: int, all_fields=None) -> Dict[str, float]:
         """One replica's aggregates as the flat :meth:`RecordTable.summary`

@@ -1,6 +1,6 @@
 """Pluggable execution engines for replica ensembles.
 
-One protocol (:class:`~repro.engines.base.Engine`), three backends:
+One protocol (:class:`~repro.engines.base.Engine`), four backends:
 
 =========  ==================================================================
 name       backend
@@ -10,6 +10,9 @@ reference  per-replica loop through the classic :class:`~repro.core.simulator.
 batched    :class:`~repro.engines.batched.BatchedVectorEngine` — a ``(B, n)``
            load matrix advanced by CSR edge-wise numpy kernels, every replica
            per step
+sharded    :class:`~repro.engines.sharded.ShardedEngine` — contiguous column
+           shards of the batch, one batched engine per worker *process*,
+           merged bit-identically to the single-process batched run
 network    :class:`~repro.engines.network.NetworkEngine` — the message-passing
            :class:`~repro.network.engine.SyncNetwork` behind the same protocol
 =========  ==================================================================
@@ -44,14 +47,20 @@ from .base import (
     as_load_batch,
     make_engine,
     make_switch_policy,
+    merge_record_batches,
+    plan_shards,
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_record_fields,
+    resolve_rounding_rngs,
     resolve_tile_size,
+    resolve_workers,
+    rounding_stream,
 )
 from .reference import ReferenceEngine
 from .batched import BatchedVectorEngine
+from .sharded import ShardedEngine
 from .network import NetworkEngine
 
 __all__ = [
@@ -63,15 +72,21 @@ __all__ = [
     "StepBatch",
     "ReferenceEngine",
     "BatchedVectorEngine",
+    "ShardedEngine",
     "NetworkEngine",
     "as_load_batch",
     "make_engine",
     "make_switch_policy",
+    "merge_record_batches",
+    "plan_shards",
     "register_engine",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
     "resolve_record_fields",
+    "resolve_rounding_rngs",
     "resolve_tile_size",
+    "resolve_workers",
+    "rounding_stream",
     "run_replicas",
     "run_dynamic_replicas",
 ]

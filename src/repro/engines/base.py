@@ -11,7 +11,7 @@ is deliberately tiny::
     results = engine.metrics(handle).results()
 
 ``engine.run(topo, config, initial_loads)`` wraps the loop (backends
-override it with fused fast paths).  Three backends ship with the library:
+override it with fused fast paths).  Four backends ship with the library:
 
 * ``reference`` (:class:`~repro.engines.reference.ReferenceEngine`) — loops
   replicas through the incremental :class:`~repro.core.simulator.Simulator`
@@ -19,16 +19,21 @@ override it with fused fast paths).  Three backends ship with the library:
 * ``batched`` (:class:`~repro.engines.batched.BatchedVectorEngine`) — runs
   the whole ``(B, n)`` load matrix through CSR edge-wise numpy kernels; one
   vectorised step advances every replica at once.
+* ``sharded`` (:class:`~repro.engines.sharded.ShardedEngine`) — splits the
+  replica batch into contiguous column shards and runs one batched engine
+  per worker *process*, merging the per-shard record batches; bit-identical
+  to ``batched`` for any worker count.
 * ``network`` (:class:`~repro.engines.network.NetworkEngine`) — adapts the
   message-passing :class:`~repro.network.engine.SyncNetwork` to the same
   protocol.
 
-See ``docs/architecture.md`` for the batching model and how to add a
-backend.
+See ``docs/engines.md`` for the backend guide and ``docs/architecture.md``
+for the batching model and how to add a backend.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -55,10 +60,15 @@ __all__ = [
     "register_engine",
     "make_switch_policy",
     "as_load_batch",
+    "merge_record_batches",
+    "plan_shards",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
     "resolve_record_fields",
+    "resolve_rounding_rngs",
     "resolve_tile_size",
+    "resolve_workers",
+    "rounding_stream",
 ]
 
 #: Scheme-name strings recorded in result tables, indexed by scheme code
@@ -165,8 +175,26 @@ class EngineConfig:
     #: returns single-row tables whose ``summary()`` carries the
     #: aggregates.  Batched engine only.
     record_mode: str = "table"
+    #: Per-replica *rounding* stream keys of the vectorised backends:
+    #: replica ``b`` draws its rounding randomness from
+    #: ``rounding_stream(seed, replica_keys[b])`` (default key: ``b``).
+    #: Like ``arrival_seeds``, this pins streams to key *values*, so a
+    #: replica's trajectory does not depend on its batch position — the
+    #: property the sharded engine uses to stay bit-identical to the
+    #: single-process batched engine for any shard assignment.  Batched and
+    #: sharded engines only.
+    replica_keys: Optional[Sequence[int]] = None
+    #: Worker-process count of the sharded engine: ``None``/``"auto"``
+    #: derives it from the usable CPU count (capped at the replica count),
+    #: an int pins it.  Sharded engine only — every other backend rejects a
+    #: non-default value rather than silently running single-process.
+    workers: Any = None
 
     def validate(self) -> "EngineConfig":
+        """Check every field combination, raising ``ConfigurationError``
+        on the first invalid one; returns ``self`` so call sites can chain
+        (``config.validate()`` is the first thing every backend's
+        ``prepare``/``run`` does)."""
         if self.scheme not in ("fos", "sos"):
             raise ConfigurationError(
                 f"scheme must be 'fos' or 'sos', got {self.scheme!r}"
@@ -224,6 +252,12 @@ class EngineConfig:
             raise ConfigurationError(
                 f"record_mode must be 'table' or 'summary', got {self.record_mode!r}"
             )
+        if self.workers is not None and self.workers != "auto":
+            if not isinstance(self.workers, (int, np.integer)) or self.workers < 1:
+                raise ConfigurationError(
+                    f"workers must be None, 'auto' or an int >= 1, "
+                    f"got {self.workers!r}"
+                )
         return self
 
 
@@ -310,6 +344,44 @@ def resolve_arrival_rngs(
     return arrival_streams(config.seed, keys)
 
 
+def rounding_stream(seed: int, replica: int = 0) -> np.random.Generator:
+    """Replica ``replica``'s rounding generator of the vectorised backends.
+
+    ``default_rng(SeedSequence(seed, spawn_key=(replica, 1)))`` — the same
+    spawn-key layout as :func:`~repro.core.dynamic.arrival_stream`, suffixed
+    with ``1`` so rounding streams can never collide with arrival streams
+    (one-element keys) or the batch arrival stream (``(0, 0)``).  Because
+    the key is the replica's *identity* rather than its batch position, a
+    replica draws the same stream in any batch composition — the invariant
+    behind both batch-size-independent batched traces and the sharded
+    engine's bit-identity to the batched one.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(int(replica), 1))
+    )
+
+
+def resolve_rounding_rngs(
+    config: "EngineConfig", n_replicas: int
+) -> List[np.random.Generator]:
+    """Per-replica rounding generators following the engine stream layout.
+
+    Replica ``b`` draws from ``rounding_stream(config.seed, key_b)`` with
+    ``key_b = config.replica_keys[b]`` (default ``b``) — independent of the
+    arrival streams and of the batch size.
+    """
+    keys = config.replica_keys
+    if keys is None:
+        keys = range(n_replicas)
+    else:
+        keys = [int(k) for k in keys]
+        if len(keys) != n_replicas:
+            raise ConfigurationError(
+                f"{len(keys)} replica_keys for {n_replicas} replicas"
+            )
+    return [rounding_stream(config.seed, k) for k in keys]
+
+
 def resolve_record_fields(spec) -> Tuple[str, ...]:
     """Normalise a config ``record_fields`` value to an ordered field tuple.
 
@@ -362,9 +434,10 @@ def reject_batched_only(config: "EngineConfig", engine_name: str) -> None:
     """Refuse batched-engine-only config features on per-replica backends.
 
     The scaling knobs (tiling, streaming summaries, trimmed record fields,
-    batch-wide arrival sampling, forced fast-path tiers) are implemented by
-    the vectorised engine; silently ignoring them elsewhere would make
-    cross-engine comparisons lie about what ran.
+    batch-wide arrival sampling, forced fast-path tiers, pinned rounding
+    stream keys) are implemented by the vectorised engines; silently
+    ignoring them elsewhere would make cross-engine comparisons lie about
+    what ran.
     """
     offending = []
     if config.arrival_sampling != "stream":
@@ -377,12 +450,71 @@ def reject_batched_only(config: "EngineConfig", engine_name: str) -> None:
         offending.append("record_fields")
     if config.fast_path in ("matmul", "spectral"):
         offending.append(f"fast_path={config.fast_path!r}")
+    if config.replica_keys is not None:
+        offending.append("replica_keys")
     if offending:
         raise ConfigurationError(
             f"the {engine_name} engine does not support "
             + ", ".join(offending)
-            + " (batched engine only)"
+            + " (batched/sharded engines only)"
         )
+
+
+def reject_sharded_only(config: "EngineConfig", engine_name: str) -> None:
+    """Refuse sharded-engine-only config features on single-process backends.
+
+    ``workers`` describes a multiprocess execution plan; a backend that
+    cannot honour it must say so instead of silently running one process.
+    """
+    if config.workers is not None:
+        raise ConfigurationError(
+            f"the {engine_name} engine does not support "
+            f"workers={config.workers!r} (sharded engine only)"
+        )
+
+
+def resolve_workers(spec, n_replicas: int) -> int:
+    """Resolve a config ``workers`` value to a concrete process count.
+
+    ``None`` / ``"auto"`` takes the usable CPU count (the scheduling
+    affinity mask where the platform exposes one, so container CPU limits
+    are respected); the result is always capped at the replica count —
+    an empty shard would do no work — and floored at 1.
+    """
+    if spec is None or spec == "auto":
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux platforms
+            workers = os.cpu_count() or 1
+    else:
+        workers = int(spec)
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {spec!r}")
+    return max(1, min(workers, int(n_replicas)))
+
+
+def plan_shards(n_replicas: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal column shards ``[lo, hi)`` covering a batch.
+
+    The first ``n_replicas % n_shards`` shards take one extra replica, so
+    shard sizes differ by at most one; shard boundaries carry no semantic
+    weight (per-replica streams are keyed by global replica index, so any
+    split yields identical trajectories).
+    """
+    if n_replicas < 1:
+        raise ConfigurationError(f"n_replicas must be >= 1, got {n_replicas}")
+    if not 1 <= n_shards <= n_replicas:
+        raise ConfigurationError(
+            f"n_shards must be in [1, {n_replicas}], got {n_shards}"
+        )
+    base, extra = divmod(n_replicas, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
 
 
 def as_load_batch(initial_loads: np.ndarray, n: int) -> np.ndarray:
@@ -520,6 +652,9 @@ class RecordBatch:
         return out
 
     def results(self) -> List[SimulationResult]:
+        """Per-replica :class:`~repro.core.simulator.SimulationResult`
+        objects of a static run — sliced out of the columnar storage, or
+        returned directly when a backend supplied pre-built results."""
         if self.prebuilt is not None:
             return self.prebuilt
         from ..core.records import RecordTable
@@ -594,6 +729,105 @@ class RecordBatch:
                 )
             )
         return out
+
+
+def _merge_columns(
+    batches: Sequence["RecordBatch"], attr: str
+) -> Optional[Dict[str, np.ndarray]]:
+    """Width-concatenate one column-dict attribute across shard batches."""
+    first = getattr(batches[0], attr)
+    if first is None:
+        return None
+    return {
+        name: np.hstack([getattr(b, attr)[name] for b in batches])
+        for name in first
+    }
+
+
+def merge_record_batches(batches: Sequence["RecordBatch"]) -> "RecordBatch":
+    """Merge per-shard :class:`RecordBatch` objects along the replica axis.
+
+    The inverse of splitting a ``(B, n)`` batch into column shards: record
+    columns ``(rounds, B_shard)`` are h-stacked, per-replica vectors and
+    final states are concatenated, streaming summaries merge through
+    :meth:`~repro.core.records.StreamingStats.concat`, and pre-built
+    per-replica results simply chain.  Every shard must come from the same
+    workload (same rounds, same record grid) — mismatched record grids
+    raise, because silently aligning them would fabricate data.
+    """
+    from ..core.records import StreamingStats
+
+    batches = list(batches)
+    if not batches:
+        raise ConfigurationError("merge_record_batches needs at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    first = batches[0]
+    if first.prebuilt is not None or first.prebuilt_dynamic is not None:
+        return RecordBatch(
+            prebuilt=(
+                [r for b in batches for r in b.prebuilt]
+                if first.prebuilt is not None
+                else None
+            ),
+            prebuilt_dynamic=(
+                [r for b in batches for r in b.prebuilt_dynamic]
+                if first.prebuilt_dynamic is not None
+                else None
+            ),
+        )
+    for attr in ("round_index", "dynamic_round_index"):
+        grid = getattr(first, attr)
+        for other in batches[1:]:
+            if (grid is None) != (getattr(other, attr) is None) or (
+                grid is not None
+                and not np.array_equal(grid, getattr(other, attr))
+            ):
+                raise ConfigurationError(
+                    f"cannot merge record batches with different {attr} "
+                    "grids (shards must run the same workload)"
+                )
+    loads_history = None
+    if first.loads_history is not None:
+        loads_history = [
+            np.vstack([b.loads_history[i] for b in batches])
+            for i in range(len(first.loads_history))
+        ]
+    concat = np.concatenate
+    return RecordBatch(
+        round_index=first.round_index,
+        scheme_codes=(
+            np.hstack([b.scheme_codes for b in batches])
+            if first.scheme_codes is not None
+            else None
+        ),
+        columns=_merge_columns(batches, "columns"),
+        final_loads=np.vstack([b.final_loads for b in batches]),
+        final_flows=np.vstack([b.final_flows for b in batches]),
+        switched_at=(
+            concat([b.switched_at for b in batches])
+            if first.switched_at is not None
+            else None
+        ),
+        loads_history=loads_history,
+        summary_stats=(
+            StreamingStats.concat([b.summary_stats for b in batches])
+            if first.summary_stats is not None
+            else None
+        ),
+        scheme_last=(
+            concat([b.scheme_last for b in batches])
+            if first.scheme_last is not None
+            else None
+        ),
+        dynamic_round_index=first.dynamic_round_index,
+        dynamic_columns=_merge_columns(batches, "dynamic_columns"),
+        dynamic_summary_stats=(
+            StreamingStats.concat([b.dynamic_summary_stats for b in batches])
+            if first.dynamic_summary_stats is not None
+            else None
+        ),
+    )
 
 
 class Engine:

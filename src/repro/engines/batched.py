@@ -24,8 +24,12 @@ For the deterministic roundings (floor / nearest / ceil) every elementwise
 operation reproduces the reference engine's expression tree, so integral
 traces agree *bit for bit* — the cross-engine equivalence suite enforces
 this.  Randomised roundings draw from the same distributions (Observation 1
-of the paper) but consume one batch-wide generator, so they match the
-reference statistically, not stream for stream.
+of the paper) but consume per-replica spawned streams
+(:func:`~repro.engines.base.rounding_stream`, keyed by the replica's
+``replica_keys`` identity, default its global batch index), so they match
+the reference statistically, not stream for stream — while every replica's
+trajectory is independent of the batch composition, which is what lets the
+sharded engine split a batch across worker processes bit-identically.
 """
 
 from __future__ import annotations
@@ -56,9 +60,11 @@ from .base import (
     StepBatch,
     as_load_batch,
     register_engine,
+    reject_sharded_only,
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_record_fields,
+    resolve_rounding_rngs,
     resolve_tile_size,
 )
 
@@ -71,6 +77,30 @@ _INFO_FIELDS = ("min_transient", "round_traffic")
 def _tiles(total: int, tile: int) -> List[tuple]:
     """Half-open ``[a, b)`` ranges covering ``0..total`` in ``tile`` steps."""
     return [(a, min(a + tile, total)) for a in range(0, max(total, 0), tile)]
+
+
+def _token_uniforms(
+    rngs: List[np.random.Generator], tok_slot: np.ndarray, B: int, dtype
+) -> np.ndarray:
+    """Per-token uniforms, each drawn from its replica's own stream.
+
+    ``tok_slot`` indexes node-major flattened ``(rows, B)`` sender slots,
+    so the tokens of replica ``b`` appear in ascending node order; drawing
+    replica ``b``'s uniforms from ``rngs[b]`` in exactly that order makes
+    the consumption independent of the batch composition (other replicas
+    never touch stream ``b``) *and* of the tile split (consecutive
+    ``Generator.random`` calls continue one stream).
+    """
+    if B == 1:
+        return rngs[0].random(tok_slot.size, dtype=dtype)
+    cols = tok_slot % B
+    order = np.argsort(cols, kind="stable")  # group by replica, node order kept
+    counts = np.bincount(cols, minlength=B)
+    target = np.empty(tok_slot.size, dtype=dtype)
+    target[order] = np.concatenate(
+        [rng.random(int(c), dtype=dtype) for rng, c in zip(rngs, counts)]
+    )
+    return target
 
 
 def _tiled_mld(
@@ -589,7 +619,10 @@ class _BatchedHandle:
             self.nb2 = np.empty((n, B), dtype=dtype)
             self.nb3 = np.empty((n, B), dtype=dtype)
             self.nb4 = np.empty((n, B), dtype=dtype)
-        self.rng = np.random.default_rng(config.seed)
+        # One spawned rounding stream per replica, keyed by the replica's
+        # identity (config.replica_keys, default its global batch index) —
+        # trajectories never depend on the batch composition.
+        self.rngs = resolve_rounding_rngs(config, B)
 
         self.last_min_transient = self.load.min(axis=0)
         self.last_traffic = np.zeros(B)
@@ -651,6 +684,7 @@ class BatchedVectorEngine(Engine):
 
     def prepare(self, topo, config, initial_loads) -> _BatchedHandle:
         config.validate()
+        reject_sharded_only(config, "batched")
         if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
             raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
         make_rounding(config.rounding)  # validate the key early
@@ -796,7 +830,11 @@ class BatchedVectorEngine(Engine):
             absf = np.abs(sched, out=h.mb2)
             np.floor(absf, out=act)
             np.subtract(absf, act, out=absf)  # fractional parts
-            up = h.rng.random(sched.shape, dtype=h.dtype) < absf
+            m = sched.shape[0]
+            u = h.mb3
+            for b, rng in enumerate(h.rngs):  # one stream per replica
+                u[:, b] = rng.random(m, dtype=h.dtype)
+            up = u < absf
             np.add(act, up, out=act)
             return np.copysign(act, sched, out=act)
         if rounding == "randomized-excess":
@@ -858,7 +896,7 @@ class BatchedVectorEngine(Engine):
         tok_slot = np.repeat(h.slot_arange, counts)
         if tok_slot.size == 0:
             return act
-        target = h.rng.random(tok_slot.size, dtype=h.dtype)
+        target = _token_uniforms(h.rngs, tok_slot, B, h.dtype)
         np.multiply(target, c_flat[tok_slot], out=target)
         # slot index = number of cumulative planes <= target (searchsorted
         # 'right' over the sender's segment, zero-width slots skipped)
@@ -884,10 +922,10 @@ class BatchedVectorEngine(Engine):
         """Lazy token-plane variant of the excess dispatch: the cumulative
         outgoing-fraction planes are built one node tile at a time, bounding
         the dominant ``(max_degree, n, B)`` scratch to ``(max_degree, tile,
-        B)``.  Tokens draw from the generator in global node order — exactly
-        the dense path's consumption order, since consecutive
-        ``Generator.random`` calls continue one stream — so tiled and dense
-        dispatches are bit-identical for any tile size.
+        B)``.  Each replica's tokens draw from its own stream in global node
+        order — exactly the dense path's consumption order, since
+        consecutive ``Generator.random`` calls continue one stream — so
+        tiled and dense dispatches are bit-identical for any tile size.
         """
         B = h.n_replicas
         m = h.topo.m_edges
@@ -909,7 +947,7 @@ class BatchedVectorEngine(Engine):
             tok_slot = np.repeat(h.slot_arange[: k * B], counts)
             if tok_slot.size == 0:
                 continue
-            target = h.rng.random(tok_slot.size, dtype=h.dtype)
+            target = _token_uniforms(h.rngs, tok_slot, B, h.dtype)
             np.multiply(target, c_flat[tok_slot], out=target)
             pl_flat = pl.reshape(h.dmax, -1)
             pos = (pl_flat[0][tok_slot] <= target).view(np.uint8).astype(np.int64)
@@ -1237,9 +1275,19 @@ class BatchedVectorEngine(Engine):
         )
 
     def run(self, topo, config, initial_loads):
-        """Fused ensemble loop: transient/traffic info only where recorded
-        *and* requested; dispatches to the closed-form continuous fast path
-        when the config is eligible (see :meth:`_fast_path_mode`)."""
+        """Fused ensemble loop — :meth:`run_batch` sliced into per-replica
+        :class:`~repro.core.simulator.SimulationResult` objects."""
+        return self.run_batch(topo, config, initial_loads).results()
+
+    def run_batch(self, topo, config, initial_loads) -> RecordBatch:
+        """Fused ensemble loop returning the whole columnar record batch.
+
+        Transient/traffic info is computed only where recorded *and*
+        requested; dispatches to the closed-form continuous fast path when
+        the config is eligible (see :meth:`_fast_path_mode`).  The sharded
+        engine calls this per worker so shards stay columnar until the
+        final merge; :meth:`run` is the per-replica wrapper.
+        """
         if config.arrivals is not None:
             raise ConfigurationError(
                 "config has arrival models; dynamic workloads run through "
@@ -1259,7 +1307,7 @@ class BatchedVectorEngine(Engine):
         for r in range(1, config.rounds + 1):
             record = r % record_every == 0 or r == config.rounds
             self._advance(h, want_info=record and h.info_fields)
-        return self.metrics(h).results()
+        return self.metrics(h)
 
     # ==================================================================
     # closed-form continuous fast path
@@ -1321,7 +1369,7 @@ class BatchedVectorEngine(Engine):
             return "edge alphas are heterogeneous"
         return None
 
-    def _run_fast(self, topo, config, initial_loads, mode: str):
+    def _run_fast(self, topo, config, initial_loads, mode: str) -> RecordBatch:
         """Advance the continuous (identity-rounding) process in closed form.
 
         ``"matmul"``: the SOS recurrence ``x(t+1) = beta M x(t) +
@@ -1356,7 +1404,7 @@ class BatchedVectorEngine(Engine):
         rounds = config.rounds
         record_every = config.record_every
         if rounds == 0:
-            return recorder.batch(x).results()
+            return recorder.batch(x)
 
         if mode == "spectral":
             shape = topo.grid_shape
@@ -1389,7 +1437,7 @@ class BatchedVectorEngine(Engine):
                 if r % record_every == 0 or r == rounds:
                     x_t = materialize()
                     recorder.record(r, x_t)
-            return recorder.batch(x_t).results()
+            return recorder.batch(x_t)
 
         m1 = _diffusion_matrix(topo, alphas, speeds, dtype)
         mb = sp.csr_matrix(
@@ -1411,12 +1459,22 @@ class BatchedVectorEngine(Engine):
             prev, cur, scratch = cur, scratch, prev
             if r % record_every == 0 or r == rounds:
                 recorder.record(r, cur)
-        return recorder.batch(cur).results()
+        return recorder.batch(cur)
 
     def run_dynamic(self, topo, config, initial_loads):
-        """Fused dynamic ensemble loop: arrivals + balancing, all replicas
-        per vectorised step; transient/traffic info is never materialised
-        (dynamic records do not carry it, exactly like ``DynamicSimulator``).
+        """Fused dynamic ensemble loop — :meth:`run_dynamic_batch` sliced
+        into per-replica :class:`~repro.core.dynamic.DynamicResult` objects.
+        """
+        return self.run_dynamic_batch(topo, config, initial_loads).dynamic_results()
+
+    def run_dynamic_batch(self, topo, config, initial_loads) -> RecordBatch:
+        """Fused dynamic ensemble loop returning the columnar record batch.
+
+        Arrivals + balancing, all replicas per vectorised step;
+        transient/traffic info is never materialised (dynamic records do
+        not carry it, exactly like ``DynamicSimulator``).  The sharded
+        engine calls this per worker; :meth:`run_dynamic` is the
+        per-replica wrapper.
         """
         if config.arrivals is None:
             raise ConfigurationError(
@@ -1425,4 +1483,4 @@ class BatchedVectorEngine(Engine):
         h = self.prepare(topo, config, initial_loads)
         for _ in range(config.rounds):
             self._advance(h, want_info=False)
-        return self.metrics(h).dynamic_results()
+        return self.metrics(h)

@@ -46,6 +46,7 @@ from .base import (
     resolve_arrival_models,
     resolve_arrival_rngs,
     reject_batched_only,
+    reject_sharded_only,
 )
 
 __all__ = ["NetworkEngine"]
@@ -97,6 +98,7 @@ class NetworkEngine(Engine):
     def prepare(self, topo, config, initial_loads):
         config.validate()
         reject_batched_only(config, 'network')
+        reject_sharded_only(config, 'network')
         if config.precision != "float64":
             raise ConfigurationError(
                 "the network engine only supports precision='float64'"

@@ -39,6 +39,7 @@ from .base import (
     resolve_arrival_models,
     resolve_arrival_rngs,
     reject_batched_only,
+    reject_sharded_only,
 )
 
 __all__ = ["ReferenceEngine"]
@@ -76,6 +77,7 @@ class ReferenceEngine(Engine):
     def prepare(self, topo, config, initial_loads):
         config.validate()
         reject_batched_only(config, 'reference')
+        reject_sharded_only(config, 'reference')
         if config.precision != "float64":
             from ..exceptions import ConfigurationError
 

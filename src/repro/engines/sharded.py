@@ -1,0 +1,267 @@
+"""Multiprocess sharded engine: column shards of one replica batch.
+
+After the closed-form fast paths of PR 3 the batched engine is bound by a
+single core; the remaining multiplicative speedup for seed-averaged
+ensembles is process parallelism.  :class:`ShardedEngine` splits a
+``(B, n)`` replica batch into contiguous *column shards*, runs one
+:class:`~repro.engines.batched.BatchedVectorEngine` per worker process,
+and merges the per-shard record batches
+(:func:`~repro.engines.base.merge_record_batches`) into the exact batch a
+single-process run would have produced.
+
+Bit-identity contract
+---------------------
+The merge is **bit-identical** to the single-process batched engine for
+every rounding, static and dynamic, any worker count, because no random
+stream and no float expression ever crosses a replica boundary:
+
+* rounding randomness comes from per-replica spawned streams
+  (:func:`~repro.engines.base.rounding_stream`), keyed by the replica's
+  *global* batch index — the shard passes ``replica_keys=range(lo, hi)``
+  so replica ``b`` draws the same stream in any shard;
+* arrival randomness is already per-replica
+  (:func:`~repro.core.dynamic.arrival_stream`); the shard pins
+  ``arrival_seeds`` the same way.  ``arrival_sampling="batch"`` draws the
+  whole batch from one shared stream and therefore cannot shard
+  bit-identically — the engine rejects it;
+* every kernel of the batched engine is column-independent (CSR matvecs,
+  reductions, clamping, switching all act per replica column), so a
+  shard's columns equal the same columns of the full-batch run.  One
+  subtlety: numpy reduces a *single*-column plane through a different
+  (contiguous pairwise) kernel than any wider plane, so shard plans keep
+  at least two columns per shard whenever the batch has two — otherwise
+  the fractional reductions (continuous ``identity`` runs, the dynamic
+  potential, plateau switching) would only agree to accumulation
+  accuracy.
+
+Worker lifecycle
+----------------
+Workers are plain ``multiprocessing`` pool processes.  The payload per
+shard is ``(Topology, EngineConfig, loads_shard, dynamic)`` — everything
+pickles, so the engine is **spawn-safe**; the start method defaults to
+``fork`` where available (no interpreter restart) and can be forced with
+the ``REPRO_SHARDED_START`` environment variable (``spawn`` /
+``forkserver`` / ``fork``).  A single-shard plan (one worker, or ``B <=
+3`` — the >= 2-column shard floor caps the shard count at ``B // 2``)
+runs inline in the parent — no process is spawned, but the exact same
+shard/merge code path executes.
+
+The engine implements the fused :meth:`run` / :meth:`run_dynamic` surface
+only; the ``prepare()``/``step()`` protocol would need one IPC round trip
+per simulated round and is deliberately refused (use the batched engine
+for step-level access — the traces are identical).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graphs.topology import Topology
+
+from .base import (
+    Engine,
+    EngineConfig,
+    RecordBatch,
+    as_load_batch,
+    merge_record_batches,
+    plan_shards,
+    register_engine,
+    resolve_arrival_models,
+    resolve_workers,
+)
+from .batched import BatchedVectorEngine
+
+__all__ = ["ShardedEngine"]
+
+#: Fallback start method: ``fork`` avoids the per-worker interpreter
+#: restart and re-import cost where the platform offers it.
+_DEFAULT_START = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+def _start_method() -> str:
+    """The configured start method (``REPRO_SHARDED_START`` overrides)."""
+    method = os.environ.get("REPRO_SHARDED_START", _DEFAULT_START)
+    known = multiprocessing.get_all_start_methods()
+    if method not in known:
+        raise ConfigurationError(
+            f"REPRO_SHARDED_START={method!r} is not available here; "
+            f"known: {known}"
+        )
+    return method
+
+
+def _init_worker(package_root: str) -> None:
+    """Pool initializer: make ``repro`` importable in spawned children.
+
+    Fork children inherit ``sys.path``; spawn/forkserver children only
+    inherit the environment, so a parent that imported ``repro`` from a
+    source checkout (``PYTHONPATH=src``) must hand the path over
+    explicitly before the first task unpickles.
+    """
+    if package_root not in sys.path:
+        sys.path.insert(0, package_root)
+
+
+def _run_shard(payload: Tuple[Topology, EngineConfig, np.ndarray, bool]) -> RecordBatch:
+    """Run one column shard through a fresh batched engine (worker side).
+
+    Executed in a worker process for multi-shard plans and inline in the
+    parent for single-shard plans — the code path is identical either way.
+    The shard config already carries the global ``replica_keys`` /
+    ``arrival_seeds``, so the returned :class:`RecordBatch` holds exactly
+    the full-batch run's columns for this shard's replicas.
+    """
+    topo, config, loads, dynamic = payload
+    engine = BatchedVectorEngine()
+    if dynamic:
+        return engine.run_dynamic_batch(topo, config, loads)
+    return engine.run_batch(topo, config, loads)
+
+
+@register_engine
+class ShardedEngine(Engine):
+    """Column shards of a replica batch across worker processes."""
+
+    name = "sharded"
+
+    # ------------------------------------------------------------------
+    def _refuse_protocol(self, what: str):
+        raise ConfigurationError(
+            f"the sharded engine does not expose {what}; it runs whole "
+            "batches through run()/run_dynamic() (per-round IPC would cost "
+            "more than it parallelises — use the batched engine for "
+            "step-level access, the traces are identical)"
+        )
+
+    def prepare(self, topo, config, initial_loads):
+        self._refuse_protocol("prepare()")
+
+    def step(self, handle):
+        self._refuse_protocol("step()")
+
+    def arrive(self, handle):
+        self._refuse_protocol("arrive()")
+
+    def metrics(self, handle):
+        self._refuse_protocol("metrics()")
+
+    # ------------------------------------------------------------------
+    def _shard_payloads(
+        self,
+        topo: Topology,
+        config: EngineConfig,
+        loads: np.ndarray,
+        dynamic: bool,
+    ) -> List[Tuple[Topology, EngineConfig, np.ndarray, bool]]:
+        """Validate the config and slice the batch into shard payloads."""
+        config.validate()
+        if config.arrival_sampling == "batch":
+            raise ConfigurationError(
+                "the sharded engine does not support "
+                "arrival_sampling='batch': the whole batch draws from one "
+                "shared stream, which cannot split across workers "
+                "bit-identically (use the batched engine, or stream "
+                "sampling)"
+            )
+        B = loads.shape[0]
+        replica_keys: Sequence[int] = (
+            [int(k) for k in config.replica_keys]
+            if config.replica_keys is not None
+            else range(B)
+        )
+        if len(replica_keys) != B:
+            raise ConfigurationError(
+                f"{len(replica_keys)} replica_keys for {B} replicas"
+            )
+        arrival_seeds: Optional[Sequence[int]] = None
+        arrival_models: Optional[Sequence] = None
+        if config.arrivals is not None:
+            arrival_models = resolve_arrival_models(config.arrivals, B)
+            arrival_seeds = (
+                [int(k) for k in config.arrival_seeds]
+                if config.arrival_seeds is not None
+                else range(B)
+            )
+            if len(arrival_seeds) != B:
+                raise ConfigurationError(
+                    f"{len(arrival_seeds)} arrival_seeds for {B} replicas"
+                )
+        # Shards keep >= 2 columns whenever the batch has >= 2: numpy sums a
+        # single-column plane through its contiguous pairwise kernel, whose
+        # *fractional* reductions differ at the ulp level from the strided
+        # row-pairwise kernel every width >= 2 goes through — a width-1
+        # shard of a wider batch would break bit-identity for the continuous
+        # identity process and the fractional dynamic/plateau reductions.
+        n_shards = max(1, min(resolve_workers(config.workers, B), B // 2 or 1))
+        payloads = []
+        for lo, hi in plan_shards(B, n_shards):
+            shard_config = replace(
+                config,
+                workers=None,  # the worker-side batched engine runs alone
+                replica_keys=list(replica_keys[lo:hi]),
+                arrival_seeds=(
+                    list(arrival_seeds[lo:hi])
+                    if arrival_seeds is not None
+                    else None
+                ),
+                arrivals=(
+                    list(arrival_models[lo:hi])
+                    if arrival_models is not None
+                    else None
+                ),
+            )
+            payloads.append((topo, shard_config, loads[lo:hi], dynamic))
+        return payloads
+
+    def _run_shards(
+        self, payloads: List[Tuple[Topology, EngineConfig, np.ndarray, bool]]
+    ) -> RecordBatch:
+        """Execute the shard plan and merge the per-shard record batches."""
+        if len(payloads) == 1:
+            return merge_record_batches([_run_shard(payloads[0])])
+        ctx = multiprocessing.get_context(_start_method())
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        with ctx.Pool(
+            processes=len(payloads),
+            initializer=_init_worker,
+            initargs=(package_root,),
+        ) as pool:
+            batches = pool.map(_run_shard, payloads)
+        return merge_record_batches(batches)
+
+    # ------------------------------------------------------------------
+    def run(self, topo, config, initial_loads):
+        """Shard the batch across workers; one ``SimulationResult`` per
+        replica, bit-identical to the batched engine for any worker count.
+        """
+        if config.arrivals is not None:
+            raise ConfigurationError(
+                "config has arrival models; dynamic workloads run through "
+                "run_dynamic()"
+            )
+        loads = as_load_batch(initial_loads, topo.n)
+        payloads = self._shard_payloads(topo, config, loads, dynamic=False)
+        return self._run_shards(payloads).results()
+
+    def run_dynamic(self, topo, config, initial_loads):
+        """Shard a dynamic batch across workers; one ``DynamicResult`` per
+        replica, bit-identical to the batched engine (stream sampling).
+        """
+        if config.arrivals is None:
+            raise ConfigurationError(
+                "run_dynamic() needs arrival models (set config.arrivals)"
+            )
+        loads = as_load_batch(initial_loads, topo.n)
+        payloads = self._shard_payloads(topo, config, loads, dynamic=True)
+        return self._run_shards(payloads).dynamic_results()

@@ -9,8 +9,10 @@ the exponent, which the scaling bench compares against 2 and 1.
 
 :func:`replica_ensemble` is the ensemble-throughput path: it submits a whole
 batch of seeds/initial loads as *one* engine call (the batched backend runs
-every replica per vectorised step) and reduces the per-replica results to
-mean/std statistics of the Section VI metrics.
+every replica per vectorised step; ``engine="sharded"`` additionally splits
+the batch across worker processes, bit-identical to the batched run) and
+reduces the per-replica results to mean/std statistics of the Section VI
+metrics.
 
 :func:`dynamic_replica_ensemble` is the same idea for the dynamic regime:
 the full cross product seeds x arrival-models x initial-loads goes to the
@@ -145,7 +147,10 @@ def replica_ensemble(
     When ``initial_loads`` is omitted every replica starts from the paper's
     point load; replicas always differ in their random streams (replica
     ``b`` derives from ``config.seed + b`` on the per-replica backends, and
-    from one batch generator on the vectorised one).
+    from the spawned stream ``rounding_stream(config.seed, b)`` on the
+    vectorised ones).  ``engine="sharded"`` (with ``config.workers``) runs
+    the same ensemble split across worker processes — the per-replica
+    results are bit-identical to ``engine="batched"``.
     """
     if initial_loads is None:
         if n_replicas < 1:
@@ -208,10 +213,11 @@ def dynamic_replica_ensemble(
     loads middle, seeds inner).  Each replica's *arrival* stream is keyed by
     its seed value (``arrival_stream(config.seed, s)``), so same-seed
     replicas share their arrival randomness across models — common random
-    numbers — independent of batch position.  (The rounding stream is still
-    keyed by batch position, so with randomized roundings a replica's full
-    trajectory does depend on the ensemble composition; use a deterministic
-    rounding when exact position-independence matters.)  When
+    numbers — independent of batch position.  (The rounding stream defaults
+    to the batch-position key, so with randomized roundings a replica's
+    full trajectory still depends on the ensemble composition; pin
+    ``config.replica_keys`` — or use a deterministic rounding — when exact
+    position-independence matters.)  When
     ``initial_loads`` is omitted every replica starts from the uniform load
     (``average_load`` per node), the natural base state of the dynamic
     regime.

@@ -98,9 +98,9 @@ def test_excess_rounding_single_edge_is_bernoulli():
 
 
 def test_excess_rounding_batch_columns_are_independent():
-    """Replicas draw from one batch generator but must stay exchangeable:
-    per-column token totals all hit the same ceil(r) budget and the joint
-    mean matches the schedule."""
+    """Replicas draw from per-replica spawned streams and must stay
+    exchangeable: per-column token totals all hit the same ceil(r) budget
+    and the joint mean matches the schedule."""
     topo = star(5)
     engine = BatchedVectorEngine()
     B = 64
