@@ -1,51 +1,24 @@
 """Ablation: sensitivity of SOS to the relaxation parameter beta.
 
-Sweeps beta around beta_opt on a torus.  Expected: convergence time is
-minimised near beta_opt = 2/(1 + sqrt(1 - lambda^2)); beta = 1 (plain FOS)
-is far slower, and beta -> 2 destabilises (slower again).
+Sweeps beta around beta_opt on a torus — submitted as ONE batched engine
+call via :func:`repro.experiments.beta_sensitivity_sweep` (the betas
+travel as a per-replica ``ReplicaParams`` plane), instead of one simulator
+loop per beta.  Expected: convergence time is minimised near
+beta_opt = 2/(1 + sqrt(1 - lambda^2)); beta = 1 (plain FOS) is far slower,
+and beta -> 2 destabilises (slower again).
 """
 
-import numpy as np
-
-from repro import (
-    LoadBalancingProcess,
-    SecondOrderScheme,
-    Simulator,
-    beta_opt,
-    point_load,
-    torus_2d,
-    torus_lambda,
-)
-from repro.analysis import convergence_round
-from repro.experiments import format_table
+from repro.experiments import beta_sensitivity_sweep, format_table
 from repro.io import ExperimentRecord
 
 from _helpers import run_once
 
 
-def _sweep(side=32, rounds=3000):
-    topo = torus_2d(side, side)
-    lam = torus_lambda((side, side))
-    b_opt = beta_opt(lam)
-    betas = [1.0, 0.5 * (1 + b_opt), 0.95 * b_opt, b_opt,
-             min(1.999, 0.5 * (b_opt + 2.0))]
-    out = {}
-    for beta in betas:
-        proc = LoadBalancingProcess(
-            SecondOrderScheme(topo, beta=beta),
-            rounding="randomized-excess",
-            rng=np.random.default_rng(0),
-        )
-        result = Simulator(proc).run(point_load(topo, 1000 * topo.n), rounds)
-        out[f"{beta:.6f}"] = convergence_round(result, threshold=10.0, sustained=3)
-    return {"beta_opt": b_opt, "lambda": lam, "rounds_to_10": out}
-
-
 def test_ablation_beta(benchmark, archive):
-    results = run_once(benchmark, _sweep)
+    results = run_once(benchmark, beta_sensitivity_sweep, side=32, rounds=3000)
     archive(ExperimentRecord(name="ablation_beta", summary=results))
 
-    rounds_map = results["rounds_to_10"]
+    rounds_map = results["rounds_to_balance"]
     b_opt = results["beta_opt"]
     print()
     print(
@@ -56,6 +29,7 @@ def test_ablation_beta(benchmark, archive):
         )
     )
 
+    assert results["engine_calls"] == 1
     opt_key = f"{b_opt:.6f}"
     opt_rounds = rounds_map[opt_key]
     assert opt_rounds is not None

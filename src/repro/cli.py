@@ -212,6 +212,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    p_sim.add_argument(
+        "--sweep",
+        action="append",
+        default=None,
+        metavar="KEY=SPEC",
+        help=(
+            "run a parameter sweep as ONE batched engine call: KEY is one "
+            "of switch-round, beta, alpha-scale, load-scale, arrival-scale "
+            "and SPEC is a linspace START:STOP:COUNT or an explicit comma "
+            "list (switch-round accepts 'none' for the pure-SOS curve). "
+            "Repeat the flag to cross axes, e.g. "
+            "--sweep switch-round=none,300,500,700,900; --replicas sets "
+            "the seed replicas per sweep point"
+        ),
+    )
+
     p_render = sub.add_parser("render", help="write Figure 9-11 PGM frames")
     p_render.add_argument("--out", required=True, help="output directory")
     p_render.add_argument("--scale", default="ci", choices=["tiny", "ci", "paper"])
@@ -291,6 +307,57 @@ def _parse_workers(value):
         raise SystemExit(f"--workers must be an int or 'auto', got {value!r}")
 
 
+def _parse_sweep_axes(specs):
+    """Parse repeated ``--sweep KEY=SPEC`` flags into ParamGrid axes."""
+    from .experiments import SWEEP_KEYS
+
+    axes = {}
+    for spec in specs:
+        key, eq, value = spec.partition("=")
+        if not eq:
+            raise SystemExit(f"--sweep needs KEY=SPEC, got {spec!r}")
+        key = key.strip().lower().replace("-", "_")
+        if key not in SWEEP_KEYS:
+            raise SystemExit(
+                f"unknown sweep key {key!r}; known: "
+                + ", ".join(k.replace("_", "-") for k in sorted(SWEEP_KEYS))
+            )
+        if key in axes:
+            raise SystemExit(
+                f"--sweep {key.replace('_', '-')} given twice; put every "
+                "value of one axis in a single flag (repeats cross "
+                "*different* axes)"
+            )
+        value = value.strip()
+        try:
+            if ":" in value:
+                start, stop, count = value.split(":")
+                import numpy as np
+
+                values = [
+                    float(v) for v in np.linspace(
+                        float(start), float(stop), int(count)
+                    )
+                ]
+            else:
+                values = [
+                    None if v.strip().lower() == "none" else float(v)
+                    for v in value.split(",")
+                    if v.strip()
+                ]
+        except ValueError:
+            raise SystemExit(
+                f"--sweep values must be START:STOP:COUNT or a comma list, "
+                f"got {value!r}"
+            )
+        if not values:
+            raise SystemExit(f"--sweep {key} got no values")
+        if key == "switch_round":
+            values = [None if v is None else int(round(v)) for v in values]
+        axes[key] = values
+    return axes
+
+
 def _parse_record_fields(value):
     if value is None:
         return None
@@ -328,6 +395,8 @@ def _cmd_simulate(args) -> int:
         f"engine={args.engine} replicas={args.replicas}"
         + (f" arrivals={args.arrivals}" if args.arrivals else "")
     )
+    if args.sweep:
+        return _simulate_sweep(args, built, config)
     if args.arrivals is not None:
         return _simulate_dynamic(args, built, config)
     if args.replicas > 1:
@@ -360,6 +429,38 @@ def _cmd_simulate(args) -> int:
         print(f"switched to FOS after round {result.switched_at}")
     print("max-avg (log sparkline):")
     print(sparkline(result.series("max_minus_avg"), log=True))
+    return 0
+
+
+def _simulate_sweep(args, built, config) -> int:
+    """The sweep branch of ``simulate`` (``--sweep KEY=SPEC ...``):
+    the whole grid times the seed replicas runs as one engine call."""
+    from .experiments import ParamGrid, sweep_ensemble
+
+    grid = ParamGrid(**_parse_sweep_axes(args.sweep))
+    if args.arrivals is not None:
+        config.arrivals = make_arrival_model(args.arrivals)
+    sweep = sweep_ensemble(
+        built.topo,
+        config,
+        grid,
+        n_seeds=max(args.replicas, 1),
+        average_load=args.avg_load,
+        engine=args.engine,
+    )
+    print(
+        f"sweep: {grid.n_points} points x {sweep.n_seeds} seed(s) = "
+        f"{sweep.n_replicas} replicas in ONE {args.engine} engine call"
+    )
+    stat_keys = sorted({k for stats in sweep.point_stats for k in stats})
+    rows = [
+        [label] + [
+            f"{stats[k]:.4g}" if stats.get(k) is not None else "-"
+            for k in stat_keys
+        ]
+        for label, stats in zip(sweep.labels, sweep.point_stats)
+    ]
+    print(format_table(["point"] + stat_keys, rows, title="sweep points"))
     return 0
 
 

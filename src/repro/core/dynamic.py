@@ -55,6 +55,7 @@ __all__ = [
     "PoissonArrivals",
     "BurstArrivals",
     "HotspotArrivals",
+    "ScaledArrivals",
     "make_arrival_model",
     "arrival_stream",
     "arrival_streams",
@@ -263,6 +264,46 @@ class HotspotArrivals(ArrivalModel):
 
     def __repr__(self) -> str:
         return f"HotspotArrivals(nodes={self.nodes}, rate={self.rate})"
+
+
+class ScaledArrivals(ArrivalModel):
+    """Wrap a model, scaling its sampled deltas by a fixed factor.
+
+    The per-replica engine backends use this to honour
+    ``replica_params.arrival_scales``: the base model consumes exactly the
+    stream the unscaled replica would, then the sampled deltas are
+    multiplied by the scale — the same elementwise float64 product the
+    batched engine applies to its whole ``(n, B)`` delta plane, so scaled
+    runs stay bit-identical across engines.  Scaled deltas are generally
+    fractional; the clamp kernel never assumed integrality, and the token
+    accounting stays exact to conservation tolerance.
+    """
+
+    def __init__(self, base: Union[str, "ArrivalModel"], scale: float):
+        self.base = make_arrival_model(base)
+        scale = float(scale)
+        if not (np.isfinite(scale) and scale >= 0.0):
+            raise ConfigurationError(
+                f"arrival scale must be finite and >= 0, got {scale}"
+            )
+        self.scale = scale
+
+    def deltas(self, topo, round_index, rng):
+        return (
+            np.asarray(
+                self.base.deltas(topo, round_index, rng), dtype=np.float64
+            )
+            * self.scale
+        )
+
+    def batch_deltas(self, topo, round_index, rng, n_replicas):
+        return (
+            self.base.batch_deltas(topo, round_index, rng, n_replicas)
+            * self.scale
+        )
+
+    def __repr__(self) -> str:
+        return f"ScaledArrivals({self.base!r}, scale={self.scale})"
 
 
 def make_arrival_model(spec: Union[str, ArrivalModel]) -> ArrivalModel:

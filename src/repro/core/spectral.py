@@ -36,11 +36,13 @@ __all__ = [
     "eigenvalues",
     "second_largest_eigenvalue",
     "beta_opt",
+    "fwht",
     "torus_lambda",
     "torus_spectrum",
     "torus_rfft_eigenvalues",
     "hypercube_lambda",
     "hypercube_spectrum",
+    "hypercube_wht_eigenvalues",
     "cycle_lambda",
     "complete_lambda",
     "q_matrices",
@@ -214,6 +216,59 @@ def hypercube_spectrum(dimension: int) -> np.ndarray:
     for j in range(k + 1):
         vals.extend([1.0 - 2.0 * j / (k + 1)] * math.comb(k, j))
     return np.sort(np.asarray(vals))
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """Unnormalised fast Walsh–Hadamard transform along axis 0.
+
+    ``x`` must have ``2**k`` rows (any trailing shape); a new array of the
+    same shape and dtype comes back in the *natural* (Hadamard) ordering,
+    where coefficient ``s`` pairs node ``i`` with the parity character
+    ``(-1)**popcount(s & i)`` — so a hypercube eigenmode's index maps to
+    its Laplacian eigenvalue through ``popcount`` alone.  The transform is
+    an involution up to scale: ``fwht(fwht(x)) == n * x``.
+
+    The butterflies run as ``log2(n)`` whole-array strided passes (no
+    per-row Python loop), so an ``(n, B)`` batch transforms at numpy
+    speed.
+    """
+    n = x.shape[0]
+    if n < 1 or n & (n - 1):
+        raise ConfigurationError(
+            f"fwht needs a power-of-two number of rows, got {n}"
+        )
+    out = np.ascontiguousarray(x).copy()
+    h = 1
+    while h < n:
+        view = out.reshape(n // (2 * h), 2, h, -1)
+        top = view[:, 0].copy()
+        np.add(top, view[:, 1], out=view[:, 0])
+        np.subtract(top, view[:, 1], out=view[:, 1])
+        h *= 2
+    return out
+
+
+def hypercube_wht_eigenvalues(dimension: int, alpha: float) -> np.ndarray:
+    """Eigenvalues of ``M = I - alpha L`` on the ``k``-cube, in FWHT layout.
+
+    The Walsh character ``chi_s(i) = (-1)**popcount(s & i)`` is an
+    eigenvector of every bit-flip adjacency, so the cube's Laplacian has
+    ``L chi_s = 2 popcount(s) chi_s`` and mode ``s`` of the diffusion
+    matrix carries eigenvalue ``1 - 2 alpha popcount(s)``.  Returned as a
+    length-``2**k`` array indexed exactly like the coefficients
+    :func:`fwht` produces, so continuous diffusion trajectories advance
+    per mode: one forward FWHT, a scalar recurrence per round, one inverse
+    FWHT (``fwht(.)/n``) whenever node-space values are needed.
+    """
+    if dimension < 0:
+        raise ConfigurationError(f"dimension must be >= 0, got {dimension}")
+    n = 1 << dimension
+    idx = np.arange(n, dtype=np.int64)
+    popcount = np.zeros(n, dtype=np.int64)
+    while idx.any():
+        popcount += idx & 1
+        idx >>= 1
+    return 1.0 - 2.0 * alpha * popcount
 
 
 def hypercube_lambda(dimension: int) -> float:

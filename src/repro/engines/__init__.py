@@ -43,7 +43,10 @@ from .base import (
     Engine,
     EngineConfig,
     RecordBatch,
+    ReplicaParams,
+    ResolvedReplicaParams,
     StepBatch,
+    apply_load_scales,
     as_load_batch,
     make_engine,
     make_switch_policy,
@@ -53,10 +56,12 @@ from .base import (
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_record_fields,
+    resolve_replica_params,
     resolve_rounding_rngs,
     resolve_tile_size,
     resolve_workers,
     rounding_stream,
+    uniform_plane_value,
 )
 from .reference import ReferenceEngine
 from .batched import BatchedVectorEngine
@@ -69,11 +74,14 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "RecordBatch",
+    "ReplicaParams",
+    "ResolvedReplicaParams",
     "StepBatch",
     "ReferenceEngine",
     "BatchedVectorEngine",
     "ShardedEngine",
     "NetworkEngine",
+    "apply_load_scales",
     "as_load_batch",
     "make_engine",
     "make_switch_policy",
@@ -83,12 +91,14 @@ __all__ = [
     "resolve_arrival_models",
     "resolve_arrival_rngs",
     "resolve_record_fields",
+    "resolve_replica_params",
     "resolve_rounding_rngs",
     "resolve_tile_size",
     "resolve_workers",
     "rounding_stream",
     "run_replicas",
     "run_dynamic_replicas",
+    "uniform_plane_value",
 ]
 
 

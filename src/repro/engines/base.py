@@ -51,6 +51,8 @@ from ..core.simulator import SimulationResult
 
 __all__ = [
     "EngineConfig",
+    "ReplicaParams",
+    "ResolvedReplicaParams",
     "StepBatch",
     "ArrivalBatch",
     "RecordBatch",
@@ -59,22 +61,231 @@ __all__ = [
     "make_engine",
     "register_engine",
     "make_switch_policy",
+    "apply_load_scales",
     "as_load_batch",
     "merge_record_batches",
     "plan_shards",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
     "resolve_record_fields",
+    "resolve_replica_params",
     "resolve_rounding_rngs",
     "resolve_tile_size",
     "resolve_workers",
     "rounding_stream",
+    "uniform_plane_value",
 ]
 
 #: Scheme-name strings recorded in result tables, indexed by scheme code
 #: (0 = first order, 1 = second order) — matching ``type(scheme).__name__``
 #: of the matrix engine's scheme classes.
 SCHEME_NAMES = np.array(["FirstOrderScheme", "SecondOrderScheme"], dtype="<U32")
+
+#: The per-replica parameter planes a :class:`ReplicaParams` block carries.
+REPLICA_PARAM_FIELDS = (
+    "switch_rounds",
+    "betas",
+    "alpha_scales",
+    "load_scales",
+    "arrival_scales",
+)
+
+
+@dataclass
+class ReplicaParams:
+    """Per-replica parameter *planes*: one sweep value per replica column.
+
+    Each field is ``None`` (every replica inherits the config-level value),
+    a scalar (broadcast to the whole batch), or a length-``B`` sequence
+    giving replica ``b`` its own value.  This is what turns a parameter
+    sweep into a single engine call: the sweep axis becomes a plane that
+    the vectorised backends fold into their kernels, the per-replica
+    backends unfold into one simulator configuration per replica, and the
+    sharded backend slices with its column shards — all four produce the
+    same per-replica results.
+
+    * ``switch_rounds`` — per-replica fixed SOS -> FOS switch round (the
+      fig08 sweep axis); negative entries (or ``None`` entries in a
+      sequence) mean "never switch".  Mutually exclusive with
+      ``config.switch`` and with dynamic runs.
+    * ``betas`` — per-replica SOS ``beta`` override (beta-sensitivity
+      sweeps); every entry must lie in ``(0, 2)``.  Requires
+      ``scheme="sos"``; ``beta = 1.0`` runs that replica as plain FOS.
+    * ``alpha_scales`` — per-replica multiplier on the resolved per-edge
+      alphas (diffusion-rate sensitivity); must be positive and finite.
+    * ``load_scales`` — per-replica multiplier on the replica's initial
+      load row, so one base load yields a whole initial-load family; must
+      be finite.
+    * ``arrival_scales`` — per-replica multiplier applied to the sampled
+      workload deltas *before* clamping (arrival-rate sensitivity); must
+      be ``>= 0``.  Requires ``config.arrivals``.
+    """
+
+    switch_rounds: Any = None
+    betas: Any = None
+    alpha_scales: Any = None
+    load_scales: Any = None
+    arrival_scales: Any = None
+
+
+@dataclass(frozen=True)
+class ResolvedReplicaParams:
+    """A :class:`ReplicaParams` spec broadcast to concrete length-``B``
+    planes (``None`` per field when that parameter does not vary)."""
+
+    switch_rounds: Optional[np.ndarray] = None
+    betas: Optional[np.ndarray] = None
+    alpha_scales: Optional[np.ndarray] = None
+    load_scales: Optional[np.ndarray] = None
+    arrival_scales: Optional[np.ndarray] = None
+
+    def shard(self, lo: int, hi: int) -> ReplicaParams:
+        """The columns ``[lo, hi)`` of every plane, as a fresh spec.
+
+        This is how the sharded engine hands each worker its slice of the
+        parameter planes: resolved arrays are themselves valid specs.
+        """
+        return ReplicaParams(
+            **{
+                name: (
+                    getattr(self, name)[lo:hi].copy()
+                    if getattr(self, name) is not None
+                    else None
+                )
+                for name in REPLICA_PARAM_FIELDS
+            }
+        )
+
+
+def _switch_round_plane(value, n_replicas: Optional[int]) -> np.ndarray:
+    """Broadcast a ``switch_rounds`` spec to an int64 plane (``-1`` = never)."""
+    if np.ndim(value) == 0:
+        entries = [value] * (n_replicas if n_replicas is not None else 1)
+    else:
+        entries = list(value)
+        if n_replicas is not None and len(entries) != n_replicas:
+            raise ConfigurationError(
+                f"{len(entries)} replica_params.switch_rounds for "
+                f"{n_replicas} replicas"
+            )
+    try:
+        return np.array(
+            [-1 if e is None else int(e) for e in entries], dtype=np.int64
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"replica_params.switch_rounds must be integers or None, "
+            f"got {value!r}: {exc}"
+        ) from None
+
+
+def _float_plane(value, n_replicas: Optional[int], name: str) -> np.ndarray:
+    """Broadcast a float-valued replica plane, checking shape and finiteness."""
+    if np.ndim(value) == 0:
+        arr = np.full(
+            n_replicas if n_replicas is not None else 1,
+            float(value),
+            dtype=np.float64,
+        )
+    else:
+        arr = np.array(value, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(
+                f"replica_params.{name} must be a scalar or a flat "
+                f"per-replica sequence, got shape {arr.shape}"
+            )
+        if n_replicas is not None and arr.size != n_replicas:
+            raise ConfigurationError(
+                f"{arr.size} replica_params.{name} for {n_replicas} replicas"
+            )
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"replica_params.{name} must be finite")
+    return arr
+
+
+def resolve_replica_params(
+    spec, n_replicas: Optional[int] = None
+) -> Optional[ResolvedReplicaParams]:
+    """Normalise a config ``replica_params`` value to concrete planes.
+
+    ``spec`` is ``None``, a :class:`ReplicaParams`, or a dict of its
+    fields.  With ``n_replicas=None`` the spec is only parsed and
+    range-checked (scalars validate as length-1 planes); with a batch size
+    every plane is broadcast to length ``B``, and a sequence of any other
+    length is rejected.  Returns ``None`` when no parameter varies.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, ResolvedReplicaParams):
+        spec = ReplicaParams(
+            **{name: getattr(spec, name) for name in REPLICA_PARAM_FIELDS}
+        )
+    elif isinstance(spec, dict):
+        unknown = set(spec) - set(REPLICA_PARAM_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown replica_params fields {sorted(unknown)}; "
+                f"known: {REPLICA_PARAM_FIELDS}"
+            )
+        spec = ReplicaParams(**spec)
+    if not isinstance(spec, ReplicaParams):
+        raise ConfigurationError(
+            f"cannot interpret replica_params {spec!r}; pass a "
+            "ReplicaParams or a dict of its fields"
+        )
+    planes: Dict[str, Optional[np.ndarray]] = {}
+    planes["switch_rounds"] = (
+        _switch_round_plane(spec.switch_rounds, n_replicas)
+        if spec.switch_rounds is not None
+        else None
+    )
+    for name in ("betas", "alpha_scales", "load_scales", "arrival_scales"):
+        value = getattr(spec, name)
+        planes[name] = (
+            _float_plane(value, n_replicas, name) if value is not None else None
+        )
+    betas = planes["betas"]
+    if betas is not None and not np.all((betas > 0.0) & (betas < 2.0)):
+        raise ConfigurationError(
+            f"replica_params.betas must lie in (0, 2), got {betas}"
+        )
+    alpha_scales = planes["alpha_scales"]
+    if alpha_scales is not None and not np.all(alpha_scales > 0.0):
+        raise ConfigurationError(
+            "replica_params.alpha_scales must be positive"
+        )
+    arrival_scales = planes["arrival_scales"]
+    if arrival_scales is not None and not np.all(arrival_scales >= 0.0):
+        raise ConfigurationError(
+            "replica_params.arrival_scales must be >= 0"
+        )
+    if all(v is None for v in planes.values()):
+        return None
+    return ResolvedReplicaParams(**planes)
+
+
+def uniform_plane_value(arr: Optional[np.ndarray]) -> Optional[float]:
+    """The single value of an all-equal plane; ``None`` if absent or varying."""
+    if arr is None or arr.size == 0:
+        return None
+    if np.all(arr == arr[0]):
+        return arr[0].item()
+    return None
+
+
+def apply_load_scales(
+    loads: np.ndarray, params: Optional[ResolvedReplicaParams]
+) -> np.ndarray:
+    """Scale each replica's initial-load row by its ``load_scales`` entry.
+
+    Every backend applies this to the same float64 ``(B, n)`` batch before
+    any precision cast, so the scaled rows are bit-identical across
+    engines.  Returns the input unchanged (not a copy) when no scales are
+    set.
+    """
+    if params is None or params.load_scales is None:
+        return loads
+    return loads * params.load_scales[:, None]
 
 
 @dataclass
@@ -189,6 +400,16 @@ class EngineConfig:
     #: an int pins it.  Sharded engine only — every other backend rejects a
     #: non-default value rather than silently running single-process.
     workers: Any = None
+    #: Per-replica parameter planes (:class:`ReplicaParams`, or a dict of
+    #: its fields): switch round, beta, alpha scale, initial-load scale
+    #: and arrival-rate scale per replica column.  This is the sweep
+    #: surface — a whole fig08-style parameter sweep becomes *one* engine
+    #: call whose replicas each carry their own sweep point.  All four
+    #: backends honour it: the batched engine folds the planes into its
+    #: vectorised kernels (and shards them with the columns under the
+    #: sharded engine, bit-identity preserved), the per-replica backends
+    #: configure each replica's simulator from its plane entries.
+    replica_params: Any = None
 
     def validate(self) -> "EngineConfig":
         """Check every field combination, raising ``ConfigurationError``
@@ -257,6 +478,31 @@ class EngineConfig:
                 raise ConfigurationError(
                     f"workers must be None, 'auto' or an int >= 1, "
                     f"got {self.workers!r}"
+                )
+        params = resolve_replica_params(self.replica_params)  # raises on bad specs
+        if params is not None:
+            if params.switch_rounds is not None:
+                if self.switch is not None:
+                    raise ConfigurationError(
+                        "replica_params.switch_rounds and config.switch are "
+                        "mutually exclusive (the per-replica rounds replace "
+                        "the global policy)"
+                    )
+                if self.arrivals is not None:
+                    raise ConfigurationError(
+                        "dynamic runs (config.arrivals) do not support "
+                        "per-replica switch rounds"
+                    )
+            if params.betas is not None and self.scheme != "sos":
+                raise ConfigurationError(
+                    "replica_params.betas needs scheme='sos' (beta is the "
+                    "SOS momentum parameter; use beta=1.0 entries for FOS "
+                    "replicas)"
+                )
+            if params.arrival_scales is not None and self.arrivals is None:
+                raise ConfigurationError(
+                    "replica_params.arrival_scales only applies to dynamic "
+                    "runs (set arrivals)"
                 )
         return self
 

@@ -48,7 +48,11 @@ from ..core.records import (
     StreamingStats,
 )
 from ..core.rounding import make_rounding
-from ..core.spectral import torus_rfft_eigenvalues
+from ..core.spectral import (
+    fwht,
+    hypercube_wht_eigenvalues,
+    torus_rfft_eigenvalues,
+)
 from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
 
@@ -57,15 +61,19 @@ from .base import (
     Engine,
     EngineConfig,
     RecordBatch,
+    ResolvedReplicaParams,
     StepBatch,
+    apply_load_scales,
     as_load_batch,
     register_engine,
     reject_sharded_only,
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_record_fields,
+    resolve_replica_params,
     resolve_rounding_rngs,
     resolve_tile_size,
+    uniform_plane_value,
 )
 
 __all__ = ["BatchedVectorEngine"]
@@ -244,14 +252,16 @@ except Exception:  # pragma: no cover - scipy internals moved
         return out
 
 
-def _diffusion_matrix(
-    topo: Topology, alphas: np.ndarray, speeds: np.ndarray, dtype
+def _assemble_diffusion(
+    topo: Topology, alphas: np.ndarray, speeds: np.ndarray, dtype,
+    with_identity: bool,
 ) -> sp.csr_matrix:
-    """The folded diffusion matrix ``M = I + D A E S^{-1}`` as one CSR.
+    """Shared CSR assembly of the diffusion operator family.
 
-    Row ``u``: diagonal ``1 - sum(alpha_k)/s_u`` over incident edges and
-    ``+alpha_uv/s_v`` per neighbour — so the whole identity-rounding round
-    ``x <- x + D @ (A E S^{-1} x)`` is a single ``(n, B)`` matmul.
+    Off-diagonal ``+alpha_uv/s_v`` per neighbour; diagonal
+    ``with_identity - sum(alpha_k)/s_u`` over incident edges — ``1`` for
+    the folded diffusion matrix ``M``, ``0`` for the increment operator
+    ``K = M - I``.
     """
     n, m = topo.n, topo.m_edges
     eu, ev = topo.edge_u, topo.edge_v
@@ -261,13 +271,35 @@ def _diffusion_matrix(
     incident = np.bincount(eu, weights=alpha_edge, minlength=n) + np.bincount(
         ev, weights=alpha_edge, minlength=n
     )
-    diag = 1.0 - incident / speeds
+    diag = (1.0 if with_identity else 0.0) - incident / speeds
     rows = np.concatenate([eu, ev, np.arange(n)])
     cols = np.concatenate([ev, eu, np.arange(n)])
     data = np.concatenate([alpha_edge / speeds[ev], alpha_edge / speeds[eu], diag])
     matrix = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
     matrix.sort_indices()
     return matrix.astype(dtype)
+
+
+def _diffusion_matrix(
+    topo: Topology, alphas: np.ndarray, speeds: np.ndarray, dtype
+) -> sp.csr_matrix:
+    """The folded diffusion matrix ``M = I + D A E S^{-1}`` as one CSR —
+    the whole identity-rounding round ``x <- x + D @ (A E S^{-1} x)`` is
+    a single ``(n, B)`` matmul."""
+    return _assemble_diffusion(topo, alphas, speeds, dtype, with_identity=True)
+
+
+def _gradient_matrix(
+    topo: Topology, alphas: np.ndarray, speeds: np.ndarray, dtype
+) -> sp.csr_matrix:
+    """The balancing increment operator ``K = D A E S^{-1}`` as one CSR.
+
+    ``K x`` is the per-round load *delta* of the continuous process
+    (``M = I + K``), which is what lets per-replica alpha scales blend
+    ``x + c_b * (K x)`` with a single shared matmul instead of one folded
+    diffusion matrix per replica.
+    """
+    return _assemble_diffusion(topo, alphas, speeds, dtype, with_identity=False)
 
 
 class _FastRecorder:
@@ -401,11 +433,18 @@ class _SwitchState:
 class _BatchedHandle:
     """All state of one batched run: replicas, operators, scratch buffers."""
 
-    def __init__(self, topo: Topology, config: EngineConfig, loads: np.ndarray):
+    def __init__(
+        self,
+        topo: Topology,
+        config: EngineConfig,
+        loads: np.ndarray,
+        params: Optional[ResolvedReplicaParams] = None,
+    ):
         n, m = topo.n, topo.m_edges
         B = loads.shape[0]
         self.topo = topo
         self.config = config
+        self.params = params
         self.n_replicas = B
         self.round_index = 0
         dtype = np.float32 if config.precision == "float32" else np.float64
@@ -444,10 +483,34 @@ class _BatchedHandle:
             self.alphas = float(alphas[0]) if m else 1.0
         else:
             self.alphas = alphas[:, None].astype(dtype)
-        self.scalar_beta = config.switch is None
-        self.beta_row = np.full(
-            (1, B), config.beta if config.scheme == "sos" else 1.0, dtype=dtype
+        # -- per-replica parameter planes --------------------------------
+        alpha_scales = params.alpha_scales if params is not None else None
+        betas = params.betas if params is not None else None
+        switch_rounds = params.switch_rounds if params is not None else None
+        if alpha_scales is not None and m:
+            # Fold the per-replica scale into an alpha row/plane: the float64
+            # product ``alpha_k * scale_b`` is exactly what the reference
+            # engine's per-replica scheme computes, and multiplication
+            # commutes bit for bit, so ``diff * (alpha * scale)`` matches
+            # ``(alpha * scale) * diff`` replica for replica.
+            if np.isscalar(self.alphas):
+                self.alphas = (self.alphas * alpha_scales[None, :]).astype(dtype)
+            else:
+                self.alphas = (alphas[:, None] * alpha_scales[None, :]).astype(
+                    dtype
+                )
+        self.scalar_beta = (
+            config.switch is None
+            and switch_rounds is None
+            and (betas is None or bool(np.all(betas == betas[0])))
         )
+        if betas is not None:
+            self.beta_row = betas[None, :].astype(dtype).copy()
+        else:
+            self.beta_row = np.full(
+                (1, B), config.beta if config.scheme == "sos" else 1.0,
+                dtype=dtype,
+            )
         self.sos_active = np.full(B, config.scheme == "sos")
         self.switched_at = np.full(B, -1, dtype=np.int64)
         self.last_switched = np.zeros(B, dtype=bool)
@@ -487,7 +550,7 @@ class _BatchedHandle:
         # data — a float-reassociation shortcut, used only where bitwise
         # fidelity to the reference is not part of the contract (statistical
         # roundings, the continuous identity process, and float32 mode).
-        self.fused_sched = m > 0 and (
+        self.fused_sched = m > 0 and alpha_scales is None and (
             dtype == np.float32
             or config.rounding in ("randomized-excess", "unbiased-edge", "identity")
         )
@@ -497,7 +560,7 @@ class _BatchedHandle:
                 if np.isscalar(self.alphas)
                 else np.asarray(alphas, dtype=np.float64)
             )
-            beta_scale = config.beta if config.scheme == "sos" else 1.0
+            beta_scale = float(self.beta_row[0, 0])
 
             def _scaled_e(scale):
                 data = np.repeat(alpha_edge * scale, 2).astype(dtype)
@@ -572,6 +635,11 @@ class _BatchedHandle:
             if kind == "plateau":
                 window = int(args[0]) if args else 50
                 self.switch.phi_hist = np.zeros((window, B))
+        elif switch_rounds is not None:
+            # Per-replica fixed switch rounds: one column vector joining the
+            # beta row — replica b compares its own round threshold (< 0
+            # means "never"), exactly a per-column FixedRoundSwitch.
+            self.switch = _SwitchState(kind="fixed-vec", args=(switch_rounds,))
 
         # -- record storage (static runs only: dynamic runs record into
         #    the dyn_* columns below and never touch these) ---------------
@@ -631,6 +699,12 @@ class _BatchedHandle:
         # -- dynamic workload (per-round arrival hook) -------------------
         self.arrival_models = resolve_arrival_models(config.arrivals, B)
         self.dyn_stats: Optional[StreamingStats] = None
+        #: per-replica arrival-rate scale row ((1, B), or None): multiplies
+        #: the sampled delta plane before clamping — the same elementwise
+        #: product the per-replica backends apply via ScaledArrivals.
+        self.arrival_scale_row: Optional[np.ndarray] = None
+        if params is not None and params.arrival_scales is not None:
+            self.arrival_scale_row = params.arrival_scales[None, :].astype(dtype)
         if self.arrival_models is not None:
             if config.arrival_sampling == "batch":
                 from ..core.dynamic import batch_arrival_stream
@@ -698,7 +772,9 @@ class BatchedVectorEngine(Engine):
                 "the prepare()/step() protocol is always edge-wise"
             )
         loads = as_load_batch(initial_loads, topo.n)
-        h = _BatchedHandle(topo, config, loads)
+        params = resolve_replica_params(config.replica_params, loads.shape[0])
+        loads = apply_load_scales(loads, params)
+        h = _BatchedHandle(topo, config, loads, params)
         if h.arrival_models is None:
             self._record_current(h)
         return h
@@ -1002,6 +1078,13 @@ class BatchedVectorEngine(Engine):
                 zip(h.arrival_models, h.arrival_rngs)
             ):
                 deltas[:, b] = model.deltas(topo, t, rng)
+        if h.arrival_scale_row is not None:
+            # Per-replica arrival-rate scale, applied to the sampled plane
+            # before clamping.  Sampling above consumed exactly the unscaled
+            # streams, so scaled replicas stay stream-compatible with their
+            # unscaled selves; the elementwise product matches the
+            # per-replica backends' ScaledArrivals wrapper bit for bit.
+            np.multiply(deltas, h.arrival_scale_row, out=deltas)
         if not deltas.any():
             # Quiet round (e.g. a burst model between bursts): the RNG
             # streams were already consumed above, and applying all-zero
@@ -1179,6 +1262,11 @@ class BatchedVectorEngine(Engine):
         none = None
         if sw.kind == "fixed":
             newly = h.sos_active & (t >= int(sw.args[0]))
+        elif sw.kind == "fixed-vec":
+            # Per-replica fixed rounds (replica_params.switch_rounds):
+            # column b fires at its own round; negative entries never do.
+            rounds_vec = sw.args[0]
+            newly = h.sos_active & (rounds_vec >= 0) & (t >= rounds_vec)
         elif sw.kind == "local-diff":
             threshold = float(sw.args[0]) if sw.args else 10.0
             min_rounds = int(sw.args[1]) if len(sw.args) > 1 else 1
@@ -1299,9 +1387,11 @@ class BatchedVectorEngine(Engine):
             # never reaches prepare(), and a beta outside (0, 2) makes the
             # recurrence divergent rather than merely wrong.
             raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
-        mode = self._fast_path_mode(topo, config)
+        loads = as_load_batch(initial_loads, topo.n)
+        params = resolve_replica_params(config.replica_params, loads.shape[0])
+        mode = self._fast_path_mode(topo, config, params)
         if mode is not None:
-            return self._run_fast(topo, config, initial_loads, mode)
+            return self._run_fast(topo, config, loads, mode, params)
         h = self.prepare(topo, config, initial_loads)
         record_every = config.record_every
         for r in range(1, config.rounds + 1):
@@ -1312,15 +1402,21 @@ class BatchedVectorEngine(Engine):
     # ==================================================================
     # closed-form continuous fast path
     # ==================================================================
-    def _fast_path_mode(self, topo, config) -> Optional[str]:
+    def _fast_path_mode(
+        self, topo, config, params: Optional[ResolvedReplicaParams] = None
+    ) -> Optional[str]:
         """``None`` (edge-wise), ``"matmul"`` or ``"spectral"``.
 
-        Eligibility: ``identity`` rounding, no switch policy, no arrivals,
-        and ``record_fields`` excluding the transient/traffic columns —
-        those are the only quantities whose definition needs edge space.
-        ``"auto"`` prefers the Fourier kernel on graphs advertising a
-        ``grid_shape`` (full-wrap tori with uniform speeds and alphas) and
-        the one-matmul-per-round CSR kernel otherwise; forcing a tier
+        Eligibility: ``identity`` rounding, no switch policy (global or
+        per-replica), no arrivals, and ``record_fields`` excluding the
+        transient/traffic columns — those are the only quantities whose
+        definition needs edge space.  ``"auto"`` prefers the closed-form
+        spectral kernel on graphs advertising one (full-wrap tori via
+        ``grid_shape``, hypercubes via ``cube_dim`` — uniform speeds and
+        alphas, and per-replica betas/alpha scales only when uniform, since
+        the mode recurrence is replica-independent) and the
+        one-matmul-per-round CSR kernel otherwise (which *does* take
+        per-replica betas, alpha scales and load scales); forcing a tier
         raises when the run is not eligible for it.
         """
         if config.fast_path == "never":
@@ -1332,6 +1428,8 @@ class BatchedVectorEngine(Engine):
             blockers.append(f"rounding {config.rounding!r} (needs 'identity')")
         if config.switch is not None:
             blockers.append("a hybrid switch policy")
+        if params is not None and params.switch_rounds is not None:
+            blockers.append("per-replica switch rounds")
         if any(f in fields for f in _INFO_FIELDS):
             blockers.append(
                 "record_fields requesting min_transient/round_traffic"
@@ -1343,7 +1441,7 @@ class BatchedVectorEngine(Engine):
                     + " and ".join(blockers)
                 )
             return None
-        spectral_reason = self._spectral_blocker(topo, config)
+        spectral_reason = self._spectral_blocker(topo, config, params)
         if config.fast_path == "spectral":
             if spectral_reason:
                 raise ConfigurationError(
@@ -1354,10 +1452,15 @@ class BatchedVectorEngine(Engine):
             return "matmul"
         return "matmul" if spectral_reason else "spectral"
 
-    def _spectral_blocker(self, topo, config) -> Optional[str]:
-        """Why the Fourier kernel cannot run (None when it can)."""
-        if topo.grid_shape is None:
-            return "the topology advertises no torus grid_shape"
+    def _spectral_blocker(
+        self, topo, config, params: Optional[ResolvedReplicaParams] = None
+    ) -> Optional[str]:
+        """Why the spectral kernel cannot run (None when it can)."""
+        if topo.grid_shape is None and topo.cube_dim is None:
+            return (
+                "the topology advertises no torus grid_shape (or hypercube "
+                "cube_dim)"
+            )
         speeds = (
             config.speeds if config.speeds is not None else uniform_speeds(topo.n)
         )
@@ -1367,29 +1470,52 @@ class BatchedVectorEngine(Engine):
         alphas = resolve_alphas(config.alphas, topo, speeds)
         if alphas.size and not np.all(alphas == alphas[0]):
             return "edge alphas are heterogeneous"
+        if params is not None:
+            # The mode recurrence is one scalar sequence per eigenvalue,
+            # independent of the replica count — a replica-varying beta or
+            # alpha scale would need one recurrence per replica, which is
+            # the matmul tier's job.
+            if uniform_plane_value(params.betas) is None and params.betas is not None:
+                return "per-replica betas vary across the batch"
+            if (
+                params.alpha_scales is not None
+                and uniform_plane_value(params.alpha_scales) is None
+            ):
+                return "per-replica alpha scales vary across the batch"
         return None
 
-    def _run_fast(self, topo, config, initial_loads, mode: str) -> RecordBatch:
+    def _run_fast(
+        self,
+        topo,
+        config,
+        loads,
+        mode: str,
+        params: Optional[ResolvedReplicaParams] = None,
+    ) -> RecordBatch:
         """Advance the continuous (identity-rounding) process in closed form.
 
         ``"matmul"``: the SOS recurrence ``x(t+1) = beta M x(t) +
         (1-beta) x(t-1)`` — algebraically identical to the edge-wise update
         with identity rounding — advanced with a single ``(n, B)`` CSR
-        matmul per round against the folded diffusion matrix
-        ``M = I + D A E S^{-1}``, bypassing edge space entirely.
+        matmul per round, bypassing edge space entirely.  With a uniform
+        batch the matmul hits the folded diffusion matrix
+        ``M = I + D A E S^{-1}``; per-replica betas/alpha scales instead
+        share one increment operator ``K = M - I`` and blend
+        ``beta_b (x + c_b K x) + (1 - beta_b) x(t-1)`` per column.
 
-        ``"spectral"``: the same recurrence per *Fourier mode* of a
-        full-wrap torus: one ``rfftn`` of the initial loads, a scalar
-        three-term recurrence on the ``O(n)`` mode multipliers per round
-        (independent of the replica count), and one ``irfftn`` per record
-        round to materialise node space.
+        ``"spectral"``: the same recurrence per *eigenmode* of a structured
+        graph — the ``rfftn`` Fourier basis of a full-wrap torus, or the
+        Walsh basis of a hypercube (one FWHT of the initial loads): a
+        scalar three-term recurrence on the ``O(n)`` mode multipliers per
+        round (independent of the replica count), and one inverse
+        transform per record round to materialise node space.
 
-        Both tiers agree with the edge-wise identity path to float
+        All tiers agree with the edge-wise identity path to float
         accumulation accuracy; records carry NaN for the excluded
         transient/traffic columns and zero flows in the final state (the
         continuous scheduled flows are never materialised).
         """
-        loads = as_load_batch(initial_loads, topo.n)
+        loads = apply_load_scales(loads, params)
         n = topo.n
         B = loads.shape[0]
         dtype = np.float32 if config.precision == "float32" else np.float64
@@ -1399,6 +1525,17 @@ class BatchedVectorEngine(Engine):
         )
         alphas = resolve_alphas(config.alphas, topo, speeds)
         beta = float(config.beta) if config.scheme == "sos" else 1.0
+        # Per-replica planes: uniform planes fold into the scalar kernels,
+        # varying ones stay as row vectors for the generalized matmul tier
+        # (the spectral blocker already rejected them there).
+        beta_vec = params.betas if params is not None else None
+        scale_vec = params.alpha_scales if params is not None else None
+        u_beta = uniform_plane_value(beta_vec)
+        if u_beta is not None:
+            beta, beta_vec = u_beta, None
+        u_scale = uniform_plane_value(scale_vec)
+        if u_scale is not None:
+            alphas, scale_vec = alphas * u_scale, None
         recorder = _FastRecorder(topo, config, x, speeds, dtype)
         recorder.record(0, x)
         rounds = config.rounds
@@ -1407,24 +1544,40 @@ class BatchedVectorEngine(Engine):
             return recorder.batch(x)
 
         if mode == "spectral":
-            shape = topo.grid_shape
-            axes = tuple(range(len(shape)))
             alpha_eff = (float(alphas[0]) if alphas.size else 0.0) / float(
                 speeds[0]
             )
-            mu = torus_rfft_eigenvalues(shape, alpha_eff)
+            if topo.grid_shape is not None:
+                shape = topo.grid_shape
+                axes = tuple(range(len(shape)))
+                mu = torus_rfft_eigenvalues(shape, alpha_eff)
+                coeff0 = np.fft.rfftn(x.reshape(*shape, B), axes=axes)
+
+                def materialize(g):
+                    coeff = coeff0 * g[..., None]
+                    out = np.fft.irfftn(coeff, s=shape, axes=axes)
+                    return np.ascontiguousarray(out.reshape(n, B), dtype=dtype)
+
+            else:
+                # Hypercube: the Walsh characters diagonalise the cube's
+                # Laplacian; mode s has eigenvalue 1 - 2 alpha popcount(s).
+                # n = 2**k, so the 1/n of the inverse FWHT is an exact
+                # power-of-two scale.
+                mu = hypercube_wht_eigenvalues(topo.cube_dim, alpha_eff)
+                coeff0 = fwht(x)
+                inv_n = 1.0 / n
+
+                def materialize(g):
+                    out = fwht(coeff0 * g[:, None])
+                    out *= inv_n
+                    return np.ascontiguousarray(out, dtype=dtype)
+
             if dtype == np.float32:
                 mu = mu.astype(np.float32)
-            coeff0 = np.fft.rfftn(x.reshape(*shape, B), axes=axes)
             g_prev = np.ones_like(mu)
             g_cur = mu.copy()
             g_next = np.empty_like(mu)
             one_minus_beta = 1.0 - beta
-
-            def materialize():
-                coeff = coeff0 * g_cur[..., None]
-                out = np.fft.irfftn(coeff, s=shape, axes=axes)
-                return np.ascontiguousarray(out.reshape(n, B), dtype=dtype)
 
             x_t = x
             for r in range(1, rounds + 1):
@@ -1435,9 +1588,15 @@ class BatchedVectorEngine(Engine):
                     np.add(g_next, g_prev, out=g_next)
                     g_prev, g_cur, g_next = g_cur, g_next, g_prev
                 if r % record_every == 0 or r == rounds:
-                    x_t = materialize()
+                    x_t = materialize(g_cur)
                     recorder.record(r, x_t)
             return recorder.batch(x_t)
+
+        if beta_vec is not None or scale_vec is not None:
+            return self._run_fast_matmul_planes(
+                topo, config, recorder, x, speeds, alphas, beta, beta_vec,
+                scale_vec, dtype,
+            )
 
         m1 = _diffusion_matrix(topo, alphas, speeds, dtype)
         mb = sp.csr_matrix(
@@ -1456,6 +1615,52 @@ class BatchedVectorEngine(Engine):
             else:
                 np.multiply(prev, one_minus_beta, out=scratch)
                 _csr_dot(mb, cur, scratch, accumulate=True)
+            prev, cur, scratch = cur, scratch, prev
+            if r % record_every == 0 or r == rounds:
+                recorder.record(r, cur)
+        return recorder.batch(cur)
+
+    def _run_fast_matmul_planes(
+        self, topo, config, recorder, x, speeds, alphas, beta, beta_vec,
+        scale_vec, dtype,
+    ) -> RecordBatch:
+        """The matmul tier with per-replica beta/alpha-scale row vectors.
+
+        One shared CSR matmul against the increment operator ``K`` per
+        round; the per-replica parameters enter as elementwise row
+        blends: ``M_b x = x + c_b (K x)`` and
+        ``x(t+1) = beta_b (M_b x(t)) + (1 - beta_b) x(t-1)``.
+        """
+        B = x.shape[1]
+        rounds = config.rounds
+        record_every = config.record_every
+        kmat = _gradient_matrix(topo, alphas, speeds, dtype)
+        c_row = (
+            scale_vec[None, :].astype(dtype) if scale_vec is not None else None
+        )
+        if beta_vec is not None:
+            beta_row = beta_vec[None, :].astype(dtype)
+        else:
+            beta_row = np.full((1, B), beta, dtype=dtype)
+        omb_row = (1.0 - beta_row).astype(dtype)
+
+        def apply_m(src, out):
+            _csr_dot(kmat, src, out)
+            if c_row is not None:
+                np.multiply(out, c_row, out=out)
+            np.add(out, src, out=out)
+
+        cur = np.empty_like(x)
+        scratch = np.empty_like(x)
+        apply_m(x, cur)  # round 1: both schemes open with FOS
+        prev = x
+        if 1 % record_every == 0 or rounds == 1:
+            recorder.record(1, cur)
+        for r in range(2, rounds + 1):
+            apply_m(cur, scratch)
+            np.multiply(scratch, beta_row, out=scratch)
+            np.multiply(prev, omb_row, out=prev)  # prev is rotated out below
+            np.add(scratch, prev, out=scratch)
             prev, cur, scratch = cur, scratch, prev
             if r % record_every == 0 or r == rounds:
                 recorder.record(r, cur)

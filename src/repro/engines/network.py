@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
-from ..core.dynamic import ArrivalModel, DynamicResult
+from ..core.dynamic import ArrivalModel, DynamicResult, ScaledArrivals
 from ..core.records import DynamicRecordTable, RecordTable
 from ..core.simulator import SimulationResult, record_round
 from ..core.state import LoadState, transient_loads
@@ -41,10 +41,12 @@ from .base import (
     EngineConfig,
     RecordBatch,
     StepBatch,
+    apply_load_scales,
     as_load_batch,
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    resolve_replica_params,
     reject_batched_only,
     reject_sharded_only,
 )
@@ -60,13 +62,16 @@ class _Replica:
     loads_history: Optional[List[np.ndarray]]
     last_min_transient: float
     last_traffic: float = 0.0
+    #: This replica's synchronous SOS -> FOS switch round (None = never) —
+    #: the global ``config.switch`` round, or its own
+    #: ``replica_params.switch_rounds`` entry.
+    switch_round: Optional[int] = None
 
 
 @dataclass
 class _NetworkHandle:
     topo: Topology
     config: EngineConfig
-    switch_round: Optional[int]
     replicas: List[_Replica]
 
 
@@ -104,8 +109,19 @@ class NetworkEngine(Engine):
                 "the network engine only supports precision='float64'"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        params = resolve_replica_params(config.replica_params, loads.shape[0])
+        if params is not None and params.alpha_scales is not None:
+            # SyncNetwork nodes derive their alphas from the topology's
+            # default strategy and expose no override; silently ignoring the
+            # plane would make cross-engine comparisons lie about what ran.
+            raise ConfigurationError(
+                "the network engine does not support "
+                "replica_params.alpha_scales (use the reference or batched "
+                "engine for alpha-scale sweeps)"
+            )
+        loads = apply_load_scales(loads, params)
         if config.arrivals is not None:
-            return self._prepare_dynamic(topo, config, loads)
+            return self._prepare_dynamic(topo, config, loads, params)
         switch_round: Optional[int] = None
         if config.switch is not None:
             if not (
@@ -125,15 +141,19 @@ class NetworkEngine(Engine):
         )
         replicas: List[_Replica] = []
         for b, load in enumerate(loads):
+            switch_b = switch_round
+            if params is not None and params.switch_rounds is not None:
+                round_b = int(params.switch_rounds[b])
+                switch_b = round_b if round_b >= 0 else None
             net = SyncNetwork(
                 topo,
                 load,
                 scheme=config.scheme,
-                beta=config.beta if config.scheme == "sos" else 1.0,
+                beta=self._replica_beta(config, params, b),
                 rounding=config.rounding,
                 speeds=config.speeds,
                 seed=config.seed + b,
-                switch_to_fos_at=switch_round,
+                switch_to_fos_at=switch_b,
             )
             targets = (
                 config.targets
@@ -146,6 +166,7 @@ class NetworkEngine(Engine):
                 targets=targets,
                 loads_history=[] if config.keep_loads else None,
                 last_min_transient=float(load.min()),
+                switch_round=switch_b,
             )
             self._record(
                 topo,
@@ -156,20 +177,31 @@ class NetworkEngine(Engine):
                 "FirstOrderScheme" if config.scheme == "fos" else "SecondOrderScheme",
             )
             replicas.append(replica)
-        return _NetworkHandle(
-            topo=topo, config=config, switch_round=switch_round, replicas=replicas
-        )
+        return _NetworkHandle(topo=topo, config=config, replicas=replicas)
 
-    def _prepare_dynamic(self, topo, config, loads) -> _DynamicNetworkHandle:
+    @staticmethod
+    def _replica_beta(config, params, b: int) -> float:
+        if config.scheme != "sos":
+            return 1.0
+        if params is not None and params.betas is not None:
+            return float(params.betas[b])
+        return config.beta
+
+    def _prepare_dynamic(
+        self, topo, config, loads, params=None
+    ) -> _DynamicNetworkHandle:
         models = resolve_arrival_models(config.arrivals, loads.shape[0])
         rngs = resolve_arrival_rngs(config, loads.shape[0])
         replicas: List[_DynamicNetReplica] = []
         for b, load in enumerate(loads):
+            model = models[b]
+            if params is not None and params.arrival_scales is not None:
+                model = ScaledArrivals(model, float(params.arrival_scales[b]))
             net = SyncNetwork(
                 topo,
                 load,
                 scheme=config.scheme,
-                beta=config.beta if config.scheme == "sos" else 1.0,
+                beta=self._replica_beta(config, params, b),
                 rounding=config.rounding,
                 speeds=config.speeds,
                 seed=config.seed + b,
@@ -177,7 +209,7 @@ class NetworkEngine(Engine):
             replicas.append(
                 _DynamicNetReplica(
                     net=net,
-                    model=models[b],
+                    model=model,
                     rng=rngs[b],
                     table=DynamicRecordTable(max(config.rounds, 1) + 1),
                     last_min_transient=float(load.min()),
@@ -242,16 +274,15 @@ class NetworkEngine(Engine):
         )
 
     # ------------------------------------------------------------------
-    def _scheme_name(self, handle_or_config, round_index: int) -> str:
-        config = (
-            handle_or_config.config
-            if isinstance(handle_or_config, _NetworkHandle)
-            else handle_or_config
-        )
+    def _scheme_name(
+        self,
+        config: EngineConfig,
+        switch_round: Optional[int],
+        round_index: int,
+    ) -> str:
         if config.scheme == "fos":
             return "FirstOrderScheme"
-        switch = getattr(handle_or_config, "switch_round", None)
-        if switch is not None and round_index > switch:
+        if switch_round is not None and round_index > switch_round:
             return "FirstOrderScheme"
         return "SecondOrderScheme"
 
@@ -294,7 +325,9 @@ class NetworkEngine(Engine):
                 replica.net.loads(),
                 flows,
                 round_index,
-                self._scheme_name(handle, round_index),
+                self._scheme_name(
+                    handle.config, replica.switch_round, round_index
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -323,10 +356,12 @@ class NetworkEngine(Engine):
                 [r.last_min_transient for r in handle.replicas]
             ),
             traffic=np.array([r.last_traffic for r in handle.replicas]),
-            switched=np.full(
-                len(handle.replicas),
-                handle.switch_round == round_index
-                and handle.config.scheme == "sos",
+            switched=np.array(
+                [
+                    r.switch_round == round_index
+                    and handle.config.scheme == "sos"
+                    for r in handle.replicas
+                ],
                 dtype=bool,
             ),
         )
@@ -357,13 +392,15 @@ class NetworkEngine(Engine):
                     net.loads(),
                     net.flows(),
                     round_index,
-                    self._scheme_name(handle, round_index),
+                    self._scheme_name(
+                        handle.config, replica.switch_round, round_index
+                    ),
                 )
             switched = (
-                handle.switch_round
+                replica.switch_round
                 if handle.config.scheme == "sos"
-                and handle.switch_round is not None
-                and handle.switch_round <= round_index
+                and replica.switch_round is not None
+                and replica.switch_round <= round_index
                 else None
             )
             results.append(

@@ -17,14 +17,17 @@ key_b)``, so engine replica ``b`` reproduces a standalone
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.dynamic import DynamicRun, DynamicSimulator
+from ..core.alphas import resolve_alphas
+from ..core.dynamic import DynamicRun, DynamicSimulator, ScaledArrivals
+from ..core.hybrid import FixedRoundSwitch
 from ..core.process import LoadBalancingProcess
 from ..core.schemes import FirstOrderScheme, SecondOrderScheme
 from ..core.simulator import SimulationRun, Simulator
+from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
 
 from .base import (
@@ -32,12 +35,15 @@ from .base import (
     Engine,
     EngineConfig,
     RecordBatch,
+    ResolvedReplicaParams,
     StepBatch,
+    apply_load_scales,
     as_load_batch,
     make_switch_policy,
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
+    resolve_replica_params,
     reject_batched_only,
     reject_sharded_only,
 )
@@ -45,13 +51,83 @@ from .base import (
 __all__ = ["ReferenceEngine"]
 
 
-def build_scheme(topo: Topology, config: EngineConfig):
-    """The continuous scheme described by an engine config."""
+def build_scheme(
+    topo: Topology,
+    config: EngineConfig,
+    beta: Optional[float] = None,
+    alphas=None,
+):
+    """The continuous scheme described by an engine config.
+
+    ``beta``/``alphas`` override the config-level values — this is how the
+    per-replica backends unfold ``replica_params`` planes into one scheme
+    per replica.
+    """
+    if alphas is None:
+        alphas = config.alphas
     if config.scheme == "fos":
-        return FirstOrderScheme(topo, speeds=config.speeds, alphas=config.alphas)
+        return FirstOrderScheme(topo, speeds=config.speeds, alphas=alphas)
     return SecondOrderScheme(
-        topo, beta=config.beta, speeds=config.speeds, alphas=config.alphas
+        topo,
+        beta=config.beta if beta is None else beta,
+        speeds=config.speeds,
+        alphas=alphas,
     )
+
+
+def replica_scheme_kwargs(
+    topo: Topology,
+    config: EngineConfig,
+    params: Optional[ResolvedReplicaParams],
+    n_replicas: int,
+) -> List[dict]:
+    """One :func:`build_scheme` override dict per replica, from the planes.
+
+    The per-replica alpha array is the float64 product
+    ``base_alphas * alpha_scales[b]`` — elementwise exactly what the
+    batched engine folds into its alpha plane, so the two backends stay
+    bit-identical for deterministic roundings.  The base alphas resolve
+    once for the whole batch, not once per replica.
+    """
+    if params is None:
+        return [{} for _ in range(n_replicas)]
+    base_alphas = None
+    if params.alpha_scales is not None:
+        speeds = validate_speeds(
+            config.speeds if config.speeds is not None else uniform_speeds(topo.n),
+            topo.n,
+        )
+        base_alphas = resolve_alphas(config.alphas, topo, speeds)
+    out: List[dict] = []
+    for b in range(n_replicas):
+        kwargs: dict = {}
+        if params.betas is not None:
+            kwargs["beta"] = float(params.betas[b])
+        if base_alphas is not None:
+            kwargs["alphas"] = base_alphas * float(params.alpha_scales[b])
+        out.append(kwargs)
+    return out
+
+
+def replica_switch_policy(
+    config: EngineConfig, params: Optional[ResolvedReplicaParams], b: int
+):
+    """Replica ``b``'s switch policy: its own fixed round, or the global
+    spec (``replica_params.switch_rounds`` and ``config.switch`` are
+    mutually exclusive, so there is never a conflict to resolve)."""
+    if params is not None and params.switch_rounds is not None:
+        round_b = int(params.switch_rounds[b])
+        return FixedRoundSwitch(round_b) if round_b >= 0 else None
+    return make_switch_policy(config.switch)
+
+
+def scale_arrival_model(
+    model, params: Optional[ResolvedReplicaParams], b: int
+):
+    """Replica ``b``'s arrival model, wrapped when an arrival scale is set."""
+    if params is None or params.arrival_scales is None:
+        return model
+    return ScaledArrivals(model, float(params.arrival_scales[b]))
 
 
 @dataclass
@@ -85,18 +161,23 @@ class ReferenceEngine(Engine):
                 "the reference engine only supports precision='float64'"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        params = resolve_replica_params(config.replica_params, loads.shape[0])
+        loads = apply_load_scales(loads, params)
         if config.arrivals is not None:
-            return self._prepare_dynamic(topo, config, loads)
+            return self._prepare_dynamic(topo, config, loads, params)
+        scheme_kwargs = replica_scheme_kwargs(
+            topo, config, params, loads.shape[0]
+        )
         replicas: List[Tuple[Simulator, SimulationRun]] = []
         for b, load in enumerate(loads):
             process = LoadBalancingProcess(
-                build_scheme(topo, config),
+                build_scheme(topo, config, **scheme_kwargs[b]),
                 rounding=config.rounding,
                 rng=np.random.default_rng(config.seed + b),
             )
             sim = Simulator(
                 process,
-                switch_policy=make_switch_policy(config.switch),
+                switch_policy=replica_switch_policy(config, params, b),
                 record_every=config.record_every,
                 keep_loads=config.keep_loads,
                 targets=config.targets,
@@ -104,17 +185,24 @@ class ReferenceEngine(Engine):
             replicas.append((sim, sim.start(load, rounds_hint=config.rounds)))
         return _ReferenceHandle(topo=topo, config=config, replicas=replicas)
 
-    def _prepare_dynamic(self, topo, config, loads) -> _DynamicReferenceHandle:
+    def _prepare_dynamic(
+        self, topo, config, loads, params=None
+    ) -> _DynamicReferenceHandle:
         models = resolve_arrival_models(config.arrivals, loads.shape[0])
         rngs = resolve_arrival_rngs(config, loads.shape[0])
+        scheme_kwargs = replica_scheme_kwargs(
+            topo, config, params, loads.shape[0]
+        )
         replicas: List[Tuple[DynamicSimulator, DynamicRun]] = []
         for b, load in enumerate(loads):
             process = LoadBalancingProcess(
-                build_scheme(topo, config),
+                build_scheme(topo, config, **scheme_kwargs[b]),
                 rounding=config.rounding,
                 rng=np.random.default_rng(config.seed + b),
             )
-            dsim = DynamicSimulator(process, models[b], rng=rngs[b])
+            dsim = DynamicSimulator(
+                process, scale_arrival_model(models[b], params, b), rng=rngs[b]
+            )
             replicas.append((dsim, dsim.start(load, rounds_hint=config.rounds)))
         return _DynamicReferenceHandle(topo=topo, config=config, replicas=replicas)
 

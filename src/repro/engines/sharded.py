@@ -74,6 +74,7 @@ from .base import (
     plan_shards,
     register_engine,
     resolve_arrival_models,
+    resolve_replica_params,
     resolve_workers,
 )
 from .batched import BatchedVectorEngine
@@ -182,6 +183,7 @@ class ShardedEngine(Engine):
             raise ConfigurationError(
                 f"{len(replica_keys)} replica_keys for {B} replicas"
             )
+        params = resolve_replica_params(config.replica_params, B)
         arrival_seeds: Optional[Sequence[int]] = None
         arrival_models: Optional[Sequence] = None
         if config.arrivals is not None:
@@ -217,6 +219,12 @@ class ShardedEngine(Engine):
                     list(arrival_models[lo:hi])
                     if arrival_models is not None
                     else None
+                ),
+                # The parameter planes shard with their columns: replica b
+                # carries the same plane entries in any shard assignment,
+                # so the merge stays bit-identical to the batched run.
+                replica_params=(
+                    params.shard(lo, hi) if params is not None else None
                 ),
             )
             payloads.append((topo, shard_config, loads[lo:hi], dynamic))

@@ -12,13 +12,18 @@ from .tables import Table1Row, reproduce_table1
 from .runner import EXPERIMENTS, list_experiments, run_experiment
 from .report import format_record, format_summary, format_table
 from .sweeps import (
+    SWEEP_KEYS,
     DynamicEnsembleResult,
     EnsembleResult,
+    ParamGrid,
+    SweepEnsembleResult,
     SweepPoint,
+    beta_sensitivity_sweep,
     dynamic_replica_ensemble,
     ensemble_series,
     fit_power_law,
     replica_ensemble,
+    sweep_ensemble,
     torus_size_sweep,
 )
 from . import figures
@@ -38,13 +43,18 @@ __all__ = [
     "format_record",
     "format_summary",
     "format_table",
+    "SWEEP_KEYS",
     "DynamicEnsembleResult",
     "EnsembleResult",
+    "ParamGrid",
+    "SweepEnsembleResult",
     "SweepPoint",
+    "beta_sensitivity_sweep",
     "dynamic_replica_ensemble",
     "ensemble_series",
     "fit_power_law",
     "replica_ensemble",
+    "sweep_ensemble",
     "torus_size_sweep",
     "figures",
 ]

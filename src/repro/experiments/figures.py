@@ -466,53 +466,53 @@ def fig08_switch_sweep(
     scale in the paper): switches at rounds 300/500/700/900 within a
     1000-round run.
 
-    With ``n_seeds > 1`` each curve (SOS-only and one per switch round)
-    runs its seed replicas as one batched
-    :func:`~repro.experiments.sweeps.replica_ensemble` call and the series
-    come back seed-averaged with ``_std`` companions.
+    The whole sweep — the pure-SOS curve plus one curve per switch round,
+    times the seed replicas — is submitted as *one*
+    :func:`~repro.experiments.sweeps.sweep_ensemble` call: the switch
+    rounds travel as a per-replica
+    :class:`~repro.engines.ReplicaParams` plane, so every curve advances
+    per vectorised step on the batched/sharded engines instead of one
+    engine call per sweep point.  With ``n_seeds > 1`` the series come
+    back seed-averaged with ``_std`` companions.
     """
+    from .sweeps import ParamGrid, ensemble_series, sweep_ensemble
+
     built = build_graph("torus-100", scale if scale != "paper" else "ci")
-    series: Dict[str, List[float]] = {}
+    n_seeds = max(int(n_seeds), 1)
+    config = engine_config(built, scheme="sos", rounds=rounds, seed=seed)
+    sweep = sweep_ensemble(
+        built.topo,
+        config,
+        ParamGrid(switch_round=[None, *switch_rounds]),
+        n_seeds=n_seeds,
+        average_load=DEFAULT_AVERAGE_LOAD,
+        engine=engine,
+    )
+    tags = ["sos_only"] + [f"fos{switch}" for switch in switch_rounds]
+    series: Dict[str, List[float]] = {
+        "round": sweep.results[0].rounds.tolist()
+    }
     summary: Dict[str, float] = {}
-    if n_seeds <= 1:
-        sos_only = _simulate(built, "sos", rounds, seed=seed, engine=engine)
-        series["round"] = sos_only.rounds.tolist()
-        series["sos_only_max_minus_avg"] = sos_only.series(
-            "max_minus_avg"
-        ).tolist()
-        series["sos_only_max_local_diff"] = sos_only.series(
-            "max_local_diff"
-        ).tolist()
-        summary["sos_only_final"] = sos_only.records[-1].max_minus_avg
-        for switch in switch_rounds:
-            res = _simulate(
-                built, "sos", rounds, seed=seed, switch_round=switch,
-                engine=engine,
-            )
-            series[f"fos{switch}_max_minus_avg"] = res.series(
+    for i, tag in enumerate(tags):
+        group = sweep.point_results(i)
+        if n_seeds == 1:
+            res = group[0]
+            series[f"{tag}_max_minus_avg"] = res.series(
                 "max_minus_avg"
             ).tolist()
-            tail = [
-                r.max_minus_avg
-                for r in res.records
-                if r.round_index >= rounds - 50
-            ]
-            summary[f"fos{switch}_final"] = float(np.mean(tail))
-    else:
-        from .sweeps import ensemble_series, replica_ensemble
-
-        def run_curve(tag: str, switch_round: Optional[int]):
-            config = engine_config(
-                built, scheme="sos", rounds=rounds, seed=seed,
-                switch_round=switch_round,
-            )
-            ensemble = replica_ensemble(
-                built.topo, config, n_replicas=n_seeds,
-                average_load=DEFAULT_AVERAGE_LOAD, engine=engine,
-            )
-            group = ensemble.results
-            if "round" not in series:
-                series["round"] = group[0].rounds.tolist()
+            if tag == "sos_only":
+                series["sos_only_max_local_diff"] = res.series(
+                    "max_local_diff"
+                ).tolist()
+                summary["sos_only_final"] = res.records[-1].max_minus_avg
+            else:
+                tail = [
+                    r.max_minus_avg
+                    for r in res.records
+                    if r.round_index >= rounds - 50
+                ]
+                summary[f"{tag}_final"] = float(np.mean(tail))
+        else:
             for fieldname in ("max_minus_avg", "max_local_diff"):
                 mean, std = ensemble_series(group, fieldname)
                 series[f"{tag}_{fieldname}"] = mean.tolist()
@@ -528,10 +528,6 @@ def fig08_switch_sweep(
                 for r in group
             ]
             summary[f"{tag}_final"] = float(np.mean(finals))
-
-        run_curve("sos_only", None)
-        for switch in switch_rounds:
-            run_curve(f"fos{switch}", switch)
     return ExperimentRecord(
         name="fig08",
         params={
@@ -541,6 +537,7 @@ def fig08_switch_sweep(
             "rounds": rounds,
             "switch_rounds": list(switch_rounds),
             "n_seeds": n_seeds,
+            "engine_calls": 1,
         },
         series=series,
         summary=summary,

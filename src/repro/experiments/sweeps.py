@@ -19,6 +19,14 @@ the full cross product seeds x arrival-models x initial-loads goes to the
 engine as *one* batched dynamic call, and the per-replica
 :class:`~repro.core.dynamic.DynamicResult` objects reduce to steady-state
 imbalance statistics per arrival model.
+
+:class:`ParamGrid` / :func:`sweep_ensemble` generalise this to *parameter*
+sweeps: every grid point (switch round, beta, alpha scale, initial-load
+scale, arrival-rate scale) times every seed becomes one replica of a
+single engine call, carried by the per-replica parameter planes of
+:class:`~repro.engines.ReplicaParams`.  The fig08 switch sweep and the
+beta-sensitivity sweep both run this way — sweep throughput scales with
+the batched/sharded engines instead of with Python loop iterations.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from ..core import (
     torus_lambda,
     uniform_load,
 )
-from ..engines import EngineConfig, make_engine
+from ..engines import EngineConfig, ReplicaParams, make_engine
 from ..graphs import Topology, torus_2d
 from ..analysis import convergence_round
 
@@ -46,9 +54,14 @@ __all__ = [
     "SweepPoint",
     "EnsembleResult",
     "DynamicEnsembleResult",
+    "ParamGrid",
+    "SweepEnsembleResult",
+    "SWEEP_KEYS",
     "torus_size_sweep",
     "replica_ensemble",
     "dynamic_replica_ensemble",
+    "sweep_ensemble",
+    "beta_sensitivity_sweep",
     "ensemble_series",
     "fit_power_law",
 ]
@@ -293,6 +306,331 @@ def dynamic_replica_ensemble(
     return DynamicEnsembleResult(
         results=results, labels=labels, model_keys=model_keys, stats=stats
     )
+
+
+#: Grid keys a :class:`ParamGrid` accepts, mapped to the
+#: :class:`~repro.engines.ReplicaParams` plane each one fills.
+SWEEP_KEYS: Dict[str, str] = {
+    "switch_round": "switch_rounds",
+    "beta": "betas",
+    "alpha_scale": "alpha_scales",
+    "load_scale": "load_scales",
+    "arrival_scale": "arrival_scales",
+}
+
+
+class ParamGrid:
+    """A named parameter sweep grid, crossed into per-replica planes.
+
+    Axes are given as keyword sequences over the keys of
+    :data:`SWEEP_KEYS`::
+
+        ParamGrid(switch_round=[None, 300, 500, 700, 900])   # fig08
+        ParamGrid(beta=[1.0, 1.5, 1.9], alpha_scale=[0.5, 1.0])
+
+    Points enumerate in row-major order (the first axis is outermost).  A
+    ``switch_round`` of ``None`` (or any negative value) means "never
+    switch" — the pure-SOS curve of a switch sweep.
+    """
+
+    def __init__(self, **axes):
+        unknown = set(axes) - set(SWEEP_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep axes {sorted(unknown)}; "
+                f"known: {sorted(SWEEP_KEYS)}"
+            )
+        if not axes:
+            raise ConfigurationError("ParamGrid needs at least one axis")
+        self.axes: Dict[str, list] = {}
+        for key, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ConfigurationError(f"sweep axis {key!r} must not be empty")
+            self.axes[key] = values
+
+    @property
+    def n_points(self) -> int:
+        out = 1
+        for values in self.axes.values():
+            out *= len(values)
+        return out
+
+    def points(self) -> List[Dict[str, object]]:
+        """Every grid point as an axis -> value dict, row-major order."""
+        pts: List[Dict[str, object]] = [{}]
+        for key, values in self.axes.items():
+            pts = [dict(p, **{key: v}) for p in pts for v in values]
+        return pts
+
+    def labels(self) -> List[str]:
+        """One compact ``key=value`` label per grid point."""
+
+        def fmt(value) -> str:
+            if value is None:
+                return "never"
+            if isinstance(value, float):
+                return f"{value:g}"
+            return str(value)
+
+        return [
+            ",".join(f"{key}={fmt(p[key])}" for key in self.axes)
+            for p in self.points()
+        ]
+
+    def replica_params(self, n_seeds: int = 1) -> ReplicaParams:
+        """The grid unrolled into :class:`~repro.engines.ReplicaParams`
+        planes, each point's value repeated ``n_seeds`` consecutive times
+        (seeds innermost — the layout :func:`sweep_ensemble` submits)."""
+        if n_seeds < 1:
+            raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+        pts = self.points()
+        planes = {
+            plane: [p[key] for p in pts for _ in range(n_seeds)]
+            for key, plane in SWEEP_KEYS.items()
+            if key in self.axes
+        }
+        return ReplicaParams(**planes)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{k}x{len(v)}" for k, v in self.axes.items())
+        return f"ParamGrid({axes}, {self.n_points} points)"
+
+
+@dataclass
+class SweepEnsembleResult:
+    """A parameter sweep run as one engine call, plus per-point reductions.
+
+    Replica layout: point ``i``'s seed replicas are the consecutive slice
+    ``results[i * n_seeds : (i + 1) * n_seeds]`` (:meth:`point_results`).
+    ``point_stats[i]`` reduces that group to final-imbalance moments and
+    rounds-to-balance (static sweeps) or steady-state moments (dynamic
+    sweeps); ``labels[i]`` names the grid point.
+    """
+
+    grid: ParamGrid
+    points: List[Dict[str, object]]
+    labels: List[str]
+    n_seeds: int
+    results: List
+    point_stats: List[Dict[str, float]] = field(default_factory=list)
+    dynamic: bool = False
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.results)
+
+    def point_results(self, index: int) -> List:
+        """The seed-replica results of grid point ``index``."""
+        if not 0 <= index < len(self.points):
+            raise ConfigurationError(
+                f"point index {index} out of range [0, {len(self.points)})"
+            )
+        return self.results[index * self.n_seeds : (index + 1) * self.n_seeds]
+
+    def series(self, index: int, fieldname: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Seed-averaged ``(mean, std)`` series of one metric at one point."""
+        return ensemble_series(self.point_results(index), fieldname)
+
+
+def sweep_ensemble(
+    topo: Topology,
+    config: EngineConfig,
+    grid: ParamGrid,
+    initial_loads: Optional[np.ndarray] = None,
+    n_seeds: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    average_load: int = 1000,
+    threshold: float = 10.0,
+    tail_fraction: float = 0.5,
+    engine: str = "batched",
+) -> SweepEnsembleResult:
+    """Run a whole parameter grid as ONE engine call.
+
+    Every grid point becomes ``n_seeds`` consecutive replicas of a single
+    batched submission: the sweep axes travel as
+    :class:`~repro.engines.ReplicaParams` planes, so the engine advances
+    every sweep point per vectorised step (and the sharded engine splits
+    them across worker processes, bit-identically).
+
+    On the vectorised engines the rounding-stream keys are pinned per
+    point to the seed *values* (default ``0 .. n_seeds-1``), which are
+    exactly the streams a standalone per-point
+    :func:`replica_ensemble` call would hand its replicas — so the fused
+    sweep reproduces the old one-call-per-point loop replica for replica:
+    bit for bit for deterministic roundings, stream for stream for the
+    randomized ones.  Dynamic sweeps (``config.arrivals`` set) pin the
+    arrival streams the same way and reduce to steady-state statistics.
+
+    ``initial_loads`` is one base load row ``(n,)`` (default: the paper's
+    point load for static sweeps, the uniform load for dynamic ones);
+    per-replica load families come from a ``load_scale`` axis.
+    """
+    if isinstance(grid, dict):
+        grid = ParamGrid(**grid)
+    backend = make_engine(engine)
+    # The grid owns the per-replica planes and stream keys; silently
+    # overwriting caller-set ones would run a different experiment than
+    # the caller described, so a pre-set value is an error.
+    for owned in ("replica_params", "replica_keys", "arrival_seeds"):
+        if getattr(config, owned) is not None:
+            raise ConfigurationError(
+                f"sweep_ensemble builds config.{owned} from the grid; "
+                "pass a config with it unset (sweep axes and seeds are "
+                "the ParamGrid/seeds arguments)"
+            )
+    pts = grid.points()
+    labels = grid.labels()
+    if seeds is None:
+        if n_seeds < 1:
+            raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+        seeds = list(range(int(n_seeds)))
+    else:
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ConfigurationError("need at least one seed")
+    n_seeds = len(seeds)
+    params = grid.replica_params(n_seeds)
+    dynamic = config.arrivals is not None
+    if "arrival_scale" in grid.axes and not dynamic:
+        raise ConfigurationError(
+            "an arrival_scale axis needs a dynamic config (set "
+            "config.arrivals)"
+        )
+    if initial_loads is None:
+        initial_loads = (
+            uniform_load(topo, average_load)
+            if dynamic
+            else point_load(topo, average_load * topo.n)
+        )
+    base = np.asarray(initial_loads, dtype=np.float64)
+    if base.ndim != 1 or base.shape[0] != topo.n:
+        raise ConfigurationError(
+            f"sweep_ensemble takes one base load row (n,), got shape "
+            f"{base.shape}; per-replica load families come from a "
+            "load_scale axis"
+        )
+    batch = np.tile(base, (grid.n_points * n_seeds, 1))
+    stream_keys = [s for _ in pts for s in seeds]
+    cfg = replace(config, replica_params=params)
+    if getattr(backend, "name", "") in ("batched", "sharded"):
+        # The per-replica backends key streams by batch position and
+        # reject pinned keys; the vectorised ones take the per-point seed
+        # values so each point reproduces its standalone ensemble.
+        cfg = replace(cfg, replica_keys=stream_keys)
+    if dynamic:
+        cfg = replace(
+            cfg,
+            arrival_seeds=(
+                stream_keys if config.arrival_sampling != "batch" else None
+            ),
+        )
+        results = backend.run_dynamic(topo, cfg, batch)
+    else:
+        results = backend.run(topo, cfg, batch)
+
+    point_stats: List[Dict[str, float]] = []
+    for i in range(grid.n_points):
+        group = results[i * n_seeds : (i + 1) * n_seeds]
+        stats: Dict[str, float] = {}
+        if dynamic:
+            steady = np.array(
+                [r.steady_state_imbalance(tail_fraction) for r in group]
+            )
+            stats["steady_state_mean"] = float(steady.mean())
+            stats["steady_state_std"] = float(steady.std())
+            stats["final_total_mean"] = float(
+                np.mean([r.series("total_load")[-1] for r in group])
+            )
+        else:
+            finals = np.array([r.series("max_minus_avg")[-1] for r in group])
+            stats["final_max_minus_avg_mean"] = float(finals.mean())
+            stats["final_max_minus_avg_std"] = float(finals.std())
+            balance = [
+                convergence_round(r, threshold=threshold, sustained=1)
+                for r in group
+            ]
+            converged = [r for r in balance if r is not None]
+            stats["unconverged"] = float(len(balance) - len(converged))
+            if converged:
+                stats["rounds_to_balance_mean"] = float(np.mean(converged))
+                stats["rounds_to_balance_std"] = float(np.std(converged))
+        point_stats.append(stats)
+    return SweepEnsembleResult(
+        grid=grid,
+        points=pts,
+        labels=labels,
+        n_seeds=n_seeds,
+        results=results,
+        point_stats=point_stats,
+        dynamic=dynamic,
+    )
+
+
+def beta_sensitivity_sweep(
+    side: int = 32,
+    betas: Optional[Sequence[float]] = None,
+    rounds: int = 3000,
+    average_load: int = 1000,
+    threshold: float = 10.0,
+    seed: int = 0,
+    n_seeds: int = 1,
+    engine: str = "batched",
+) -> Dict[str, object]:
+    """SOS beta sensitivity on a ``side x side`` torus as ONE engine call.
+
+    The classic ablation (convergence time is minimised near ``beta_opt``)
+    ran one simulator loop per beta; here every ``(beta, seed)`` pair is a
+    replica of a single :func:`sweep_ensemble` submission over a ``beta``
+    axis.  Returns a JSON-friendly dict with the torus spectrum data, the
+    betas swept, and the (seed-averaged) rounds until the max-above-average
+    stays below ``threshold`` for three consecutive recorded rounds —
+    ``None`` for betas that never balance within the budget.
+    """
+    topo = torus_2d(side, side)
+    lam = torus_lambda((side, side))
+    b_opt = beta_opt(lam)
+    if betas is None:
+        betas = [
+            1.0,
+            0.5 * (1.0 + b_opt),
+            0.95 * b_opt,
+            b_opt,
+            min(1.999, 0.5 * (b_opt + 2.0)),
+        ]
+    betas = [float(b) for b in betas]
+    config = EngineConfig(
+        scheme="sos",
+        beta=b_opt,
+        rounding="randomized-excess",
+        rounds=rounds,
+        seed=seed,
+    )
+    sweep = sweep_ensemble(
+        topo,
+        config,
+        ParamGrid(beta=betas),
+        n_seeds=n_seeds,
+        average_load=average_load,
+        threshold=threshold,
+        engine=engine,
+    )
+    rounds_to: Dict[str, Optional[float]] = {}
+    for i, beta in enumerate(betas):
+        per_seed = [
+            convergence_round(r, threshold=threshold, sustained=3)
+            for r in sweep.point_results(i)
+        ]
+        converged = [r for r in per_seed if r is not None]
+        rounds_to[f"{beta:.6f}"] = float(np.mean(converged)) if converged else None
+    return {
+        "lambda": lam,
+        "beta_opt": b_opt,
+        "betas": betas,
+        "n_seeds": sweep.n_seeds,
+        "engine_calls": 1,
+        "rounds_to_balance": rounds_to,
+    }
 
 
 def ensemble_series(

@@ -50,4 +50,10 @@ def hypercube(dimension: int) -> Topology:
         edge_array = np.concatenate(edges, axis=0)
     else:
         edge_array = np.empty((0, 2), dtype=np.int64)
-    return Topology(n, edge_array, name=f"hypercube-{dimension}")
+    topo = Topology(n, edge_array, name=f"hypercube-{dimension}")
+    if dimension >= 1:
+        # Spectral hint: node ids are the bit vectors of {0,1}^k, so the
+        # Walsh-Hadamard closed-form kernel applies (the engine analogue of
+        # the torus builders' grid_shape hint).
+        topo.cube_dim = dimension
+    return topo

@@ -56,6 +56,7 @@ class Topology:
         "degrees",
         "name",
         "grid_shape",
+        "cube_dim",
         "_edge_id_lookup",
     )
 
@@ -98,6 +99,12 @@ class Topology:
         #: graph.  Engines use it to switch to closed-form Fourier kernels;
         #: it carries no structural information beyond the edge list.
         self.grid_shape: Optional[Tuple[int, ...]] = None
+        #: Optional spectral hint set by the hypercube builder: the cube
+        #: dimension ``k`` of a ``2**k``-node hypercube whose node ids are
+        #: the bit vectors.  ``None`` for every other graph.  Engines use
+        #: it to switch to the Walsh–Hadamard closed-form kernel, exactly
+        #: like ``grid_shape`` selects the torus Fourier kernel.
+        self.cube_dim: Optional[int] = None
 
         # Build CSR adjacency: for every incidence store (node, neighbour,
         # edge id) and bucket by node.

@@ -183,3 +183,52 @@ class TestQMatrices:
         for t, q in enumerate(q_matrices(m, 1.0 + 1e-12, 6)):
             assert np.allclose(q, power, atol=1e-9), f"t={t}"
             power = m @ power
+
+
+class TestWalshHadamard:
+    """The FWHT kernel and the hypercube mode eigenvalues."""
+
+    def test_fwht_matches_hadamard_matrix(self):
+        from repro.core.spectral import fwht
+
+        rng = np.random.default_rng(0)
+        x = rng.random((8, 3))
+        h = np.array([[1.0]])
+        for _ in range(3):
+            h = np.block([[h, h], [h, -h]])
+        np.testing.assert_allclose(fwht(x), h @ x, atol=1e-12)
+
+    def test_fwht_involution(self):
+        from repro.core.spectral import fwht
+
+        rng = np.random.default_rng(1)
+        for shape in ((1,), (4,), (16, 5)):
+            x = rng.random(shape)
+            np.testing.assert_allclose(
+                fwht(fwht(x)) / shape[0], x, atol=1e-12
+            )
+
+    def test_fwht_rejects_non_power_of_two(self):
+        from repro.core.spectral import fwht
+
+        with pytest.raises(ConfigurationError):
+            fwht(np.zeros((6, 2)))
+
+    def test_wht_eigenvalues_match_dense_spectrum(self):
+        from repro.core.spectral import hypercube_wht_eigenvalues
+
+        topo = hypercube(5)
+        alpha = 1.0 / 6.0
+        mu = hypercube_wht_eigenvalues(5, alpha)
+        dense = np.sort(np.linalg.eigvalsh(diffusion_matrix(topo)))
+        np.testing.assert_allclose(np.sort(mu), dense, atol=1e-12)
+        # popcount layout: mode 0 is stationary, mode 2**j flips one bit
+        assert mu[0] == 1.0
+        for j in range(5):
+            assert mu[1 << j] == pytest.approx(1.0 - 2.0 * alpha)
+
+    def test_wht_eigenvalues_validation(self):
+        from repro.core.spectral import hypercube_wht_eigenvalues
+
+        with pytest.raises(ConfigurationError):
+            hypercube_wht_eigenvalues(-1, 0.2)

@@ -288,6 +288,86 @@ class TestEligibility:
                 make_engine("reference").run(topo, config, load)
 
 
+class TestHypercubeSpectral:
+    """The Walsh–Hadamard spectral tier (cube_dim hint, FWHT kernel)."""
+
+    CUBE = None
+
+    @classmethod
+    def setup_class(cls):
+        from repro.graphs import hypercube
+
+        cls.CUBE = hypercube(6)
+
+    def test_cube_dim_hint_set(self):
+        assert self.CUBE.cube_dim == 6
+        assert TORUS.cube_dim is None
+
+    @pytest.mark.parametrize("scheme,beta", [("fos", 1.0), ("sos", 1.5)])
+    @pytest.mark.parametrize("n_replicas", [1, 4])
+    def test_matches_edgewise_identity(self, scheme, beta, n_replicas):
+        topo = self.CUBE
+        loads = _loads(topo, n_replicas)
+        edge = make_engine("batched").run(
+            topo, _config(scheme=scheme, beta=beta, fast_path="never"), loads
+        )
+        fast = make_engine("batched").run(
+            topo, _config(scheme=scheme, beta=beta, fast_path="spectral"),
+            loads,
+        )
+        for f_res, e_res in zip(fast, edge):
+            np.testing.assert_allclose(
+                f_res.final_state.load, e_res.final_state.load,
+                rtol=1e-10, atol=1e-7,
+            )
+            for fieldname in NODE_FIELDS:
+                np.testing.assert_allclose(
+                    f_res.series(fieldname), e_res.series(fieldname),
+                    rtol=1e-8, atol=1e-6, err_msg=fieldname,
+                )
+
+    def test_auto_prefers_spectral_on_hypercube(self):
+        topo = self.CUBE
+        loads = _loads(topo, 2)
+        auto = make_engine("batched").run(topo, _config(), loads)
+        forced = make_engine("batched").run(
+            topo, _config(fast_path="spectral"), loads
+        )
+        for a_res, f_res in zip(auto, forced):
+            np.testing.assert_array_equal(
+                a_res.final_state.load, f_res.final_state.load
+            )
+
+    def test_sos_matches_dense_recurrence(self):
+        topo = self.CUBE
+        beta = 1.5
+        load = random_load(topo, 800 * topo.n, rng=np.random.default_rng(3))
+        t = 20
+        m_dense = diffusion_matrix(topo)
+        x_prev = load.copy()
+        x = m_dense @ load
+        for _ in range(2, t + 1):
+            x, x_prev = beta * (m_dense @ x) + (1.0 - beta) * x_prev, x
+        fast = make_engine("batched").run(
+            topo,
+            _config(beta=beta, rounds=t, record_every=t, fast_path="spectral"),
+            load,
+        )[0]
+        np.testing.assert_allclose(
+            fast.final_state.load, x, rtol=1e-9, atol=1e-6
+        )
+
+    def test_float32_spectral_runs(self):
+        topo = self.CUBE
+        res = make_engine("batched").run(
+            topo, _config(precision="float32", fast_path="spectral"),
+            point_load(topo, 1000 * topo.n),
+        )[0]
+        np.testing.assert_allclose(
+            res.series("total_load")[-1], 1000.0 * topo.n, rtol=1e-4
+        )
+
+
 def test_fast_path_validates_beta_range():
     """The fused run() enforces the SOS beta range even when the fast path
     bypasses prepare()."""

@@ -1,0 +1,469 @@
+"""Per-replica parameter planes (``EngineConfig.replica_params``).
+
+Three contracts:
+
+* **cross-engine bit-identity** — a batch whose replicas carry their own
+  switch round / beta / alpha scale / load scale / arrival scale produces
+  the same per-replica trajectories on the reference, batched and sharded
+  engines (bit for bit for deterministic roundings, static and dynamic),
+  and the network engine agrees on the planes it supports;
+* **sweep folding** — a fused one-call sweep is bit-identical per replica
+  to the old per-point loop (one engine call per sweep point);
+* **broadcasting/validation properties** (hypothesis) — scalars broadcast
+  to planes, length mismatches and out-of-range values are rejected, and
+  shard-boundary placement never changes a replica's trajectory.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings, strategies as st
+
+from repro import ConfigurationError, point_load, torus_2d
+from repro.engines import (
+    EngineConfig,
+    ReplicaParams,
+    make_engine,
+    plan_shards,
+    resolve_replica_params,
+    uniform_plane_value,
+)
+
+TOPO = torus_2d(6, 6)
+BASE = point_load(TOPO, 500 * TOPO.n)
+
+SWITCHES = [-1, 5, 10, 15, None]
+BETAS = [1.3, 1.5, 1.7, 1.1, 1.9]
+ALPHA_SCALES = [1.0, 0.5, 0.75, 1.2, 1.0]
+LOAD_SCALES = [1.0, 2.0, 0.5, 1.0, 3.0]
+ARRIVAL_SCALES = [1.0, 0.0, 2.0, 0.5, 1.5]
+B = len(SWITCHES)
+
+
+def _loads():
+    return np.tile(BASE, (B, 1))
+
+
+def _static_config(**kwargs):
+    base = dict(
+        scheme="sos",
+        beta=1.5,
+        rounding="floor",
+        rounds=30,
+        seed=1,
+        replica_params=ReplicaParams(
+            switch_rounds=SWITCHES,
+            betas=BETAS,
+            alpha_scales=ALPHA_SCALES,
+            load_scales=LOAD_SCALES,
+        ),
+    )
+    base.update(kwargs)
+    return EngineConfig(**base)
+
+
+def _dynamic_config(**kwargs):
+    base = dict(
+        scheme="sos",
+        beta=1.5,
+        rounding="nearest",
+        rounds=25,
+        seed=2,
+        arrivals="poisson:2.0,depart=1.0",
+        replica_params=ReplicaParams(
+            betas=BETAS,
+            arrival_scales=ARRIVAL_SCALES,
+            load_scales=LOAD_SCALES,
+        ),
+    )
+    base.update(kwargs)
+    return EngineConfig(**base)
+
+
+STATIC_FIELDS = (
+    "max_minus_avg", "max_local_diff", "potential_per_node",
+    "min_transient", "round_traffic",
+)
+DYNAMIC_FIELDS = (
+    "total_load", "arrived", "departed", "clamped", "max_minus_avg",
+)
+
+
+class TestCrossEngineBitIdentity:
+    @pytest.mark.parametrize("rounding", ["floor", "nearest", "ceil"])
+    def test_static_reference_batched_sharded(self, rounding):
+        config = _static_config(rounding=rounding)
+        ref = make_engine("reference").run(TOPO, config, _loads())
+        bat = make_engine("batched").run(TOPO, config, _loads())
+        shd = make_engine("sharded").run(
+            TOPO, replace(config, workers=2), _loads()
+        )
+        for b in range(B):
+            np.testing.assert_array_equal(
+                ref[b].final_state.load, bat[b].final_state.load
+            )
+            np.testing.assert_array_equal(
+                bat[b].final_state.load, shd[b].final_state.load
+            )
+            for name in STATIC_FIELDS:
+                np.testing.assert_array_equal(
+                    np.asarray(ref[b].series(name)),
+                    np.asarray(bat[b].series(name)),
+                    err_msg=name,
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(bat[b].series(name)),
+                    np.asarray(shd[b].series(name)),
+                    err_msg=name,
+                )
+            assert ref[b].switched_at == bat[b].switched_at == shd[b].switched_at
+
+    def test_dynamic_all_engines(self):
+        config = _dynamic_config()
+        ref = make_engine("reference").run_dynamic(TOPO, config, _loads())
+        bat = make_engine("batched").run_dynamic(TOPO, config, _loads())
+        shd = make_engine("sharded").run_dynamic(
+            TOPO, replace(config, workers=2), _loads()
+        )
+        net = make_engine("network").run_dynamic(TOPO, config, _loads())
+        for b in range(B):
+            np.testing.assert_array_equal(
+                ref[b].final_state.load, bat[b].final_state.load
+            )
+            np.testing.assert_array_equal(
+                bat[b].final_state.load, shd[b].final_state.load
+            )
+            np.testing.assert_array_equal(
+                ref[b].final_state.load, net[b].final_state.load
+            )
+            for name in DYNAMIC_FIELDS:
+                np.testing.assert_array_equal(
+                    np.asarray(ref[b].series(name)),
+                    np.asarray(bat[b].series(name)),
+                    err_msg=name,
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(bat[b].series(name)),
+                    np.asarray(shd[b].series(name)),
+                    err_msg=name,
+                )
+
+    def test_network_static_planes(self):
+        config = _static_config(
+            replica_params=ReplicaParams(
+                switch_rounds=SWITCHES, betas=BETAS, load_scales=LOAD_SCALES
+            )
+        )
+        ref = make_engine("reference").run(TOPO, config, _loads())
+        net = make_engine("network").run(TOPO, config, _loads())
+        for b in range(B):
+            np.testing.assert_array_equal(
+                ref[b].final_state.load, net[b].final_state.load
+            )
+            assert ref[b].switched_at == net[b].switched_at
+
+    def test_network_rejects_alpha_scales(self):
+        with pytest.raises(ConfigurationError, match="alpha_scales"):
+            make_engine("network").run(TOPO, _static_config(), _loads())
+
+    def test_tiled_matches_dense(self):
+        config = _static_config(rounding="randomized-excess")
+        dense = make_engine("batched").run(TOPO, config, _loads())
+        tiled = make_engine("batched").run(
+            TOPO, replace(config, tile_size=7), _loads()
+        )
+        for d, t in zip(dense, tiled):
+            np.testing.assert_array_equal(
+                d.final_state.load, t.final_state.load
+            )
+
+    def test_float32_accepts_planes(self):
+        config = _static_config(precision="float32", rounding="nearest")
+        results = make_engine("batched").run(TOPO, config, _loads())
+        assert len(results) == B
+        totals = [r.series("total_load")[-1] for r in results]
+        expected = [BASE.sum() * s for s in LOAD_SCALES]
+        np.testing.assert_allclose(totals, expected, rtol=1e-4)
+
+
+class TestSweepFolding:
+    """One fused call == the old one-call-per-point loop, replica for replica."""
+
+    def test_switch_sweep_matches_per_point_loop(self):
+        engine = make_engine("batched")
+        n_seeds = 3
+        points = [None, 8, 16]
+        fused_cfg = EngineConfig(
+            scheme="sos", beta=1.8, rounding="nearest", rounds=30, seed=4,
+            replica_params=ReplicaParams(
+                switch_rounds=[p for p in points for _ in range(n_seeds)]
+            ),
+            replica_keys=[s for _ in points for s in range(n_seeds)],
+        )
+        fused = engine.run(TOPO, fused_cfg, np.tile(BASE, (9, 1)))
+        for i, point in enumerate(points):
+            solo_cfg = EngineConfig(
+                scheme="sos", beta=1.8, rounding="nearest", rounds=30, seed=4,
+                switch=("fixed", point) if point is not None else None,
+            )
+            solo = engine.run(TOPO, solo_cfg, np.tile(BASE, (n_seeds, 1)))
+            for s in range(n_seeds):
+                a, b = fused[i * n_seeds + s], solo[s]
+                np.testing.assert_array_equal(
+                    a.final_state.load, b.final_state.load
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(a.series("max_minus_avg")),
+                    np.asarray(b.series("max_minus_avg")),
+                )
+                assert a.switched_at == b.switched_at
+
+    def test_randomized_rounding_shares_streams_on_switch_points(self):
+        """With pinned replica_keys the fused sweep consumes exactly the
+        per-point calls' rounding streams (switch points run the same
+        beta-row kernel on both sides, so they agree bit for bit)."""
+        engine = make_engine("batched")
+        points = [8, 16]
+        fused_cfg = EngineConfig(
+            scheme="sos", beta=1.8, rounding="randomized-excess", rounds=30,
+            seed=4,
+            replica_params=ReplicaParams(switch_rounds=[8, 16]),
+            replica_keys=[0, 0],
+        )
+        fused = engine.run(TOPO, fused_cfg, np.tile(BASE, (2, 1)))
+        for i, point in enumerate(points):
+            solo_cfg = EngineConfig(
+                scheme="sos", beta=1.8, rounding="randomized-excess",
+                rounds=30, seed=4, switch=("fixed", point),
+            )
+            solo = engine.run(TOPO, solo_cfg, BASE)[0]
+            np.testing.assert_array_equal(
+                fused[i].final_state.load, solo.final_state.load
+            )
+
+
+class TestFastPathPlanes:
+    NODE_FIELDS = ("max_minus_avg", "total_load", "max_local_diff")
+
+    def _config(self, **kwargs):
+        base = dict(
+            scheme="sos", beta=1.5, rounding="identity", rounds=25, seed=0,
+            record_fields=self.NODE_FIELDS,
+            replica_params=ReplicaParams(
+                betas=[1.2, 1.7, 1.3],
+                alpha_scales=[1.0, 0.5, 0.8],
+                load_scales=[1.0, 2.0, 0.5],
+            ),
+        )
+        base.update(kwargs)
+        return EngineConfig(**base)
+
+    def test_matmul_planes_match_edgewise(self):
+        loads = np.tile(BASE, (3, 1))
+        fast = make_engine("batched").run(TOPO, self._config(), loads)
+        edge = make_engine("batched").run(
+            TOPO, self._config(fast_path="never"), loads
+        )
+        for f, e in zip(fast, edge):
+            np.testing.assert_allclose(
+                f.final_state.load, e.final_state.load, rtol=1e-9, atol=1e-6
+            )
+            for name in self.NODE_FIELDS:
+                np.testing.assert_allclose(
+                    f.series(name), e.series(name), rtol=1e-8, atol=1e-6,
+                    err_msg=name,
+                )
+
+    def test_forced_spectral_rejects_varying_planes(self):
+        loads = np.tile(BASE, (3, 1))
+        with pytest.raises(ConfigurationError, match="vary"):
+            make_engine("batched").run(
+                TOPO, self._config(fast_path="spectral"), loads
+            )
+
+    def test_uniform_planes_fold_into_spectral(self):
+        """All-equal beta/alpha planes are scalars — spectral stays legal."""
+        loads = np.tile(BASE, (3, 1))
+        config = self._config(
+            replica_params=ReplicaParams(
+                betas=[1.4, 1.4, 1.4], alpha_scales=0.5,
+                load_scales=[1.0, 2.0, 0.5],
+            ),
+            fast_path="spectral",
+        )
+        fast = make_engine("batched").run(TOPO, config, loads)
+        edge = make_engine("batched").run(
+            TOPO, replace(config, fast_path="never"), loads
+        )
+        for f, e in zip(fast, edge):
+            np.testing.assert_allclose(
+                f.final_state.load, e.final_state.load, rtol=1e-9, atol=1e-6
+            )
+
+    def test_switch_rounds_block_fast_path(self):
+        config = self._config(
+            replica_params=ReplicaParams(switch_rounds=[5, 10, -1]),
+            fast_path="matmul",
+        )
+        with pytest.raises(ConfigurationError, match="switch"):
+            make_engine("batched").run(TOPO, config, np.tile(BASE, (3, 1)))
+
+
+class TestValidation:
+    def test_switch_conflict(self):
+        config = EngineConfig(
+            switch=("fixed", 10),
+            replica_params=ReplicaParams(switch_rounds=[5, 10]),
+        )
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            config.validate()
+
+    def test_switch_rounds_reject_dynamic(self):
+        config = EngineConfig(
+            arrivals="poisson:1.0",
+            replica_params=ReplicaParams(switch_rounds=[5, 10]),
+        )
+        with pytest.raises(ConfigurationError, match="dynamic"):
+            config.validate()
+
+    def test_betas_need_sos(self):
+        config = EngineConfig(
+            scheme="fos", replica_params=ReplicaParams(betas=[1.0, 1.2])
+        )
+        with pytest.raises(ConfigurationError, match="sos"):
+            config.validate()
+
+    def test_arrival_scales_need_arrivals(self):
+        config = EngineConfig(
+            replica_params=ReplicaParams(arrival_scales=[1.0, 2.0])
+        )
+        with pytest.raises(ConfigurationError, match="arrival"):
+            config.validate()
+
+    def test_bad_values_rejected(self):
+        for kwargs in (
+            dict(betas=[0.0]),
+            dict(betas=[2.0]),
+            dict(alpha_scales=[0.0]),
+            dict(alpha_scales=[-1.0]),
+            dict(arrival_scales=[-0.5]),
+            dict(load_scales=[float("inf")]),
+            dict(betas=[[1.0, 1.2]]),  # not a flat sequence
+        ):
+            with pytest.raises(ConfigurationError):
+                resolve_replica_params(ReplicaParams(**kwargs), 1)
+
+    def test_unknown_dict_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            resolve_replica_params({"gamma": [1.0]}, 2)
+
+    def test_dict_spec_accepted(self):
+        resolved = resolve_replica_params({"betas": 1.5}, 3)
+        np.testing.assert_array_equal(resolved.betas, [1.5, 1.5, 1.5])
+
+
+class TestBroadcastProperties:
+    """Hypothesis: broadcasting, rejection, and shard invariance."""
+
+    @given(
+        scalar=st.floats(min_value=0.01, max_value=1.99),
+        n=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_broadcasts_to_plane(self, scalar, n):
+        resolved = resolve_replica_params(ReplicaParams(betas=scalar), n)
+        assert resolved.betas.shape == (n,)
+        assert uniform_plane_value(resolved.betas) == pytest.approx(scalar)
+        explicit = resolve_replica_params(
+            ReplicaParams(betas=[scalar] * n), n
+        )
+        np.testing.assert_array_equal(resolved.betas, explicit.betas)
+
+    @given(
+        n=st.integers(min_value=2, max_value=16),
+        extra=st.integers(min_value=1, max_value=5),
+        field_name=st.sampled_from(
+            ["betas", "alpha_scales", "load_scales", "switch_rounds"]
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_length_mismatch_rejected(self, n, extra, field_name):
+        values = (
+            [10] * (n + extra)
+            if field_name == "switch_rounds"
+            else [1.0] * (n + extra)
+        )
+        with pytest.raises(ConfigurationError, match="replicas"):
+            resolve_replica_params(
+                ReplicaParams(**{field_name: values}), n
+            )
+
+    @given(
+        entries=st.lists(
+            st.one_of(st.none(), st.integers(min_value=-3, max_value=40)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_switch_round_none_means_never(self, entries):
+        resolved = resolve_replica_params(
+            ReplicaParams(switch_rounds=entries), len(entries)
+        )
+        for entry, value in zip(entries, resolved.switch_rounds):
+            if entry is None:
+                assert value == -1
+            else:
+                assert value == entry
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        n_shards=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shard_slices_reassemble(self, n, n_shards, data):
+        """Slicing the planes along any shard plan loses nothing: the
+        concatenated shard planes equal the full planes — the invariant
+        behind shard-boundary-independent trajectories."""
+        n_shards = min(n_shards, n)
+        betas = data.draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.99),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        resolved = resolve_replica_params(ReplicaParams(betas=betas), n)
+        pieces = [
+            resolve_replica_params(resolved.shard(lo, hi), hi - lo).betas
+            for lo, hi in plan_shards(n, n_shards)
+        ]
+        np.testing.assert_array_equal(
+            np.concatenate(pieces), resolved.betas
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_shard_boundary_invariance_end_to_end(self, seed):
+        """A replica's trajectory does not depend on the worker count."""
+        topo = torus_2d(4, 5)
+        base = point_load(topo, 200 * topo.n)
+        loads = np.tile(base, (4, 1))
+        config = EngineConfig(
+            scheme="sos", beta=1.6, rounding="randomized-excess", rounds=12,
+            seed=seed,
+            replica_params=ReplicaParams(
+                switch_rounds=[-1, 4, 8, -1], load_scales=[1.0, 2.0, 1.0, 0.5]
+            ),
+        )
+        one = make_engine("sharded").run(
+            topo, replace(config, workers=1), loads
+        )
+        two = make_engine("sharded").run(
+            topo, replace(config, workers=2), loads
+        )
+        for a, b in zip(one, two):
+            np.testing.assert_array_equal(
+                a.final_state.load, b.final_state.load
+            )

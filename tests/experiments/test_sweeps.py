@@ -139,3 +139,197 @@ class TestDynamicReplicaEnsemble:
                 topo, self._config(), ["poisson:1.0"],
                 initial_loads=np.zeros((2, topo.n + 1)),
             )
+
+
+class TestParamGrid:
+    def test_points_row_major(self):
+        from repro.experiments import ParamGrid
+
+        grid = ParamGrid(beta=[1.2, 1.5], alpha_scale=[0.5, 1.0, 2.0])
+        assert grid.n_points == 6
+        pts = grid.points()
+        assert pts[0] == {"beta": 1.2, "alpha_scale": 0.5}
+        assert pts[1] == {"beta": 1.2, "alpha_scale": 1.0}
+        assert pts[-1] == {"beta": 1.5, "alpha_scale": 2.0}
+        assert len(grid.labels()) == 6
+        assert grid.labels()[0] == "beta=1.2,alpha_scale=0.5"
+
+    def test_replica_params_repeat_seeds_innermost(self):
+        from repro.experiments import ParamGrid
+
+        grid = ParamGrid(switch_round=[None, 10])
+        params = grid.replica_params(n_seeds=3)
+        assert params.switch_rounds == [None, None, None, 10, 10, 10]
+
+    def test_validation(self):
+        from repro import ConfigurationError
+        from repro.experiments import ParamGrid
+
+        with pytest.raises(ConfigurationError):
+            ParamGrid()
+        with pytest.raises(ConfigurationError):
+            ParamGrid(beta=[])
+        with pytest.raises(ConfigurationError):
+            ParamGrid(gamma=[1.0])
+
+
+class TestSweepEnsemble:
+    def _topo(self):
+        from repro import torus_2d
+
+        return torus_2d(8, 8)
+
+    def test_one_call_matches_per_point_ensembles(self):
+        """The fused sweep reproduces the old per-point replica_ensemble
+        loop replica for replica (deterministic rounding: bit for bit)."""
+        from dataclasses import replace
+
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, replica_ensemble, sweep_ensemble
+
+        topo = self._topo()
+        config = EngineConfig(
+            scheme="sos", beta=1.7, rounding="nearest", rounds=30, seed=5
+        )
+        grid = ParamGrid(switch_round=[None, 10, 20])
+        sweep = sweep_ensemble(
+            topo, config, grid, n_seeds=3, average_load=100, engine="batched"
+        )
+        assert sweep.n_replicas == 9
+        for i, switch in enumerate([None, 10, 20]):
+            solo = replica_ensemble(
+                topo,
+                replace(
+                    config,
+                    switch=("fixed", switch) if switch is not None else None,
+                ),
+                n_replicas=3,
+                average_load=100,
+                engine="batched",
+            )
+            for a, b in zip(sweep.point_results(i), solo.results):
+                np.testing.assert_array_equal(
+                    a.final_state.load, b.final_state.load
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(a.series("max_minus_avg")),
+                    np.asarray(b.series("max_minus_avg")),
+                )
+
+    def test_sharded_sweep_bit_identical_to_batched(self):
+        from dataclasses import replace
+
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        topo = self._topo()
+        config = EngineConfig(
+            scheme="sos", beta=1.7, rounding="randomized-excess", rounds=20,
+            seed=1,
+        )
+        grid = ParamGrid(switch_round=[None, 8], load_scale=[1.0, 2.0])
+        batched = sweep_ensemble(
+            topo, config, grid, n_seeds=2, average_load=100, engine="batched"
+        )
+        sharded = sweep_ensemble(
+            topo, replace(config, workers=2), grid, n_seeds=2,
+            average_load=100, engine="sharded",
+        )
+        for a, b in zip(batched.results, sharded.results):
+            np.testing.assert_array_equal(
+                a.final_state.load, b.final_state.load
+            )
+
+    def test_reference_engine_supported(self):
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        topo = self._topo()
+        config = EngineConfig(
+            scheme="sos", beta=1.7, rounding="floor", rounds=15, seed=0
+        )
+        sweep = sweep_ensemble(
+            topo, config, ParamGrid(beta=[1.2, 1.8]), n_seeds=2,
+            average_load=50, engine="reference",
+        )
+        assert sweep.n_replicas == 4
+        assert all("final_max_minus_avg_mean" in s for s in sweep.point_stats)
+
+    def test_dynamic_sweep(self):
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        topo = self._topo()
+        config = EngineConfig(
+            scheme="sos", beta=1.5, rounding="nearest", rounds=20, seed=0,
+            arrivals="poisson:2.0,depart=1.0",
+        )
+        sweep = sweep_ensemble(
+            topo, config, ParamGrid(arrival_scale=[0.5, 1.0, 2.0]),
+            n_seeds=2, average_load=50,
+        )
+        assert sweep.dynamic and sweep.n_replicas == 6
+        steady = [s["steady_state_mean"] for s in sweep.point_stats]
+        # more churn -> more steady-state imbalance
+        assert steady[0] < steady[-1]
+
+    def test_arrival_scale_axis_needs_dynamic_config(self):
+        from repro import ConfigurationError
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        with pytest.raises(ConfigurationError, match="arrival"):
+            sweep_ensemble(
+                self._topo(),
+                EngineConfig(rounds=5),
+                ParamGrid(arrival_scale=[1.0]),
+            )
+
+    def test_rejects_load_batches(self):
+        from repro import ConfigurationError
+        from repro.engines import EngineConfig
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        topo = self._topo()
+        with pytest.raises(ConfigurationError, match="base load row"):
+            sweep_ensemble(
+                topo,
+                EngineConfig(rounds=5),
+                ParamGrid(beta=[1.5]),
+                initial_loads=np.zeros((2, topo.n)),
+            )
+
+
+class TestBetaSensitivitySweep:
+    def test_one_call_shape_and_optimum(self):
+        from repro.experiments import beta_sensitivity_sweep
+
+        out = beta_sensitivity_sweep(side=10, rounds=400, average_load=100)
+        assert out["engine_calls"] == 1
+        rounds_map = out["rounds_to_balance"]
+        assert len(rounds_map) == 5
+        opt = rounds_map[f"{out['beta_opt']:.6f}"]
+        fos = rounds_map["1.000000"]
+        assert opt is not None
+        # beta_opt converges faster than plain FOS (beta = 1)
+        assert fos is None or opt < fos
+
+    def test_rejects_preset_planes_and_keys(self):
+        """The grid owns replica_params/replica_keys/arrival_seeds —
+        caller-set values would be silently overwritten, so they raise."""
+        from repro import ConfigurationError, torus_2d
+        from repro.engines import EngineConfig, ReplicaParams
+        from repro.experiments import ParamGrid, sweep_ensemble
+
+        topo = torus_2d(4, 5)
+        for kwargs in (
+            dict(replica_params=ReplicaParams(betas=1.5)),
+            dict(replica_keys=[0, 1]),
+            dict(arrivals="poisson:1.0", arrival_seeds=[0, 1]),
+        ):
+            with pytest.raises(ConfigurationError, match="sweep_ensemble"):
+                sweep_ensemble(
+                    topo,
+                    EngineConfig(rounds=5, **kwargs),
+                    ParamGrid(load_scale=[1.0, 2.0]),
+                )

@@ -216,3 +216,90 @@ class TestScalingFlags:
         )
         assert code == 0
         assert "single-seed" in capsys.readouterr().err
+
+
+class TestEngineChoicesFromRegistry:
+    def test_engine_choices_track_the_registry(self):
+        """--engine choices come from the make_engine registry, so a new
+        backend can never drift out of `simulate --help`."""
+        from repro.engines import ENGINES
+
+        parser = build_parser()
+        sub = parser._subparsers._group_actions[0]
+        for command in ("simulate", "figure"):
+            action = next(
+                a
+                for a in sub.choices[command]._actions
+                if "--engine" in a.option_strings
+            )
+            assert list(action.choices) == sorted(ENGINES)
+
+
+class TestSweepFlag:
+    def test_sweep_switch_rounds(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "40", "--engine", "batched", "--replicas", "2",
+                "--sweep", "switch-round=none,10,20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 points x 2 seed(s) = 6 replicas in ONE batched" in out
+        assert "switch_round=never" in out
+        assert "switch_round=20" in out
+
+    def test_sweep_linspace_and_cross(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "20", "--engine", "batched",
+                "--sweep", "beta=1.2:1.8:3",
+                "--sweep", "load-scale=0.5,1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 points x 1 seed(s) = 6 replicas" in out
+        assert "beta=1.2,load_scale=0.5" in out
+
+    def test_sweep_dynamic_arrival_scale(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--rounds", "15", "--engine", "batched",
+                "--arrivals", "poisson:1.0",
+                "--sweep", "arrival-scale=0.5,2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady_state_mean" in out
+
+    def test_sweep_rejects_unknown_key(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--sweep", "gamma=1:2:3",
+                ]
+            )
+
+    def test_sweep_rejects_malformed_values(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--sweep", "beta=a:b:c",
+                ]
+            )
+
+    def test_sweep_rejects_duplicate_axis(self):
+        with pytest.raises(SystemExit, match="twice"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--sweep", "beta=1.2,1.4", "--sweep", "beta=1.6",
+                ]
+            )
