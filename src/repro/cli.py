@@ -164,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sim.add_argument(
+        "--kernel",
+        default="numpy",
+        choices=["numpy", "numba", "cffi", "python", "auto"],
+        help=(
+            "kernel tier of the batched engine's discrete hot loop: 'numpy' "
+            "(default) runs the vectorised numpy kernels, 'numba'/'cffi' "
+            "force a compiled provider (error when unavailable — install "
+            "the [compiled] extra), 'python' the pure-python reference "
+            "provider, 'auto' the best available compiled provider with "
+            "silent numpy fallback; every tier is bit-identical"
+        ),
+    )
+    p_sim.add_argument(
         "--tile-size",
         default=None,
         metavar="N|auto",
@@ -382,6 +395,7 @@ def _cmd_simulate(args) -> int:
         switch_round=args.switch_round,
         precision=args.precision,
         fast_path=args.fast_path,
+        kernel=args.kernel,
         tile_size=_parse_tile_size(args.tile_size),
         memory_budget_mb=args.memory_budget_mb,
         record_mode=args.record_mode,

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..graphs.topology import Topology
+from ..kernels import KERNEL_CHOICES
 from ..core.hybrid import (
     FixedRoundSwitch,
     LocalDifferenceSwitch,
@@ -367,6 +368,19 @@ class EngineConfig:
     #: ``"matmul"`` / ``"spectral"`` force a tier (raising when the config
     #: or graph is not eligible).
     fast_path: str = "auto"
+    #: Kernel tier of the batched engine's discrete hot loop: ``"numpy"``
+    #: (default) runs the vectorised numpy kernels, ``"numba"`` / ``"cffi"``
+    #: force a compiled provider from :mod:`repro.kernels` (raising a
+    #: ``ConfigurationError`` naming the ``[compiled]`` pip extra when the
+    #: provider is unavailable or the config is not discrete), ``"python"``
+    #: forces the pure-python reference provider (tests only), and
+    #: ``"auto"`` picks the best available compiled provider — numba, then
+    #: cffi — silently falling back to the numpy tier with a one-time
+    #: ``repro.kernels`` log line.  Every provider is bit-identical to the
+    #: numpy tier for every discrete rounding (stochastic roundings keep
+    #: consuming the same pre-drawn per-replica RNG planes).  Batched and
+    #: sharded engines only.
+    kernel: str = "numpy"
     #: Node-tile width of the batched engine's streaming kernels: ``None``
     #: (default) keeps the dense whole-``(n, B)`` scratch planes, an ``int``
     #: processes loads/arrivals/metric reductions and the excess-token
@@ -452,6 +466,10 @@ class EngineConfig:
             raise ConfigurationError(
                 "fast_path must be 'auto', 'never', 'matmul' or 'spectral', "
                 f"got {self.fast_path!r}"
+            )
+        if self.kernel not in KERNEL_CHOICES:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNEL_CHOICES}, got {self.kernel!r}"
             )
         resolve_record_fields(self.record_fields)  # raises on unknown fields
         if self.record_fields is not None and self.arrivals is not None:
@@ -698,6 +716,8 @@ def reject_batched_only(config: "EngineConfig", engine_name: str) -> None:
         offending.append(f"fast_path={config.fast_path!r}")
     if config.replica_keys is not None:
         offending.append("replica_keys")
+    if config.kernel not in ("numpy", "auto"):
+        offending.append(f"kernel={config.kernel!r}")
     if offending:
         raise ConfigurationError(
             f"the {engine_name} engine does not support "

@@ -55,6 +55,7 @@ from ..core.spectral import (
 )
 from ..graphs.speeds import uniform_speeds, validate_speeds
 from ..graphs.topology import Topology
+from ..kernels import ROUNDING_CODES, ensure_warm, resolve_kernel
 
 from .base import (
     ArrivalBatch,
@@ -453,6 +454,12 @@ class _BatchedHandle:
         self.frac_tol = _FRAC_TOL if dtype == np.float64 else 1e-5
         #: relative conservation tolerance (float32 accumulates more drift)
         self.conserve_tol = 1e-6 if dtype == np.float64 else 1e-4
+        #: compiled kernel provider of the discrete hot loop (None = the
+        #: numpy tier); warmed here so JIT/compile cost lands in prepare(),
+        #: never inside a measured round.
+        self.kernel = resolve_kernel(config, m)
+        if self.kernel is not None:
+            ensure_warm(self.kernel)
         #: static record columns actually computed (dynamic runs ignore this)
         self.fields = resolve_record_fields(config.record_fields)
         #: whether any record round needs the transient/traffic pass
@@ -539,6 +546,43 @@ class _BatchedHandle:
         self.W = sp.coo_matrix(
             (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
         ).tocsr()
+        if self.kernel is not None:
+            # Flat buffers of the compiled provider: edge endpoints, the
+            # incidence CSR (captured before tiling drops self.D — the
+            # compiled apply replays csr_matvecs' per-row accumulation
+            # order), per-node speeds, and the dtype-pinned constants
+            # [0, 1, frac_tol] so no float literal enters the kernels at a
+            # foreign precision.
+            self.kern_eu = np.ascontiguousarray(eu, dtype=np.int32)
+            self.kern_ev = np.ascontiguousarray(ev, dtype=np.int32)
+            self.inc_indptr = np.ascontiguousarray(self.D.indptr, dtype=np.int64)
+            self.inc_edges = np.ascontiguousarray(self.D.indices, dtype=np.int32)
+            self.inc_signs = np.ascontiguousarray(self.D.data)
+            self.kern_speeds = (
+                None if self.uniform_speeds
+                else np.ascontiguousarray(self.speeds_col.ravel())
+            )
+            self.kern_consts = np.array([0.0, 1.0, self.frac_tol], dtype=dtype)
+            self.kern_beta = np.ones(B, dtype=dtype)
+            self.kern_bm1 = np.zeros(B, dtype=dtype)
+            if np.isscalar(self.alphas):
+                self.kern_alpha = (np.full(1, self.alphas, dtype=dtype), 0, 0)
+            else:
+                # alphas is (m, 1), (1, B) or (m, B); element strides mirror
+                # the numpy broadcast: alpha[e, b] = flat[e * ar + b * ac].
+                rows, cols = self.alphas.shape
+                flat = np.ascontiguousarray(self.alphas, dtype=dtype).ravel()
+                self.kern_alpha = (
+                    flat, cols if rows > 1 else 0, 1 if cols > 1 else 0
+                )
+            # Unbiased-edge pre-draw plane, replica-major so each stream
+            # fills one contiguous row (rng.random(out=...) — no strided
+            # copy); the kernels index it as uni[b * m + e].
+            self.kern_uni = (
+                np.empty((B, m), dtype=dtype)
+                if config.rounding == "unbiased-edge"
+                else None
+            )
         if self.tile:
             # Row blocks of the incidence operators: CSR row slicing keeps
             # each row's accumulation untouched, so the tiled apply/transient
@@ -586,28 +630,42 @@ class _BatchedHandle:
             )
             self.dmax = dmax
             self.adj_edges_flat = adj_edges.ravel()
-            self.slot_dirs_flat = slot_dirs.ravel()
-            # Outgoing-fraction gather indices per slot plane: a slot routes
-            # to the P block (positive fsg) when the node is the edge's u
-            # endpoint, to the N block (negative fsg) when it is v, and to
-            # the always-zero padding row otherwise.
-            self.slot_take = [
-                np.where(
-                    slot_dirs[:, j] > 0,
-                    adj_edges[:, j],
-                    np.where(slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m),
-                )
-                for j in range(dmax)
-            ]
-            # P/N blocks: rows [0, m) positive parts, row m zero padding,
-            # rows [m+1, 2m+1) negative parts, row 2m+1 zero padding.
-            self.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
-            # cumulative outgoing fractions per slot plane: (dmax, n, B)
-            # dense, or lazily (dmax, tile, B) when the run is tiled — the
-            # dominant scratch allocation of large-n discrete runs.
-            plane_rows = self.tile if self.tile else n
-            self.cum_planes = np.empty((dmax, plane_rows, B), dtype=dtype)
-            self.slot_arange = np.arange(plane_rows * B)
+            if self.kernel is not None:
+                # Compiled excess path: int8 slot signs plus the token-count
+                # and uniform-offset buffers replace the numpy tier's P/N
+                # blocks and cumulative planes — the dominant scratch
+                # allocation of large-n discrete runs disappears entirely.
+                self.kern_adj_edges = self.adj_edges_flat.astype(np.int32)
+                self.kern_adj_signs = slot_dirs.ravel().astype(np.int8)
+                self.kern_counts = np.empty((n, B), dtype=np.int64)
+                self.kern_totals = np.empty(B, dtype=np.int64)
+                self.kern_uoff = np.empty(B + 1, dtype=np.int64)
+                self.kern_uni_flat = None  # grown on demand, reused across rounds
+            else:
+                self.slot_dirs_flat = slot_dirs.ravel()
+                # Outgoing-fraction gather indices per slot plane: a slot
+                # routes to the P block (positive fsg) when the node is the
+                # edge's u endpoint, to the N block (negative fsg) when it
+                # is v, and to the always-zero padding row otherwise.
+                self.slot_take = [
+                    np.where(
+                        slot_dirs[:, j] > 0,
+                        adj_edges[:, j],
+                        np.where(
+                            slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m
+                        ),
+                    )
+                    for j in range(dmax)
+                ]
+                # P/N blocks: rows [0, m) positive parts, row m zero padding,
+                # rows [m+1, 2m+1) negative parts, row 2m+1 zero padding.
+                self.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
+                # cumulative outgoing fractions per slot plane: (dmax, n, B)
+                # dense, or lazily (dmax, tile, B) when the run is tiled —
+                # the dominant scratch allocation of large-n discrete runs.
+                plane_rows = self.tile if self.tile else n
+                self.cum_planes = np.empty((dmax, plane_rows, B), dtype=dtype)
+                self.slot_arange = np.arange(plane_rows * B)
 
         # -- targets ----------------------------------------------------
         if config.targets is not None:
@@ -798,43 +856,50 @@ class BatchedVectorEngine(Engine):
         if h.arrival_models is not None and not h.arrivals_applied:
             self._apply_arrivals(h)
 
-        # -- scheduled flows (Yhat) ----------------------------------------
-        if h.uniform_speeds:
-            norm = load
+        # -- scheduled flows (Yhat) + rounding -----------------------------
+        if h.kernel is not None:
+            # Compiled tier: one fused pass does schedule + rounding without
+            # materialising the intermediate (m, B) planes; bit-identical to
+            # the numpy branches below (see _kernel_round).
+            act = self._kernel_round(h)
         else:
-            norm = np.divide(load, h.speeds_col, out=h.nb1)
-        if h.fused_sched and (h.round_index == 0 or h.scalar_beta):
-            # Fused form: scale flows in place, then accumulate the weighted
-            # gradient straight out of the CSR operator.  Bitwise this
-            # reorders the float products, which only statistical roundings
-            # may do; round 0 uses the plain-alpha operator (FOS opener).
-            if h.round_index == 0:
-                _csr_dot(h.E_alpha, norm, flows, accumulate=True)
+            if h.uniform_speeds:
+                norm = load
             else:
-                beta = float(h.beta_row[0, 0])
-                np.multiply(flows, beta - 1.0, out=flows)
-                _csr_dot(h.E_alpha_beta, norm, flows, accumulate=True)
-            sched = flows
-        else:
-            diff = _csr_dot(h.E, norm, h.mb1)  # x_u/s_u - x_v/s_v per edge
-            np.multiply(diff, h.alphas, out=diff)  # gradient
-            if h.round_index == 0:
-                # Both schemes open with a plain FOS round.
-                sched = diff
-            elif h.scalar_beta:
-                beta = float(h.beta_row[0, 0])
-                np.multiply(diff, beta, out=diff)
-                np.multiply(flows, beta - 1.0, out=flows)
-                np.add(flows, diff, out=flows)
+                norm = np.divide(load, h.speeds_col, out=h.nb1)
+            if h.fused_sched and (h.round_index == 0 or h.scalar_beta):
+                # Fused form: scale flows in place, then accumulate the
+                # weighted gradient straight out of the CSR operator.
+                # Bitwise this reorders the float products, which only
+                # statistical roundings may do; round 0 uses the
+                # plain-alpha operator (FOS opener).
+                if h.round_index == 0:
+                    _csr_dot(h.E_alpha, norm, flows, accumulate=True)
+                else:
+                    beta = float(h.beta_row[0, 0])
+                    np.multiply(flows, beta - 1.0, out=flows)
+                    _csr_dot(h.E_alpha_beta, norm, flows, accumulate=True)
                 sched = flows
             else:
-                np.multiply(diff, h.beta_row, out=diff)
-                np.multiply(flows, h.beta_row - 1.0, out=flows)
-                np.add(flows, diff, out=flows)
-                sched = flows
+                diff = _csr_dot(h.E, norm, h.mb1)  # x_u/s_u - x_v/s_v per edge
+                np.multiply(diff, h.alphas, out=diff)  # gradient
+                if h.round_index == 0:
+                    # Both schemes open with a plain FOS round.
+                    sched = diff
+                elif h.scalar_beta:
+                    beta = float(h.beta_row[0, 0])
+                    np.multiply(diff, beta, out=diff)
+                    np.multiply(flows, beta - 1.0, out=flows)
+                    np.add(flows, diff, out=flows)
+                    sched = flows
+                else:
+                    np.multiply(diff, h.beta_row, out=diff)
+                    np.multiply(flows, h.beta_row - 1.0, out=flows)
+                    np.add(flows, diff, out=flows)
+                    sched = flows
 
-        # -- rounding ------------------------------------------------------
-        act = self._round_flows(h, sched)
+            # -- rounding --------------------------------------------------
+            act = self._round_flows(h, sched)
 
         # -- step info (transients / traffic), then apply ------------------
         if want_info:
@@ -862,6 +927,13 @@ class BatchedVectorEngine(Engine):
                 h.last_min_transient = transient.min(axis=0)
                 h.last_traffic = absf.sum(axis=0)
                 np.add(load, delta, out=load)
+        elif h.kernel is not None:
+            # Compiled apply: the same per-row sequential accumulation as
+            # csr_matvecs over D's CSR structure — bit-identical, without
+            # scipy's per-call overhead.
+            h.kernel.apply_flows(
+                h.inc_indptr, h.inc_edges, h.inc_signs, act, load
+            )
         elif h.tile:
             for (a, b), d_t in zip(h.node_tiles, h.D_tiles):
                 _csr_dot(d_t, act, load[a:b], accumulate=True)
@@ -882,6 +954,98 @@ class BatchedVectorEngine(Engine):
         # -- hybrid switch (checked after recording, like the simulator) ---
         if h.switch.kind is not None:
             self._check_switch(h)
+
+    def _kernel_round(self, h: _BatchedHandle) -> np.ndarray:
+        """One fused schedule + rounding pass through the compiled provider.
+
+        Resolves the round's schedule mode and coefficient strides exactly
+        like the numpy branches in :meth:`_advance` (fused-operator form,
+        scalar/vector beta, the round-0 FOS opener), pre-draws any
+        stochastic uniforms from the same per-replica streams in the same
+        order, and hands flat buffers to the provider — bit-identical to
+        the numpy tier by construction.  Reads ``h.flows`` without writing
+        it; the actuals land in ``h.act`` and the caller's swap makes them
+        the next round's flow state, exactly like the numpy path (whose
+        in-place ``flows`` writes are discarded scratch after the swap).
+        """
+        kern = h.kernel
+        B = h.n_replicas
+        m = h.topo.m_edges
+        rounding = ROUNDING_CODES[h.config.rounding]
+        if h.fused_sched and (h.round_index == 0 or h.scalar_beta):
+            # Fused-operator schedule: per-edge coefficients straight from
+            # the interleaved E_alpha[_beta].data (+c at even slots), with
+            # flows scaled by beta-1 (round 0: by 1 — the flows are +0.0,
+            # matching the accumulate-into-zeros opener bit for bit).
+            mode = 2
+            if h.round_index == 0:
+                alpha = h.E_alpha.data
+                h.kern_bm1[0] = 1.0
+            else:
+                alpha = h.E_alpha_beta.data
+                h.kern_bm1[0] = float(h.beta_row[0, 0]) - 1.0
+            ar, ac, bs = 2, 0, 0
+        else:
+            alpha, ar, ac = h.kern_alpha
+            if h.round_index == 0:
+                mode, bs = 0, 0  # plain FOS opener: beta/bm1 unused
+            elif h.scalar_beta:
+                mode, bs = 1, 0
+                beta = float(h.beta_row[0, 0])
+                h.kern_beta[0] = beta
+                h.kern_bm1[0] = beta - 1.0
+            else:
+                mode, bs = 1, 1
+                np.copyto(h.kern_beta, h.beta_row[0])
+                np.subtract(h.beta_row[0], 1.0, out=h.kern_bm1)
+        uni = None
+        fsg = None
+        if rounding == 3:  # unbiased-edge: pre-draw the per-edge uniforms
+            uni = h.kern_uni
+            for b, rng in enumerate(h.rngs):
+                rng.random(dtype=h.dtype, out=uni[b])
+        elif rounding == 4:  # randomized-excess: fractional-part plane
+            fsg = h.mb3
+        kern.round_edges(
+            h.kern_eu, h.kern_ev, h.load, h.kern_speeds, h.flows, h.act,
+            fsg, uni, alpha, ar, ac, h.kern_beta, h.kern_bm1, bs,
+            mode, rounding, h.kern_consts,
+        )
+        if rounding == 4:
+            # Token budgets first, then exactly as many uniforms as there
+            # are tokens, drawn replica-major / node-ascending from the
+            # per-replica streams — the numpy tier's consumption order.
+            kern.excess_counts(
+                h.kern_adj_edges, h.kern_adj_signs, h.dmax, m, fsg,
+                h.kern_counts, h.kern_totals, h.kern_consts,
+            )
+            per_replica = h.kern_totals
+            h.kern_uoff[0] = 0
+            np.cumsum(per_replica, out=h.kern_uoff[1:])
+            total = int(h.kern_uoff[B])
+            if total:
+                # Persistent uniform buffer, streams drawn straight into
+                # their slices (a zero-count draw consumes nothing, so the
+                # stream order matches the numpy tier's token_uniforms).
+                buf = h.kern_uni_flat
+                if buf is None or buf.size < total:
+                    buf = h.kern_uni_flat = np.empty(
+                        total + total // 4 + 64, dtype=h.dtype
+                    )
+                uni_flat = buf[:total]
+                for b, rng in enumerate(h.rngs):
+                    cnt = int(per_replica[b])
+                    if cnt:
+                        rng.random(
+                            dtype=h.dtype,
+                            out=uni_flat[h.kern_uoff[b] : h.kern_uoff[b] + cnt],
+                        )
+                kern.excess_dispatch(
+                    h.kern_adj_edges, h.kern_adj_signs, h.dmax, m, fsg,
+                    h.kern_counts, uni_flat, h.kern_uoff, h.act,
+                    h.kern_consts,
+                )
+        return h.act
 
     def _round_flows(self, h: _BatchedHandle, sched: np.ndarray) -> np.ndarray:
         """Vectorised rounding of the scheduled flows; returns the actuals."""
@@ -1387,6 +1551,12 @@ class BatchedVectorEngine(Engine):
             # never reaches prepare(), and a beta outside (0, 2) makes the
             # recurrence divergent rather than merely wrong.
             raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
+        if config.kernel not in ("numpy", "auto"):
+            # A forced kernel provider must be resolvable (and discrete)
+            # even when the closed-form fast path would bypass the
+            # edge-wise loop entirely — silently ignoring it would lie
+            # about what ran.
+            resolve_kernel(config, topo.m_edges)
         loads = as_load_batch(initial_loads, topo.n)
         params = resolve_replica_params(config.replica_params, loads.shape[0])
         mode = self._fast_path_mode(topo, config, params)

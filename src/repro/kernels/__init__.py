@@ -1,0 +1,291 @@
+"""Compiled kernel tier for the discrete edge-wise hot loop.
+
+The batched engine's discrete rounds are dominated by elementwise numpy
+passes over ``(m, B)`` planes (schedule, round, token dispatch, apply).
+This package provides *fused* single-pass implementations of those four
+kernels behind one provider API, selected by ``EngineConfig.kernel``:
+
+* ``"numba"`` — ``@njit(parallel=True, cache=True)`` kernels
+  (:mod:`._numba`), available when numba is installed (the ``[compiled]``
+  pip extra);
+* ``"cffi"`` — the same kernels as C compiled once through cffi with the
+  system compiler (:mod:`._cffi`), cached on disk;
+* ``"python"`` — a pure numpy/python reference provider (:mod:`._python`)
+  that validates the orchestration without any compiler;
+* ``"auto"`` — the best available compiled provider (numba, then cffi),
+  silently falling back to the numpy tier with a one-time log line;
+* ``"numpy"`` — the engine's own vectorised kernels (no provider).
+
+Every provider is **bit-identical** to the numpy tier: deterministic
+roundings replay the exact elementwise expression trees and the exact
+CSR accumulation order, and the stochastic roundings consume uniforms
+pre-drawn from the same per-replica
+:func:`~repro.engines.base.rounding_stream` numpy generators in the same
+order (the provider compiles the expensive scatter, not the sampling).
+The contract is enforced by ``tests/engines/test_compiled.py``.
+
+Provider API (all arrays C-contiguous, loads/flows ``(n, B)``/``(m, B)``
+in the engine's dtype; ``consts = [0.0, 1.0, frac_tol]`` in that dtype
+so no float literal ever enters the kernels at a foreign precision; the
+edge/adjacency index arrays ``eu``/``ev``/``adj_edges``/``edges`` are
+**int32** — half the index traffic of the memory-bound large-n runs —
+while ``indptr``/``counts``/``totals``/``uoff`` stay int64 and
+``adj_signs`` is int8):
+
+* ``round_edges(eu, ev, load, speeds, flows, act, fsg, uni, alpha, ar,
+  ac, beta, bm1, bs, mode, rounding, consts)`` — fused schedule + round:
+  mode 0 is the round-0 FOS opener ``s = (nu - nv) * alpha``, mode 1 the
+  SOS update ``s = flows * (beta - 1) + ((nu - nv) * alpha) * beta``,
+  mode 2 the fused-operator form reading the interleaved
+  ``E_alpha[_beta].data`` coefficients; ``(ar, ac)`` / ``bs`` are element
+  strides into the flat ``alpha`` / ``beta`` rows.  ``rounding`` is a
+  :data:`ROUNDING_CODES` value; ``unbiased-edge`` reads its pre-drawn
+  uniforms from ``uni`` in **(B, m)** layout (each replica's stream fills
+  one contiguous row); ``randomized-excess`` additionally writes the
+  signed fractional parts into ``fsg``.
+* ``excess_counts(adj_edges, adj_signs, dmax, m, fsg, counts, totals,
+  consts)`` — per-(node, replica) token budgets ``ceil(r - tol)`` from a
+  walk of the padded adjacency (slot ``e == m`` is padding), plus the
+  per-replica token totals reduced into ``totals``.
+* ``excess_dispatch(adj_edges, adj_signs, dmax, m, fsg, counts, uni,
+  uoff, act, consts)`` — serial token scatter consuming the pre-drawn
+  uniforms replica-major (``uoff`` offsets), node-ascending within a
+  replica — exactly the numpy tier's stream consumption order.
+* ``apply_flows(indptr, edges, signs, act, load)`` — the incidence
+  accumulation ``load[i] += sum(signs * act[edges])`` replaying scipy's
+  ``csr_matvecs`` per-row sequential order.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import logging
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DISCRETE_ROUNDINGS",
+    "HAVE_CFFI",
+    "HAVE_NUMBA",
+    "KERNEL_CHOICES",
+    "ROUNDING_CODES",
+    "ensure_warm",
+    "get_provider",
+    "kernel_blockers",
+    "resolve_kernel",
+    "warm_up_kernels",
+]
+
+logger = logging.getLogger("repro.kernels")
+
+#: Roundings the compiled tier covers (every discrete rounding; the
+#: continuous ``identity`` process belongs to the closed-form fast paths).
+DISCRETE_ROUNDINGS = (
+    "floor", "nearest", "ceil", "unbiased-edge", "randomized-excess",
+)
+
+#: Rounding name -> integer code passed into the provider kernels.
+ROUNDING_CODES = {name: i for i, name in enumerate(DISCRETE_ROUNDINGS)}
+
+#: Valid ``EngineConfig.kernel`` values.
+KERNEL_CHOICES = ("numpy", "numba", "cffi", "python", "auto")
+
+#: Compiled providers in ``"auto"`` preference order.
+AUTO_PREFERENCE = ("numba", "cffi")
+
+#: Whether the optional compiled dependencies are importable (spec check
+#: only — importing numba eagerly would cost seconds per process).
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+HAVE_CFFI = importlib.util.find_spec("cffi") is not None
+
+#: Provider cache: name -> provider instance, or None when the provider
+#: failed to import/build (the failure is memoised, not retried).
+_PROVIDERS: Dict[str, Optional[object]] = {}
+
+#: Providers already exercised by :func:`ensure_warm` in this process.
+_WARMED = set()
+
+_FALLBACKS_LOGGED = set()
+
+
+def get_provider(name: str):
+    """The named provider instance, or ``None`` when unavailable.
+
+    Import/build failures are logged at debug level and memoised so a
+    missing compiler is probed exactly once per process.
+    """
+    if name in _PROVIDERS:
+        return _PROVIDERS[name]
+    if name == "python":
+        from . import _python as mod
+    elif name == "numba":
+        mod = None
+        if HAVE_NUMBA:
+            try:
+                from . import _numba as mod
+            except Exception as exc:  # pragma: no cover - env dependent
+                logger.debug("numba provider unavailable: %s", exc)
+                mod = None
+    elif name == "cffi":
+        mod = None
+        if HAVE_CFFI:
+            try:
+                from . import _cffi as mod
+            except Exception as exc:  # pragma: no cover - env dependent
+                logger.debug("cffi provider unavailable: %s", exc)
+                mod = None
+    else:
+        raise ValueError(f"unknown kernel provider {name!r}")
+    provider = None
+    if mod is not None:
+        try:
+            provider = mod.make_provider()
+        except Exception as exc:  # pragma: no cover - env dependent
+            logger.debug("kernel provider %r failed to build: %s", name, exc)
+            provider = None
+    _PROVIDERS[name] = provider
+    return provider
+
+
+def kernel_blockers(config, m_edges: int) -> List[str]:
+    """Why this config cannot run a compiled kernel (empty when it can)."""
+    blockers = []
+    if config.rounding not in DISCRETE_ROUNDINGS:
+        blockers.append(
+            f"rounding {config.rounding!r} (the compiled tier covers the "
+            f"discrete roundings {', '.join(DISCRETE_ROUNDINGS)}; identity "
+            "runs use the closed-form fast paths)"
+        )
+    if m_edges == 0:
+        blockers.append("an edgeless topology (no edge-wise hot loop exists)")
+    return blockers
+
+
+def _log_fallback_once(key, message: str) -> None:
+    if key not in _FALLBACKS_LOGGED:
+        _FALLBACKS_LOGGED.add(key)
+        logger.info(message)
+
+
+def resolve_kernel(config, m_edges: int):
+    """Resolve ``config.kernel`` to a provider instance or ``None`` (numpy).
+
+    Forced providers (``"numba"``/``"cffi"``/``"python"``) raise
+    :class:`~repro.exceptions.ConfigurationError` when the config is
+    blocked or the provider is unavailable, naming the ``[compiled]`` pip
+    extra; ``"auto"`` silently falls back to the numpy tier instead, with
+    a one-time ``repro.kernels`` log line.
+    """
+    name = config.kernel
+    if name == "numpy":
+        return None
+    if name not in KERNEL_CHOICES:
+        raise ConfigurationError(
+            f"kernel must be one of {KERNEL_CHOICES}, got {name!r}"
+        )
+    blockers = kernel_blockers(config, m_edges)
+    if name == "auto":
+        if blockers:
+            _log_fallback_once(
+                ("blocked", blockers[0]),
+                "kernel='auto' falls back to the numpy tier: " + blockers[0],
+            )
+            return None
+        for candidate in AUTO_PREFERENCE:
+            provider = get_provider(candidate)
+            if provider is not None:
+                return provider
+        _log_fallback_once(
+            ("missing",),
+            "kernel='auto' falls back to the numpy tier: no compiled "
+            "provider is available (pip install 'repro-lb[compiled]' for "
+            "the numba/cffi tiers)",
+        )
+        return None
+    if blockers:
+        raise ConfigurationError(
+            f"kernel={name!r} is blocked by " + " and ".join(blockers)
+        )
+    provider = get_provider(name)
+    if provider is None:
+        raise ConfigurationError(
+            f"kernel={name!r} is unavailable: the {name} provider failed "
+            "to import or build (install the compiled extra: "
+            "pip install 'repro-lb[compiled]')"
+        )
+    return provider
+
+
+def _warm_provider(provider) -> None:
+    """Exercise every provider entry point on a tiny two-node problem.
+
+    Triggers JIT/compilation outside any measured loop (both dtypes, all
+    rounding codes, all schedule modes, the excess passes and the apply
+    pass).  The warm-up draws no engine randomness — every buffer is
+    built locally.
+    """
+    eu = np.array([0], dtype=np.int32)
+    ev = np.array([1], dtype=np.int32)
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    edges = np.array([0, 0], dtype=np.int32)
+    adj_edges = np.array([0, 0], dtype=np.int32)
+    adj_signs = np.array([1, -1], dtype=np.int8)
+    for dtype in (np.float64, np.float32):
+        consts = np.array([0.0, 1.0, 1e-9], dtype=dtype)
+        load = np.array([[7.5], [2.0]], dtype=dtype)
+        speeds = np.array([1.0, 2.0], dtype=dtype)
+        flows = np.zeros((1, 1), dtype=dtype)
+        act = np.zeros((1, 1), dtype=dtype)
+        fsg = np.zeros((1, 1), dtype=dtype)
+        uni = np.full((1, 1), 0.25, dtype=dtype)
+        alpha = np.array([0.25], dtype=dtype)
+        beta = np.array([1.5], dtype=dtype)
+        bm1 = np.array([0.5], dtype=dtype)
+        signs = np.array([-1.0, 1.0], dtype=dtype)
+        for mode in (0, 1, 2):
+            for code in range(len(DISCRETE_ROUNDINGS)):
+                provider.round_edges(
+                    eu, ev, load, speeds, flows, act, fsg, uni,
+                    alpha, 0, 0, beta, bm1, 0, mode, code, consts,
+                )
+        counts = np.zeros((2, 1), dtype=np.int64)
+        totals = np.zeros(1, dtype=np.int64)
+        provider.excess_counts(
+            adj_edges, adj_signs, 1, 1, fsg, counts, totals, consts
+        )
+        total = int(counts.sum())
+        uoff = np.array([0, total], dtype=np.int64)
+        udraws = np.full(max(total, 1), 0.5, dtype=dtype)[:total]
+        provider.excess_dispatch(
+            adj_edges, adj_signs, 1, 1, fsg, counts, udraws, uoff, act, consts,
+        )
+        provider.apply_flows(indptr, edges, signs, act, load.copy())
+
+
+def ensure_warm(provider) -> None:
+    """Warm the provider once per process (lazy first-compiled-run hook)."""
+    if provider.name in _WARMED:
+        return
+    _warm_provider(provider)
+    _WARMED.add(provider.name)
+
+
+def warm_up_kernels(names=None) -> Dict[str, bool]:
+    """Warm every requested provider; returns ``{name: available}``.
+
+    Benchmarks call this explicitly so JIT/compile time never pollutes
+    the measured rounds/sec; the engine calls :func:`ensure_warm` lazily
+    on the first compiled run.
+    """
+    results: Dict[str, bool] = {}
+    for name in names if names is not None else ("python", "cffi", "numba"):
+        provider = get_provider(name)
+        if provider is None:
+            results[name] = False
+            continue
+        ensure_warm(provider)
+        results[name] = True
+    return results

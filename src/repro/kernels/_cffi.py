@@ -1,0 +1,467 @@
+"""C provider of the kernel API, compiled once through cffi.
+
+The four kernels are instantiated for float64 and float32 from one
+template and built with the system C compiler into a module cached under
+``src/repro/kernels/_cache/`` (override with ``REPRO_KERNEL_CACHE``; a
+temp directory is the fallback when the package directory is read-only).
+The module name carries a hash of the source and flags, so editing the
+kernels or changing compilers never loads a stale extension.
+
+Compilation flags: ``-O3`` with ``-ffp-contract=off`` — fused
+multiply-adds would change results at the ulp level and break the
+bit-identity contract with the numpy tier (``-ffast-math`` is out of the
+question for the same reason).  ``-fopenmp`` is attempted and dropped if
+the toolchain lacks it; the parallel pragmas are over edges/nodes with
+static schedules, so thread count never affects results (each iteration
+owns its output row).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+_DECL_TEMPLATE = """
+void round_edges_@S@(
+    long long m, long long B, const int *eu, const int *ev,
+    const @R@ *load, const @R@ *speeds, const @R@ *flows,
+    @R@ *act, @R@ *fsg, const @R@ *uni,
+    const @R@ *alpha, long long ar, long long ac,
+    const @R@ *beta, const @R@ *bm1, long long bs,
+    int mode, int rounding, const @R@ *consts);
+void excess_counts_@S@(
+    long long n, long long B, long long m, long long dmax,
+    const int *adj_edges, const signed char *adj_signs,
+    const @R@ *fsg, long long *counts, long long *totals,
+    const @R@ *consts);
+void excess_dispatch_@S@(
+    long long n, long long B, long long m, long long dmax,
+    const int *adj_edges, const signed char *adj_signs,
+    const @R@ *fsg, const long long *counts,
+    const @R@ *uni, const long long *uoff,
+    @R@ *act, const @R@ *consts);
+void apply_flows_@S@(
+    long long n, long long B, const long long *indptr,
+    const int *edges, const @R@ *signs,
+    const @R@ *act, @R@ *load);
+"""
+
+_BODY_TEMPLATE = r"""
+void round_edges_@S@(
+    long long m, long long B, const int *eu, const int *ev,
+    const @R@ *load, const @R@ *speeds, const @R@ *flows,
+    @R@ *act, @R@ *fsg, const @R@ *uni,
+    const @R@ *alpha, long long ar, long long ac,
+    const @R@ *beta, const @R@ *bm1, long long bs,
+    int mode, int rounding, const @R@ *consts)
+{
+    const @R@ one = consts[1];
+    long long e;
+    #pragma omp parallel for schedule(static)
+    for (e = 0; e < m; e++) {
+        const long long u = eu[e];
+        const long long v = ev[e];
+        long long b;
+        for (b = 0; b < B; b++) {
+            @R@ nu = load[u * B + b];
+            @R@ nv = load[v * B + b];
+            @R@ s, a;
+            if (speeds) {
+                nu = nu / speeds[u];
+                nv = nv / speeds[v];
+            }
+            if (mode == 2) {
+                /* fused operators: flows*bm1, then +c*nu, then +(-c)*nv —
+                   the csr_matvecs accumulation over interleaved data */
+                const @R@ c = alpha[e * ar + b * ac];
+                s = flows[e * B + b] * bm1[b * bs];
+                s = s + c * nu;
+                s = s + (-c) * nv;
+            } else {
+                @R@ d = (nu - nv) * alpha[e * ar + b * ac];
+                if (mode == 1) {
+                    d = d * beta[b * bs];
+                    s = flows[e * B + b] * bm1[b * bs] + d;
+                } else {
+                    s = d;  /* round-0 FOS opener */
+                }
+            }
+            switch (rounding) {
+            case 0:  /* floor (toward zero) */
+                a = @TRUNC@(s);
+                break;
+            case 1:  /* nearest (rint: ties to even) */
+                a = @RINT@(s);
+                break;
+            case 2:  /* ceil (away from zero) */
+                a = @COPYSIGN@(@CEIL@(@FABS@(s)), s);
+                break;
+            case 3: {  /* unbiased-edge: pre-drawn uniform, (B, m) layout */
+                const @R@ ab = @FABS@(s);
+                @R@ base = @FLOOR@(ab);
+                const @R@ frac = ab - base;
+                if (uni[b * m + e] < frac) {
+                    base = base + one;
+                }
+                a = @COPYSIGN@(base, s);
+                break;
+            }
+            default:  /* randomized-excess: signed base + fractional part */
+                a = @TRUNC@(s);
+                fsg[e * B + b] = s - a;
+                break;
+            }
+            act[e * B + b] = a;
+        }
+    }
+}
+
+void excess_counts_@S@(
+    long long n, long long B, long long m, long long dmax,
+    const int *adj_edges, const signed char *adj_signs,
+    const @R@ *fsg, long long *counts, long long *totals,
+    const @R@ *consts)
+{
+    const @R@ zero = consts[0];
+    const @R@ tol = consts[2];
+    long long i, b;
+    #pragma omp parallel for schedule(static)
+    for (i = 0; i < n; i++) {
+        /* replica-inner: each slot contributes one contiguous fsg row,
+           and per (i, b) the slots still accumulate in ascending order —
+           the exact summation chain of the numpy tier */
+        @R@ cum[B > 0 ? B : 1];
+        long long j, bb;
+        for (bb = 0; bb < B; bb++) {
+            cum[bb] = zero;
+        }
+        for (j = 0; j < dmax; j++) {
+            const long long e = adj_edges[i * dmax + j];
+            if (e == m) {
+                continue;  /* padding slot: adds exactly zero */
+            }
+            const @R@ *row = fsg + e * B;
+            if (adj_signs[i * dmax + j] > 0) {
+                for (bb = 0; bb < B; bb++) {
+                    const @R@ f = row[bb];
+                    cum[bb] = cum[bb] + ((f > zero) ? f : zero);
+                }
+            } else {
+                for (bb = 0; bb < B; bb++) {
+                    const @R@ f = row[bb];
+                    @R@ p = (f > zero) ? f : zero;
+                    p = p - f;
+                    cum[bb] = cum[bb] + p;
+                }
+            }
+        }
+        for (bb = 0; bb < B; bb++) {
+            counts[i * B + bb] = (long long)@CEIL@(cum[bb] - tol);
+        }
+    }
+    /* per-replica token totals, reduced here so the caller sizes the
+       uniform stream without an extra numpy pass over (n, B) */
+    for (b = 0; b < B; b++) {
+        totals[b] = 0;
+    }
+    for (i = 0; i < n; i++) {
+        for (b = 0; b < B; b++) {
+            totals[b] += counts[i * B + b];
+        }
+    }
+}
+
+void excess_dispatch_@S@(
+    long long n, long long B, long long m, long long dmax,
+    const int *adj_edges, const signed char *adj_signs,
+    const @R@ *fsg, const long long *counts,
+    const @R@ *uni, const long long *uoff,
+    @R@ *act, const @R@ *consts)
+{
+    const @R@ zero = consts[0];
+    const @R@ tol = consts[2];
+    long long off[B > 0 ? B : 1];  /* next unread uniform per replica */
+    @R@ cums[(dmax > 0 ? dmax : 1) * (B > 0 ? B : 1)];
+    long long b, i;
+    for (b = 0; b < B; b++) {
+        off[b] = uoff[b];
+    }
+    /* serial, node-major for locality.  A token's uniform is addressed by
+       (replica, rank-within-replica) via the off counters, and within a
+       replica the node order is preserved — so the values consumed are
+       exactly the replica-major / node-ascending stream order of the
+       numpy tier, whatever the visit order here. */
+    for (i = 0; i < n; i++) {
+        long long rowtot = 0;
+        for (b = 0; b < B; b++) {
+            rowtot += counts[i * B + b];
+        }
+        if (rowtot == 0) {
+            continue;
+        }
+        /* cumulative slot fractions for every replica of this node at
+           once: each slot reads one contiguous fsg row, and per (i, b)
+           the slots accumulate in ascending order — the exact summation
+           chain of the numpy tier */
+        long long j;
+        for (j = 0; j < dmax; j++) {
+            const long long e = adj_edges[i * dmax + j];
+            @R@ *row = cums + j * B;
+            const @R@ *prev = row - B;
+            if (e == m) {
+                for (b = 0; b < B; b++) {
+                    row[b] = j ? prev[b] : zero;
+                }
+            } else if (adj_signs[i * dmax + j] > 0) {
+                const @R@ *frow = fsg + e * B;
+                for (b = 0; b < B; b++) {
+                    const @R@ f = frow[b];
+                    row[b] = (j ? prev[b] : zero) + ((f > zero) ? f : zero);
+                }
+            } else {
+                const @R@ *frow = fsg + e * B;
+                for (b = 0; b < B; b++) {
+                    const @R@ f = frow[b];
+                    @R@ p = (f > zero) ? f : zero;
+                    p = p - f;
+                    row[b] = (j ? prev[b] : zero) + p;
+                }
+            }
+        }
+        for (b = 0; b < B; b++) {
+            const long long k = counts[i * B + b];
+            if (k == 0) {
+                continue;
+            }
+            const @R@ *cb = cums + b;
+            const @R@ c = @CEIL@(cb[(dmax - 1) * B] - tol);
+            long long t;
+            for (t = 0; t < k; t++) {
+                const @R@ target = uni[off[b] + t] * c;
+                /* slot = #(cumulative fractions <= target); branchless
+                   count — the running sum is non-decreasing, so the
+                   count equals the first-crossing position without the
+                   mispredicted early exit */
+                long long pos = 0;
+                for (j = 0; j < dmax; j++) {
+                    pos += (cb[j * B] <= target);
+                }
+                if (pos < dmax) {  /* otherwise the token stays home */
+                    const long long sl = i * dmax + pos;
+                    act[adj_edges[sl] * B + b] += (@R@)adj_signs[sl];
+                }
+            }
+            off[b] += k;
+        }
+    }
+}
+
+void apply_flows_@S@(
+    long long n, long long B, const long long *indptr,
+    const int *edges, const @R@ *signs,
+    const @R@ *act, @R@ *load)
+{
+    long long i;
+    #pragma omp parallel for schedule(static)
+    for (i = 0; i < n; i++) {
+        const long long lo = indptr[i];
+        const long long hi = indptr[i + 1];
+        /* replica-inner: each incident edge contributes one contiguous
+           act row; per (i, b) the edges still add in CSR order */
+        @R@ acc[B > 0 ? B : 1];
+        long long b, j;
+        for (b = 0; b < B; b++) {
+            acc[b] = load[i * B + b];
+        }
+        for (j = lo; j < hi; j++) {
+            const @R@ s = signs[j];
+            const @R@ *row = act + edges[j] * B;
+            for (b = 0; b < B; b++) {
+                acc[b] = acc[b] + s * row[b];
+            }
+        }
+        for (b = 0; b < B; b++) {
+            load[i * B + b] = acc[b];
+        }
+    }
+}
+"""
+
+_VARIANTS = {
+    "f64": {
+        "@R@": "double", "@TRUNC@": "trunc", "@RINT@": "rint",
+        "@CEIL@": "ceil", "@FABS@": "fabs", "@FLOOR@": "floor",
+        "@COPYSIGN@": "copysign",
+    },
+    "f32": {
+        "@R@": "float", "@TRUNC@": "truncf", "@RINT@": "rintf",
+        "@CEIL@": "ceilf", "@FABS@": "fabsf", "@FLOOR@": "floorf",
+        "@COPYSIGN@": "copysignf",
+    },
+}
+
+
+def _instantiate(template: str) -> str:
+    parts = []
+    for suffix, subs in _VARIANTS.items():
+        text = template.replace("@S@", suffix)
+        for key, value in subs.items():
+            text = text.replace(key, value)
+        parts.append(text)
+    return "\n".join(parts)
+
+
+_CDEF = _instantiate(_DECL_TEMPLATE)
+_SOURCE = "#include <math.h>\n" + _instantiate(_BODY_TEMPLATE)
+
+_BASE_FLAGS = ["-O3", "-ffp-contract=off"]
+
+
+def _cache_dir() -> str:
+    """Writable build/cache directory for the compiled extension."""
+    candidates = [
+        os.environ.get("REPRO_KERNEL_CACHE"),
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "_cache"),
+        os.path.join(tempfile.gettempdir(), "repro-kernel-cache"),
+    ]
+    for cand in candidates:
+        if not cand:
+            continue
+        try:
+            os.makedirs(cand, exist_ok=True)
+            probe = os.path.join(cand, ".write-probe")
+            with open(probe, "w"):
+                pass
+            os.remove(probe)
+            return cand
+        except OSError:
+            continue
+    raise OSError("no writable kernel cache directory")
+
+
+def _load_or_build():
+    key = hashlib.sha1(
+        (_SOURCE + _CDEF + " ".join(_BASE_FLAGS)).encode()
+    ).hexdigest()[:16]
+    modname = f"_repro_kern_{key}"
+    cache = _cache_dir()
+    if cache not in sys.path:
+        sys.path.insert(0, cache)
+    try:
+        return importlib.import_module(modname)
+    except ImportError:
+        pass
+    import cffi
+
+    last_error = None
+    for openmp in (True, False):
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        args = _BASE_FLAGS + (["-fopenmp"] if openmp else [])
+        ffi.set_source(
+            modname, _SOURCE,
+            extra_compile_args=args,
+            extra_link_args=["-fopenmp"] if openmp else [],
+        )
+        try:
+            ffi.compile(tmpdir=cache, verbose=False)
+            break
+        except Exception as exc:  # pragma: no cover - toolchain dependent
+            last_error = exc
+    else:  # pragma: no cover - toolchain dependent
+        raise RuntimeError(f"cffi kernel build failed: {last_error}")
+    importlib.invalidate_caches()
+    return importlib.import_module(modname)
+
+
+class CffiKernels:
+    """Thin pointer-casting wrapper around the compiled extension."""
+
+    name = "cffi"
+    compiled = True
+
+    def __init__(self, mod):
+        self._ffi = mod.ffi
+        self._lib = mod.lib
+
+    # ------------------------------------------------------------------
+    def _real(self, dtype) -> str:
+        return "double *" if dtype == np.float64 else "float *"
+
+    def _p(self, arr, ctype):
+        if arr is None:
+            return self._ffi.NULL
+        return self._ffi.cast(ctype, arr.ctypes.data)
+
+    def _fn(self, stem: str, dtype):
+        suffix = "f64" if dtype == np.float64 else "f32"
+        return getattr(self._lib, f"{stem}_{suffix}")
+
+    # ------------------------------------------------------------------
+    def round_edges(
+        self, eu, ev, load, speeds, flows, act, fsg, uni,
+        alpha, ar, ac, beta, bm1, bs, mode, rounding, consts,
+    ):
+        dtype = act.dtype
+        r = self._real(dtype)
+        m, B = act.shape
+        self._fn("round_edges", dtype)(
+            m, B, self._p(eu, "int *"), self._p(ev, "int *"),
+            self._p(load, r), self._p(speeds, r), self._p(flows, r),
+            self._p(act, r), self._p(fsg, r), self._p(uni, r),
+            self._p(alpha, r), int(ar), int(ac),
+            self._p(beta, r), self._p(bm1, r), int(bs),
+            int(mode), int(rounding), self._p(consts, r),
+        )
+        return act
+
+    def excess_counts(
+        self, adj_edges, adj_signs, dmax, m, fsg, counts, totals, consts,
+    ):
+        dtype = fsg.dtype
+        r = self._real(dtype)
+        n, B = counts.shape
+        self._fn("excess_counts", dtype)(
+            n, B, int(m), int(dmax),
+            self._p(adj_edges, "int *"),
+            self._p(adj_signs, "signed char *"),
+            self._p(fsg, r), self._p(counts, "long long *"),
+            self._p(totals, "long long *"), self._p(consts, r),
+        )
+        return counts
+
+    def excess_dispatch(
+        self, adj_edges, adj_signs, dmax, m, fsg, counts, uni, uoff, act, consts,
+    ):
+        dtype = fsg.dtype
+        r = self._real(dtype)
+        n, B = counts.shape
+        self._fn("excess_dispatch", dtype)(
+            n, B, int(m), int(dmax),
+            self._p(adj_edges, "int *"),
+            self._p(adj_signs, "signed char *"),
+            self._p(fsg, r), self._p(counts, "long long *"),
+            self._p(uni, r), self._p(uoff, "long long *"),
+            self._p(act, r), self._p(consts, r),
+        )
+        return act
+
+    def apply_flows(self, indptr, edges, signs, act, load):
+        dtype = load.dtype
+        r = self._real(dtype)
+        n, B = load.shape
+        self._fn("apply_flows", dtype)(
+            n, B, self._p(indptr, "long long *"),
+            self._p(edges, "int *"), self._p(signs, r),
+            self._p(act, r), self._p(load, r),
+        )
+        return load
+
+
+def make_provider() -> CffiKernels:
+    return CffiKernels(_load_or_build())

@@ -1,0 +1,154 @@
+"""Pure numpy/python provider of the kernel API (reference tier).
+
+Exists so the kernel orchestration — mode/coefficient resolution, the RNG
+pre-draw protocol, the padded-adjacency token walk, the sequential apply
+order — can be validated on any machine with no compiler and no optional
+dependency.  Every expression mirrors the C/numba providers operation for
+operation, so it is bit-identical to both and to the engine's own numpy
+tier (for which it is *not* a speedup: the token/apply loops are plain
+python, fine at test sizes only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+
+class PythonKernels:
+    """Array-at-a-time reference implementation of the provider API."""
+
+    name = "python"
+    compiled = False
+
+    # ------------------------------------------------------------------
+    def round_edges(
+        self, eu, ev, load, speeds, flows, act, fsg, uni,
+        alpha, ar, ac, beta, bm1, bs, mode, rounding, consts,
+    ):
+        m, B = act.shape
+        it = alpha.dtype.itemsize
+        av = as_strided(alpha, shape=(m, B), strides=(ar * it, ac * it))
+        bit = beta.dtype.itemsize
+        bv = as_strided(beta, shape=(B,), strides=(bs * bit,))
+        bm1v = as_strided(bm1, shape=(B,), strides=(bs * bit,))
+        nu = load[eu]
+        nv = load[ev]
+        if speeds is not None and speeds.size:
+            nu = nu / speeds[eu][:, None]
+            nv = nv / speeds[ev][:, None]
+        if mode == 2:
+            # Fused-operator order: acc = flows*bm1, then +c*nu, then +(-c)*nv
+            # — exactly the csr_matvecs accumulation over the interleaved
+            # E_alpha[_beta] data.
+            s = flows * bm1v
+            s = s + av * nu
+            s = s + (-av) * nv
+        else:
+            d = (nu - nv) * av
+            if mode == 1:
+                d = d * bv
+                s = flows * bm1v + d
+            else:
+                s = d
+        if rounding == 0:  # floor (toward zero)
+            np.trunc(s, out=act)
+        elif rounding == 1:  # nearest (ties to even)
+            np.rint(s, out=act)
+        elif rounding == 2:  # ceil (away from zero)
+            a = np.abs(s)
+            np.ceil(a, out=a)
+            np.copysign(a, s, out=act)
+        elif rounding == 3:  # unbiased-edge: uni arrives in (B, m) layout
+            ab = np.abs(s)
+            base = np.floor(ab)
+            frac = ab - base
+            np.add(base, uni.T < frac, out=base)
+            np.copysign(base, s, out=act)
+        else:  # randomized-excess: signed base + fractional parts
+            np.trunc(s, out=act)
+            np.subtract(s, act, out=fsg)
+        return act
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slot_fractions(adj_edges, adj_signs, dmax, m, fsg):
+        """Per-slot outgoing fractions ``p`` of the padded adjacency.
+
+        ``p = max(fsg, 0)`` when the node is the edge's u endpoint,
+        ``max(fsg, 0) - fsg`` when it is v, ``0`` on padding — the exact
+        P/N-block values the numpy tier gathers from its ``pn`` planes.
+        """
+        n = adj_edges.size // dmax
+        B = fsg.shape[1]
+        dtype = fsg.dtype
+        sl_e = adj_edges.reshape(n, dmax)
+        sl_s = adj_signs.reshape(n, dmax)
+        fsg_pad = np.concatenate([fsg, np.zeros((1, B), dtype=dtype)], axis=0)
+        f = fsg_pad[sl_e]  # (n, dmax, B); the padding slot e == m reads 0.0
+        p = np.maximum(f, dtype.type(0.0))
+        neg = sl_s < 0
+        p[neg] = p[neg] - f[neg]
+        return p
+
+    def excess_counts(
+        self, adj_edges, adj_signs, dmax, m, fsg, counts, totals, consts,
+    ):
+        n, B = counts.shape
+        dtype = fsg.dtype
+        p = self._slot_fractions(adj_edges, adj_signs, dmax, m, fsg)
+        # Explicit slot loop: the surplus accumulates in ascending slot
+        # order (padding adds +0.0 — value-identical to skipping it).
+        cum = np.zeros((n, B), dtype=dtype)
+        for j in range(dmax):
+            np.add(cum, p[:, j], out=cum)
+        c = np.ceil(cum - consts[2])
+        counts[...] = c.astype(np.int64)
+        totals[...] = counts.sum(axis=0)
+        return counts
+
+    def excess_dispatch(
+        self, adj_edges, adj_signs, dmax, m, fsg, counts, uni, uoff, act, consts,
+    ):
+        n, B = counts.shape
+        dtype = fsg.dtype
+        tol = consts[2]
+        sl_e = adj_edges.reshape(n, dmax)
+        sl_s = adj_signs.reshape(n, dmax)
+        p = self._slot_fractions(adj_edges, adj_signs, dmax, m, fsg)
+        for b in range(B):
+            off = int(uoff[b])
+            for i in range(n):
+                k = int(counts[i, b])
+                if not k:
+                    continue
+                cums = np.empty(dmax, dtype=dtype)
+                cum = dtype.type(0.0)
+                for j in range(dmax):
+                    cum = cum + p[i, j, b]
+                    cums[j] = cum
+                c = np.ceil(cum - tol)
+                for _ in range(k):
+                    target = uni[off] * c
+                    off += 1
+                    pos = int(np.count_nonzero(cums <= target))
+                    if pos < dmax:
+                        act[sl_e[i, pos], b] += dtype.type(sl_s[i, pos])
+        return act
+
+    # ------------------------------------------------------------------
+    def apply_flows(self, indptr, edges, signs, act, load):
+        n = load.shape[0]
+        for i in range(n):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            if lo == hi:
+                continue
+            acc = load[i].copy()
+            for j in range(lo, hi):
+                acc += signs[j] * act[edges[j]]
+            load[i] = acc
+        return load
+
+
+def make_provider() -> PythonKernels:
+    return PythonKernels()

@@ -1,0 +1,313 @@
+"""Compiled kernel tier: bit-identity with the numpy tier everywhere.
+
+The contract under test (see ``src/repro/kernels/__init__.py``): every
+kernel provider — python, cffi, numba — produces *bit-identical* results
+to the engine's own numpy kernels for every discrete rounding, across
+dense/tiled/sharded execution, static and dynamic runs, B=1 and B>1,
+``replica_params`` planes and both precisions.  Providers that are not
+available in the environment (no numba, no C compiler) are skip-marked,
+never failed; the pure-python provider always runs, so the orchestration
+(mode resolution, RNG pre-draws, token walk, apply order) is validated on
+every machine.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+from numpy.random import default_rng
+
+from repro import ConfigurationError, point_load, random_load, torus_2d
+from repro import kernels
+from repro.engines import EngineConfig, make_engine
+from repro.graphs import random_regular_strict
+
+TORUS = torus_2d(6, 7)
+RR = random_regular_strict(40, 4, rng=default_rng(4))
+
+DISCRETE = list(kernels.DISCRETE_ROUNDINGS)
+
+PROVIDERS = [
+    pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            kernels.get_provider(name) is None,
+            reason=f"kernel provider {name!r} unavailable",
+        ),
+    )
+    for name in ("python", "cffi", "numba")
+]
+
+
+def _batch(topo, n_replicas=4, total=4000.0):
+    rng = default_rng(11)
+    rows = [point_load(topo, total)]
+    rows += [random_load(topo, 100.0, rng=rng) for _ in range(n_replicas - 1)]
+    return np.stack(rows)
+
+
+def _assert_same_batch(ref, got, dynamic=False):
+    np.testing.assert_array_equal(ref.final_loads, got.final_loads)
+    np.testing.assert_array_equal(ref.final_flows, got.final_flows)
+    np.testing.assert_array_equal(ref.switched_at, got.switched_at)
+    cols_ref = ref.dynamic_columns if dynamic else ref.columns
+    cols_got = got.dynamic_columns if dynamic else got.columns
+    for key in cols_ref:
+        np.testing.assert_array_equal(cols_ref[key], cols_got[key])
+
+
+class TestBitIdentityStatic:
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    def test_dense(self, rounding, kernel):
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=40,
+            record_every=5, seed=3,
+        )
+        ref = eng.run_batch(TORUS, cfg, loads)
+        got = eng.run_batch(TORUS, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got)
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    def test_tiled(self, rounding, kernel):
+        # Tiled-vs-tiled at the same tile width: the kernel rides the same
+        # record/metric reductions, so the comparison is exact.
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=40,
+            record_every=5, seed=3, tile_size=17,
+        )
+        ref = eng.run_batch(TORUS, cfg, loads)
+        got = eng.run_batch(TORUS, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got)
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    def test_sharded(self, rounding, kernel):
+        # Sharded workers run the compiled tier; compare per-replica
+        # results against the single-process numpy batched run.
+        loads = _batch(TORUS, n_replicas=6)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=30,
+            record_every=3, seed=3,
+        )
+        ref = make_engine("batched").run(TORUS, cfg, loads)
+        got = make_engine("sharded").run(
+            TORUS, replace(cfg, kernel=kernel, workers=2), loads
+        )
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(
+                a.final_state.load, b.final_state.load
+            )
+            np.testing.assert_array_equal(
+                [r.max_minus_avg for r in a.records],
+                [r.max_minus_avg for r in b.records],
+            )
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", ["floor", "randomized-excess"])
+    def test_b1_and_float32(self, rounding, kernel):
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        for precision, batch in (("float64", loads[:1]), ("float32", loads)):
+            cfg = EngineConfig(
+                scheme="sos", beta=1.7, rounding=rounding, rounds=40,
+                record_every=5, seed=3, precision=precision,
+            )
+            ref = eng.run_batch(TORUS, cfg, batch)
+            got = eng.run_batch(TORUS, replace(cfg, kernel=kernel), batch)
+            _assert_same_batch(ref, got)
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    def test_speeds_fos_switch(self, rounding, kernel):
+        # Non-uniform speeds (irregular graph), FOS opener, and the global
+        # hybrid switch (vector beta path after the switch fires).
+        eng = make_engine("batched")
+        loads = _batch(RR, n_replicas=5)
+        speeds = 1.0 + (np.arange(RR.n) % 3) * 0.5
+        cfg = EngineConfig(
+            scheme="sos", beta=1.6, rounding=rounding, rounds=30,
+            record_every=3, seed=1, speeds=speeds, switch=("fixed", 10),
+        )
+        ref = eng.run_batch(RR, cfg, loads)
+        got = eng.run_batch(RR, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got)
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    def test_replica_params(self, rounding, kernel):
+        # Per-replica betas + switch rounds + alpha scales: exercises the
+        # vector-beta schedule and the broadcast alpha plane strides.
+        eng = make_engine("batched")
+        loads = _batch(RR, n_replicas=6)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=30,
+            record_every=3, seed=2,
+            replica_params=dict(
+                betas=[1.0, 1.3, 1.7, 1.9, 1.5, 1.6],
+                switch_rounds=[-1, 5, 10, 15, 20, -1],
+                alpha_scales=[1.0, 0.9, 0.8, 1.0, 0.7, 1.0],
+            ),
+        )
+        ref = eng.run_batch(RR, cfg, loads)
+        got = eng.run_batch(RR, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got)
+
+
+class TestBitIdentityDynamic:
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("rounding", DISCRETE)
+    @pytest.mark.parametrize(
+        "arrivals", ["poisson:1.5,depart=1.0", "burst:80/4", "hotspot:1:3"]
+    )
+    def test_dynamic(self, rounding, arrivals, kernel):
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=25, seed=5,
+            arrivals=arrivals,
+        )
+        ref = eng.run_dynamic_batch(TORUS, cfg, loads)
+        got = eng.run_dynamic_batch(TORUS, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got, dynamic=True)
+
+
+class TestConfigSurface:
+    def test_validate_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            EngineConfig(kernel="gpu").validate()
+
+    def test_forced_kernel_blocked_by_identity(self):
+        cfg = EngineConfig(rounding="identity", kernel="python")
+        with pytest.raises(ConfigurationError, match="blocked"):
+            make_engine("batched").run_batch(TORUS, cfg, _batch(TORUS))
+
+    def test_forced_kernel_missing_names_pip_extra(self, monkeypatch):
+        monkeypatch.setitem(kernels._PROVIDERS, "numba", None)
+        cfg = EngineConfig(rounding="floor", kernel="numba", rounds=2)
+        with pytest.raises(ConfigurationError, match=r"repro-lb\[compiled\]"):
+            make_engine("batched").run_batch(TORUS, cfg, _batch(TORUS))
+
+    def test_auto_identity_falls_back_and_fast_path_engages(self):
+        # auto + identity: silent numpy fallback; the closed-form fast path
+        # must still engage (a forced kernel would have raised instead).
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        cfg = EngineConfig(
+            rounding="identity", kernel="auto", rounds=20, record_every=5,
+            record_fields=("max_minus_avg",),
+        )
+        ref = eng.run_batch(TORUS, replace(cfg, kernel="numpy"), loads)
+        got = eng.run_batch(TORUS, cfg, loads)
+        np.testing.assert_array_equal(ref.final_loads, got.final_loads)
+
+    def test_auto_no_providers_falls_back(self, monkeypatch):
+        for name in kernels.AUTO_PREFERENCE:
+            monkeypatch.setitem(kernels._PROVIDERS, name, None)
+        eng = make_engine("batched")
+        loads = _batch(TORUS)
+        cfg = EngineConfig(rounding="floor", rounds=10, record_every=2, seed=3)
+        ref = eng.run_batch(TORUS, cfg, loads)
+        got = eng.run_batch(TORUS, replace(cfg, kernel="auto"), loads)
+        _assert_same_batch(ref, got)
+
+    def test_reference_engine_rejects_forced_kernel(self):
+        cfg = EngineConfig(rounding="floor", kernel="python", rounds=2)
+        with pytest.raises(ConfigurationError, match="kernel"):
+            make_engine("reference").run(TORUS, cfg, point_load(TORUS, 100))
+
+    def test_reference_engine_tolerates_auto(self):
+        cfg = EngineConfig(rounding="floor", kernel="auto", rounds=2)
+        make_engine("reference").run(TORUS, cfg, point_load(TORUS, 100))
+
+    def test_warm_up_kernels_reports_availability(self):
+        out = kernels.warm_up_kernels()
+        assert out["python"] is True
+        assert set(out) == {"python", "cffi", "numba"}
+        assert all(isinstance(v, bool) for v in out.values())
+
+    def test_have_flags_are_spec_checks(self):
+        assert isinstance(kernels.HAVE_NUMBA, bool)
+        assert isinstance(kernels.HAVE_CFFI, bool)
+
+    def test_get_provider_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            kernels.get_provider("cuda")
+
+
+class TestProviderCross:
+    """Direct provider-level cross-checks, python vs each compiled one."""
+
+    @pytest.mark.parametrize("kernel", PROVIDERS)
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("code", list(range(len(DISCRETE))))
+    def test_round_edges_matches_python(self, mode, code, kernel):
+        if kernel == "python":
+            pytest.skip("python is the baseline")
+        other = kernels.get_provider(kernel)
+        base = kernels.get_provider("python")
+        rng = default_rng(17)
+        m, n, B = 60, 30, 3
+        eu = rng.integers(0, n // 2, m).astype(np.int32)
+        ev = (eu + 1 + rng.integers(0, n // 2 - 1, m)).astype(np.int32)
+        for dtype in (np.float64, np.float32):
+            load = rng.normal(50.0, 40.0, (n, B)).astype(dtype)
+            speeds = (1.0 + rng.random(n)).astype(dtype)
+            flows = rng.normal(0.0, 5.0, (m, B)).astype(dtype)
+            uni = rng.random((B, m)).astype(dtype)  # replica-major layout
+            alpha = np.full(1, 0.25, dtype=dtype)
+            beta = np.array([1.7], dtype=dtype)
+            bm1 = np.array([0.7], dtype=dtype)
+            consts = np.array([0.0, 1.0, 1e-9], dtype=dtype)
+            fused_alpha = rng.normal(0.0, 0.3, 2 * m).astype(dtype)
+            args = dict(ar=0, ac=0, a=alpha)
+            if mode == 2:
+                args = dict(ar=2, ac=0, a=fused_alpha)
+            outs = []
+            for prov in (base, other):
+                act = np.zeros((m, B), dtype=dtype)
+                fsg = np.zeros((m, B), dtype=dtype)
+                prov.round_edges(
+                    eu, ev, load, speeds, flows, act, fsg, uni,
+                    args["a"], args["ar"], args["ac"], beta, bm1, 0,
+                    mode, code, consts,
+                )
+                outs.append((act, fsg))
+            np.testing.assert_array_equal(outs[0][0], outs[1][0])
+            np.testing.assert_array_equal(outs[0][1], outs[1][1])
+
+
+@pytest.mark.parametrize("kernel", PROVIDERS)
+def test_hypothesis_adversarial_integer_loads(kernel):
+    """numpy and the provider agree on adversarial integer load batches."""
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    eng = make_engine("batched")
+    n = TORUS.n
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-500, max_value=10_000),
+            min_size=n, max_size=n,
+        ),
+        st.sampled_from(DISCRETE),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def check(values, rounding, seed):
+        loads = np.array([values, values[::-1]], dtype=np.float64)
+        cfg = EngineConfig(
+            scheme="sos", beta=1.7, rounding=rounding, rounds=12,
+            record_every=3, seed=seed,
+        )
+        ref = eng.run_batch(TORUS, cfg, loads)
+        got = eng.run_batch(TORUS, replace(cfg, kernel=kernel), loads)
+        _assert_same_batch(ref, got)
+
+    check()
