@@ -1,0 +1,172 @@
+"""Async engine: convergence degradation versus neighbour-state staleness.
+
+The event-driven :class:`~repro.network.async_engine.AsyncNetwork` lets
+every link carry a latency, so nodes balance against *stale* neighbour
+loads.  This bench sweeps a ladder of uniform link latencies on the
+paper's 32x32 torus and records, for FOS and for SOS at the torus
+``beta_opt``:
+
+* the measured **mean staleness** (rounds of age of the neighbour loads
+  each compute used — ``ceil(latency)`` once the pipeline fills),
+* the **max-minus-avg trajectory** and its final value,
+* the **degradation ratio** against the zero-latency (synchronous) run.
+
+Two structural facts are asserted:
+
+* **parity** — at zero latency the async engine replays the synchronous
+  :class:`~repro.network.engine.SyncNetwork` bit for bit;
+* **FOS robustness** — first-order diffusion stays convergent at every
+  latency level (it only slows down), while SOS momentum acting on stale
+  state is a delayed second-order feedback loop that loses stability for
+  ``beta`` well above 1 — the recorded SOS curves document exactly how
+  fast it blows up, which is the reason the paper's scheme needs its
+  synchronous rounds.
+
+Summary lands in ``BENCH_async.json`` (committed at the repo root).
+"""
+
+import os
+
+import numpy as np
+
+from repro import beta_opt, point_load, torus_2d, torus_lambda
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+from repro.network import AsyncNetwork, SyncNetwork
+
+from _helpers import run_once
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+SIDE = {"tiny": 8, "ci": 32, "paper": 32}[SCALE]
+ROUNDS = {"tiny": 30, "ci": 150, "paper": 400}[SCALE]
+#: Uniform link latency ladder, in rounds (0.0 is the synchronous regime).
+LATENCIES = [0.0, 0.5, 1.5, 3.5]
+CURVE_EVERY = {"tiny": 2, "ci": 5, "paper": 10}[SCALE]
+ROUNDING = "randomized-excess"
+SEED = 0
+
+
+def _run_level(topo, load, scheme, beta, latency):
+    net = AsyncNetwork(
+        topo, load, scheme=scheme, beta=beta, rounding=ROUNDING, seed=SEED,
+        link_latency=latency if latency > 0.0 else None,
+    )
+    avg = load.sum() / topo.n
+    curve = []
+    for r in range(ROUNDS):
+        net.step()
+        if r % CURVE_EVERY == 0 or r == ROUNDS - 1:
+            loads = net.loads()
+            curve.append([r + 1, float(loads.max() - avg)])
+    loads = net.loads()
+    return net, {
+        "scheme": scheme,
+        "latency": latency,
+        "mean_staleness": net.mean_staleness,
+        "max_staleness": net.max_staleness,
+        "final_max_minus_avg": float(loads.max() - avg),
+        "total_load_with_in_flight": net.total_load,
+        "curve_max_minus_avg": curve,
+    }
+
+
+def _run_staleness_ladder():
+    topo = torus_2d(SIDE, SIDE)
+    load = point_load(topo, 1000 * topo.n)
+    beta = beta_opt(torus_lambda((SIDE, SIDE)))
+
+    # Parity gate: zero latency must replay the synchronous engine.
+    sync = SyncNetwork(
+        topo, load, scheme="sos", beta=beta, rounding=ROUNDING, seed=SEED
+    )
+    sync.run(min(ROUNDS, 30))
+    async_net = AsyncNetwork(
+        topo, load, scheme="sos", beta=beta, rounding=ROUNDING, seed=SEED
+    )
+    async_net.run(min(ROUNDS, 30))
+    parity = bool(np.array_equal(async_net.loads(), sync.loads()))
+
+    levels = []
+    for scheme in ("fos", "sos"):
+        b = beta if scheme == "sos" else 1.0
+        for latency in LATENCIES:
+            _, level = _run_level(topo, load, scheme, b, latency)
+            base = next(
+                (
+                    lv["final_max_minus_avg"]
+                    for lv in levels
+                    if lv["scheme"] == scheme and lv["latency"] == 0.0
+                ),
+                None,
+            )
+            level["degradation_vs_sync"] = (
+                level["final_max_minus_avg"] / base if base else None
+            )
+            levels.append(level)
+
+    return {
+        "n": topo.n,
+        "rounds": ROUNDS,
+        "rounding": ROUNDING,
+        "beta_sos": beta,
+        "latencies": LATENCIES,
+        "parity_zero_latency_bit_identical": parity,
+        "levels": levels,
+    }
+
+
+def test_async_staleness_ladder(benchmark, archive):
+    s = run_once(benchmark, _run_staleness_ladder)
+    archive(
+        ExperimentRecord(
+            name="async",
+            params={
+                "n": s["n"], "rounds": s["rounds"],
+                "rounding": s["rounding"], "latencies": s["latencies"],
+            },
+            summary=s,
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["scheme", "latency", "mean staleness", "final max-avg",
+             "vs sync"],
+            [
+                [
+                    lv["scheme"],
+                    f"{lv['latency']:.1f}",
+                    f"{lv['mean_staleness']:.2f}",
+                    f"{lv['final_max_minus_avg']:.4g}",
+                    "1.00x" if lv["latency"] == 0.0
+                    else f"{lv['degradation_vs_sync']:.3g}x",
+                ]
+                for lv in s["levels"]
+            ],
+            title=(
+                f"convergence vs staleness ({s['n']} nodes x "
+                f"{s['rounds']} rounds, {s['rounding']})"
+            ),
+        )
+    )
+    assert s["parity_zero_latency_bit_identical"], (
+        "zero-latency async diverged from the synchronous engine"
+    )
+    fos = [lv for lv in s["levels"] if lv["scheme"] == "fos"]
+    # staleness tracks the latency ladder
+    stales = [lv["mean_staleness"] for lv in fos]
+    assert all(a <= b + 1e-9 for a, b in zip(stales, stales[1:])), stales
+    # Load (including in-flight tokens) is conserved at every level — to
+    # float cancellation accuracy once a diverged SOS run pushes loads past
+    # 2^53, where integer token arithmetic stops being exact.
+    expected = 1000.0 * s["n"]
+    for lv in s["levels"]:
+        scale = max(expected, abs(lv["final_max_minus_avg"]))
+        err = abs(lv["total_load_with_in_flight"] - expected)
+        assert err <= 1e-9 * scale, lv
+    # FOS stays convergent under staleness: bounded well below the point
+    # load it started from, at every latency level.
+    if SCALE != "tiny":
+        for lv in fos:
+            assert lv["final_max_minus_avg"] < 0.05 * 1000 * s["n"], lv

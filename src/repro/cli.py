@@ -226,6 +226,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sim.add_argument(
+        "--latency",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "per-link latency model of the async engine (--engine async): "
+            "a number of rounds (e.g. 1.5), 'uniform:LO,HI' or 'exp:MEAN' "
+            "(random per-link latencies drawn once from the run seed); "
+            "default reads the topology's stamped link attributes, which "
+            "fall back to the synchronous zero-latency regime"
+        ),
+    )
+    p_sim.add_argument(
+        "--max-skew",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "bounded-staleness gate of the async engine: a node may not "
+            "start round r before hearing round >= r-1-K from every "
+            "neighbour (default: unbounded skew)"
+        ),
+    )
+
+    p_sim.add_argument(
         "--sweep",
         action="append",
         default=None,
@@ -402,6 +426,8 @@ def _cmd_simulate(args) -> int:
         record_fields=_parse_record_fields(args.record_fields),
         arrival_sampling=args.arrival_sampling,
         workers=_parse_workers(args.workers),
+        latency_model=args.latency,
+        max_skew=args.max_skew,
     )
     print(
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "

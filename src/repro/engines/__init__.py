@@ -1,6 +1,6 @@
 """Pluggable execution engines for replica ensembles.
 
-One protocol (:class:`~repro.engines.base.Engine`), four backends:
+One protocol (:class:`~repro.engines.base.Engine`), five backends:
 
 =========  ==================================================================
 name       backend
@@ -15,6 +15,10 @@ sharded    :class:`~repro.engines.sharded.ShardedEngine` — contiguous column
            merged bit-identically to the single-process batched run
 network    :class:`~repro.engines.network.NetworkEngine` — the message-passing
            :class:`~repro.network.engine.SyncNetwork` behind the same protocol
+async      :class:`~repro.engines.async_net.AsyncNetworkEngine` — event-driven
+           :class:`~repro.network.async_engine.AsyncNetwork` with per-link
+           latency/bandwidth and no global round barrier (bit-identical to
+           ``network`` at zero latency)
 =========  ==================================================================
 
 Quickstart::
@@ -67,6 +71,7 @@ from .reference import ReferenceEngine
 from .batched import BatchedVectorEngine
 from .sharded import ShardedEngine
 from .network import NetworkEngine
+from .async_net import AsyncNetworkEngine
 
 __all__ = [
     "ENGINES",
@@ -81,6 +86,7 @@ __all__ = [
     "BatchedVectorEngine",
     "ShardedEngine",
     "NetworkEngine",
+    "AsyncNetworkEngine",
     "apply_load_scales",
     "as_load_batch",
     "make_engine",

@@ -65,7 +65,12 @@ __all__ = [
     "apply_load_scales",
     "as_load_batch",
     "merge_record_batches",
+    "parse_latency_spec",
     "plan_shards",
+    "reject_async_only",
+    "reject_batched_only",
+    "reject_network_only",
+    "reject_sharded_only",
     "resolve_arrival_models",
     "resolve_arrival_rngs",
     "resolve_record_fields",
@@ -424,6 +429,26 @@ class EngineConfig:
     #: sharded engine, bit-identity preserved), the per-replica backends
     #: configure each replica's simulator from its plane entries.
     replica_params: Any = None
+    #: Link-latency model of the async engine: ``None`` (default) reads the
+    #: topology's stamped ``link_latency``/``link_bandwidth`` attributes
+    #: (falling back to the synchronous 0-latency regime when unstamped), a
+    #: scalar forces that latency in rounds on every link, and a spec string
+    #: draws per-link latencies from a distribution seeded by ``seed`` —
+    #: ``"fixed:X"``, ``"uniform:LO,HI"`` or ``"exp:MEAN"`` (see
+    #: :func:`parse_latency_spec`).  Async engine only — every other backend
+    #: rejects a non-default value rather than silently running synchronous.
+    latency_model: Any = None
+    #: Bounded-staleness gate of the async engine: a node may not start
+    #: round ``r`` until every neighbour's last heard-from round is at least
+    #: ``r - 1 - max_skew``.  ``None`` (default) means unbounded skew; ``0``
+    #: recovers lockstep neighbourhood synchrony.  Async engine only.
+    max_skew: Optional[int] = None
+    #: Fault model applied to token transfers
+    #: (:class:`~repro.network.faults.FaultModel`): drops bounce the tokens
+    #: back to the sender, so load is conserved.  The engine binds any
+    #: unseeded model to a generator derived from ``seed``, so fault
+    #: schedules reproduce run-to-run.  Network and async engines only.
+    faults: Any = None
 
     def validate(self) -> "EngineConfig":
         """Check every field combination, raising ``ConfigurationError``
@@ -521,6 +546,19 @@ class EngineConfig:
                 raise ConfigurationError(
                     "replica_params.arrival_scales only applies to dynamic "
                     "runs (set arrivals)"
+                )
+        parse_latency_spec(self.latency_model)  # raises on malformed specs
+        if self.max_skew is not None:
+            if not isinstance(self.max_skew, (int, np.integer)) or self.max_skew < 0:
+                raise ConfigurationError(
+                    f"max_skew must be None or an int >= 0, got {self.max_skew!r}"
+                )
+        if self.faults is not None:
+            from ..network.faults import FaultModel
+
+            if not isinstance(self.faults, FaultModel):
+                raise ConfigurationError(
+                    f"faults must be a FaultModel instance, got {self.faults!r}"
                 )
         return self
 
@@ -737,6 +775,91 @@ def reject_sharded_only(config: "EngineConfig", engine_name: str) -> None:
             f"the {engine_name} engine does not support "
             f"workers={config.workers!r} (sharded engine only)"
         )
+
+
+def reject_async_only(config: "EngineConfig", engine_name: str) -> None:
+    """Refuse async-engine-only config features on synchronous backends.
+
+    ``latency_model`` and ``max_skew`` describe an event-driven delivery
+    schedule; a synchronous-round backend that cannot honour them must say
+    so instead of silently running at zero latency.
+    """
+    offending = []
+    if config.latency_model is not None:
+        offending.append(f"latency_model={config.latency_model!r}")
+    if config.max_skew is not None:
+        offending.append(f"max_skew={config.max_skew!r}")
+    if offending:
+        raise ConfigurationError(
+            f"the {engine_name} engine does not support "
+            + ", ".join(offending)
+            + " (async engine only)"
+        )
+
+
+def reject_network_only(config: "EngineConfig", engine_name: str) -> None:
+    """Refuse message-passing-only config features on matrix backends.
+
+    ``faults`` intercepts token-transfer messages; the vectorised backends
+    have no messages to intercept and must refuse rather than silently run
+    fault-free.
+    """
+    if config.faults is not None:
+        raise ConfigurationError(
+            f"the {engine_name} engine does not support "
+            f"faults={config.faults!r} (network/async engines only)"
+        )
+
+
+def parse_latency_spec(spec):
+    """Normalise a ``latency_model`` value; raises on malformed specs.
+
+    Returns ``None``, ``("fixed", x)``, ``("uniform", lo, hi)`` or
+    ``("exp", mean)``.  Accepted inputs: ``None``, a non-negative scalar,
+    or the spec strings ``"fixed:X"`` / ``"uniform:LO,HI"`` / ``"exp:MEAN"``
+    (a bare numeric string counts as fixed).
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, (int, float, np.integer, np.floating)):
+        x = float(spec)
+        if not np.isfinite(x) or x < 0.0:
+            raise ConfigurationError(
+                f"latency must be finite and >= 0, got {spec!r}"
+            )
+        return ("fixed", x)
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"latency_model must be None, a scalar or a spec string, "
+            f"got {spec!r}"
+        )
+    kind, _, rest = spec.partition(":")
+    try:
+        if not _ and kind:  # bare number: "0.5"
+            return parse_latency_spec(float(kind))
+        if kind == "fixed":
+            return parse_latency_spec(float(rest))
+        if kind == "uniform":
+            lo_s, _, hi_s = rest.partition(",")
+            lo, hi = float(lo_s), float(hi_s)
+            if not (0.0 <= lo <= hi and np.isfinite(hi)):
+                raise ConfigurationError(
+                    f"uniform latency needs 0 <= LO <= HI, got {spec!r}"
+                )
+            return ("uniform", lo, hi)
+        if kind == "exp":
+            mean = float(rest)
+            if not (np.isfinite(mean) and mean >= 0.0):
+                raise ConfigurationError(
+                    f"exp latency needs MEAN >= 0, got {spec!r}"
+                )
+            return ("exp", mean)
+    except ValueError:
+        pass
+    raise ConfigurationError(
+        "latency spec must be 'fixed:X', 'uniform:LO,HI' or 'exp:MEAN', "
+        f"got {spec!r}"
+    )
 
 
 def resolve_workers(spec, n_replicas: int) -> int:

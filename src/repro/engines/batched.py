@@ -67,6 +67,8 @@ from .base import (
     apply_load_scales,
     as_load_batch,
     register_engine,
+    reject_async_only,
+    reject_network_only,
     reject_sharded_only,
     resolve_arrival_models,
     resolve_arrival_rngs,
@@ -817,6 +819,8 @@ class BatchedVectorEngine(Engine):
     def prepare(self, topo, config, initial_loads) -> _BatchedHandle:
         config.validate()
         reject_sharded_only(config, "batched")
+        reject_async_only(config, "batched")
+        reject_network_only(config, "batched")
         if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
             raise SchemeError(f"beta must be in (0, 2), got {config.beta}")
         make_rounding(config.rounding)  # validate the key early
@@ -1546,6 +1550,11 @@ class BatchedVectorEngine(Engine):
                 "run_dynamic()"
             )
         config.validate()
+        # The guards run here as well as in prepare(): the closed-form
+        # fast path never reaches prepare(), and silently ignoring an
+        # async/fault knob there would lie about what ran.
+        reject_async_only(config, "batched")
+        reject_network_only(config, "batched")
         if config.scheme == "sos" and not 0.0 < config.beta < 2.0:
             # prepare() enforces this for the edge-wise path; the fast path
             # never reaches prepare(), and a beta outside (0, 2) makes the

@@ -47,6 +47,7 @@ from .base import (
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_replica_params,
+    reject_async_only,
     reject_batched_only,
     reject_sharded_only,
 )
@@ -104,6 +105,7 @@ class NetworkEngine(Engine):
         config.validate()
         reject_batched_only(config, 'network')
         reject_sharded_only(config, 'network')
+        self._reject(config)
         if config.precision != "float64":
             raise ConfigurationError(
                 "the network engine only supports precision='float64'"
@@ -145,15 +147,11 @@ class NetworkEngine(Engine):
             if params is not None and params.switch_rounds is not None:
                 round_b = int(params.switch_rounds[b])
                 switch_b = round_b if round_b >= 0 else None
-            net = SyncNetwork(
-                topo,
-                load,
-                scheme=config.scheme,
+            net = self._make_net(
+                topo, config, load,
                 beta=self._replica_beta(config, params, b),
-                rounding=config.rounding,
-                speeds=config.speeds,
-                seed=config.seed + b,
-                switch_to_fos_at=switch_b,
+                switch_round=switch_b,
+                b=b,
             )
             targets = (
                 config.targets
@@ -179,6 +177,27 @@ class NetworkEngine(Engine):
             replicas.append(replica)
         return _NetworkHandle(topo=topo, config=config, replicas=replicas)
 
+    def _reject(self, config: EngineConfig) -> None:
+        """Knob-guard hook: the synchronous engine refuses the async-only
+        knobs (``faults`` is accepted — it threads into every replica's
+        network, which binds unseeded models to seed-derived generators).
+        The async subclass overrides this to accept the latency knobs."""
+        reject_async_only(config, self.name)
+
+    def _make_net(self, topo, config, load, beta, switch_round, b):
+        """Build replica ``b``'s network — the async subclass's hook."""
+        return SyncNetwork(
+            topo,
+            load,
+            scheme=config.scheme,
+            beta=beta,
+            rounding=config.rounding,
+            speeds=config.speeds,
+            seed=config.seed + b,
+            faults=config.faults,
+            switch_to_fos_at=switch_round,
+        )
+
     @staticmethod
     def _replica_beta(config, params, b: int) -> float:
         if config.scheme != "sos":
@@ -197,14 +216,11 @@ class NetworkEngine(Engine):
             model = models[b]
             if params is not None and params.arrival_scales is not None:
                 model = ScaledArrivals(model, float(params.arrival_scales[b]))
-            net = SyncNetwork(
-                topo,
-                load,
-                scheme=config.scheme,
+            net = self._make_net(
+                topo, config, load,
                 beta=self._replica_beta(config, params, b),
-                rounding=config.rounding,
-                speeds=config.speeds,
-                seed=config.seed + b,
+                switch_round=None,
+                b=b,
             )
             replicas.append(
                 _DynamicNetReplica(

@@ -44,7 +44,9 @@ from .base import (
     resolve_arrival_models,
     resolve_arrival_rngs,
     resolve_replica_params,
+    reject_async_only,
     reject_batched_only,
+    reject_network_only,
     reject_sharded_only,
 )
 
@@ -154,6 +156,8 @@ class ReferenceEngine(Engine):
         config.validate()
         reject_batched_only(config, 'reference')
         reject_sharded_only(config, 'reference')
+        reject_async_only(config, 'reference')
+        reject_network_only(config, 'reference')
         if config.precision != "float64":
             from ..exceptions import ConfigurationError
 

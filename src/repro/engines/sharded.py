@@ -73,6 +73,8 @@ from .base import (
     merge_record_batches,
     plan_shards,
     register_engine,
+    reject_async_only,
+    reject_network_only,
     resolve_arrival_models,
     resolve_replica_params,
     resolve_workers,
@@ -165,6 +167,8 @@ class ShardedEngine(Engine):
     ) -> List[Tuple[Topology, EngineConfig, np.ndarray, bool]]:
         """Validate the config and slice the batch into shard payloads."""
         config.validate()
+        reject_async_only(config, "sharded")
+        reject_network_only(config, "sharded")
         if config.arrival_sampling == "batch":
             raise ConfigurationError(
                 "the sharded engine does not support "

@@ -16,7 +16,9 @@ from .topology import Topology
 __all__ = ["hypercube"]
 
 
-def hypercube(dimension: int) -> Topology:
+def hypercube(
+    dimension: int, link_latency=None, link_bandwidth=None
+) -> Topology:
     """The ``dimension``-dimensional hypercube on ``2**dimension`` nodes.
 
     Parameters
@@ -24,6 +26,9 @@ def hypercube(dimension: int) -> Topology:
     dimension:
         Number of dimensions ``k >= 0``.  ``k = 0`` yields the single-node
         graph.
+    link_latency, link_bandwidth:
+        Optional per-edge link attributes (scalar or ``(m_edges,)``) stamped
+        on the result for the async engine.
 
     Notes
     -----
@@ -56,4 +61,4 @@ def hypercube(dimension: int) -> Topology:
         # Walsh-Hadamard closed-form kernel applies (the engine analogue of
         # the torus builders' grid_shape hint).
         topo.cube_dim = dimension
-    return topo
+    return topo.stamp_link_attrs(link_latency, link_bandwidth)

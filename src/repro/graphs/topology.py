@@ -57,6 +57,8 @@ class Topology:
         "name",
         "grid_shape",
         "cube_dim",
+        "link_latency",
+        "link_bandwidth",
         "_edge_id_lookup",
     )
 
@@ -105,6 +107,17 @@ class Topology:
         #: it to switch to the Walsh–Hadamard closed-form kernel, exactly
         #: like ``grid_shape`` selects the torus Fourier kernel.
         self.cube_dim: Optional[int] = None
+        #: Optional per-edge message latency in rounds (``(m_edges,)``
+        #: float64, aligned with ``edge_u``/``edge_v``), the pyFogSim
+        #: ``LINK_PR`` analogue.  ``None`` means the synchronous 0-latency
+        #: regime; only the async engine reads it.  Set via
+        #: :meth:`stamp_link_attrs`.
+        self.link_latency: Optional[np.ndarray] = None
+        #: Optional per-edge bandwidth in tokens per round (``LINK_BW``
+        #: analogue): a message of size ``s`` occupies the link for
+        #: ``s / bandwidth`` rounds on top of the latency.  ``None`` means
+        #: infinite bandwidth.
+        self.link_bandwidth: Optional[np.ndarray] = None
 
         # Build CSR adjacency: for every incidence store (node, neighbour,
         # edge id) and bucket by node.
@@ -181,6 +194,38 @@ class Topology:
             return self._edge_id_lookup[key]
         except KeyError:
             raise TopologyError(f"({u}, {v}) is not an edge of {self.name}") from None
+
+    def stamp_link_attrs(
+        self,
+        latency: Optional[object] = None,
+        bandwidth: Optional[object] = None,
+    ) -> "Topology":
+        """Attach per-edge link attributes; returns ``self`` for chaining.
+
+        ``latency`` (rounds, >= 0) and ``bandwidth`` (tokens/round, > 0) are
+        each a scalar broadcast over every edge or an ``(m_edges,)`` array
+        aligned with ``edge_u``/``edge_v``.  ``None`` leaves the attribute
+        unset (synchronous latency / infinite bandwidth).  Like the spectral
+        hints these are advisory: only the async engine reads them, and they
+        do not participate in equality or hashing.
+        """
+        if latency is not None:
+            arr = np.broadcast_to(
+                np.asarray(latency, dtype=np.float64), (self.m_edges,)
+            ).copy()
+            if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+                raise TopologyError("link latency must be finite and >= 0")
+            arr.setflags(write=False)
+            self.link_latency = arr
+        if bandwidth is not None:
+            arr = np.broadcast_to(
+                np.asarray(bandwidth, dtype=np.float64), (self.m_edges,)
+            ).copy()
+            if np.any(arr <= 0.0):
+                raise TopologyError("link bandwidth must be > 0")
+            arr.setflags(write=False)
+            self.link_bandwidth = arr
+        return self
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""

@@ -18,18 +18,31 @@ from .topology import Topology
 __all__ = ["torus_2d", "torus_nd", "grid_2d", "torus_coordinates", "torus_node_id"]
 
 
-def torus_2d(rows: int, cols: int) -> Topology:
+def torus_2d(
+    rows: int, cols: int, link_latency=None, link_bandwidth=None
+) -> Topology:
     """Two-dimensional torus with ``rows x cols`` nodes.
 
     Node ``(r, c)`` has id ``r * cols + c`` and is adjacent to its four
     neighbours ``(r±1, c)`` and ``(r, c±1)`` with wrap-around.  Dimensions of
     size 1 contribute no edges and a dimension of size 2 contributes a single
-    (not doubled) edge.
+    (not doubled) edge.  ``link_latency``/``link_bandwidth`` are stamped on
+    the result via :meth:`~repro.graphs.topology.Topology.stamp_link_attrs`.
     """
-    return torus_nd((rows, cols), name=f"torus-{rows}x{cols}")
+    return torus_nd(
+        (rows, cols),
+        name=f"torus-{rows}x{cols}",
+        link_latency=link_latency,
+        link_bandwidth=link_bandwidth,
+    )
 
 
-def torus_nd(shape: Sequence[int], name: str = "") -> Topology:
+def torus_nd(
+    shape: Sequence[int],
+    name: str = "",
+    link_latency=None,
+    link_bandwidth=None,
+) -> Topology:
     """A ``k``-dimensional torus with the given side lengths.
 
     Parameters
@@ -38,6 +51,9 @@ def torus_nd(shape: Sequence[int], name: str = "") -> Topology:
         Side length per dimension; every entry must be >= 1.
     name:
         Optional topology name; a descriptive default is derived from shape.
+    link_latency, link_bandwidth:
+        Optional per-edge link attributes (scalar or ``(m_edges,)``) stamped
+        on the result for the async engine.
     """
     shape = tuple(int(s) for s in shape)
     if not shape or any(s < 1 for s in shape):
@@ -67,7 +83,7 @@ def torus_nd(shape: Sequence[int], name: str = "") -> Topology:
         # node, so the analytic Fourier spectrum applies (sides of 1 or 2
         # change the degree structure and are left unhinted).
         topo.grid_shape = shape
-    return topo
+    return topo.stamp_link_attrs(link_latency, link_bandwidth)
 
 
 def grid_2d(rows: int, cols: int) -> Topology:

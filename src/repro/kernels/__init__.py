@@ -190,13 +190,15 @@ def resolve_kernel(config, m_edges: int):
     if name == "auto":
         if blockers:
             _log_fallback_once(
-                ("blocked", blockers[0]),
-                "kernel='auto' falls back to the numpy tier: " + blockers[0],
+                ("blocked", tuple(blockers)),
+                "kernel='auto' falls back to the numpy tier: "
+                + " and ".join(blockers),
             )
             return None
         for candidate in AUTO_PREFERENCE:
             provider = get_provider(candidate)
             if provider is not None:
+                _warn_dynamic_clamp(config, candidate)
                 return provider
         _log_fallback_once(
             ("missing",),
@@ -216,7 +218,25 @@ def resolve_kernel(config, m_edges: int):
             "to import or build (install the compiled extra: "
             "pip install 'repro-lb[compiled]')"
         )
+    _warn_dynamic_clamp(config, name)
     return provider
+
+
+def _warn_dynamic_clamp(config, provider_name: str) -> None:
+    """One-time notice that dynamic runs clamp arrivals in numpy.
+
+    The compiled tier covers the static hot loop; the per-round arrival
+    clamp of dynamic runs has no compiled kernel yet, so a forced (or
+    auto-selected) provider still executes that pass in numpy.  Saying so
+    once keeps bench readers from crediting the clamp to the provider.
+    """
+    if getattr(config, "arrivals", None) is not None:
+        _log_fallback_once(
+            ("dynamic-clamp", provider_name),
+            f"kernel={provider_name!r} covers the static hot loop only: "
+            "the dynamic arrival-clamp pass runs in the numpy tier "
+            "(compiled clamp coverage is a ROADMAP item)",
+        )
 
 
 def _warm_provider(provider) -> None:

@@ -11,9 +11,17 @@ deterministic roundings the global trace of this substrate is *identical* to
 the vectorised engine, round for round.
 """
 
-from .messages import Hello, LoadAnnounce, Message, TokenTransfer
+from .messages import (
+    Bounce,
+    Hello,
+    LoadAnnounce,
+    Message,
+    TokenTransfer,
+    WorkInjection,
+)
 from .node import BalancerNode
 from .engine import SyncNetwork
+from .async_engine import AsyncNetwork
 from .faults import FaultModel, LinkOutage, NoFaults, RandomLinkDrop
 
 __all__ = [
@@ -21,8 +29,11 @@ __all__ = [
     "Hello",
     "LoadAnnounce",
     "TokenTransfer",
+    "Bounce",
+    "WorkInjection",
     "BalancerNode",
     "SyncNetwork",
+    "AsyncNetwork",
     "FaultModel",
     "NoFaults",
     "RandomLinkDrop",

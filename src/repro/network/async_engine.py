@@ -1,0 +1,411 @@
+"""Event-driven asynchronous message-passing engine.
+
+:class:`AsyncNetwork` drives the same :class:`~repro.network.node.
+BalancerNode` agents as :class:`~repro.network.engine.SyncNetwork`, but
+with no global round barrier: every message is an event in a priority
+queue keyed on its delivery time, and each link may carry a latency (in
+rounds) and a bandwidth (tokens per round) from the topology's stamped
+``link_latency``/``link_bandwidth`` attributes (the pyFogSim
+``LINK_PR``/``LINK_BW`` analogues) or from explicit constructor overrides.
+
+The schedule per node round (local round ``r`` starting at local time
+``t``):
+
+* **announce** (phase 0): the node broadcasts its normalised load; each
+  copy arrives at ``t + delay(edge, size=1)``.  The SOS -> FOS switch
+  flips here, on the node's *local* round counter, exactly as in the
+  synchronous engine.
+* **compute** (phase 2): the node computes and rounds its outgoing
+  transfers from the *latest heard* neighbour loads — which under latency
+  are stale by one or more rounds — then deducts the sent tokens
+  (recording the Section V transient minimum).  Each transfer travels for
+  ``delay(edge, size=1 + |amount|)``; a transfer the fault model drops
+  becomes a :class:`~repro.network.messages.Bounce` event arriving back
+  at the sender after a full round trip.
+* **deliver** (phase 1 announces / phase 3 transfers and bounces):
+  pure state updates on the receiver.
+* **finish** (phase 4): the node closes its round (zeroing remembered
+  flows on quiet incoming edges) and schedules round ``r + 1`` at
+  ``t + 1`` — gated, when ``max_skew`` is set, on having heard round
+  ``>= r - max_skew`` from every neighbour.
+
+With zero latency everywhere (no stamped attributes, no overrides) the
+phase ordering above replays the synchronous engine's phase structure
+event for event, so the trajectory is **bit-identical** to
+:class:`SyncNetwork` — the cross-engine equivalence suite asserts it.
+With latency, nodes schedule on stale loads and SOS momentum acts on
+out-of-date flows; the convergence degradation versus mean staleness is
+measured by ``benchmarks/bench_async.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..graphs.topology import Topology
+
+from .engine import SyncNetwork
+from .faults import FaultModel
+from .messages import Bounce, LoadAnnounce, TokenTransfer, WorkInjection
+
+__all__ = ["AsyncNetwork"]
+
+# Event phases at one timestamp, in pop order.  At zero latency every
+# phase of a round shares the round's timestamp, so this ordering is what
+# reproduces the synchronous engine's announce -> deliver -> compute ->
+# deliver -> finish structure bit for bit.
+PH_ANNOUNCE = 0
+PH_DELIVER_ANNOUNCE = 1
+PH_COMPUTE = 2
+PH_DELIVER = 3
+PH_FINISH = 4
+
+
+def _as_edge_array(value, m_edges: int, name: str) -> Optional[np.ndarray]:
+    if value is None:
+        return None
+    arr = np.broadcast_to(
+        np.asarray(value, dtype=np.float64), (m_edges,)
+    ).copy()
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} must be finite")
+    return arr
+
+
+class AsyncNetwork(SyncNetwork):
+    """Latency-aware event-driven network of autonomous balancer nodes.
+
+    Accepts every :class:`SyncNetwork` parameter plus:
+
+    Parameters
+    ----------
+    link_latency:
+        Per-edge message latency in rounds (scalar or ``(m_edges,)``);
+        ``None`` reads the topology's stamped ``link_latency`` (``None``
+        there too means zero latency — the synchronous regime).
+    link_bandwidth:
+        Per-edge bandwidth in tokens per round: a message of size ``s``
+        occupies the link for ``s / bandwidth`` rounds on top of the
+        latency (announces have size 1, a transfer of ``a`` tokens size
+        ``1 + |a|``).  ``None`` means infinite bandwidth.
+    max_skew:
+        Bounded-staleness gate: a node may not start round ``r`` until it
+        has heard round ``>= r - 1 - max_skew`` from every neighbour.
+        ``None`` means unbounded skew.
+
+    :meth:`step` advances the *global* round count by one: it pops events
+    until every node has finished that round (fast nodes may already be
+    further ahead — that skew is the regime under study).  ``loads`` /
+    ``flows`` / ``min_transients`` then observe the same quantities as the
+    synchronous engine; ``flows`` reports the engine-side per-edge record
+    of the last computed shipments (exact at zero latency, best-effort
+    under skew, where both endpoints of an edge may transiently ship).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        initial_load: np.ndarray,
+        scheme: str = "fos",
+        beta: float = 1.0,
+        rounding: str = "identity",
+        speeds: Optional[np.ndarray] = None,
+        seed: int = 0,
+        faults: Optional[FaultModel] = None,
+        switch_to_fos_at: Optional[int] = None,
+        link_latency=None,
+        link_bandwidth=None,
+        max_skew: Optional[int] = None,
+    ):
+        super().__init__(
+            topo,
+            initial_load,
+            scheme=scheme,
+            beta=beta,
+            rounding=rounding,
+            speeds=speeds,
+            seed=seed,
+            faults=faults,
+            switch_to_fos_at=switch_to_fos_at,
+        )
+        if max_skew is not None and max_skew < 0:
+            raise ConfigurationError(f"max_skew must be >= 0, got {max_skew}")
+        self.max_skew = max_skew
+        m = topo.m_edges
+        self._lat = _as_edge_array(
+            link_latency if link_latency is not None else topo.link_latency,
+            m, "link_latency",
+        )
+        if self._lat is not None and np.any(self._lat < 0.0):
+            raise ConfigurationError("link latency must be >= 0")
+        self._bw = _as_edge_array(
+            link_bandwidth if link_bandwidth is not None else topo.link_bandwidth,
+            m, "link_bandwidth",
+        )
+        if self._bw is not None and np.any(self._bw <= 0.0):
+            raise ConfigurationError("link bandwidth must be > 0")
+
+        # Per-node neighbour -> edge-id map for O(1) delay/flow lookups.
+        self._eid: List[Dict[int, int]] = [
+            {
+                int(j): int(e)
+                for j, e in zip(topo.neighbors(i), topo.incident_edges(i))
+            }
+            for i in range(topo.n)
+        ]
+        # Latest heard neighbour state: normalised load and the round it
+        # was announced in.  Bootstrapped from the initial loads (the
+        # setup Hello exchange can carry them), so a node never waits for
+        # an announcement — it computes on whatever it knows.
+        self._view_val: List[Dict[int, float]] = [
+            {
+                int(j): float(initial_load[j]) / float(self.speeds[j])
+                for j in topo.neighbors(i)
+            }
+            for i in range(topo.n)
+        ]
+        self._view_round: List[Dict[int, int]] = [
+            {int(j): -1 for j in topo.neighbors(i)} for i in range(topo.n)
+        ]
+        self._received: List[Set[int]] = [set() for _ in range(topo.n)]
+        self._edge_flow = np.zeros(m, dtype=np.float64)
+        #: Earliest allowed next-round start time per gated node (None =
+        #: not waiting on the max_skew gate).
+        self._waiting: List[Optional[float]] = [None] * topo.n
+
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._time = 0.0
+        self._target = 0
+        self._behind = 0
+        self._in_flight_amount = 0.0
+        self._in_flight_messages = 0
+        self.delivered_count = 0
+        self.bounced_count = 0
+        self._stale_sum = 0
+        self._stale_count = 0
+        self.max_staleness = 0
+
+        for i in range(topo.n):
+            self._push(0.0, PH_ANNOUNCE, i)
+
+    # -- event machinery ---------------------------------------------------
+    def _push(self, time: float, phase: int, payload) -> None:
+        heapq.heappush(self._heap, (time, phase, self._seq, payload))
+        self._seq += 1
+
+    def _delay(self, edge: int, size: float) -> float:
+        d = 0.0
+        if self._lat is not None:
+            d += float(self._lat[edge])
+        if self._bw is not None:
+            d += size / float(self._bw[edge])
+        return d
+
+    def _gate_ok(self, i: int, next_round: int) -> bool:
+        if self.max_skew is None:
+            return True
+        floor = next_round - 1 - self.max_skew
+        return all(r >= floor for r in self._view_round[i].values())
+
+    # -- event handlers ----------------------------------------------------
+    def _on_announce(self, t: float, i: int) -> None:
+        node = self.nodes[i]
+        if (
+            self.switch_to_fos_at is not None
+            and node.round_index == self.switch_to_fos_at
+        ):
+            node.scheme = "fos"
+        for msg in node.announce():
+            e = self._eid[i][msg.receiver]
+            self._push(t + self._delay(e, 1.0), PH_DELIVER_ANNOUNCE, msg)
+        self._push(t, PH_COMPUTE, i)
+        self._push(t, PH_FINISH, i)
+
+    def _on_deliver_announce(self, t: float, msg: LoadAnnounce) -> None:
+        i = msg.receiver
+        if msg.round_index >= self._view_round[i][msg.sender]:
+            self._view_round[i][msg.sender] = msg.round_index
+            self._view_val[i][msg.sender] = msg.normalized_load
+        start = self._waiting[i]
+        if start is not None and self._gate_ok(i, self.nodes[i].round_index):
+            self._waiting[i] = None
+            self._push(max(start, t), PH_ANNOUNCE, i)
+
+    def _on_compute(self, t: float, i: int) -> None:
+        node = self.nodes[i]
+        r = node.round_index
+        views = self._view_val[i]
+        rounds_heard = self._view_round[i]
+        for j in node.neighbors:
+            s = r - rounds_heard[j]
+            if s < 0:
+                s = 0  # the neighbour is ahead — its view is fresh
+            self._stale_sum += s
+            if s > self.max_staleness:
+                self.max_staleness = s
+            self._stale_count += 1
+        node.set_neighbor_loads(views)
+        transfers = node.compute_transfers()
+        node.apply_send_phase()
+
+        # Engine-side per-edge flow record (sign: edge_u -> edge_v
+        # positive).  Senders — including zero-token senders — write the
+        # edge; the scheduled-receiver side leaves it to the sender.
+        sent = node._sent_this_round
+        for j, f in node._pending_scheduled.items():
+            e = self._eid[i][j]
+            if f == 0.0:
+                self._edge_flow[e] = 0.0
+            elif f > 0.0:
+                amount = sent[j]
+                self._edge_flow[e] = amount if i < j else -amount
+
+        for msg in transfers:
+            e = self._eid[i][msg.receiver]
+            size = 1.0 + abs(msg.amount)
+            self._in_flight_amount += msg.amount
+            self._in_flight_messages += 1
+            if self.faults.drops(msg, msg.round_index):
+                bounce = Bounce(
+                    sender=msg.sender,
+                    receiver=msg.receiver,
+                    round_index=msg.round_index,
+                    amount=msg.amount,
+                )
+                self._push(t + 2.0 * self._delay(e, size), PH_DELIVER, bounce)
+            else:
+                self._push(t + self._delay(e, size), PH_DELIVER, msg)
+
+    def _on_deliver(self, t: float, msg) -> None:
+        self._in_flight_amount -= msg.amount
+        self._in_flight_messages -= 1
+        if isinstance(msg, Bounce):
+            # The link failed: the tokens return to their sender, which
+            # credits them back and voids the edge's remembered flow —
+            # the same accounting the synchronous engine applies inline.
+            sender = self.nodes[msg.sender]
+            sender.load += msg.amount
+            sender.prev_flow[msg.receiver] = 0.0
+            self._edge_flow[self._eid[msg.sender][msg.receiver]] = 0.0
+            self.bounced_count += 1
+        else:
+            self.nodes[msg.receiver].receive_transfer(msg)
+            self._received[msg.receiver].add(msg.sender)
+            self.delivered_count += 1
+
+    def _on_finish(self, t: float, i: int) -> None:
+        node = self.nodes[i]
+        node.finish_round(tuple(self._received[i]))
+        self._received[i].clear()
+        if node.round_index == self._target:
+            self._behind -= 1
+        next_start = t + 1.0
+        if self._gate_ok(i, node.round_index):
+            self._push(next_start, PH_ANNOUNCE, i)
+        else:
+            self._waiting[i] = next_start
+
+    # -- public surface ----------------------------------------------------
+    def step(self) -> None:
+        """Advance the global round count by one.
+
+        Pops events until every node has finished round
+        ``self.round_index`` (nodes are free to have run further ahead).
+        """
+        target = self.round_index + 1
+        self._target = target
+        self._behind = sum(
+            1 for node in self.nodes if node.round_index < target
+        )
+        while self._behind > 0:
+            if not self._heap:  # pragma: no cover - gate liveness guard
+                raise SimulationError(
+                    "async event queue drained before the round completed"
+                )
+            t, phase, _, payload = heapq.heappop(self._heap)
+            self._time = t
+            if phase == PH_ANNOUNCE:
+                self._on_announce(t, payload)
+            elif phase == PH_DELIVER_ANNOUNCE:
+                self._on_deliver_announce(t, payload)
+            elif phase == PH_COMPUTE:
+                self._on_compute(t, payload)
+            elif phase == PH_DELIVER:
+                self._on_deliver(t, payload)
+            else:
+                self._on_finish(t, payload)
+        self.round_index = target
+
+    def flows(self) -> np.ndarray:
+        """Last computed shipment per edge (``edge_u -> edge_v`` positive).
+
+        Exact (bit-identical to :meth:`SyncNetwork.flows`) at zero
+        latency; under skew it is the engine-side observability record —
+        the two endpoints of an edge no longer share a consistent flow
+        history, which is precisely the regime under study.
+        """
+        return self._edge_flow.copy()
+
+    def inject_work(self, deltas: np.ndarray) -> Tuple[float, float, float]:
+        """Deliver per-node workload deltas at each node's *local* round.
+
+        Same accounting as the synchronous engine; under skew the
+        injections land in whatever local round each node is in.
+        """
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.shape != (self.topo.n,):
+            raise ConfigurationError(
+                f"work deltas have shape {deltas.shape}, "
+                f"expected ({self.topo.n},)"
+            )
+        arrived = departed = clamped = 0.0
+        for i, node in enumerate(self.nodes):
+            d = float(deltas[i])
+            if d == 0.0:
+                continue
+            arrive = d if d > 0.0 else 0.0
+            want = -d if d < 0.0 else 0.0
+            consumed = node.receive_work(
+                WorkInjection(
+                    sender=-1,
+                    receiver=i,
+                    round_index=node.round_index,
+                    arrive=arrive,
+                    depart=want,
+                )
+            )
+            arrived += arrive
+            departed += consumed
+            clamped += want - consumed
+        return arrived, departed, clamped
+
+    @property
+    def total_load(self) -> float:
+        """Total load including tokens currently in flight (conserved)."""
+        return float(self.loads().sum()) + self._in_flight_amount
+
+    @property
+    def in_flight(self) -> int:
+        """Number of token shipments currently traversing links."""
+        return self._in_flight_messages
+
+    @property
+    def mean_staleness(self) -> float:
+        """Mean age, in rounds, of the neighbour loads used by computes.
+
+        0 everywhere in the synchronous regime; ``ceil(latency)`` on a
+        uniform-latency graph once the pipeline fills.
+        """
+        if self._stale_count == 0:
+            return 0.0
+        return self._stale_sum / self._stale_count
+
+    @property
+    def time(self) -> float:
+        """Simulation time of the last processed event."""
+        return self._time

@@ -32,7 +32,12 @@ from .faults import FaultModel, NoFaults
 from .messages import TokenTransfer, WorkInjection
 from .node import BalancerNode
 
-__all__ = ["SyncNetwork"]
+__all__ = ["SyncNetwork", "FAULT_STREAM_KEY"]
+
+# Fault RNG stream id: the fault model draws from default_rng([seed, KEY]),
+# disjoint from the per-node streams default_rng([seed, i]) because the key
+# is far above any node id (it spells "faults" as a big-endian integer).
+FAULT_STREAM_KEY = int.from_bytes(b"faults", "big")
 
 
 class SyncNetwork:
@@ -83,7 +88,9 @@ class SyncNetwork:
         self.speeds = validate_speeds(
             speeds if speeds is not None else uniform_speeds(topo.n), topo.n
         )
-        self.faults = faults or NoFaults()
+        self.faults = (faults or NoFaults()).with_rng(
+            np.random.default_rng([seed, FAULT_STREAM_KEY])
+        )
         if switch_to_fos_at is not None and switch_to_fos_at < 0:
             raise ConfigurationError(
                 f"switch round must be >= 0, got {switch_to_fos_at}"

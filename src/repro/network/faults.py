@@ -31,6 +31,25 @@ class FaultModel:
         """Split ``transfers`` into ``(delivered, bounced)``."""
         raise NotImplementedError
 
+    def with_rng(self, rng: np.random.Generator) -> "FaultModel":
+        """Return a copy bound to ``rng`` (stateless models return self).
+
+        The engines call this with a generator derived from the run seed, so
+        fault schedules reproduce run-to-run like everything else; a model
+        constructed with an explicit generator keeps it.
+        """
+        return self
+
+    def drops(self, transfer: TokenTransfer, round_index: int) -> bool:
+        """Per-message fate for event-driven delivery (True = bounce).
+
+        The async engine asks message by message instead of round by round;
+        the default delegates to :meth:`filter_transfers` so the two paths
+        consume the same random stream for stochastic models.
+        """
+        _, bounced = self.filter_transfers([transfer], round_index)
+        return bool(bounced)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -49,11 +68,22 @@ class RandomLinkDrop(FaultModel):
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"drop probability must be in [0, 1], got {p}")
         self.p = float(p)
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng
+
+    def with_rng(self, rng):
+        if self.rng is not None:  # an explicit generator wins
+            return self
+        return RandomLinkDrop(self.p, rng)
 
     def filter_transfers(self, transfers, round_index):
         if not transfers or self.p == 0.0:
             return list(transfers), []
+        if self.rng is None:
+            raise ConfigurationError(
+                "RandomLinkDrop has no random generator: pass rng= explicitly "
+                "or run it through an engine, which binds one derived from "
+                "the run seed"
+            )
         drops = self.rng.random(len(transfers)) < self.p
         delivered = [m for m, d in zip(transfers, drops) if not d]
         bounced = [m for m, d in zip(transfers, drops) if d]

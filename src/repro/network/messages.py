@@ -18,7 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Message", "Hello", "LoadAnnounce", "TokenTransfer", "WorkInjection"]
+__all__ = [
+    "Message", "Hello", "LoadAnnounce", "TokenTransfer", "Bounce",
+    "WorkInjection",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,22 @@ class LoadAnnounce(Message):
 @dataclass(frozen=True)
 class TokenTransfer(Message):
     """Integral (or fractional, for idealised runs) load shipment."""
+
+    round_index: int
+    amount: float
+
+
+@dataclass(frozen=True)
+class Bounce(Message):
+    """A failed :class:`TokenTransfer` returning to its sender.
+
+    ``sender``/``receiver``/``round_index``/``amount`` are those of the
+    original shipment; the event-driven engine delivers the bounce back at
+    ``sender`` after a round trip on the link, crediting the tokens and
+    voiding the edge's remembered flow (load is conserved under arbitrary
+    fault schedules).  The synchronous engine applies the same credit
+    inline at the end of the round.
+    """
 
     round_index: int
     amount: float

@@ -160,6 +160,17 @@ class BalancerNode:
             )
         self._announced[msg.sender] = msg.normalized_load
 
+    def set_neighbor_loads(self, announced: Dict[int, float]) -> None:
+        """Install a (possibly stale) neighbour-load view for this round.
+
+        The event-driven async engine's entry point: it tracks the latest
+        heard announcement per neighbour and installs the whole view right
+        before :meth:`compute_transfers`, bypassing the synchronous
+        :meth:`receive_announce` round check (under latency the freshest
+        known value *is* from an older round — that staleness is the point).
+        """
+        self._announced = dict(announced)
+
     def _scheduled_flow(self, j: int) -> float:
         """Continuous scheduled flow from this node toward neighbour ``j``."""
         gradient = self.alpha[j] * (self.load / self.speed - self._announced[j])

@@ -239,6 +239,50 @@ class TestConfigSurface:
             kernels.get_provider("cuda")
 
 
+class TestFallbackLogging:
+    def test_auto_blocked_log_names_every_blocker(self, caplog, monkeypatch):
+        # identity rounding AND an edgeless topology: the one-time log line
+        # must join both blockers, not report only the first.
+        monkeypatch.setattr(kernels, "_FALLBACKS_LOGGED", set())
+        cfg = EngineConfig(rounding="identity", kernel="auto")
+        with caplog.at_level("INFO", logger="repro.kernels"):
+            assert kernels.resolve_kernel(cfg, m_edges=0) is None
+        [record] = caplog.records
+        assert "identity" in record.message
+        assert "edgeless" in record.message
+        assert " and " in record.message
+        # memoised: the same blocked shape logs exactly once per process
+        with caplog.at_level("INFO", logger="repro.kernels"):
+            kernels.resolve_kernel(cfg, m_edges=0)
+        assert len(caplog.records) == 1
+
+    def test_forced_kernel_on_dynamic_run_notes_numpy_clamp(
+        self, caplog, monkeypatch
+    ):
+        monkeypatch.setattr(kernels, "_FALLBACKS_LOGGED", set())
+        cfg = EngineConfig(
+            rounding="floor", kernel="python", rounds=2,
+            arrivals="poisson:1.5",
+        )
+        with caplog.at_level("INFO", logger="repro.kernels"):
+            provider = kernels.resolve_kernel(cfg, m_edges=TORUS.m_edges)
+        assert provider is not None
+        clamp_logs = [r for r in caplog.records if "clamp" in r.message]
+        assert len(clamp_logs) == 1
+        assert "numpy tier" in clamp_logs[0].message
+        # one-time: a second resolve for the same provider stays quiet
+        with caplog.at_level("INFO", logger="repro.kernels"):
+            kernels.resolve_kernel(cfg, m_edges=TORUS.m_edges)
+        assert len([r for r in caplog.records if "clamp" in r.message]) == 1
+
+    def test_static_forced_kernel_does_not_warn(self, caplog, monkeypatch):
+        monkeypatch.setattr(kernels, "_FALLBACKS_LOGGED", set())
+        cfg = EngineConfig(rounding="floor", kernel="python", rounds=2)
+        with caplog.at_level("INFO", logger="repro.kernels"):
+            kernels.resolve_kernel(cfg, m_edges=TORUS.m_edges)
+        assert not [r for r in caplog.records if "clamp" in r.message]
+
+
 class TestProviderCross:
     """Direct provider-level cross-checks, python vs each compiled one."""
 

@@ -1,4 +1,4 @@
-"""Cross-engine equivalence: batched == reference == network, trace for trace.
+"""Cross-engine equivalence: batched == reference == network == async, trace for trace.
 
 For deterministic roundings all integral traces must agree *bit for bit*
 across every backend and batch size — on the torus, the hypercube, and a
@@ -15,7 +15,7 @@ from repro.graphs import random_regular_strict
 from repro.engines import EngineConfig, make_engine
 
 DETERMINISTIC = ["floor", "nearest", "ceil"]
-ENGINE_NAMES = ["reference", "batched", "network"]
+ENGINE_NAMES = ["reference", "batched", "network", "async"]
 
 EXACT_FIELDS = (
     "round_index",
@@ -78,7 +78,7 @@ def test_single_replica_equivalence(topo_name, rounding, scheme, beta):
         scheme=scheme, beta=beta, rounding=rounding, rounds=30, seed=0
     )
     reference = make_engine("reference").run(topo, config, load)[0]
-    for name in ("batched", "network"):
+    for name in ("batched", "network", "async"):
         result = make_engine(name).run(topo, config, load)[0]
         _assert_same_result(result, reference, exact=rounding != "identity")
 
@@ -106,7 +106,7 @@ def test_multi_replica_batch_matches_reference_rows(topo_name):
 @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
 @pytest.mark.parametrize("rounding", ["floor", "nearest"])
 def test_hybrid_switch_equivalence(topo_name, rounding):
-    """Mid-run SOS -> FOS switching: all three engines agree bit for bit,
+    """Mid-run SOS -> FOS switching: all the exact engines agree bit for bit,
     including the scheme column flipping at the right record."""
     topo = TOPOLOGIES[topo_name]
     load = point_load(topo, 1000 * topo.n)
@@ -119,7 +119,7 @@ def test_hybrid_switch_equivalence(topo_name, rounding):
     schemes = reference.series("scheme")
     assert schemes[15] == "SecondOrderScheme"
     assert schemes[16] == "FirstOrderScheme"
-    for name in ("batched", "network"):
+    for name in ("batched", "network", "async"):
         result = make_engine(name).run(topo, config, load)[0]
         _assert_same_result(result, reference, exact=True)
 

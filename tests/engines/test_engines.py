@@ -16,7 +16,9 @@ from repro.core.hybrid import FixedRoundSwitch
 
 class TestRegistry:
     def test_known_engines(self):
-        assert set(ENGINES) == {"reference", "batched", "sharded", "network"}
+        assert set(ENGINES) == {
+            "reference", "batched", "sharded", "network", "async",
+        }
 
     def test_make_engine_by_name_and_passthrough(self):
         engine = make_engine("batched")

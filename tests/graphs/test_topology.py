@@ -51,6 +51,49 @@ class TestConstruction:
             topo.edge_u[0] = 7
 
 
+class TestLinkAttributes:
+    def test_unset_by_default(self):
+        topo = cycle(5)
+        assert topo.link_latency is None
+        assert topo.link_bandwidth is None
+
+    def test_scalar_broadcast_and_chaining(self):
+        topo = cycle(5).stamp_link_attrs(latency=1.5, bandwidth=8.0)
+        assert topo.link_latency.shape == (5,)
+        assert np.all(topo.link_latency == 1.5)
+        assert np.all(topo.link_bandwidth == 8.0)
+
+    def test_per_edge_array_aligned_with_edges(self):
+        topo = cycle(4)
+        lat = np.array([0.0, 1.0, 2.0, 3.0])
+        topo.stamp_link_attrs(latency=lat)
+        np.testing.assert_array_equal(topo.link_latency, lat)
+
+    def test_stamped_arrays_are_read_only(self):
+        topo = cycle(4).stamp_link_attrs(latency=1.0)
+        with pytest.raises(ValueError):
+            topo.link_latency[0] = 9.0
+
+    def test_validation(self):
+        with pytest.raises(TopologyError, match="latency"):
+            cycle(4).stamp_link_attrs(latency=-1.0)
+        with pytest.raises(TopologyError, match="bandwidth"):
+            cycle(4).stamp_link_attrs(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            cycle(4).stamp_link_attrs(latency=np.ones(3))
+
+    def test_builders_stamp(self):
+        topo = torus_2d(3, 4, link_latency=0.5, link_bandwidth=2.0)
+        assert topo.link_latency.shape == (topo.m_edges,)
+        assert np.all(topo.link_bandwidth == 2.0)
+        assert torus_2d(3, 4).link_latency is None
+
+    def test_attrs_do_not_affect_equality_or_hash(self):
+        a, b = cycle(5), cycle(5).stamp_link_attrs(latency=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
 class TestAdjacency:
     def test_neighbors_sorted(self):
         topo = Topology(4, [(0, 3), (0, 1), (0, 2)])

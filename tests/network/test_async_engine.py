@@ -1,0 +1,186 @@
+"""Unit tests for the event-driven :class:`AsyncNetwork`.
+
+The zero-latency regime must replay :class:`SyncNetwork` bit for bit
+(the engine-level cross-backend suite asserts the same through the
+engine protocol); the latency regime is checked for conservation,
+staleness accounting, and the ``max_skew`` bounded-staleness gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, point_load, torus_2d
+from repro.network import (
+    AsyncNetwork,
+    LinkOutage,
+    RandomLinkDrop,
+    SyncNetwork,
+)
+
+ROUNDINGS = [
+    "identity", "floor", "nearest", "ceil", "unbiased-edge",
+    "randomized-excess",
+]
+
+
+def _pair(topo, load, rounding="nearest", scheme="sos", beta=1.7,
+          switch=None, faults=None, **async_kwargs):
+    common = dict(
+        scheme=scheme, beta=beta, rounding=rounding, seed=3,
+        switch_to_fos_at=switch, faults=faults,
+    )
+    sync = SyncNetwork(topo, load, **common)
+    async_net = AsyncNetwork(topo, load, **common, **async_kwargs)
+    return sync, async_net
+
+
+class TestZeroLatencyEquivalence:
+    @pytest.mark.parametrize("rounding", ROUNDINGS)
+    def test_bit_identical_to_sync(self, rounding):
+        topo = torus_2d(5, 6)
+        load = point_load(topo, 1000 * topo.n)
+        sync, async_net = _pair(topo, load, rounding=rounding, switch=7)
+        for _ in range(20):
+            sync.step()
+            async_net.step()
+            np.testing.assert_array_equal(async_net.loads(), sync.loads())
+            np.testing.assert_array_equal(async_net.flows(), sync.flows())
+        np.testing.assert_array_equal(
+            async_net.min_transients(), sync.min_transients()
+        )
+        assert async_net.mean_staleness == 0.0
+        assert async_net.max_staleness == 0
+
+    def test_fault_stream_parity(self):
+        """Per-message drops() consumes the same random stream as the
+        synchronous batched filter, so faulty trajectories match too."""
+        topo = torus_2d(5, 5)
+        load = point_load(topo, 500 * topo.n)
+        sync, async_net = _pair(
+            topo, load, rounding="floor", faults=RandomLinkDrop(0.3)
+        )
+        for _ in range(25):
+            sync.step()
+            async_net.step()
+            np.testing.assert_array_equal(async_net.loads(), sync.loads())
+        assert async_net.bounced_count > 0
+
+    def test_outage_parity(self):
+        topo = torus_2d(4, 4)
+        load = point_load(topo, 300 * topo.n)
+        sync, async_net = _pair(
+            topo, load, rounding="nearest",
+            faults=LinkOutage([(0, 1), (0, 4)], start=2, end=9),
+        )
+        for _ in range(15):
+            sync.step()
+            async_net.step()
+            np.testing.assert_array_equal(async_net.loads(), sync.loads())
+
+
+class TestLatencyRegime:
+    def test_conservation_with_in_flight(self):
+        topo = torus_2d(6, 6)
+        total = 800 * topo.n
+        _, net = _pair(topo, point_load(topo, total), link_latency=1.5)
+        for _ in range(30):
+            net.step()
+            assert net.total_load == pytest.approx(total)
+        # staleness settles near ceil(latency) once the pipeline fills
+        assert 1.0 < net.mean_staleness <= 2.5
+        assert net.max_staleness >= 2
+
+    def test_zero_latency_array_is_synchronous(self):
+        topo = torus_2d(4, 5)
+        load = point_load(topo, 500 * topo.n)
+        sync, net = _pair(topo, load, link_latency=np.zeros(topo.m_edges))
+        for _ in range(10):
+            sync.step()
+            net.step()
+        np.testing.assert_array_equal(net.loads(), sync.loads())
+
+    def test_bandwidth_induces_staleness(self):
+        topo = torus_2d(5, 5)
+        _, net = _pair(
+            topo, point_load(topo, 400 * topo.n), link_bandwidth=0.25
+        )
+        for _ in range(20):
+            net.step()
+        assert net.mean_staleness > 0.5
+        assert net.total_load == pytest.approx(400 * topo.n)
+
+    def test_faults_under_latency_conserve(self):
+        topo = torus_2d(5, 5)
+        total = 600 * topo.n
+        _, net = _pair(
+            topo, point_load(topo, total), rounding="randomized-excess",
+            faults=RandomLinkDrop(0.25), link_latency=2.0,
+        )
+        for _ in range(40):
+            net.step()
+        assert net.total_load == pytest.approx(total)
+        assert net.bounced_count > 0
+
+    def test_stamped_topology_attributes_are_used(self):
+        topo = torus_2d(5, 5, link_latency=1.5)
+        _, net = _pair(topo, point_load(topo, 300 * topo.n))
+        for _ in range(15):
+            net.step()
+        assert net.mean_staleness > 1.0
+
+    def test_constructor_override_beats_stamped(self):
+        topo = torus_2d(5, 5, link_latency=3.0)
+        load = point_load(topo, 300 * topo.n)
+        sync, net = _pair(topo, load, link_latency=0.0)
+        for _ in range(10):
+            sync.step()
+            net.step()
+        np.testing.assert_array_equal(net.loads(), sync.loads())
+
+
+class TestMaxSkew:
+    def test_gate_bounds_staleness(self):
+        topo = torus_2d(6, 6)
+        for skew in (0, 1, 3):
+            _, net = _pair(
+                topo, point_load(topo, 500 * topo.n),
+                link_latency=2.5, max_skew=skew,
+            )
+            for _ in range(25):
+                net.step()
+            assert net.max_staleness <= skew + 1
+            assert net.total_load == pytest.approx(500 * topo.n)
+
+    def test_zero_skew_zero_latency_still_synchronous(self):
+        topo = torus_2d(4, 4)
+        load = point_load(topo, 200 * topo.n)
+        sync, net = _pair(topo, load, max_skew=0)
+        for _ in range(12):
+            sync.step()
+            net.step()
+        np.testing.assert_array_equal(net.loads(), sync.loads())
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        topo = torus_2d(3, 3)
+        with pytest.raises(ConfigurationError):
+            AsyncNetwork(topo, point_load(topo, 90), link_latency=-1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        topo = torus_2d(3, 3)
+        with pytest.raises(ConfigurationError):
+            AsyncNetwork(topo, point_load(topo, 90), link_bandwidth=0.0)
+
+    def test_negative_skew_rejected(self):
+        topo = torus_2d(3, 3)
+        with pytest.raises(ConfigurationError):
+            AsyncNetwork(topo, point_load(topo, 90), max_skew=-1)
+
+    def test_bad_latency_shape_rejected(self):
+        topo = torus_2d(3, 3)
+        with pytest.raises(ValueError):
+            AsyncNetwork(
+                topo, point_load(topo, 90),
+                link_latency=np.ones(topo.m_edges + 1),
+            )

@@ -62,6 +62,30 @@ class TestFaultModels:
         with pytest.raises(ConfigurationError):
             LinkOutage([(0, 1)], start=5, end=3)
 
+    def test_link_outage_empty_window(self):
+        # start == end is a legal, empty window: nothing ever drops.
+        outage = LinkOutage([(0, 1)], start=3, end=3)
+        for r in (0, 2, 3, 4, 100):
+            delivered, bounced = outage.filter_transfers(_msgs([(0, 1)]), r)
+            assert len(delivered) == 1 and bounced == []
+
+    def test_link_outage_undirected_key_normalization(self):
+        # (u, v) and (v, u) name the same link; traffic drops both ways.
+        outage = LinkOutage([(5, 2)], start=0, end=None)
+        _, bounced = outage.filter_transfers(_msgs([(2, 5), (5, 2)]), 0)
+        assert len(bounced) == 2
+        assert outage.links == {(2, 5)}
+
+    def test_unseeded_random_drop_requires_engine_rng(self):
+        # No generator and p > 0: refusing beats silently being unseeded.
+        with pytest.raises(ConfigurationError, match="no random generator"):
+            RandomLinkDrop(0.5).filter_transfers(_msgs([(0, 1)]), 0)
+        # with_rng binds one; an explicit generator wins over the bound one.
+        bound = RandomLinkDrop(0.5).with_rng(np.random.default_rng(0))
+        assert bound.rng is not None
+        explicit = RandomLinkDrop(0.5, np.random.default_rng(1))
+        assert explicit.with_rng(np.random.default_rng(2)) is explicit
+
 
 class TestFaultyNetworks:
     def test_drops_conserve_load(self, small_torus):
@@ -90,6 +114,48 @@ class TestFaultyNetworks:
         )
         net.run(50)
         assert net.loads()[0] == 600.0
+
+    def test_same_seed_same_fault_schedule(self, small_torus):
+        """The engine derives the fault rng from the run seed: two runs with
+        identical seeds take identical trajectories (regression for the
+        unseeded-rng default, which made fault runs unreproducible)."""
+        def run(seed):
+            net = SyncNetwork(
+                small_torus,
+                point_load(small_torus, 1000 * small_torus.n),
+                scheme="sos",
+                beta=1.6,
+                rounding="randomized-excess",
+                faults=RandomLinkDrop(0.3),
+                seed=seed,
+            )
+            net.run(40)
+            return net.loads()
+
+        np.testing.assert_array_equal(run(7), run(7))
+        assert not np.array_equal(run(7), run(8))
+
+    def test_outage_window_respected_under_event_driven_delivery(self):
+        """LinkOutage keys stay normalized when the async engine asks
+        message by message instead of round by round."""
+        from repro.network import AsyncNetwork
+
+        topo = cycle(6)
+        net = AsyncNetwork(
+            topo,
+            point_load(topo, 600, node=0),
+            scheme="fos",
+            rounding="floor",
+            faults=LinkOutage([(1, 0), (0, 5)], start=0, end=None),
+            link_latency=1.0,
+        )
+        net.run(40)
+        # No token ever crosses a dead link: the rest of the cycle stays
+        # empty, and node 0 holds everything not currently mid-bounce.
+        assert net.loads()[1:].sum() == 0.0
+        assert net.delivered_count == 0
+        assert net.bounced_count > 0
+        assert net.total_load == pytest.approx(600.0)
 
     def test_faulty_network_still_balances_somewhat(self, small_torus):
         net = SyncNetwork(

@@ -87,6 +87,19 @@ class TestEnginesDocumented:
             f"registered engines missing from docs/engines.md: {missing}"
         )
 
+    def test_every_registered_engine_in_user_guide_and_readme(self):
+        """The user guide's ``--engine`` row and the README backend list
+        track the registry — adding a backend must document it in both."""
+        guide = _read("docs", "user_guide.md")
+        readme = _read("README.md")
+        for name in ENGINES:
+            assert f"`{name}`" in guide, (
+                f"engine {name!r} missing from docs/user_guide.md"
+            )
+            assert f"`{name}`" in readme or name in readme, (
+                f"engine {name!r} missing from README.md"
+            )
+
     def test_engine_config_fields_in_knob_table(self):
         """Every EngineConfig field appears as a knob row in engines.md."""
         import dataclasses
