@@ -1,0 +1,177 @@
+"""Topology churn under fire: convergence and conservation vs churn rate.
+
+Sweeps a ladder of random churn rates (expected topology events per
+round — node crashes with recovery, edge failures, edge revivals) on the
+paper's 32x32 torus and records, for FOS and for SOS at the torus
+``beta_opt``:
+
+* the **final masked imbalance** (max-minus-avg over live nodes),
+* the **degradation ratio** against the churn-free run,
+* the **event count** the accepted random schedule actually contains,
+* **exact token conservation** at every rung (``sum(loads) == m`` row by
+  row — crashed nodes hand their tokens to live neighbours, so the
+  ledger never moves).
+
+Two structural facts are asserted:
+
+* **parity** — the engine fleet (reference / batched / network) produces
+  bit-identical traces under the same churn plan for floor rounding;
+* **conservation** — every rung's total-load column is exactly flat.
+
+Summary lands in ``BENCH_churn.json`` (committed at the repo root).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import beta_opt, point_load, torus_2d, torus_lambda
+from repro.core.churn import random_churn_schedule
+from repro.engines import EngineConfig, make_engine
+from repro.experiments import format_table
+from repro.io import ExperimentRecord
+
+from _helpers import run_once
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+SIDE = {"tiny": 8, "ci": 32, "paper": 32}[SCALE]
+ROUNDS = {"tiny": 20, "ci": 120, "paper": 300}[SCALE]
+#: Expected churn events per round (0.0 is the static-topology regime).
+RATES = {"tiny": [0.0, 0.5], "ci": [0.0, 0.25, 0.5, 1.0],
+         "paper": [0.0, 0.25, 0.5, 1.0]}[SCALE]
+PARITY_ROUNDS = min(ROUNDS, 25)
+ROUNDING = "randomized-excess"
+SEED = 0
+
+
+def _run_rung(topo, load, schedule, scheme, beta, rate):
+    config = EngineConfig(
+        rounds=ROUNDS, scheme=scheme, beta=beta, rounding=ROUNDING,
+        seed=SEED, churn=schedule,
+    )
+    t0 = time.perf_counter()
+    result = make_engine("batched").run(topo, config, load[None, :])[0]
+    elapsed = time.perf_counter() - t0
+    totals = result.table.column("total_load")
+    return {
+        "scheme": scheme,
+        "rate": rate,
+        "events": len(schedule.events),
+        "final_max_minus_avg": float(result.table.column("max_minus_avg")[-1]),
+        "conserved": bool((totals == load.sum()).all()),
+        "seconds": elapsed,
+    }
+
+
+def _fleet_parity(topo, load, schedule):
+    """Reference / batched / network bit-identity under the churn plan."""
+    config = EngineConfig(
+        rounds=PARITY_ROUNDS, scheme="sos",
+        beta=beta_opt(torus_lambda((SIDE, SIDE))), rounding="floor",
+        seed=SEED, churn=schedule,
+    )
+    traces = {
+        name: make_engine(name).run(topo, config, load[None, :])[0]
+        for name in ("reference", "batched", "network")
+    }
+    ref = traces["reference"]
+    for name in ("batched", "network"):
+        for field in ("max_minus_avg", "total_load", "min_transient",
+                      "round_traffic"):
+            if not np.array_equal(
+                traces[name].table.column(field), ref.table.column(field)
+            ):
+                return False
+        if not np.array_equal(
+            traces[name].final_state.load, ref.final_state.load
+        ):
+            return False
+    return True
+
+
+def _run_churn_ladder():
+    topo = torus_2d(SIDE, SIDE)
+    load = point_load(topo, 1000 * topo.n)
+    beta = beta_opt(torus_lambda((SIDE, SIDE)))
+
+    # One schedule per rate, shared by both schemes (and by the parity
+    # gate), so every run balances under the identical event sequence.
+    schedules = {
+        rate: random_churn_schedule(topo, rate, ROUNDS, seed=SEED)
+        for rate in RATES
+    }
+    parity = _fleet_parity(
+        topo, load, schedules[RATES[-1] if len(RATES) > 1 else RATES[0]]
+    )
+
+    rungs = []
+    for scheme in ("fos", "sos"):
+        b = beta if scheme == "sos" else 1.0
+        for rate in RATES:
+            rung = _run_rung(topo, load, schedules[rate], scheme, b, rate)
+            base = next(
+                (
+                    r["final_max_minus_avg"]
+                    for r in rungs
+                    if r["scheme"] == scheme and r["rate"] == 0.0
+                ),
+                None,
+            )
+            rung["degradation_vs_static"] = (
+                rung["final_max_minus_avg"] / base if base else None
+            )
+            rungs.append(rung)
+
+    return {
+        "n": topo.n,
+        "rounds": ROUNDS,
+        "rounding": ROUNDING,
+        "beta_sos": beta,
+        "rates": RATES,
+        "parity_fleet_bit_identical": parity,
+        "rungs": rungs,
+    }
+
+
+def test_churn_ladder(benchmark, archive):
+    s = run_once(benchmark, _run_churn_ladder)
+    archive(
+        ExperimentRecord(
+            name="churn",
+            params={
+                "n": s["n"], "rounds": s["rounds"],
+                "rounding": s["rounding"], "rates": s["rates"],
+            },
+            summary=s,
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["scheme", "rate", "events", "final max-avg", "vs static",
+             "conserved"],
+            [
+                [
+                    r["scheme"],
+                    f"{r['rate']:.2f}",
+                    str(r["events"]),
+                    f"{r['final_max_minus_avg']:.4g}",
+                    "1.00x" if r["rate"] == 0.0
+                    else f"{r['degradation_vs_static']:.3g}x",
+                    "yes" if r["conserved"] else "NO",
+                ]
+                for r in s["rungs"]
+            ],
+            title=(
+                f"balancing under churn ({s['n']} nodes x "
+                f"{s['rounds']} rounds, {s['rounding']})"
+            ),
+        )
+    )
+    assert s["parity_fleet_bit_identical"], (
+        "engine fleet diverged under the shared churn plan"
+    )
+    for r in s["rungs"]:
+        assert r["conserved"], f"conservation broke at rung {r}"

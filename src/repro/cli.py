@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from .core import make_arrival_model, point_load, uniform_load
 from .engines import ENGINES, make_engine
+from .exceptions import ConfigurationError
 from .experiments import (
     build_graph,
     dynamic_replica_ensemble,
@@ -248,6 +249,33 @@ def build_parser() -> argparse.ArgumentParser:
             "neighbour (default: unbounded skew)"
         ),
     )
+    p_sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault model on the message-passing engines (--engine network/"
+            "async): 'drop:P' drops each token shipment independently with "
+            "probability P, 'outage:U:V:START[:END]' kills link (U,V) for "
+            "rounds START <= r < END (END omitted = forever); dropped "
+            "shipments bounce back to their sender, so load is conserved"
+        ),
+    )
+    p_sim.add_argument(
+        "--churn",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "topology churn schedule: semicolon-separated events "
+            "'crash:V@R[-R2]' (node V crashes at round R, recovering at "
+            "R2), 'leave:V@R', 'join:V@R:U1+U2+...', 'edge-:U-V@R', "
+            "'edge+:U-V@R', plus 'policy:handoff|freeze' and 'random:RATE' "
+            "(a seed-derived random schedule).  Crashed and leaving nodes "
+            "hand their tokens to live neighbours (or freeze them under "
+            "policy:freeze), so sum(loads) survives the whole schedule; "
+            "every engine except sharded supports it"
+        ),
+    )
 
     p_sim.add_argument(
         "--sweep",
@@ -428,7 +456,13 @@ def _cmd_simulate(args) -> int:
         workers=_parse_workers(args.workers),
         latency_model=args.latency,
         max_skew=args.max_skew,
+        faults=args.faults,
+        churn=args.churn,
     )
+    try:
+        config.validate()
+    except ConfigurationError as exc:
+        raise SystemExit(f"invalid configuration: {exc}")
     print(
         f"graph={built.key} n={built.n} lambda={built.lam:.6f} "
         f"beta={built.beta:.6f} scheme={args.scheme} rounding={args.rounding} "

@@ -117,6 +117,22 @@ from .dynamic import (
     batch_arrival_stream,
     make_arrival_model,
 )
+from .churn import (
+    ChurnEvent,
+    ChurnPatch,
+    ChurnPlan,
+    ChurnSchedule,
+    RandomChurn,
+    edge_add,
+    edge_remove,
+    node_crash,
+    node_join,
+    node_leave,
+    parse_churn_spec,
+    plan_churn,
+    random_churn_schedule,
+    resolve_churn,
+)
 from .records import DynamicRecordTable
 from .negative_load import (
     NegativeLoadTracker,
@@ -129,6 +145,21 @@ from .negative_load import (
 from . import theory
 
 __all__ = [
+    # churn
+    "ChurnEvent",
+    "ChurnPatch",
+    "ChurnPlan",
+    "ChurnSchedule",
+    "RandomChurn",
+    "edge_add",
+    "edge_remove",
+    "node_crash",
+    "node_join",
+    "node_leave",
+    "parse_churn_spec",
+    "plan_churn",
+    "random_churn_schedule",
+    "resolve_churn",
     # alphas
     "ALPHA_STRATEGIES",
     "constant_alpha",

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..network.async_engine import AsyncNetwork
 
-from .base import EngineConfig, parse_latency_spec, register_engine
+from .base import EngineConfig, parse_faults_spec, parse_latency_spec, register_engine
 from .network import NetworkEngine
 
 __all__ = ["AsyncNetworkEngine", "resolve_link_latency"]
@@ -80,7 +80,7 @@ class AsyncNetworkEngine(NetworkEngine):
             rounding=config.rounding,
             speeds=config.speeds,
             seed=config.seed + b,
-            faults=config.faults,
+            faults=parse_faults_spec(config.faults),
             switch_to_fos_at=switch_round,
             link_latency=resolve_link_latency(topo, config),
             max_skew=config.max_skew,

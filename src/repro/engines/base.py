@@ -65,6 +65,7 @@ __all__ = [
     "apply_load_scales",
     "as_load_batch",
     "merge_record_batches",
+    "parse_faults_spec",
     "parse_latency_spec",
     "plan_shards",
     "reject_async_only",
@@ -449,6 +450,19 @@ class EngineConfig:
     #: unseeded model to a generator derived from ``seed``, so fault
     #: schedules reproduce run-to-run.  Network and async engines only.
     faults: Any = None
+    #: Topology-churn schedule (:class:`~repro.core.churn.ChurnSchedule`,
+    #: a spec string — see :func:`~repro.core.churn.parse_churn_spec` —
+    #: or ``None``): timed node crash/recovery, join/leave and edge
+    #: add/remove events applied at the start of their round.  Crashing
+    #: nodes hand their tokens to surviving neighbours (or freeze them
+    #: until recovery, per the schedule's policy), so ``sum(loads)`` is
+    #: conserved over the full node universe under any schedule.
+    #: Supported by the reference, batched, network and async engines
+    #: (the sharded engine and the compiled kernel tier reject it);
+    #: requires default speeds/alphas/targets and is mutually exclusive
+    #: with switch policies, replica_params, float32, tiling, streaming
+    #: summaries and trimmed record fields.
+    churn: Any = None
 
     def validate(self) -> "EngineConfig":
         """Check every field combination, raising ``ConfigurationError``
@@ -553,12 +567,35 @@ class EngineConfig:
                 raise ConfigurationError(
                     f"max_skew must be None or an int >= 0, got {self.max_skew!r}"
                 )
-        if self.faults is not None:
-            from ..network.faults import FaultModel
+        parse_faults_spec(self.faults)  # raises on malformed specs
+        if self.churn is not None:
+            from ..core.churn import parse_churn_spec
 
-            if not isinstance(self.faults, FaultModel):
+            parse_churn_spec(self.churn)  # raises on malformed specs
+            offending = []
+            if self.speeds is not None:
+                offending.append("speeds")
+            if self.alphas is not None:
+                offending.append("alphas")
+            if self.targets is not None:
+                offending.append("targets")
+            if self.switch is not None:
+                offending.append("switch")
+            if self.replica_params is not None:
+                offending.append("replica_params")
+            if self.precision != "float64":
+                offending.append(f"precision={self.precision!r}")
+            if self.tile_size is not None:
+                offending.append("tile_size")
+            if self.record_mode != "table":
+                offending.append(f"record_mode={self.record_mode!r}")
+            if self.record_fields is not None:
+                offending.append("record_fields")
+            if offending:
                 raise ConfigurationError(
-                    f"faults must be a FaultModel instance, got {self.faults!r}"
+                    "churn runs need uniform speeds/alphas, moving active-"
+                    "average targets and the dense float64 record path; "
+                    "not supported with " + ", ".join(offending)
                 )
         return self
 
@@ -859,6 +896,61 @@ def parse_latency_spec(spec):
     raise ConfigurationError(
         "latency spec must be 'fixed:X', 'uniform:LO,HI' or 'exp:MEAN', "
         f"got {spec!r}"
+    )
+
+
+def parse_faults_spec(spec):
+    """Build a :class:`~repro.network.faults.FaultModel` from a CLI-style
+    spec string; raises on malformed specs.
+
+    Accepted inputs (a :class:`FaultModel` instance and ``None`` pass
+    through):
+
+    * ``"none"`` — :class:`~repro.network.faults.NoFaults`,
+    * ``"drop:P"`` — :class:`~repro.network.faults.RandomLinkDrop` with
+      per-message drop probability ``P``,
+    * ``"outage:U:V:START[:END]"`` — :class:`~repro.network.faults.LinkOutage`
+      taking link ``{U, V}`` down from round ``START`` (inclusive) to
+      ``END`` (exclusive; omitted = forever).
+    """
+    if spec is None:
+        return None
+    from ..network.faults import (
+        FaultModel,
+        LinkOutage,
+        NoFaults,
+        RandomLinkDrop,
+    )
+
+    if isinstance(spec, FaultModel):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"faults must be None, a FaultModel or a spec string "
+            f"(none | drop:P | outage:U:V:START[:END]), got {spec!r}"
+        )
+    kind, _, rest = spec.strip().partition(":")
+    kind = kind.strip().lower()
+    try:
+        if kind == "none":
+            return NoFaults()
+        if kind == "drop":
+            return RandomLinkDrop(float(rest))
+        if kind == "outage":
+            parts = rest.split(":")
+            if len(parts) not in (3, 4):
+                raise ConfigurationError(
+                    f"outage spec is outage:U:V:START[:END], got {spec!r}"
+                )
+            end = int(parts[3]) if len(parts) == 4 else None
+            return LinkOutage(
+                [(int(parts[0]), int(parts[1]))], start=int(parts[2]), end=end
+            )
+    except ValueError as exc:  # int()/float() parse failures
+        raise ConfigurationError(f"bad faults spec {spec!r}: {exc}") from None
+    raise ConfigurationError(
+        f"unknown faults spec {spec!r}; known: none, drop:P, "
+        f"outage:U:V:START[:END]"
     )
 
 

@@ -34,6 +34,8 @@ sharded engine split a batch across worker processes bit-identically.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -42,6 +44,13 @@ import scipy.sparse as sp
 
 from ..exceptions import ConfigurationError, SchemeError, SimulationError
 from ..core.alphas import resolve_alphas
+from ..core.churn import (
+    apply_handoffs,
+    masked_dynamic_values,
+    masked_static_values,
+    remap_flows,
+    resolve_churn,
+)
 from ..core.records import (
     DYNAMIC_FLOAT_FIELDS,
     FLOAT_FIELDS,
@@ -80,6 +89,8 @@ from .base import (
 )
 
 __all__ = ["BatchedVectorEngine"]
+
+logger = logging.getLogger(__name__)
 
 #: Fields whose per-round computation needs the full transient/traffic pass.
 _INFO_FIELDS = ("min_transient", "round_traffic")
@@ -442,6 +453,7 @@ class _BatchedHandle:
         config: EngineConfig,
         loads: np.ndarray,
         params: Optional[ResolvedReplicaParams] = None,
+        churn_plan=None,
     ):
         n, m = topo.n, topo.m_edges
         B = loads.shape[0]
@@ -452,14 +464,31 @@ class _BatchedHandle:
         self.round_index = 0
         dtype = np.float32 if config.precision == "float32" else np.float64
         self.dtype = dtype
+        #: churn run state: the resolved plan, the live-node mask of the
+        #: current topology segment, and the last round whose patch lookup
+        #: already happened (patches apply before that round's arrivals).
+        self.churn_plan = churn_plan
+        if churn_plan is not None:
+            self.churn_active = churn_plan.active0
+            self.churn_active_idx = churn_plan.active0_idx
+            self.churn_patched_through = 0
         #: fuzz tolerance for the excess-token machinery, precision-scaled
         self.frac_tol = _FRAC_TOL if dtype == np.float64 else 1e-5
         #: relative conservation tolerance (float32 accumulates more drift)
         self.conserve_tol = 1e-6 if dtype == np.float64 else 1e-4
         #: compiled kernel provider of the discrete hot loop (None = the
         #: numpy tier); warmed here so JIT/compile cost lands in prepare(),
-        #: never inside a measured round.
-        self.kernel = resolve_kernel(config, m)
+        #: never inside a measured round.  Churn runs pin the numpy tier:
+        #: the compiled providers bake the edge arrays in at warm time.
+        if churn_plan is not None:
+            if config.kernel == "auto" and resolve_kernel(config, m) is not None:
+                logger.info(
+                    "churn: compiled kernel tier cannot patch its edge "
+                    "buffers mid-run; using the numpy tier"
+                )
+            self.kernel = None
+        else:
+            self.kernel = resolve_kernel(config, m)
         if self.kernel is not None:
             ensure_warm(self.kernel)
         #: static record columns actually computed (dynamic runs ignore this)
@@ -752,7 +781,11 @@ class _BatchedHandle:
         # trajectories never depend on the batch composition.
         self.rngs = resolve_rounding_rngs(config, B)
 
-        self.last_min_transient = self.load.min(axis=0)
+        self.last_min_transient = (
+            self.load[churn_plan.active0_idx].min(axis=0)
+            if churn_plan is not None
+            else self.load.min(axis=0)
+        )
         self.last_traffic = np.zeros(B)
         self.last_mld: Optional[np.ndarray] = None
 
@@ -836,10 +869,145 @@ class BatchedVectorEngine(Engine):
         loads = as_load_batch(initial_loads, topo.n)
         params = resolve_replica_params(config.replica_params, loads.shape[0])
         loads = apply_load_scales(loads, params)
-        h = _BatchedHandle(topo, config, loads, params)
+        plan = resolve_churn(topo, config)
+        if plan is not None:
+            if config.kernel not in ("auto", "numpy"):
+                raise ConfigurationError(
+                    f"kernel={config.kernel!r} does not support churn (the "
+                    "compiled providers bake the edge arrays in at warm "
+                    "time); use kernel='auto' or 'numpy'"
+                )
+            loads_univ = np.zeros((loads.shape[0], plan.n_univ))
+            loads_univ[:, : topo.n] = loads
+            h = _BatchedHandle(
+                plan.topo0, config, loads_univ, None, churn_plan=plan
+            )
+        else:
+            h = _BatchedHandle(topo, config, loads, params)
         if h.arrival_models is None:
             self._record_current(h)
         return h
+
+    # ==================================================================
+    # topology churn
+    # ==================================================================
+    def _maybe_churn(self, h: _BatchedHandle) -> None:
+        """Apply the pending topology patch for the upcoming round, once.
+
+        Mirrors the reference engine exactly: handoffs first (still on the
+        outgoing topology's node set), then the flow remap (new edges start
+        with zero flow memory), then the operator rebuild against the new
+        live topology.  Idempotent per round — ``arrive()`` and the
+        advance loop may both call it.
+        """
+        plan = h.churn_plan
+        if plan is None:
+            return
+        r = h.round_index + 1
+        if h.churn_patched_through >= r:
+            return
+        h.churn_patched_through = r
+        patch = plan.patch_at(r)
+        if patch is None:
+            return
+        apply_handoffs(h.load, patch.handoffs)
+        h.flows = remap_flows(h.flows, patch.edge_map)
+        h.churn_active = patch.active
+        h.churn_active_idx = patch.active_idx
+        self._rebuild_churn_ops(h, patch.topo)
+
+    def _rebuild_churn_ops(self, h: _BatchedHandle, topo: Topology) -> None:
+        """Rebuild the edge-space operators and scratch for a new segment.
+
+        Churn runs are pinned to the dense float64 numpy tier (no compiled
+        kernel, no tiling, uniform speeds, no replica planes — enforced by
+        ``EngineConfig.validate``), so only the topology-shaped state needs
+        rebuilding; the node-space planes keep their fixed universe size.
+        """
+        config = h.config
+        n, m = topo.n, topo.m_edges
+        B = h.n_replicas
+        dtype = h.dtype
+        h.topo = topo
+        speeds = uniform_speeds(n)
+        alphas = resolve_alphas(config.alphas, topo, speeds)
+        if m == 0 or np.all(alphas == alphas[0]):
+            h.alphas = float(alphas[0]) if m else 1.0
+        else:
+            h.alphas = alphas[:, None].astype(dtype)
+        eu, ev = topo.edge_u, topo.edge_v
+        ar = np.arange(m)
+        h.E = sp.csr_matrix(
+            (
+                np.tile(np.array([1.0, -1.0], dtype=dtype), m),
+                np.column_stack([eu, ev]).ravel() if m else np.empty(0, np.int64),
+                2 * np.arange(m + 1),
+            ),
+            shape=(m, n),
+        )
+        inc_rows = np.concatenate([eu, ev])
+        inc_cols = np.concatenate([ar, ar])
+        h.D = sp.coo_matrix(
+            (
+                np.concatenate([-np.ones(m), np.ones(m)]).astype(dtype),
+                (inc_rows, inc_cols),
+            ),
+            shape=(n, m),
+        ).tocsr()
+        h.W = sp.coo_matrix(
+            (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
+        ).tocsr()
+        h.fused_sched = m > 0 and config.rounding in (
+            "randomized-excess", "unbiased-edge", "identity"
+        )
+        if h.fused_sched:
+            alpha_edge = (
+                np.full(m, h.alphas)
+                if np.isscalar(h.alphas)
+                else np.asarray(alphas, dtype=np.float64)
+            )
+            beta_scale = float(h.beta_row[0, 0])
+
+            def _scaled_e(scale):
+                data = np.repeat(alpha_edge * scale, 2).astype(dtype)
+                data[1::2] *= -1.0
+                return sp.csr_matrix(
+                    (data, h.E.indices.copy(), h.E.indptr.copy()),
+                    shape=(m, n),
+                )
+
+            h.E_alpha = _scaled_e(1.0)
+            h.E_alpha_beta = _scaled_e(beta_scale)
+        if config.rounding == "randomized-excess" and m:
+            dmax = int(topo.degrees.max())
+            adj_edges = np.full((n, dmax), m, dtype=np.int64)
+            slot_dirs = np.zeros((n, dmax))
+            idx_node = np.repeat(np.arange(n), topo.degrees)
+            pos_in_row = np.arange(idx_node.size) - topo.adj_indptr[idx_node]
+            adj_edges[idx_node, pos_in_row] = topo.adj_edge_ids
+            slot_dirs[idx_node, pos_in_row] = np.where(
+                idx_node < topo.adj_indices, 1.0, -1.0
+            )
+            h.dmax = dmax
+            h.adj_edges_flat = adj_edges.ravel()
+            h.slot_dirs_flat = slot_dirs.ravel()
+            h.slot_take = [
+                np.where(
+                    slot_dirs[:, j] > 0,
+                    adj_edges[:, j],
+                    np.where(
+                        slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m
+                    ),
+                )
+                for j in range(dmax)
+            ]
+            h.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
+            h.cum_planes = np.empty((dmax, n, B), dtype=dtype)
+            h.slot_arange = np.arange(n * B)
+        h.mb1 = np.empty((m, B), dtype=dtype)
+        h.mb2 = np.empty((m, B), dtype=dtype)
+        h.mb3 = np.empty((m, B), dtype=dtype)
+        h.act = np.empty((m, B), dtype=dtype)
 
     # ==================================================================
     # per-round kernel
@@ -854,6 +1022,7 @@ class BatchedVectorEngine(Engine):
         step info.
         """
         config = h.config
+        self._maybe_churn(h)
         load, flows = h.load, h.flows
 
         # -- dynamic arrivals (auto-applied when the hook wasn't called) ---
@@ -928,7 +1097,11 @@ class BatchedVectorEngine(Engine):
                 np.subtract(outgoing, delta, out=outgoing)
                 np.multiply(outgoing, 0.5, out=outgoing)
                 transient = np.subtract(load, outgoing, out=h.nb4)
-                h.last_min_transient = transient.min(axis=0)
+                h.last_min_transient = (
+                    transient[h.churn_active_idx].min(axis=0)
+                    if h.churn_plan is not None
+                    else transient.min(axis=0)
+                )
                 h.last_traffic = absf.sum(axis=0)
                 np.add(load, delta, out=load)
         elif h.kernel is not None:
@@ -1253,6 +1426,11 @@ class BatchedVectorEngine(Engine):
             # unscaled selves; the elementwise product matches the
             # per-replica backends' ScaledArrivals wrapper bit for bit.
             np.multiply(deltas, h.arrival_scale_row, out=deltas)
+        if h.churn_plan is not None:
+            # Dead and unborn nodes take no workload: zero their rows after
+            # sampling, so the streams consume exactly the no-churn draws
+            # (the reference engine masks the same way).
+            deltas[~h.churn_active] = 0.0
         if not deltas.any():
             # Quiet round (e.g. a burst model between bursts): the RNG
             # streams were already consumed above, and applying all-zero
@@ -1304,8 +1482,44 @@ class BatchedVectorEngine(Engine):
         )
         return h.last_arrival
 
+    def _record_dynamic_churn(self, h: _BatchedHandle) -> None:
+        """Churn variant: per-replica masked reductions over the live set.
+
+        Loops over replicas so each column's metrics run through the exact
+        masked expressions of :func:`~repro.core.churn.masked_dynamic_values`
+        on a contiguous copy — the same operations, on the same memory
+        layout, as the reference engine's per-replica loop, keeping the
+        deterministic-rounding traces bit-identical.
+        """
+        arrival = h.last_arrival
+        i = h.dyn_count
+        B = h.n_replicas
+        totals = np.empty(B)
+        for b in range(B):
+            col = np.ascontiguousarray(h.load[:, b])
+            vals = masked_dynamic_values(h.topo, col, h.churn_active_idx)
+            totals[b] = vals["total_load"]
+            for name, value in vals.items():
+                h.dyn_cols[name][i, b] = value
+        h.dyn_cols["arrived"][i] = arrival.arrived
+        h.dyn_cols["departed"][i] = arrival.departed
+        h.dyn_cols["clamped"][i] = arrival.clamped
+        h.dyn_round[i] = h.round_index
+        h.dyn_count += 1
+        drift = np.abs(totals - h.expected_totals)
+        bad = drift > h.conserve_tol * np.maximum(1.0, np.abs(h.expected_totals))
+        if bad.any():
+            b = int(np.argmax(bad))
+            raise SimulationError(
+                f"load not conserved in replica {b} by round {h.round_index}: "
+                f"expected {h.expected_totals[b]}, got {totals[b]}"
+            )
+
     def _record_dynamic(self, h: _BatchedHandle) -> None:
         """Append this round's dynamic metrics (targets move with the total)."""
+        if h.churn_plan is not None:
+            self._record_dynamic_churn(h)
+            return
         load = h.load
         arrival = h.last_arrival
         values: Dict[str, np.ndarray] = {
@@ -1363,6 +1577,7 @@ class BatchedVectorEngine(Engine):
             raise ConfigurationError(
                 "arrive() needs a dynamic run (config.arrivals was None)"
             )
+        self._maybe_churn(h)
         return self._apply_arrivals(h)
 
     # ------------------------------------------------------------------
@@ -1379,8 +1594,42 @@ class BatchedVectorEngine(Engine):
         np.abs(ediff, out=ediff)
         return ediff.max(axis=0)
 
+    def _record_current_churn(self, h: _BatchedHandle) -> None:
+        """Churn variant of :meth:`_record_current`: masked, per replica.
+
+        Churn runs reject ``record_mode='summary'`` and trimmed
+        ``record_fields``, so this always fills every dense column.
+        """
+        i = h.rec_count
+        totals = np.empty(h.n_replicas)
+        for b in range(h.n_replicas):
+            col = np.ascontiguousarray(h.load[:, b])
+            vals = masked_static_values(h.topo, col, h.churn_active_idx)
+            totals[b] = vals["total_load"]
+            for name, value in vals.items():
+                h.rec_cols[name][i, b] = value
+        h.rec_cols["min_transient"][i] = h.last_min_transient
+        h.rec_cols["round_traffic"][i] = h.last_traffic
+        h.rec_round[i] = h.round_index
+        h.rec_scheme[i] = h.sos_active
+        h.rec_count += 1
+        h.last_recorded_round = h.round_index
+        if h.loads_history is not None:
+            h.loads_history.append(h.load.T.copy())
+        drift = np.abs(totals - h.totals0)
+        bad = drift > h.conserve_tol * np.maximum(1.0, np.abs(h.totals0))
+        if bad.any():
+            b = int(np.argmax(bad))
+            raise SimulationError(
+                f"load not conserved in replica {b} by round {h.round_index}: "
+                f"{h.totals0[b]} -> {totals[b]}"
+            )
+
     def _record_current(self, h: _BatchedHandle) -> None:
         """Append the requested Section VI metrics of the current state."""
+        if h.churn_plan is not None:
+            self._record_current_churn(h)
+            return
         load = h.load
         fields = h.fields
         scratch = h.ts1 if h.tile else h.nb1
@@ -1613,6 +1862,21 @@ class BatchedVectorEngine(Engine):
             blockers.append(
                 "record_fields requesting min_transient/round_traffic"
             )
+        if config.churn is not None:
+            # The closed-form tiers assume a frozen operator (the spectral
+            # kernel additionally a frozen structured topology); churn
+            # invalidates both on the first mutation, so the run falls back
+            # to the edge-wise loop — once, with a log, never mid-run.
+            if not forced and not blockers:
+                logger.info(
+                    "churn: topology mutates mid-run, invalidating the "
+                    "closed-form fast path%s; falling back to the "
+                    "edge-wise loop",
+                    ""
+                    if self._spectral_blocker(topo, config, params)
+                    else " (spectral hints included)",
+                )
+            blockers.append("a churn schedule (the topology mutates mid-run)")
         if blockers:
             if forced:
                 raise ConfigurationError(

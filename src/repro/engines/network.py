@@ -21,6 +21,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
+from ..core.churn import (
+    ChurnPlan,
+    masked_dynamic_values,
+    masked_static_values,
+    resolve_churn,
+)
 from ..core.dynamic import ArrivalModel, DynamicResult, ScaledArrivals
 from ..core.records import DynamicRecordTable, RecordTable
 from ..core.simulator import SimulationResult, record_round
@@ -43,6 +49,7 @@ from .base import (
     StepBatch,
     apply_load_scales,
     as_load_batch,
+    parse_faults_spec,
     register_engine,
     resolve_arrival_models,
     resolve_arrival_rngs,
@@ -59,7 +66,9 @@ __all__ = ["NetworkEngine"]
 class _Replica:
     net: SyncNetwork
     table: RecordTable
-    targets: np.ndarray
+    #: Balanced-target loads for record_round (None under churn, where the
+    #: masked record helpers derive the live averages themselves).
+    targets: Optional[np.ndarray]
     loads_history: Optional[List[np.ndarray]]
     last_min_transient: float
     last_traffic: float = 0.0
@@ -74,6 +83,12 @@ class _NetworkHandle:
     topo: Topology
     config: EngineConfig
     replicas: List[_Replica]
+    #: Compiled churn plan (None = static topology); ``topo`` then tracks
+    #: the *live* universe-sized topology segment by segment.
+    churn_plan: Optional[ChurnPlan] = None
+    active: Optional[np.ndarray] = None
+    active_idx: Optional[np.ndarray] = None
+    patched_through: int = 0
 
 
 @dataclass
@@ -93,6 +108,10 @@ class _DynamicNetworkHandle:
     topo: Topology
     config: EngineConfig
     replicas: List[_DynamicNetReplica]
+    churn_plan: Optional[ChurnPlan] = None
+    active: Optional[np.ndarray] = None
+    active_idx: Optional[np.ndarray] = None
+    patched_through: int = 0
 
 
 @register_engine
@@ -122,6 +141,9 @@ class NetworkEngine(Engine):
                 "engine for alpha-scale sweeps)"
             )
         loads = apply_load_scales(loads, params)
+        plan = resolve_churn(topo, config)
+        if plan is not None:
+            return self._prepare_churn(topo, config, loads, plan)
         if config.arrivals is not None:
             return self._prepare_dynamic(topo, config, loads, params)
         switch_round: Optional[int] = None
@@ -194,7 +216,7 @@ class NetworkEngine(Engine):
             rounding=config.rounding,
             speeds=config.speeds,
             seed=config.seed + b,
-            faults=config.faults,
+            faults=parse_faults_spec(config.faults),
             switch_to_fos_at=switch_round,
         )
 
@@ -233,6 +255,105 @@ class NetworkEngine(Engine):
             )
         return _DynamicNetworkHandle(topo=topo, config=config, replicas=replicas)
 
+    # -- churn ---------------------------------------------------------
+    def _prepare_churn(self, topo, config, loads, plan):
+        """Build universe-sized networks and masked record tables.
+
+        Every replica's :class:`SyncNetwork` spans the full node universe
+        (``plan.n_univ`` nodes: the base graph plus every node a ``join``
+        will ever add) on the round-0 live topology; not-yet-joined and
+        crashed nodes are simply isolated, so they exchange no messages.
+        Records mask them out exactly like the reference engine.
+        """
+        dynamic = config.arrivals is not None
+        scheme_name = (
+            "FirstOrderScheme" if config.scheme == "fos" else "SecondOrderScheme"
+        )
+        n_b = loads.shape[0]
+        models = resolve_arrival_models(config.arrivals, n_b) if dynamic else None
+        rngs = resolve_arrival_rngs(config, n_b) if dynamic else None
+        replicas = []
+        for b in range(n_b):
+            load = plan.expand_load(loads[b])
+            net = self._make_net(
+                plan.topo0, config, load,
+                beta=self._replica_beta(config, None, b),
+                switch_round=None,
+                b=b,
+            )
+            if dynamic:
+                replicas.append(
+                    _DynamicNetReplica(
+                        net=net,
+                        model=models[b],
+                        rng=rngs[b],
+                        table=DynamicRecordTable(max(config.rounds, 1) + 1),
+                        last_min_transient=float(load[plan.active0_idx].min()),
+                    )
+                )
+                continue
+            replica = _Replica(
+                net=net,
+                table=RecordTable(config.rounds // config.record_every + 2),
+                targets=None,
+                loads_history=[load.copy()] if config.keep_loads else None,
+                last_min_transient=float(load[plan.active0_idx].min()),
+                switch_round=None,
+            )
+            replica.table.append(
+                0,
+                scheme_name,
+                min_transient=replica.last_min_transient,
+                round_traffic=0.0,
+                **masked_static_values(plan.topo0, load, plan.active0_idx),
+            )
+            replicas.append(replica)
+        cls = _DynamicNetworkHandle if dynamic else _NetworkHandle
+        return cls(
+            topo=plan.topo0,
+            config=config,
+            replicas=replicas,
+            churn_plan=plan,
+            active=plan.active0,
+            active_idx=plan.active0_idx,
+        )
+
+    def _maybe_churn_net(self, handle) -> None:
+        """Apply the churn patch for the round about to execute (once)."""
+        plan = handle.churn_plan
+        if plan is None:
+            return
+        r = handle.replicas[0].net.round_index + 1
+        if handle.patched_through >= r:
+            return
+        handle.patched_through = r
+        patch = plan.patch_at(r)
+        if patch is None:
+            return
+        handle.topo = patch.topo
+        handle.active = patch.active
+        handle.active_idx = patch.active_idx
+        for replica in handle.replicas:
+            replica.net.apply_churn(patch)
+
+    def _record_churn(
+        self,
+        handle: _NetworkHandle,
+        replica: _Replica,
+        load: np.ndarray,
+        round_index: int,
+        scheme_name: str,
+    ) -> None:
+        replica.table.append(
+            round_index,
+            scheme_name,
+            min_transient=replica.last_min_transient,
+            round_traffic=replica.last_traffic,
+            **masked_static_values(handle.topo, load, handle.active_idx),
+        )
+        if replica.loads_history is not None:
+            replica.loads_history.append(load.copy())
+
     # ------------------------------------------------------------------
     def _inject(self, handle: _DynamicNetworkHandle,
                 replica: _DynamicNetReplica) -> Tuple[float, float, float]:
@@ -244,6 +365,12 @@ class NetworkEngine(Engine):
         deltas = replica.model.deltas(
             handle.topo, replica.net.round_index, replica.rng
         )
+        if handle.churn_plan is not None:
+            # Sample with the full (unchurned) stream, then void arrivals
+            # at inactive nodes — identical stream discipline to the
+            # reference engine, so trajectories stay comparable.
+            deltas = np.array(deltas, dtype=np.float64, copy=True)
+            deltas[~handle.active] = 0.0
         replica.pending = replica.net.inject_work(deltas)
         replica.injected = True
         return replica.pending
@@ -256,22 +383,32 @@ class NetworkEngine(Engine):
         before = replica.net.loads()
         replica.net.step()
         flows = replica.net.flows()
-        replica.last_min_transient = float(
-            transient_loads(topo, before, flows).min()
-        )
+        transients = transient_loads(topo, before, flows)
+        if handle.churn_plan is not None:
+            transients = transients[handle.active_idx]
+        replica.last_min_transient = float(transients.min())
         replica.last_traffic = float(np.abs(flows).sum())
         loads = replica.net.loads()
         arrived, departed, clamped = replica.pending
-        replica.table.append(
-            round_index=replica.net.round_index,
-            total_load=float(loads.sum()),
-            arrived=arrived,
-            departed=departed,
-            clamped=clamped,
-            max_minus_avg=max_minus_average(loads),
-            max_local_diff=max_local_difference(topo, loads),
-            potential_per_node=normalized_potential(loads),
-        )
+        if handle.churn_plan is not None:
+            replica.table.append(
+                round_index=replica.net.round_index,
+                arrived=arrived,
+                departed=departed,
+                clamped=clamped,
+                **masked_dynamic_values(topo, loads, handle.active_idx),
+            )
+        else:
+            replica.table.append(
+                round_index=replica.net.round_index,
+                total_load=float(loads.sum()),
+                arrived=arrived,
+                departed=departed,
+                clamped=clamped,
+                max_minus_avg=max_minus_average(loads),
+                max_local_diff=max_local_difference(topo, loads),
+                potential_per_node=normalized_potential(loads),
+            )
         replica.injected = False
 
     def arrive(self, handle) -> ArrivalBatch:
@@ -279,6 +416,7 @@ class NetworkEngine(Engine):
             raise ConfigurationError(
                 "arrive() needs a dynamic run (config.arrivals was None)"
             )
+        self._maybe_churn_net(handle)
         accounting = np.array(
             [self._inject(handle, replica) for replica in handle.replicas]
         ).reshape(len(handle.replicas), 3)
@@ -329,25 +467,36 @@ class NetworkEngine(Engine):
         before = replica.net.loads()
         replica.net.step()
         flows = replica.net.flows()
-        replica.last_min_transient = float(
-            transient_loads(topo, before, flows).min()
-        )
+        transients = transient_loads(topo, before, flows)
+        if handle.churn_plan is not None:
+            transients = transients[handle.active_idx]
+        replica.last_min_transient = float(transients.min())
         replica.last_traffic = float(np.abs(flows).sum())
         round_index = replica.net.round_index
         if round_index % handle.config.record_every == 0:
-            self._record(
-                topo,
-                replica,
-                replica.net.loads(),
-                flows,
-                round_index,
-                self._scheme_name(
-                    handle.config, replica.switch_round, round_index
-                ),
-            )
+            if handle.churn_plan is not None:
+                self._record_churn(
+                    handle,
+                    replica,
+                    replica.net.loads(),
+                    round_index,
+                    self._scheme_name(handle.config, None, round_index),
+                )
+            else:
+                self._record(
+                    topo,
+                    replica,
+                    replica.net.loads(),
+                    flows,
+                    round_index,
+                    self._scheme_name(
+                        handle.config, replica.switch_round, round_index
+                    ),
+                )
 
     # ------------------------------------------------------------------
     def step(self, handle) -> StepBatch:
+        self._maybe_churn_net(handle)
         if isinstance(handle, _DynamicNetworkHandle):
             for replica in handle.replicas:
                 self._advance_dynamic(handle, replica)
@@ -402,16 +551,25 @@ class NetworkEngine(Engine):
             net = replica.net
             round_index = net.round_index
             if replica.table.column("round_index")[-1] != round_index:
-                self._record(
-                    handle.topo,
-                    replica,
-                    net.loads(),
-                    net.flows(),
-                    round_index,
-                    self._scheme_name(
-                        handle.config, replica.switch_round, round_index
-                    ),
-                )
+                if handle.churn_plan is not None:
+                    self._record_churn(
+                        handle,
+                        replica,
+                        net.loads(),
+                        round_index,
+                        self._scheme_name(handle.config, None, round_index),
+                    )
+                else:
+                    self._record(
+                        handle.topo,
+                        replica,
+                        net.loads(),
+                        net.flows(),
+                        round_index,
+                        self._scheme_name(
+                            handle.config, replica.switch_round, round_index
+                        ),
+                    )
             switched = (
                 replica.switch_round
                 if handle.config.scheme == "sos"

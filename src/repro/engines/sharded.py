@@ -169,6 +169,13 @@ class ShardedEngine(Engine):
         config.validate()
         reject_async_only(config, "sharded")
         reject_network_only(config, "sharded")
+        if config.churn is not None:
+            raise ConfigurationError(
+                "the sharded engine does not support churn schedules: "
+                "worker processes would each rebuild the mutating topology "
+                "mid-run; use the reference, batched, network, or async "
+                "engine for churn"
+            )
         if config.arrival_sampling == "batch":
             raise ConfigurationError(
                 "the sharded engine does not support "

@@ -193,6 +193,65 @@ class AsyncNetwork(SyncNetwork):
         for i in range(topo.n):
             self._push(0.0, PH_ANNOUNCE, i)
 
+    # -- churn -------------------------------------------------------------
+    def apply_churn(self, patch) -> None:
+        """Live topology surgery between global rounds.
+
+        Runs the synchronous handoff+rewire, then rebuilds every per-edge
+        table for the new edge numbering (``patch.edge_map`` carries each
+        new edge back to its pre-patch id; new edges come up with zero
+        latency and infinite bandwidth — a fresh link has no queue).
+        Events already in the heap are *not* rewritten: an in-flight
+        shipment whose edge or receiver the patch removed bounces back to
+        its sender on delivery, exactly like a link failure, so load is
+        conserved.  Nodes stuck on the ``max_skew`` gate are re-checked —
+        a crashed neighbour no longer gates them.
+        """
+        super().apply_churn(patch)
+        topo = patch.topo
+        m = topo.m_edges
+        keep = patch.edge_map >= 0
+        src = patch.edge_map[keep]
+        if self._lat is not None:
+            lat = np.zeros(m, dtype=np.float64)
+            lat[keep] = self._lat[src]
+            self._lat = lat
+        if self._bw is not None:
+            bw = np.full(m, np.inf, dtype=np.float64)
+            bw[keep] = self._bw[src]
+            self._bw = bw
+        edge_flow = np.zeros(m, dtype=np.float64)
+        edge_flow[keep] = self._edge_flow[src]
+        self._edge_flow = edge_flow
+        self._eid = [
+            {
+                int(j): int(e)
+                for j, e in zip(topo.neighbors(i), topo.incident_edges(i))
+            }
+            for i in range(topo.n)
+        ]
+        old_val, old_round = self._view_val, self._view_round
+        self._view_val = [
+            {
+                int(j): old_val[i].get(
+                    int(j),
+                    float(self.nodes[int(j)].load) / float(self.speeds[int(j)]),
+                )
+                for j in topo.neighbors(i)
+            }
+            for i in range(topo.n)
+        ]
+        self._view_round = [
+            {int(j): old_round[i].get(int(j), -1) for j in topo.neighbors(i)}
+            for i in range(topo.n)
+        ]
+        for i, start in enumerate(self._waiting):
+            if start is not None and self._gate_ok(
+                i, self.nodes[i].round_index
+            ):
+                self._waiting[i] = None
+                self._push(max(start, self._time), PH_ANNOUNCE, i)
+
     # -- event machinery ---------------------------------------------------
     def _push(self, time: float, phase: int, payload) -> None:
         heapq.heappush(self._heap, (time, phase, self._seq, payload))
@@ -228,7 +287,10 @@ class AsyncNetwork(SyncNetwork):
 
     def _on_deliver_announce(self, t: float, msg: LoadAnnounce) -> None:
         i = msg.receiver
-        if msg.round_index >= self._view_round[i][msg.sender]:
+        # An announce that crossed a churn patch (its edge no longer
+        # exists) is silently dropped, but still re-checks the skew gate.
+        heard = self._view_round[i].get(msg.sender)
+        if heard is not None and msg.round_index >= heard:
             self._view_round[i][msg.sender] = msg.round_index
             self._view_val[i][msg.sender] = msg.normalized_load
         start = self._waiting[i]
@@ -284,14 +346,21 @@ class AsyncNetwork(SyncNetwork):
     def _on_deliver(self, t: float, msg) -> None:
         self._in_flight_amount -= msg.amount
         self._in_flight_messages -= 1
-        if isinstance(msg, Bounce):
-            # The link failed: the tokens return to their sender, which
-            # credits them back and voids the edge's remembered flow —
-            # the same accounting the synchronous engine applies inline.
+        if isinstance(msg, Bounce) or (
+            msg.sender not in self.nodes[msg.receiver].prev_flow
+        ):
+            # The link failed — or a churn patch removed the edge (or
+            # crashed the receiver) while the tokens were in flight: the
+            # tokens return to their sender, which credits them back and
+            # voids the edge's remembered flow, the same accounting the
+            # synchronous engine applies inline.
             sender = self.nodes[msg.sender]
             sender.load += msg.amount
-            sender.prev_flow[msg.receiver] = 0.0
-            self._edge_flow[self._eid[msg.sender][msg.receiver]] = 0.0
+            if msg.receiver in sender.prev_flow:
+                sender.prev_flow[msg.receiver] = 0.0
+            e = self._eid[msg.sender].get(msg.receiver)
+            if e is not None:
+                self._edge_flow[e] = 0.0
             self.bounced_count += 1
         else:
             self.nodes[msg.receiver].receive_transfer(msg)

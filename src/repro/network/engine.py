@@ -19,6 +19,8 @@ roundings.
 
 from __future__ import annotations
 
+import math
+
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -117,6 +119,49 @@ class SyncNetwork:
         for node in self.nodes:
             for msg in node.hello_messages():
                 self.nodes[msg.receiver].receive_hello(msg)
+
+    # ------------------------------------------------------------------
+    def apply_churn(self, patch) -> None:
+        """Apply a :class:`~repro.core.churn.ChurnPatch` between rounds.
+
+        First the patch's handoffs run (a crashed/leaving node splits its
+        load over its live neighbours using the same floor-share arithmetic
+        as :func:`repro.core.churn.apply_handoffs`, so the engine fleet
+        stays bit-identical), then the network rewires onto ``patch.topo``.
+        Surviving edges keep their SOS flow memory; new edges start at zero.
+        """
+        for src, receivers in patch.handoffs:
+            amount = self.nodes[src].load
+            k = len(receivers)
+            share = float(math.floor(amount / k))
+            for j in receivers[:-1]:
+                self.nodes[j].load += share
+            self.nodes[receivers[-1]].load += amount - share * (k - 1)
+            self.nodes[src].load = 0.0
+        self._rewire(patch.topo)
+
+    def _rewire(self, topo: Topology) -> None:
+        """Swap the communication graph and re-run the Hello exchange.
+
+        Flow memory carries over per surviving neighbour link; all hello
+        state (speeds, degrees, alphas) is rebuilt because degrees — and
+        hence the diffusion alphas — may have changed.
+        """
+        self.topo = topo
+        for node in self.nodes:
+            new_neighbors = sorted(int(j) for j in topo.neighbors(node.node_id))
+            node.neighbors = new_neighbors
+            node.degree = len(new_neighbors)
+            node.prev_flow = {
+                j: node.prev_flow.get(j, 0.0) for j in new_neighbors
+            }
+            node.neighbor_speeds = {}
+            node.neighbor_degrees = {}
+            node.alpha = {}
+            node._announced = {}
+            node._pending_scheduled = {}
+            node._sent_this_round = {}
+        self._setup()
 
     # ------------------------------------------------------------------
     def step(self) -> None:

@@ -89,6 +89,24 @@ class RandomLinkDrop(FaultModel):
         bounced = [m for m, d in zip(transfers, drops) if d]
         return delivered, bounced
 
+    def drops(self, transfer, round_index):
+        """Per-message fast path: one draw, no list plumbing.
+
+        Consumes the random stream exactly like :meth:`filter_transfers`
+        on a single-message batch (one uniform draw per shipment, none
+        when ``p == 0``), so the event-driven engine's trajectories are
+        unchanged by taking this path.
+        """
+        if self.p == 0.0:
+            return False
+        if self.rng is None:
+            raise ConfigurationError(
+                "RandomLinkDrop has no random generator: pass rng= explicitly "
+                "or run it through an engine, which binds one derived from "
+                "the run seed"
+            )
+        return bool(self.rng.random(1)[0] < self.p)
+
     def __repr__(self) -> str:
         return f"RandomLinkDrop(p={self.p})"
 
@@ -132,6 +150,16 @@ class LinkOutage(FaultModel):
             key = (min(msg.sender, msg.receiver), max(msg.sender, msg.receiver))
             (bounced if key in self.links else delivered).append(msg)
         return delivered, bounced
+
+    def drops(self, transfer, round_index):
+        """Per-message fast path: a pure window + set lookup, no lists."""
+        if not self._active(round_index):
+            return False
+        key = (
+            min(transfer.sender, transfer.receiver),
+            max(transfer.sender, transfer.receiver),
+        )
+        return key in self.links
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,254 @@
+"""Unit tests for the churn subsystem (schedules, plans, load surgery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.churn import (
+    CHURN_STREAM_KEY,
+    ChurnSchedule,
+    RandomChurn,
+    apply_handoffs,
+    edge_add,
+    edge_remove,
+    masked_dynamic_values,
+    masked_static_values,
+    node_crash,
+    node_join,
+    node_leave,
+    parse_churn_spec,
+    plan_churn,
+    random_churn_schedule,
+    remap_flows,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs import torus_2d
+from repro.graphs.topology import Topology
+
+
+def path(n):
+    return Topology(n, [(i, i + 1) for i in range(n - 1)], name=f"path{n}")
+
+
+class TestEventConstructors:
+    def test_rounds_start_at_one(self):
+        with pytest.raises(ConfigurationError, match="round 1 on"):
+            node_crash(0, 0)
+
+    def test_recover_must_follow_crash(self):
+        with pytest.raises(ConfigurationError, match="recover_at"):
+            node_crash(0, 5, recover_at=5)
+
+    def test_self_loop_edge_rejected(self):
+        with pytest.raises(ConfigurationError, match="self loop"):
+            edge_add(3, 3, 1)
+
+    def test_join_needs_attach(self):
+        with pytest.raises(ConfigurationError, match="attach"):
+            node_join(4, 1, [])
+
+    def test_schedule_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            ChurnSchedule(events=[node_crash(0, 1)], policy="explode")
+
+    def test_schedule_rejects_non_events(self):
+        with pytest.raises(ConfigurationError, match="ChurnEvent"):
+            ChurnSchedule(events=["crash"], policy="handoff")
+
+
+class TestPlanValidation:
+    def test_disconnect_rejected(self):
+        # Removing the middle edge of a path splits the live graph.
+        with pytest.raises(ConfigurationError, match="disconnects"):
+            plan_churn(
+                path(4),
+                ChurnSchedule(events=[edge_remove(1, 2, 3)]),
+            )
+
+    def test_crash_without_live_neighbour_rejected(self):
+        # Node 0's only neighbour (1) is already dead when 0 crashes, so
+        # its tokens have nowhere to go.
+        topo = path(3)
+        with pytest.raises(ConfigurationError, match="no live neighbour"):
+            plan_churn(
+                topo,
+                ChurnSchedule(
+                    events=[node_crash(1, 1), node_crash(0, 1)]
+                ),
+            )
+
+    def test_freeze_without_recover_rejected(self):
+        with pytest.raises(ConfigurationError, match="recover_at"):
+            plan_churn(
+                torus_2d(3, 3),
+                ChurnSchedule(events=[node_crash(0, 1)], policy="freeze"),
+            )
+
+    def test_join_ids_must_be_contiguous(self):
+        with pytest.raises(ConfigurationError, match="contiguous"):
+            plan_churn(
+                torus_2d(3, 3),
+                ChurnSchedule(events=[node_join(11, 1, [0])]),
+            )
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(ConfigurationError, match="not active"):
+            plan_churn(
+                torus_2d(3, 3),
+                ChurnSchedule(
+                    events=[
+                        node_crash(0, 1, recover_at=9),
+                        node_crash(0, 2, recover_at=9),
+                    ]
+                ),
+            )
+
+    def test_edge_add_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="already present"):
+            plan_churn(
+                torus_2d(3, 3),
+                ChurnSchedule(events=[edge_add(0, 1, 1)]),
+            )
+
+    def test_edge_remove_missing_rejected(self):
+        with pytest.raises(ConfigurationError, match="not present"):
+            plan_churn(
+                torus_2d(3, 3),
+                ChurnSchedule(events=[edge_remove(0, 8, 1)]),
+            )
+
+    def test_universe_and_patch_shapes(self):
+        topo = torus_2d(3, 3)
+        plan = plan_churn(
+            topo,
+            ChurnSchedule(
+                events=[
+                    node_crash(4, 2, recover_at=5),
+                    node_join(9, 3, [0, 8]),
+                ]
+            ),
+        )
+        assert plan.n_base == 9
+        assert plan.n_univ == 10
+        assert plan.topo0.n == 10
+        # Node 9 is not yet born at round 0.
+        assert plan.active0.sum() == 9
+        p2 = plan.patch_at(2)
+        assert p2.n_active == 8 and not p2.active[4]
+        p3 = plan.patch_at(3)
+        assert p3.n_active == 9 and p3.active[9] and not p3.active[4]
+        p5 = plan.patch_at(5)
+        assert p5.n_active == 10
+        assert plan.patch_at(4) is None
+
+    def test_leave_is_permanent(self):
+        topo = torus_2d(3, 3)
+        plan = plan_churn(topo, ChurnSchedule(events=[node_leave(4, 2)]))
+        patch = plan.patch_at(2)
+        # All of node 4's edges are gone from the live topology for good.
+        assert 4 not in set(patch.topo.edge_u) | set(patch.topo.edge_v)
+        assert patch.handoffs and patch.handoffs[0][0] == 4
+
+    def test_expand_load_pads_joins_with_zero(self):
+        topo = torus_2d(3, 3)
+        plan = plan_churn(
+            topo, ChurnSchedule(events=[node_join(9, 1, [0])])
+        )
+        load = plan.expand_load(np.arange(9, dtype=np.float64))
+        assert load.shape == (10,)
+        assert load[9] == 0.0
+
+
+class TestLoadSurgery:
+    def test_handoff_floor_share_arithmetic(self):
+        load = np.array([10.0, 0.0, 0.0, 0.0])
+        apply_handoffs(load, [(0, [1, 2, 3])])
+        # floor(10/3) = 3 to the first two receivers, remainder to the last.
+        assert load.tolist() == [0.0, 3.0, 3.0, 4.0]
+
+    def test_handoff_conserves_fractional_loads(self):
+        rng = np.random.default_rng(0)
+        load = rng.random(6) * 13
+        total = load.sum()
+        apply_handoffs(load, [(2, [0, 1]), (5, [3])])
+        assert load[2] == 0.0 and load[5] == 0.0
+        assert np.isclose(load.sum(), total)
+
+    def test_handoff_on_batch_planes(self):
+        load = np.array([[9.0, 7.0], [1.0, 1.0], [0.0, 0.0]])
+        apply_handoffs(load, [(0, [1, 2])])
+        assert load[0].tolist() == [0.0, 0.0]
+        assert load[1].tolist() == [5.0, 4.0]
+        assert load[2].tolist() == [5.0, 4.0]
+
+    def test_remap_flows_zero_fills_new_edges(self):
+        flows = np.array([1.0, 2.0, 3.0])
+        out = remap_flows(flows, np.array([2, -1, 0, 1]))
+        assert out.tolist() == [3.0, 0.0, 1.0, 2.0]
+
+    def test_masked_values_ignore_inactive(self):
+        topo = path(4)
+        load = np.array([1.0, 5.0, 3.0, 100.0])
+        active_idx = np.array([0, 1, 2])
+        vals = masked_static_values(topo, load, active_idx)
+        avg = (1.0 + 5.0 + 3.0) / 3.0
+        assert vals["max_minus_avg"] == 5.0 - avg
+        assert vals["min_load"] == 1.0
+        # total_load deliberately sums the whole plane (conservation check
+        # must see frozen tokens on dead nodes too).
+        assert vals["total_load"] == 109.0
+        dyn = masked_dynamic_values(topo, load, active_idx)
+        assert dyn["max_minus_avg"] == 5.0 - avg
+        assert dyn["total_load"] == 109.0
+
+
+class TestSpecParser:
+    def test_full_grammar(self):
+        sched = parse_churn_spec(
+            "crash:4@2-7; leave:3@5; join:9@4:0+8; edge-:0-1@3; "
+            "edge+:2-7@6; policy:freeze"
+        )
+        kinds = [ev.kind for ev in sched.events]
+        assert kinds == [
+            "node_crash", "node_leave", "node_join", "edge_remove",
+            "edge_add",
+        ]
+        assert sched.policy == "freeze"
+        assert sched.events[0].recover_at == 7
+        assert sched.events[2].attach == (0, 8)
+
+    def test_random_spec(self):
+        churn = parse_churn_spec("random:0.25")
+        assert isinstance(churn, RandomChurn)
+        assert churn.rate == 0.25
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown churn term"):
+            parse_churn_spec("explode:1@2")
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_churn_spec("crash:4")
+
+
+class TestRandomChurn:
+    def test_deterministic_for_seed(self):
+        topo = torus_2d(4, 4)
+        a = random_churn_schedule(topo, 0.5, 20, seed=3)
+        b = random_churn_schedule(topo, 0.5, 20, seed=3)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        topo = torus_2d(4, 4)
+        a = random_churn_schedule(topo, 0.5, 40, seed=3)
+        b = random_churn_schedule(topo, 0.5, 40, seed=4)
+        assert a != b
+
+    def test_schedule_always_compiles(self):
+        topo = torus_2d(4, 4)
+        for seed in range(5):
+            sched = random_churn_schedule(topo, 0.8, 25, seed=seed)
+            plan = plan_churn(topo, sched)
+            assert plan.n_univ == topo.n  # random churn never joins
+
+    def test_stream_key_disjoint_from_node_streams(self):
+        assert CHURN_STREAM_KEY > 10**9

@@ -169,3 +169,77 @@ class TestFaultyNetworks:
         net.run(400)
         loads = net.loads()
         assert loads.max() - loads.mean() < 0.2 * 1000 * small_torus.n
+
+
+class TestPerMessageFastPath:
+    """The event-driven engine asks message by message via drops(); the
+    direct overrides must consume the random stream exactly like the
+    batch path so async trajectories are unchanged by the fast path."""
+
+    def test_random_drop_stream_matches_batch_path(self):
+        msgs = _msgs([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)])
+        direct = RandomLinkDrop(0.4, np.random.default_rng(42))
+        batch = RandomLinkDrop(0.4, np.random.default_rng(42))
+        for msg in msgs:
+            want = bool(batch.filter_transfers([msg], 0)[1])
+            assert direct.drops(msg, 0) == want
+
+    def test_random_drop_zero_p_draws_nothing(self):
+        rng = np.random.default_rng(0)
+        model = RandomLinkDrop(0.0, rng)
+        before = rng.bit_generator.state
+        assert model.drops(_msgs([(0, 1)])[0], 0) is False
+        assert rng.bit_generator.state == before
+
+    def test_random_drop_unseeded_raises(self):
+        with pytest.raises(ConfigurationError, match="no random generator"):
+            RandomLinkDrop(0.5).drops(_msgs([(0, 1)])[0], 0)
+
+    def test_outage_drops_is_pure(self):
+        model = LinkOutage([(1, 0)], start=2, end=5)
+        msg = _msgs([(0, 1)])[0]
+        other = _msgs([(2, 3)])[0]
+        assert model.drops(msg, 1) is False
+        assert model.drops(msg, 2) is True
+        assert model.drops(msg, 4) is True
+        assert model.drops(msg, 5) is False
+        assert model.drops(other, 3) is False
+
+    def test_async_trajectory_pinned_under_drops(self):
+        # Regression pin: the async engine's per-message fault path must
+        # produce the identical trajectory as the synchronous engine's
+        # batch path at zero latency (same stream, message for message).
+        from repro.network import AsyncNetwork
+
+        topo = torus_2d(3, 3)
+        load = point_load(topo, 900)
+        sync = SyncNetwork(
+            topo, load, scheme="sos", rounding="floor",
+            faults=RandomLinkDrop(0.25), seed=5,
+        )
+        asyn = AsyncNetwork(
+            topo, load, scheme="sos", rounding="floor",
+            faults=RandomLinkDrop(0.25), seed=5,
+        )
+        for _ in range(30):
+            sync.step()
+            asyn.step()
+            np.testing.assert_array_equal(sync.loads(), asyn.loads())
+        assert asyn.bounced_count > 0
+
+
+class TestReprs:
+    """The reprs carry the model parameters (pinned: examples and the
+    docs print them to label fault sweeps)."""
+
+    def test_random_drop_repr(self):
+        assert repr(RandomLinkDrop(0.25)) == "RandomLinkDrop(p=0.25)"
+
+    def test_link_outage_repr(self):
+        model = LinkOutage([(3, 1), (0, 2)], start=4, end=9)
+        assert repr(model) == (
+            "LinkOutage(links=[(0, 2), (1, 3)], start=4, end=9)"
+        )
+
+    def test_no_faults_repr(self):
+        assert repr(NoFaults()) == "NoFaults()"

@@ -303,3 +303,71 @@ class TestSweepFlag:
                     "--sweep", "beta=1.2,1.4", "--sweep", "beta=1.6",
                 ]
             )
+
+
+class TestRobustnessFlags:
+    """--churn and --faults: parse, run, and reject with clean messages."""
+
+    def test_simulate_churn_network(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--engine", "network", "--rounding", "floor",
+                "--rounds", "20",
+                "--churn", "crash:3@4-10; edge-:0-1@6",
+            ]
+        )
+        assert code == 0
+        assert "max-avg" in capsys.readouterr().out
+
+    def test_simulate_churn_with_faults_and_arrivals(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--engine", "async", "--rounding", "floor",
+                "--rounds", "15",
+                "--churn", "random:0.3",
+                "--faults", "drop:0.1",
+                "--arrivals", "poisson:1.0,depart=0.5",
+            ]
+        )
+        assert code == 0
+
+    def test_simulate_faults_outage(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--engine", "network", "--rounding", "floor",
+                "--rounds", "15",
+                "--faults", "outage:0:1:2:9",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_churn_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown churn term"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--churn", "explode:1@2",
+                ]
+            )
+
+    def test_bad_faults_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="drop probability"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--faults", "drop:1.5",
+                ]
+            )
+
+    def test_churn_with_switch_round_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="switch"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--churn", "crash:3@4",
+                    "--switch-round", "5",
+                ]
+            )

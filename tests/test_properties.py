@@ -170,3 +170,57 @@ def test_property_flows_respect_rounding_error_bound(config, seed):
         state, info = proc.step(state)
         signed = info.errors * np.sign(info.scheduled)
         assert signed.max(initial=0.0) < 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Token conservation under churn x faults x arrivals (the robustness
+# tentpole): whatever the schedule does to the topology, whatever the
+# fault model drops, and however the workload churns, the ledger
+# balances: final total == initial total + arrived - departed.
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    engine=st.sampled_from(["reference", "batched", "network", "async"]),
+    rounding=st.sampled_from(
+        ["floor", "nearest", "ceil", "unbiased-edge", "randomized-excess"]
+    ),
+    churn_rate=st.floats(0.0, 1.0),
+    drop_p=st.one_of(st.none(), st.floats(0.01, 0.5)),
+    arrivals=st.sampled_from(
+        [None, "poisson:2.0,depart=1.0", "burst:40/5", "hotspot:0,3:3"]
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_property_conservation_under_churn_faults_arrivals(
+    engine, rounding, churn_rate, drop_p, arrivals, seed
+):
+    from repro import torus_2d
+    from repro.engines import EngineConfig, make_engine
+
+    if drop_p is not None and engine not in ("network", "async"):
+        drop_p = None  # matrix engines model a reliable network
+    topo = torus_2d(4, 4)
+    rng = np.random.default_rng(seed)
+    loads = rng.integers(0, 40, (1, topo.n)).astype(np.float64)
+    config = EngineConfig(
+        rounds=10,
+        scheme="sos",
+        rounding=rounding,
+        seed=seed,
+        churn=f"random:{churn_rate}",
+        faults=None if drop_p is None else f"drop:{drop_p}",
+        arrivals=arrivals,
+    )
+    eng = make_engine(engine)
+    if arrivals is None:
+        result = eng.run(topo, config, loads)[0]
+        totals = result.table.column("total_load")
+        assert (totals == loads.sum()).all()
+    else:
+        result = eng.run_dynamic(topo, config, loads)[0]
+        totals = result.table.column("total_load")
+        arrived = result.table.column("arrived")
+        departed = result.table.column("departed")
+        expected = loads.sum() + np.cumsum(arrived - departed)
+        np.testing.assert_allclose(totals, expected)
