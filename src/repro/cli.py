@@ -231,11 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help=(
-            "per-link latency model of the async engine (--engine async): "
-            "a number of rounds (e.g. 1.5), 'uniform:LO,HI' or 'exp:MEAN' "
-            "(random per-link latencies drawn once from the run seed); "
-            "default reads the topology's stamped link attributes, which "
-            "fall back to the synchronous zero-latency regime"
+            "per-link latency model of the async/staleness engines "
+            "(--engine async/staleness): a number of rounds (e.g. 1.5), "
+            "'uniform:LO,HI' or 'exp:MEAN' (random per-link latencies drawn "
+            "once from the run seed); default reads the topology's stamped "
+            "link attributes, which fall back to the synchronous "
+            "zero-latency regime"
         ),
     )
     p_sim.add_argument(
@@ -246,7 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "bounded-staleness gate of the async engine: a node may not "
             "start round r before hearing round >= r-1-K from every "
-            "neighbour (default: unbounded skew)"
+            "neighbour (default: unbounded skew); on the staleness engine "
+            "the same bound clamps every latency bucket to K+1 rounds"
+        ),
+    )
+    p_sim.add_argument(
+        "--latency-buckets",
+        default="ceil",
+        choices=["ceil", "floor", "nearest", "exact"],
+        help=(
+            "how the staleness engine (--engine staleness) quantises "
+            "per-link latencies into integer round buckets: ceil/floor/"
+            "nearest round fractional latencies, exact refuses them "
+            "(the bit-identical-to-async regime); default ceil"
         ),
     )
     p_sim.add_argument(
@@ -255,7 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help=(
             "fault model on the message-passing engines (--engine network/"
-            "async): 'drop:P' drops each token shipment independently with "
+            "async/staleness): 'drop:P' drops each token shipment "
+            "independently with "
             "probability P, 'outage:U:V:START[:END]' kills link (U,V) for "
             "rounds START <= r < END (END omitted = forever); dropped "
             "shipments bounce back to their sender, so load is conserved"
@@ -456,6 +470,7 @@ def _cmd_simulate(args) -> int:
         workers=_parse_workers(args.workers),
         latency_model=args.latency,
         max_skew=args.max_skew,
+        latency_buckets=args.latency_buckets,
         faults=args.faults,
         churn=args.churn,
     )
@@ -473,20 +488,26 @@ def _cmd_simulate(args) -> int:
         return _simulate_sweep(args, built, config)
     if args.arrivals is not None:
         return _simulate_dynamic(args, built, config)
-    if args.replicas > 1:
-        ensemble = replica_ensemble(
-            built.topo,
-            config,
-            n_replicas=args.replicas,
-            average_load=args.avg_load,
-            engine=args.engine,
-        )
-        for key in sorted(ensemble.stats):
-            print(f"  {key} = {ensemble.stats[key]:.4g}")
-        result = ensemble.results[0]
-    else:
-        initial = point_load(built.topo, args.avg_load * built.topo.n)
-        result = make_engine(args.engine).run(built.topo, config, initial)[0]
+    # Engine-level rejections (per-backend knob guards, latency-bucket
+    # quantisation, ...) surface at prepare time — exit as cleanly as the
+    # validate() failures above.
+    try:
+        if args.replicas > 1:
+            ensemble = replica_ensemble(
+                built.topo,
+                config,
+                n_replicas=args.replicas,
+                average_load=args.avg_load,
+                engine=args.engine,
+            )
+            for key in sorted(ensemble.stats):
+                print(f"  {key} = {ensemble.stats[key]:.4g}")
+            result = ensemble.results[0]
+        else:
+            initial = point_load(built.topo, args.avg_load * built.topo.n)
+            result = make_engine(args.engine).run(built.topo, config, initial)[0]
+    except ConfigurationError as exc:
+        raise SystemExit(f"invalid configuration: {exc}")
     import math
 
     final = result.records[-1]

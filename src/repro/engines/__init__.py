@@ -1,6 +1,6 @@
 """Pluggable execution engines for replica ensembles.
 
-One protocol (:class:`~repro.engines.base.Engine`), five backends:
+One protocol (:class:`~repro.engines.base.Engine`), six backends:
 
 =========  ==================================================================
 name       backend
@@ -19,6 +19,10 @@ async      :class:`~repro.engines.async_net.AsyncNetworkEngine` — event-driven
            :class:`~repro.network.async_engine.AsyncNetwork` with per-link
            latency/bandwidth and no global round barrier (bit-identical to
            ``network`` at zero latency)
+staleness  :class:`~repro.engines.staleness.StalenessEngine` — the async
+           regime vectorised: integer round buckets per link and delayed-view
+           planes over the whole ``(n, B)`` ensemble (bit-identical to
+           ``async`` for integer latencies under ``max_skew``)
 =========  ==================================================================
 
 Quickstart::
@@ -72,6 +76,7 @@ from .batched import BatchedVectorEngine
 from .sharded import ShardedEngine
 from .network import NetworkEngine
 from .async_net import AsyncNetworkEngine
+from .staleness import StalenessEngine
 
 __all__ = [
     "ENGINES",
@@ -87,6 +92,7 @@ __all__ = [
     "ShardedEngine",
     "NetworkEngine",
     "AsyncNetworkEngine",
+    "StalenessEngine",
     "apply_load_scales",
     "as_load_batch",
     "make_engine",

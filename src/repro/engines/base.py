@@ -444,6 +444,16 @@ class EngineConfig:
     #: ``r - 1 - max_skew``.  ``None`` (default) means unbounded skew; ``0``
     #: recovers lockstep neighbourhood synchrony.  Async engine only.
     max_skew: Optional[int] = None
+    #: Latency-quantisation policy of the staleness engine: how fractional
+    #: per-link latencies map onto the integer round buckets that index its
+    #: delayed-view planes.  ``"ceil"`` (default) rounds delays up (a
+    #: message is visible only once fully delivered — matches the event
+    #: queue's first-usable round for every latency), ``"floor"`` and
+    #: ``"nearest"`` round down / to the closest bucket, ``"exact"``
+    #: refuses non-integer latencies outright (the bit-identity contract
+    #: vs the async engine only holds where quantisation is a no-op).
+    #: Staleness engine only — other backends reject a non-default value.
+    latency_buckets: str = "ceil"
     #: Fault model applied to token transfers
     #: (:class:`~repro.network.faults.FaultModel`): drops bounce the tokens
     #: back to the sender, so load is conserved.  The engine binds any
@@ -567,6 +577,11 @@ class EngineConfig:
                 raise ConfigurationError(
                     f"max_skew must be None or an int >= 0, got {self.max_skew!r}"
                 )
+        if self.latency_buckets not in ("ceil", "floor", "nearest", "exact"):
+            raise ConfigurationError(
+                "latency_buckets must be 'ceil', 'floor', 'nearest' or "
+                f"'exact', got {self.latency_buckets!r}"
+            )
         parse_faults_spec(self.faults)  # raises on malformed specs
         if self.churn is not None:
             from ..core.churn import parse_churn_spec
@@ -819,7 +834,9 @@ def reject_async_only(config: "EngineConfig", engine_name: str) -> None:
 
     ``latency_model`` and ``max_skew`` describe an event-driven delivery
     schedule; a synchronous-round backend that cannot honour them must say
-    so instead of silently running at zero latency.
+    so instead of silently running at zero latency.  ``latency_buckets``
+    names the staleness engine's quantisation policy and is refused
+    separately — not even the async engine honours it.
     """
     offending = []
     if config.latency_model is not None:
@@ -831,6 +848,12 @@ def reject_async_only(config: "EngineConfig", engine_name: str) -> None:
             f"the {engine_name} engine does not support "
             + ", ".join(offending)
             + " (async engine only)"
+        )
+    if config.latency_buckets != "ceil":
+        raise ConfigurationError(
+            f"the {engine_name} engine does not support "
+            f"latency_buckets={config.latency_buckets!r} "
+            "(staleness engine only)"
         )
 
 
@@ -856,19 +879,21 @@ def parse_latency_spec(spec):
     or the spec strings ``"fixed:X"`` / ``"uniform:LO,HI"`` / ``"exp:MEAN"``
     (a bare numeric string counts as fixed).
     """
+    accepted = "'fixed:X', 'uniform:LO,HI' or 'exp:MEAN'"
     if spec is None:
         return None
     if isinstance(spec, (int, float, np.integer, np.floating)):
         x = float(spec)
         if not np.isfinite(x) or x < 0.0:
             raise ConfigurationError(
-                f"latency must be finite and >= 0, got {spec!r}"
+                f"latency must be finite and >= 0, got {spec!r} "
+                f"(accepted forms: a non-negative scalar, {accepted})"
             )
         return ("fixed", x)
     if not isinstance(spec, str):
         raise ConfigurationError(
-            f"latency_model must be None, a scalar or a spec string, "
-            f"got {spec!r}"
+            f"latency_model must be None, a non-negative scalar or one of "
+            f"the spec strings {accepted}, got {spec!r}"
         )
     kind, _, rest = spec.partition(":")
     try:
@@ -881,21 +906,23 @@ def parse_latency_spec(spec):
             lo, hi = float(lo_s), float(hi_s)
             if not (0.0 <= lo <= hi and np.isfinite(hi)):
                 raise ConfigurationError(
-                    f"uniform latency needs 0 <= LO <= HI, got {spec!r}"
+                    f"uniform latency needs 0 <= LO <= HI, got {spec!r} "
+                    f"(accepted forms: {accepted})"
                 )
             return ("uniform", lo, hi)
         if kind == "exp":
             mean = float(rest)
             if not (np.isfinite(mean) and mean >= 0.0):
                 raise ConfigurationError(
-                    f"exp latency needs MEAN >= 0, got {spec!r}"
+                    f"exp latency needs MEAN >= 0, got {spec!r} "
+                    f"(accepted forms: {accepted})"
                 )
             return ("exp", mean)
     except ValueError:
-        pass
+        pass  # float() parse failures fall through to the catch-all below
     raise ConfigurationError(
-        "latency spec must be 'fixed:X', 'uniform:LO,HI' or 'exp:MEAN', "
-        f"got {spec!r}"
+        f"cannot interpret latency spec {spec!r}; accepted forms: "
+        f"{accepted} (or a bare non-negative number)"
     )
 
 

@@ -80,8 +80,22 @@ from .base import (
     resolve_workers,
 )
 from .batched import BatchedVectorEngine
+from .staleness import StalenessEngine
 
 __all__ = ["ShardedEngine"]
+
+
+def _wants_staleness(config: EngineConfig) -> bool:
+    """Route a shard to the staleness engine when the config asks for the
+    bounded-staleness regime (latency buckets, skew gate, or faults) —
+    its delayed planes slice by column exactly like the batched kernels,
+    so the shard/merge contract carries over unchanged."""
+    return (
+        config.latency_model is not None
+        or config.max_skew is not None
+        or config.faults is not None
+        or config.latency_buckets != "ceil"
+    )
 
 #: Fallback start method: ``fork`` avoids the per-worker interpreter
 #: restart and re-import cost where the platform offers it.
@@ -124,7 +138,7 @@ def _run_shard(payload: Tuple[Topology, EngineConfig, np.ndarray, bool]) -> Reco
     the full-batch run's columns for this shard's replicas.
     """
     topo, config, loads, dynamic = payload
-    engine = BatchedVectorEngine()
+    engine = StalenessEngine() if _wants_staleness(config) else BatchedVectorEngine()
     if dynamic:
         return engine.run_dynamic_batch(topo, config, loads)
     return engine.run_batch(topo, config, loads)
@@ -167,8 +181,12 @@ class ShardedEngine(Engine):
     ) -> List[Tuple[Topology, EngineConfig, np.ndarray, bool]]:
         """Validate the config and slice the batch into shard payloads."""
         config.validate()
-        reject_async_only(config, "sharded")
-        reject_network_only(config, "sharded")
+        if not _wants_staleness(config):
+            # Latency/skew/fault configs route to the staleness engine
+            # worker-side, which accepts exactly these knobs; everything
+            # else runs the batched engine and keeps its guards.
+            reject_async_only(config, "sharded")
+            reject_network_only(config, "sharded")
         if config.churn is not None:
             raise ConfigurationError(
                 "the sharded engine does not support churn schedules: "

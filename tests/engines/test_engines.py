@@ -18,6 +18,7 @@ class TestRegistry:
     def test_known_engines(self):
         assert set(ENGINES) == {
             "reference", "batched", "sharded", "network", "async",
+            "staleness",
         }
 
     def test_make_engine_by_name_and_passthrough(self):

@@ -1,0 +1,136 @@
+"""Property-based invariants of the bounded-staleness regime (hypothesis).
+
+Random integer bucket assignments and churn-free fault schedules, driven
+through **both** implementations — the event-driven
+:class:`~repro.network.async_engine.AsyncNetwork` and the vectorised
+``staleness`` engine — must never violate:
+
+* the skew bound: when ``max_skew`` is set, every view a compute ever
+  uses is at most ``max_skew + 1`` rounds stale (the gate's guarantee on
+  the event side, the bucket clamp's on the vectorised side), and with
+  no gate the staleness never exceeds the deepest bucket;
+* exact token conservation: node loads plus in-flight (bucketed) tokens
+  are constant for any latency assignment and any fault schedule —
+  dropped shipments bounce back to their sender, they never leak.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Topology, point_load, torus_2d
+from repro.engines import EngineConfig, make_engine
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TORUS = torus_2d(4, 4)
+
+
+@st.composite
+def staleness_case(draw):
+    """(buckets, max_skew, faults, rounds, scheme) on the 4x4 torus."""
+    buckets = draw(
+        st.lists(
+            st.integers(0, 4), min_size=TORUS.m_edges, max_size=TORUS.m_edges
+        )
+    )
+    max_skew = draw(st.one_of(st.none(), st.integers(0, 4)))
+    kind = draw(st.sampled_from(["none", "drop", "outage"]))
+    if kind == "drop":
+        faults = f"drop:{draw(st.floats(0.05, 0.6)):.3f}"
+    elif kind == "outage":
+        u, v = TORUS.edge_u[0], TORUS.edge_v[0]
+        start = draw(st.integers(0, 4))
+        faults = f"outage:{u}:{v}:{start}:{start + draw(st.integers(1, 5))}"
+    else:
+        faults = None
+    rounds = draw(st.integers(1, 10))
+    scheme = draw(st.sampled_from(["fos", "sos"]))
+    return buckets, max_skew, faults, rounds, scheme
+
+
+def _prepare_pair(buckets, max_skew, faults, scheme):
+    topo = torus_2d(4, 4).stamp_link_attrs(
+        latency=np.asarray(buckets, dtype=float)
+    )
+    cfg = EngineConfig(
+        scheme=scheme, beta=1.5, rounding="floor", rounds=1, seed=11,
+        max_skew=max_skew, faults=faults,
+    )
+    base = point_load(topo, 100 * topo.n)
+    loads = np.stack([base, np.roll(base, 5)])
+    eng_s, eng_a = make_engine("staleness"), make_engine("async")
+    return (
+        topo,
+        (eng_s, eng_s.prepare(topo, cfg, loads)),
+        (eng_a, eng_a.prepare(topo, cfg, loads)),
+    )
+
+
+@given(case=staleness_case())
+@settings(**SETTINGS)
+def test_skew_bound_and_conservation_on_both(case):
+    buckets, max_skew, faults, rounds, scheme = case
+    _, (eng_s, hs), (eng_a, ha) = _prepare_pair(
+        buckets, max_skew, faults, scheme
+    )
+    bound = (
+        max_skew + 1 if max_skew is not None else max(buckets)
+    )
+    total_s = hs.core.total_load().copy()
+    totals_a = [r.net.total_load for r in ha.replicas]
+    for _ in range(rounds):
+        eng_s.step(hs)
+        eng_a.step(ha)
+        # Conservation is exact every round, with tokens in flight and
+        # dropped shipments mid-bounce on the ledger.
+        np.testing.assert_array_equal(hs.core.total_load(), total_s)
+        for r, t0 in zip(ha.replicas, totals_a):
+            assert r.net.total_load == t0
+    # The staleness bound holds on both implementations.
+    assert hs.core.max_staleness <= bound
+    for r in ha.replicas:
+        assert r.net.max_staleness <= bound
+    # In the lockstep regime (no bucket past the gate) the vectorised
+    # clamp realises the *same* observed staleness as the event engine's
+    # gate; past it the two realisations may differ but both stay bounded.
+    if max_skew is None or max(buckets) <= max_skew:
+        for r in ha.replicas:
+            assert hs.core.max_staleness == r.net.max_staleness
+            assert hs.core.mean_staleness == pytest.approx(
+                r.net.mean_staleness, abs=1e-12
+            )
+
+
+@given(
+    buckets=st.lists(
+        st.integers(0, 3), min_size=TORUS.m_edges, max_size=TORUS.m_edges
+    ),
+    p=st.floats(0.1, 0.5),
+    rounds=st.integers(2, 8),
+)
+@settings(**SETTINGS)
+def test_faulted_ledger_splits_exactly(buckets, p, rounds):
+    """On the vectorised side the ledger decomposes exactly: every token
+    is on a node, in a shipment plane, or mid-bounce — and the message
+    counter nets emitted - delivered - bounced."""
+    _, (eng_s, hs), _unused = _prepare_pair(
+        buckets, None, f"drop:{p:.3f}", "fos"
+    )
+    core = hs.core
+    total0 = core.total_load().copy()
+    for _ in range(rounds):
+        eng_s.step(hs)
+        in_planes = core.S.sum(axis=(0, 1))
+        if core.bounce is not None:
+            in_planes = in_planes + core.bounce.sum(axis=(0, 1))
+        np.testing.assert_array_equal(core.in_flight_amount, in_planes)
+        np.testing.assert_array_equal(
+            core.loads.sum(axis=0) + in_planes, total0
+        )
+        assert (core.in_flight_messages >= 0).all()

@@ -1,0 +1,92 @@
+"""Qualitative regression pins for the committed ``BENCH_async.json``.
+
+The async ladder is the paper-facing headline of the bounded-staleness
+work: FOS degrades *gracefully* with link latency (final imbalance stays
+within tolerance of the synchronous run at every level), while SOS with
+its near-optimal beta *diverges* under any staleness at all.  These pins
+read the committed artifact so a future engine change that silently
+inverts that result — e.g. by re-ordering the announce/compute phases or
+breaking the in-flight ledger — fails CI without re-running the bench.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "BENCH_async.json"
+
+#: FOS-graceful tolerance: final imbalance at any latency stays within a
+#: factor of 2 of the synchronous final imbalance (measured ratios sit in
+#: 0.67..1.05 — latency mildly helps late-stage mixing at this scale).
+FOS_TOLERANCE = 2.0
+#: SOS-divergent floor: any nonzero staleness blows the near-optimal-beta
+#: run up by many orders of magnitude (measured >= 1e12).
+SOS_DIVERGENCE = 1e6
+
+
+@pytest.fixture(scope="module")
+def summary():
+    data = json.loads(BENCH.read_text())
+    return data["summary"]
+
+
+def _levels(summary, scheme):
+    return [lv for lv in summary["levels"] if lv["scheme"] == scheme]
+
+
+def test_ladder_shape(summary):
+    latencies = summary["latencies"]
+    assert latencies[0] == 0.0 and latencies == sorted(latencies)
+    for scheme in ("fos", "sos"):
+        assert [lv["latency"] for lv in _levels(summary, scheme)] == latencies
+
+
+def test_zero_latency_parity_flag(summary):
+    # The async engine reproduces the synchronous network bit for bit at
+    # zero latency — the anchor of the whole differential harness.
+    assert summary["parity_zero_latency_bit_identical"] is True
+
+
+def test_fos_degrades_gracefully(summary):
+    fos = _levels(summary, "fos")
+    sync_final = fos[0]["final_max_minus_avg"]
+    assert sync_final > 0
+    for lv in fos[1:]:
+        ratio = lv["final_max_minus_avg"] / sync_final
+        assert ratio == pytest.approx(lv["degradation_vs_sync"], rel=1e-9)
+        assert 1.0 / FOS_TOLERANCE <= ratio <= FOS_TOLERANCE, (
+            f"FOS at latency {lv['latency']} no longer graceful: "
+            f"degradation {ratio:.3f}"
+        )
+
+
+def test_fos_conserves_total_load(summary):
+    n = summary["n"]
+    for lv in _levels(summary, "fos"):
+        assert lv["total_load_with_in_flight"] == 1000.0 * n
+
+
+def test_staleness_tracks_latency(summary):
+    for scheme in ("fos", "sos"):
+        for lv in _levels(summary, scheme):
+            assert lv["max_staleness"] == math.ceil(lv["latency"])
+            assert lv["mean_staleness"] <= lv["max_staleness"]
+            if lv["latency"] == 0.0:
+                assert lv["mean_staleness"] == 0.0
+
+
+def test_sos_diverges_above_threshold(summary):
+    # beta_sos is the graph's near-optimal momentum (well above the
+    # staleness-robust range) — the divergence flag must stay set at
+    # every nonzero latency.
+    assert summary["beta_sos"] > 1.5
+    sos = _levels(summary, "sos")
+    assert sos[0]["final_max_minus_avg"] < 100.0  # synchronous converges
+    for lv in sos[1:]:
+        assert lv["degradation_vs_sync"] > SOS_DIVERGENCE, (
+            f"SOS at latency {lv['latency']} no longer diverges "
+            f"(degradation {lv['degradation_vs_sync']:.3g}) — the headline "
+            "staleness result inverted"
+        )

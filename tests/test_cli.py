@@ -371,3 +371,68 @@ class TestRobustnessFlags:
                     "--switch-round", "5",
                 ]
             )
+
+
+class TestLatencyFlags:
+    """--latency / --max-skew / --latency-buckets: run and reject."""
+
+    def test_simulate_staleness_engine(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--engine", "staleness", "--rounding", "floor",
+                "--rounds", "15", "--latency", "2", "--max-skew", "3",
+                "--faults", "drop:0.1",
+            ]
+        )
+        assert code == 0
+        assert "max-avg" in capsys.readouterr().out
+
+    def test_simulate_staleness_quantises_fractional_latency(self, capsys):
+        code = main(
+            [
+                "simulate", "--graph", "torus-100", "--scale", "tiny",
+                "--engine", "staleness", "--rounding", "floor",
+                "--rounds", "10", "--latency", "1.5",
+                "--latency-buckets", "nearest",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_latency_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="accepted forms"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--latency", "gaussian:1",
+                ]
+            )
+
+    def test_negative_latency_mean_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="MEAN >= 0"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--latency", "exp:-1",
+                ]
+            )
+
+    def test_negative_max_skew_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="max_skew"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--engine", "async",
+                    "--max-skew", "-2",
+                ]
+            )
+
+    def test_exact_buckets_reject_fractional_latency(self):
+        with pytest.raises(SystemExit, match="integer link latencies"):
+            main(
+                [
+                    "simulate", "--graph", "torus-100", "--scale", "tiny",
+                    "--rounds", "10", "--engine", "staleness",
+                    "--latency", "1.5", "--latency-buckets", "exact",
+                ]
+            )
