@@ -135,7 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
             "the balancing step.  SPEC is poisson:RATE[,depart=RATE] "
             "(e.g. poisson:3.0,depart=1.0), burst:BURST/PERIOD "
             "(e.g. burst:200/50), hotspot:N0,N1,...:RATE "
-            "(e.g. hotspot:0,1:5), or none.  Starts from the uniform "
+            "(e.g. hotspot:0,1:5), trace:FILE (replay a delta stream "
+            "recorded with repro.io.save_arrival_trace), or none.  "
+            "Starts from the uniform "
             "--avg-load and reports steady-state imbalance against the "
             "moving average"
         ),
@@ -225,6 +227,17 @@ def build_parser() -> argparse.ArgumentParser:
             "worker, bit-identical to the single-process batched run"
         ),
     )
+    p_sim.add_argument(
+        "--pool",
+        action="store_true",
+        help=(
+            "run the sharded engine through the process-wide persistent "
+            "worker pool (--engine sharded): workers survive across calls, "
+            "cache the prepared topology operators, and write record "
+            "columns into shared memory the parent reads zero-copy — "
+            "bit-identical to per-call sharded execution"
+        ),
+    )
 
     p_sim.add_argument(
         "--latency",
@@ -287,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(a seed-derived random schedule).  Crashed and leaving nodes "
             "hand their tokens to live neighbours (or freeze them under "
             "policy:freeze), so sum(loads) survives the whole schedule; "
-            "every engine except sharded supports it"
+            "every engine supports it"
         ),
     )
 
@@ -468,6 +481,7 @@ def _cmd_simulate(args) -> int:
         record_fields=_parse_record_fields(args.record_fields),
         arrival_sampling=args.arrival_sampling,
         workers=_parse_workers(args.workers),
+        pool=True if args.pool else None,
         latency_model=args.latency,
         max_skew=args.max_skew,
         latency_buckets=args.latency_buckets,

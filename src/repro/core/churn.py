@@ -529,14 +529,19 @@ def plan_churn(topo: Topology, schedule: ChurnSchedule) -> ChurnPlan:
 def resolve_churn(topo: Topology, config) -> Optional[ChurnPlan]:
     """Materialise ``config.churn`` into a :class:`ChurnPlan` (or None).
 
-    Accepts ``None``, a spec string, a :class:`RandomChurn`, or a
-    :class:`ChurnSchedule`; random specs draw their schedule from
+    Accepts ``None``, a spec string, a :class:`RandomChurn`, a
+    :class:`ChurnSchedule`, or an already-compiled :class:`ChurnPlan`
+    (returned as-is); random specs draw their schedule from
     ``default_rng([config.seed, CHURN_STREAM_KEY])`` so every backend
     resolves the identical plan.
     """
     churn = getattr(config, "churn", None)
     if churn is None:
         return None
+    if isinstance(churn, ChurnPlan):
+        # Already compiled (the sharded engine broadcasts the parent's
+        # plan so every worker patches the identical universe).
+        return churn
     if isinstance(churn, str):
         churn = parse_churn_spec(churn)
     if isinstance(churn, RandomChurn):
@@ -651,7 +656,10 @@ def parse_churn_spec(
       round (resolved against the topology and round count at prepare
       time; combines only with a ``policy:`` term).
     """
-    if spec is None or isinstance(spec, (ChurnSchedule, RandomChurn)):
+    if spec is None or isinstance(spec, (ChurnSchedule, RandomChurn, ChurnPlan)):
+        # A precompiled ChurnPlan passes through too: the sharded engine
+        # resolves the plan once in the parent and broadcasts it to its
+        # workers, whose configs re-validate on arrival.
         return spec
     if not isinstance(spec, str):
         raise ConfigurationError(

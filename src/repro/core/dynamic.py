@@ -55,6 +55,7 @@ __all__ = [
     "PoissonArrivals",
     "BurstArrivals",
     "HotspotArrivals",
+    "TraceArrivals",
     "ScaledArrivals",
     "make_arrival_model",
     "arrival_stream",
@@ -266,6 +267,59 @@ class HotspotArrivals(ArrivalModel):
         return f"HotspotArrivals(nodes={self.nodes}, rate={self.rate})"
 
 
+class TraceArrivals(ArrivalModel):
+    """Replay a recorded per-round delta stream, deterministically.
+
+    ``trace`` is a ``(rounds, n)`` float64 array: row ``r`` is the exact
+    per-node delta injected at round ``r``; rounds past the end of the
+    trace inject nothing.  The generator argument is ignored entirely —
+    replayed deltas are data, not randomness — so a trace reproduces bit
+    for bit on every engine and under both stream and batch sampling.
+    Record one with :func:`repro.io.save_arrival_trace` (e.g. from a live
+    model's sampled deltas) and replay it with ``--arrivals trace:FILE``.
+    """
+
+    def __init__(self, trace):
+        arr = np.asarray(trace, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"arrival trace must be 2D (rounds, n), got shape {arr.shape}"
+            )
+        if arr.size and not np.isfinite(arr).all():
+            raise ConfigurationError("arrival trace must be finite")
+        self.trace = arr
+
+    @classmethod
+    def from_file(cls, path: str) -> "TraceArrivals":
+        """Load a trace recorded by :func:`repro.io.save_arrival_trace`."""
+        from ..io.traces import load_arrival_trace
+
+        model = cls(load_arrival_trace(path))
+        model._path = path
+        return model
+
+    def deltas(self, topo, round_index, rng):
+        if self.trace.size and self.trace.shape[1] != topo.n:
+            raise ConfigurationError(
+                f"arrival trace is for n={self.trace.shape[1]} nodes, "
+                f"topology has n={topo.n}"
+            )
+        if 0 <= round_index < self.trace.shape[0]:
+            return self.trace[round_index].copy()
+        return np.zeros(topo.n)
+
+    def batch_deltas(self, topo, round_index, rng, n_replicas):
+        # Every replica replays the same recorded row; no stream is
+        # consumed, so batch sampling equals stream sampling exactly.
+        row = self.deltas(topo, round_index, rng)
+        return np.repeat(row[:, None], n_replicas, axis=1)
+
+    def __repr__(self) -> str:
+        path = getattr(self, "_path", None)
+        src = f"path={path!r}" if path else f"rounds={self.trace.shape[0]}"
+        return f"TraceArrivals({src}, n={self.trace.shape[1] if self.trace.ndim == 2 else 0})"
+
+
 class ScaledArrivals(ArrivalModel):
     """Wrap a model, scaling its sampled deltas by a fixed factor.
 
@@ -317,7 +371,9 @@ def make_arrival_model(spec: Union[str, ArrivalModel]) -> ArrivalModel:
     * ``burst:BURST/PERIOD`` — :class:`BurstArrivals`
       (e.g. ``burst:200/50``),
     * ``hotspot:N0,N1,...:RATE`` — :class:`HotspotArrivals`
-      (e.g. ``hotspot:0,1:5``).
+      (e.g. ``hotspot:0,1:5``),
+    * ``trace:FILE`` — :class:`TraceArrivals` replaying a recorded
+      delta stream saved by :func:`repro.io.save_arrival_trace`.
     """
     if isinstance(spec, ArrivalModel):
         return spec
@@ -355,12 +411,16 @@ def make_arrival_model(spec: Union[str, ArrivalModel]) -> ArrivalModel:
                 raise ConfigurationError("hotspot spec is hotspot:N0,N1,...:RATE")
             nodes = [int(v) for v in nodes_part.split(",") if v.strip() != ""]
             return HotspotArrivals(nodes=nodes, rate=int(rate))
+        if key == "trace":
+            if not rest.strip():
+                raise ConfigurationError("trace spec is trace:FILE")
+            return TraceArrivals.from_file(rest.strip())
     except ValueError as exc:  # int()/float() parse failures
         raise ConfigurationError(f"bad arrival spec {spec!r}: {exc}") from None
     raise ConfigurationError(
         f"unknown arrival spec {spec!r}; "
         "known: none, poisson:RATE[,depart=RATE], burst:BURST/PERIOD, "
-        "hotspot:N0,N1,...:RATE"
+        "hotspot:N0,N1,...:RATE, trace:FILE"
     )
 
 

@@ -77,6 +77,8 @@ from .sharded import ShardedEngine
 from .network import NetworkEngine
 from .async_net import AsyncNetworkEngine
 from .staleness import StalenessEngine
+from .pool import ShardedWorkerPool, default_pool, topology_fingerprint
+from .session import EngineSession
 
 __all__ = [
     "ENGINES",
@@ -93,6 +95,10 @@ __all__ = [
     "NetworkEngine",
     "AsyncNetworkEngine",
     "StalenessEngine",
+    "ShardedWorkerPool",
+    "EngineSession",
+    "default_pool",
+    "topology_fingerprint",
     "apply_load_scales",
     "as_load_batch",
     "make_engine",

@@ -420,6 +420,16 @@ class EngineConfig:
     #: an int pins it.  Sharded engine only — every other backend rejects a
     #: non-default value rather than silently running single-process.
     workers: Any = None
+    #: Persistent worker pool of the sharded engine: ``None``/``False``
+    #: (default) spawns fresh worker processes per call, ``True``/``"auto"``
+    #: routes the call through the process-wide default
+    #: :class:`~repro.engines.pool.ShardedWorkerPool` (workers persist
+    #: across calls, load planes and record columns travel through
+    #: ``multiprocessing.shared_memory``, prepared topologies/operators are
+    #: cached per worker), and a :class:`ShardedWorkerPool` instance pins
+    #: that pool.  Results stay bit-identical to the per-call sharded
+    #: engine (and hence the batched engine).  Sharded engine only.
+    pool: Any = None
     #: Per-replica parameter planes (:class:`ReplicaParams`, or a dict of
     #: its fields): switch round, beta, alpha scale, initial-load scale
     #: and arrival-rate scale per replica column.  This is the sweep
@@ -545,6 +555,14 @@ class EngineConfig:
                 raise ConfigurationError(
                     f"workers must be None, 'auto' or an int >= 1, "
                     f"got {self.workers!r}"
+                )
+        if self.pool is not None and not isinstance(self.pool, bool):
+            # Duck-typed so this module never imports the pool machinery:
+            # any object exposing the pool's run surface qualifies.
+            if self.pool != "auto" and not hasattr(self.pool, "run_batch"):
+                raise ConfigurationError(
+                    "pool must be None, a bool, 'auto' or a "
+                    f"ShardedWorkerPool instance, got {self.pool!r}"
                 )
         params = resolve_replica_params(self.replica_params)  # raises on bad specs
         if params is not None:
@@ -819,13 +837,20 @@ def reject_batched_only(config: "EngineConfig", engine_name: str) -> None:
 def reject_sharded_only(config: "EngineConfig", engine_name: str) -> None:
     """Refuse sharded-engine-only config features on single-process backends.
 
-    ``workers`` describes a multiprocess execution plan; a backend that
-    cannot honour it must say so instead of silently running one process.
+    ``workers`` and ``pool`` describe a multiprocess execution plan; a
+    backend that cannot honour them must say so instead of silently
+    running one process.
     """
+    offending = []
     if config.workers is not None:
+        offending.append(f"workers={config.workers!r}")
+    if config.pool is not None and config.pool is not False:
+        offending.append(f"pool={config.pool!r}")
+    if offending:
         raise ConfigurationError(
             f"the {engine_name} engine does not support "
-            f"workers={config.workers!r} (sharded engine only)"
+            + ", ".join(offending)
+            + " (sharded engine only)"
         )
 
 

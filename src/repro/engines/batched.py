@@ -454,8 +454,15 @@ class _BatchedHandle:
         loads: np.ndarray,
         params: Optional[ResolvedReplicaParams] = None,
         churn_plan=None,
+        op_cache: Optional[Dict] = None,
     ):
         n, m = topo.n, topo.m_edges
+        # Pool workers hand in a per-topology operator cache so repeated
+        # calls on the same graph skip the CSR/adjacency builds.  The
+        # cached operators are never written to after construction; churn
+        # runs rebuild operators mid-run and skip the cache entirely.
+        if churn_plan is not None:
+            op_cache = None
         B = loads.shape[0]
         self.topo = topo
         self.config = config
@@ -555,28 +562,35 @@ class _BatchedHandle:
 
         # -- CSR operators ---------------------------------------------
         eu, ev = topo.edge_u, topo.edge_v
-        ar = np.arange(m)
-        # E: per-edge difference, entries ordered (+1 @ eu, -1 @ ev).
-        self.E = sp.csr_matrix(
-            (
-                np.tile(np.array([1.0, -1.0], dtype=dtype), m),
-                np.column_stack([eu, ev]).ravel() if m else np.empty(0, np.int64),
-                2 * np.arange(m + 1),
-            ),
-            shape=(m, n),
-        )
-        inc_rows = np.concatenate([eu, ev])
-        inc_cols = np.concatenate([ar, ar])
-        self.D = sp.coo_matrix(
-            (
-                np.concatenate([-np.ones(m), np.ones(m)]).astype(dtype),
-                (inc_rows, inc_cols),
-            ),
-            shape=(n, m),
-        ).tocsr()
-        self.W = sp.coo_matrix(
-            (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
-        ).tocsr()
+        csr_key = ("csr", np.dtype(dtype).char)
+        cached_csr = op_cache.get(csr_key) if op_cache is not None else None
+        if cached_csr is not None:
+            self.E, self.D, self.W = cached_csr
+        else:
+            ar = np.arange(m)
+            # E: per-edge difference, entries ordered (+1 @ eu, -1 @ ev).
+            self.E = sp.csr_matrix(
+                (
+                    np.tile(np.array([1.0, -1.0], dtype=dtype), m),
+                    np.column_stack([eu, ev]).ravel() if m else np.empty(0, np.int64),
+                    2 * np.arange(m + 1),
+                ),
+                shape=(m, n),
+            )
+            inc_rows = np.concatenate([eu, ev])
+            inc_cols = np.concatenate([ar, ar])
+            self.D = sp.coo_matrix(
+                (
+                    np.concatenate([-np.ones(m), np.ones(m)]).astype(dtype),
+                    (inc_rows, inc_cols),
+                ),
+                shape=(n, m),
+            ).tocsr()
+            self.W = sp.coo_matrix(
+                (np.ones(2 * m, dtype=dtype), (inc_rows, inc_cols)), shape=(n, m)
+            ).tocsr()
+            if op_cache is not None:
+                op_cache[csr_key] = (self.E, self.D, self.W)
         if self.kernel is not None:
             # Flat buffers of the compiled provider: edge endpoints, the
             # incidence CSR (captured before tiling drops self.D — the
@@ -650,15 +664,21 @@ class _BatchedHandle:
 
         # -- padded adjacency for the excess-token machinery ------------
         if config.rounding == "randomized-excess" and m:
-            dmax = int(topo.degrees.max())
-            adj_edges = np.full((n, dmax), m, dtype=np.int64)
-            slot_dirs = np.zeros((n, dmax))
-            idx_node = np.repeat(np.arange(n), topo.degrees)
-            pos_in_row = np.arange(idx_node.size) - topo.adj_indptr[idx_node]
-            adj_edges[idx_node, pos_in_row] = topo.adj_edge_ids
-            slot_dirs[idx_node, pos_in_row] = np.where(
-                idx_node < topo.adj_indices, 1.0, -1.0
-            )
+            cached_adj = op_cache.get("adj") if op_cache is not None else None
+            if cached_adj is not None:
+                dmax, adj_edges, slot_dirs = cached_adj
+            else:
+                dmax = int(topo.degrees.max())
+                adj_edges = np.full((n, dmax), m, dtype=np.int64)
+                slot_dirs = np.zeros((n, dmax))
+                idx_node = np.repeat(np.arange(n), topo.degrees)
+                pos_in_row = np.arange(idx_node.size) - topo.adj_indptr[idx_node]
+                adj_edges[idx_node, pos_in_row] = topo.adj_edge_ids
+                slot_dirs[idx_node, pos_in_row] = np.where(
+                    idx_node < topo.adj_indices, 1.0, -1.0
+                )
+                if op_cache is not None:
+                    op_cache["adj"] = (dmax, adj_edges, slot_dirs)
             self.dmax = dmax
             self.adj_edges_flat = adj_edges.ravel()
             if self.kernel is not None:
@@ -674,20 +694,28 @@ class _BatchedHandle:
                 self.kern_uni_flat = None  # grown on demand, reused across rounds
             else:
                 self.slot_dirs_flat = slot_dirs.ravel()
-                # Outgoing-fraction gather indices per slot plane: a slot
-                # routes to the P block (positive fsg) when the node is the
-                # edge's u endpoint, to the N block (negative fsg) when it
-                # is v, and to the always-zero padding row otherwise.
-                self.slot_take = [
-                    np.where(
-                        slot_dirs[:, j] > 0,
-                        adj_edges[:, j],
+                cached_take = (
+                    op_cache.get("slot_take") if op_cache is not None else None
+                )
+                if cached_take is not None:
+                    self.slot_take = cached_take
+                else:
+                    # Outgoing-fraction gather indices per slot plane: a slot
+                    # routes to the P block (positive fsg) when the node is the
+                    # edge's u endpoint, to the N block (negative fsg) when it
+                    # is v, and to the always-zero padding row otherwise.
+                    self.slot_take = [
                         np.where(
-                            slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m
-                        ),
-                    )
-                    for j in range(dmax)
-                ]
+                            slot_dirs[:, j] > 0,
+                            adj_edges[:, j],
+                            np.where(
+                                slot_dirs[:, j] < 0, adj_edges[:, j] + (m + 1), m
+                            ),
+                        )
+                        for j in range(dmax)
+                    ]
+                    if op_cache is not None:
+                        op_cache["slot_take"] = self.slot_take
                 # P/N blocks: rows [0, m) positive parts, row m zero padding,
                 # rows [m+1, 2m+1) negative parts, row 2m+1 zero padding.
                 self.pn = np.zeros((2 * (m + 1), B), dtype=dtype)
@@ -849,6 +877,12 @@ class BatchedVectorEngine(Engine):
 
     name = "batched"
 
+    #: Optional per-topology operator cache shared across prepare() calls.
+    #: Pool workers set this (an ordinary dict) on their engine instance so
+    #: repeated calls on the same graph reuse the CSR operators instead of
+    #: rebuilding them; ``None`` (the default) disables caching entirely.
+    operator_cache: Optional[Dict] = None
+
     def prepare(self, topo, config, initial_loads) -> _BatchedHandle:
         config.validate()
         reject_sharded_only(config, "batched")
@@ -883,7 +917,9 @@ class BatchedVectorEngine(Engine):
                 plan.topo0, config, loads_univ, None, churn_plan=plan
             )
         else:
-            h = _BatchedHandle(topo, config, loads, params)
+            h = _BatchedHandle(
+                topo, config, loads, params, op_cache=self.operator_cache
+            )
         if h.arrival_models is None:
             self._record_current(h)
         return h

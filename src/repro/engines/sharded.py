@@ -34,6 +34,12 @@ stream and no float expression ever crosses a replica boundary:
   potential, plateau switching) would only agree to accumulation
   accuracy.
 
+Topology churn shards too: the parent compiles the deterministic
+:class:`~repro.core.churn.ChurnPlan` exactly once (the random schedule
+draw happens before any shard exists) and broadcasts the plan in every
+shard config, so workers replay identical patches at identical rounds
+and the merge stays bit-identical to the batched engine under churn.
+
 Worker lifecycle
 ----------------
 Workers are plain ``multiprocessing`` pool processes.  The payload per
@@ -45,6 +51,14 @@ the ``REPRO_SHARDED_START`` environment variable (``spawn`` /
 3`` — the >= 2-column shard floor caps the shard count at ``B // 2``)
 runs inline in the parent — no process is spawned, but the exact same
 shard/merge code path executes.
+
+Per-call workers are the default.  Setting ``EngineConfig.pool``
+(``True``/``"auto"`` for the process-wide default, or an explicit
+:class:`~repro.engines.pool.ShardedWorkerPool`) routes the call through
+a *persistent* pool instead: workers survive across calls, cache the
+prepared operators per topology, and return their record columns through
+shared memory — same shard plan, same merge, bit-identical results,
+without re-paying process startup on every call.
 
 The engine implements the fused :meth:`run` / :meth:`run_dynamic` surface
 only; the ``prepare()``/``step()`` protocol would need one IPC round trip
@@ -62,6 +76,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.churn import resolve_churn
 from ..exceptions import ConfigurationError
 from ..graphs.topology import Topology
 
@@ -187,12 +202,26 @@ class ShardedEngine(Engine):
             # else runs the batched engine and keeps its guards.
             reject_async_only(config, "sharded")
             reject_network_only(config, "sharded")
-        if config.churn is not None:
+        # Churn shards bit-identically once every worker replays the *same*
+        # compiled plan: the random schedule draw happens exactly once, here
+        # in the parent (resolve_churn seeds its own stream), and the
+        # resulting ChurnPlan is broadcast in the shard configs — workers
+        # re-validate it via the ChurnPlan passthrough in parse_churn_spec
+        # and apply identical patches at identical rounds.  The patch
+        # machinery (handoffs, flow remap, operator rebuild) acts per
+        # replica column, so the column-independence argument above holds
+        # under churn too.  The heterogeneous-speeds guard (and the rest of
+        # the churn compatibility matrix) lives in config.validate() and
+        # still applies unchanged.
+        churn_plan = resolve_churn(topo, config)
+        if churn_plan is not None and _wants_staleness(config):
+            # The staleness engine the latency/skew/fault knobs route to
+            # rejects churn; refuse the combination here so the error names
+            # the engine the caller actually asked for.
             raise ConfigurationError(
-                "the sharded engine does not support churn schedules: "
-                "worker processes would each rebuild the mutating topology "
-                "mid-run; use the reference, batched, network, or async "
-                "engine for churn"
+                "the sharded engine cannot combine churn with latency/"
+                "skew/fault knobs (the bounded-staleness shard path does "
+                "not support mutating topologies)"
             )
         if config.arrival_sampling == "batch":
             raise ConfigurationError(
@@ -238,6 +267,8 @@ class ShardedEngine(Engine):
             shard_config = replace(
                 config,
                 workers=None,  # the worker-side batched engine runs alone
+                pool=None,  # pooling is a parent-side routing decision
+                churn=churn_plan,  # precompiled plan, identical per shard
                 replica_keys=list(replica_keys[lo:hi]),
                 arrival_seeds=(
                     list(arrival_seeds[lo:hi])
@@ -277,6 +308,20 @@ class ShardedEngine(Engine):
             batches = pool.map(_run_shard, payloads)
         return merge_record_batches(batches)
 
+    def _resolve_pool(self, config: EngineConfig):
+        """Map ``config.pool`` to a live pool, or ``None`` for per-call
+        workers.  ``True``/``"auto"`` route to the process-wide default
+        :class:`~repro.engines.pool.ShardedWorkerPool`; an explicit pool
+        instance is used as-is (callers own its lifecycle)."""
+        spec = config.pool
+        if spec is None or spec is False:
+            return None
+        if spec is True or spec == "auto":
+            from .pool import default_pool  # lazy: pool imports sharded
+
+            return default_pool()
+        return spec
+
     # ------------------------------------------------------------------
     def run(self, topo, config, initial_loads):
         """Shard the batch across workers; one ``SimulationResult`` per
@@ -288,6 +333,9 @@ class ShardedEngine(Engine):
                 "run_dynamic()"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        pool = self._resolve_pool(config)
+        if pool is not None:
+            return pool.run_batch(topo, config, loads).results()
         payloads = self._shard_payloads(topo, config, loads, dynamic=False)
         return self._run_shards(payloads).results()
 
@@ -300,5 +348,10 @@ class ShardedEngine(Engine):
                 "run_dynamic() needs arrival models (set config.arrivals)"
             )
         loads = as_load_batch(initial_loads, topo.n)
+        pool = self._resolve_pool(config)
+        if pool is not None:
+            return pool.run_batch(
+                topo, config, loads, dynamic=True
+            ).dynamic_results()
         payloads = self._shard_payloads(topo, config, loads, dynamic=True)
         return self._run_shards(payloads).dynamic_results()

@@ -163,7 +163,12 @@ def replica_ensemble(
     from the spawned stream ``rounding_stream(config.seed, b)`` on the
     vectorised ones).  ``engine="sharded"`` (with ``config.workers``) runs
     the same ensemble split across worker processes — the per-replica
-    results are bit-identical to ``engine="batched"``.
+    results are bit-identical to ``engine="batched"``.  Setting
+    ``config.pool=True`` additionally routes every sharded call in the
+    process through the shared persistent worker pool
+    (:func:`repro.engines.pool.default_pool`), so an ensemble sweep reuses
+    one set of warm workers — and their cached topology operators — for
+    all of its points.
     """
     if initial_loads is None:
         if n_replicas < 1:
@@ -451,7 +456,10 @@ def sweep_ensemble(
     batched submission: the sweep axes travel as
     :class:`~repro.engines.ReplicaParams` planes, so the engine advances
     every sweep point per vectorised step (and the sharded engine splits
-    them across worker processes, bit-identically).
+    them across worker processes, bit-identically).  With
+    ``config.pool=True`` every sharded call of a multi-sweep study runs on
+    the same persistent worker pool, amortising process startup and
+    per-topology operator preparation across sweeps.
 
     On the vectorised engines the rounding-stream keys are pinned per
     point to the seed *values* (default ``0 .. n_seeds-1``), which are

@@ -1,5 +1,6 @@
 """Persistence helpers for experiment results."""
 
+from .checkpoint import load_checkpoint, save_checkpoint
 from .results import (
     ExperimentRecord,
     dynamic_result_record,
@@ -8,6 +9,7 @@ from .results import (
     result_record,
     save_record,
 )
+from .traces import load_arrival_trace, save_arrival_trace
 
 __all__ = [
     "ExperimentRecord",
@@ -16,4 +18,8 @@ __all__ = [
     "save_record",
     "load_record",
     "list_records",
+    "save_arrival_trace",
+    "load_arrival_trace",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

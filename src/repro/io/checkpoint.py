@@ -1,0 +1,62 @@
+"""Engine-session checkpoint persistence (JSON).
+
+A checkpoint is the complete mid-run state of an
+:class:`~repro.engines.session.EngineSession`: the load/flow vectors, the
+RNG bit-generator states, the recorded table rows and the arrival
+accounting.  Everything is stored as JSON — numpy float64 values
+round-trip exactly through Python's repr-based float serialisation, and
+generator states are arbitrary-precision ints — so a resumed session
+reproduces the uninterrupted run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..exceptions import ConfigurationError
+from .results import _jsonable
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_CKPT_FORMAT = "repro-session-checkpoint"
+_CKPT_VERSION = 1
+
+
+def save_checkpoint(path: str, state: Dict[str, Any]) -> str:
+    """Write a session state dict to ``path``; returns the path."""
+    payload = {
+        "format": _CKPT_FORMAT,
+        "version": _CKPT_VERSION,
+        "state": _jsonable(state),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a session state dict back from ``path``."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigurationError(f"checkpoint file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("format") != _CKPT_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not a session checkpoint (missing format marker "
+            f"{_CKPT_FORMAT!r})"
+        )
+    if payload.get("version") != _CKPT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {payload.get('version')!r} in "
+            f"{path} (supported: {_CKPT_VERSION})"
+        )
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise ConfigurationError(f"checkpoint {path} carries no state dict")
+    return state

@@ -1,0 +1,84 @@
+"""Arrival-trace persistence (JSON).
+
+A trace is a recorded per-round delta stream: a ``(rounds, n)`` float64
+array whose row ``r`` holds the per-node token deltas injected at round
+``r``.  :func:`save_arrival_trace` / :func:`load_arrival_trace`
+round-trip it through JSON, and ``--arrivals trace:FILE`` replays it via
+:class:`~repro.core.dynamic.TraceArrivals` — deterministically, so a
+recorded workload reproduces bit for bit on any engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["save_arrival_trace", "load_arrival_trace"]
+
+_TRACE_FORMAT = "repro-arrival-trace"
+_TRACE_VERSION = 1
+
+
+def save_arrival_trace(path: str, deltas) -> str:
+    """Write a ``(rounds, n)`` per-round delta stream to ``path``.
+
+    ``deltas`` is anything :func:`numpy.asarray` turns into a finite 2D
+    float64 array.  Returns the path.
+    """
+    arr = np.asarray(deltas, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"arrival trace must be 2D (rounds, n), got shape {arr.shape}"
+        )
+    if arr.size and not np.isfinite(arr).all():
+        raise ConfigurationError("arrival trace must be finite")
+    payload = {
+        "format": _TRACE_FORMAT,
+        "version": _TRACE_VERSION,
+        "rounds": int(arr.shape[0]),
+        "n": int(arr.shape[1]),
+        "deltas": arr.tolist(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_arrival_trace(path: str) -> np.ndarray:
+    """Read a delta stream back as a ``(rounds, n)`` float64 array."""
+    try:
+        with open(path) as handle:
+            payload: Dict[str, Any] = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigurationError(f"arrival trace file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"arrival trace {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("format") != _TRACE_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not an arrival trace (missing format marker "
+            f"{_TRACE_FORMAT!r})"
+        )
+    if payload.get("version") != _TRACE_VERSION:
+        raise ConfigurationError(
+            f"unsupported arrival trace version {payload.get('version')!r} "
+            f"in {path} (supported: {_TRACE_VERSION})"
+        )
+    try:
+        arr = np.asarray(payload["deltas"], dtype=np.float64)
+    except (KeyError, ValueError) as exc:
+        raise ConfigurationError(
+            f"arrival trace {path} has a malformed deltas array: {exc}"
+        ) from None
+    rounds, n = int(payload.get("rounds", -1)), int(payload.get("n", -1))
+    if arr.ndim != 2 or arr.shape != (rounds, n):
+        raise ConfigurationError(
+            f"arrival trace {path} shape {arr.shape} does not match its "
+            f"header (rounds={rounds}, n={n})"
+        )
+    return arr

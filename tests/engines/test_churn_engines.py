@@ -9,10 +9,14 @@ The tentpole invariants:
   every rounding, with faults and arrivals composed on top;
 * the spectral/matmul fast path falls back (auto) or refuses (forced),
   the compiled kernel tier falls back (auto) or refuses (forced), and
-  the sharded engine refuses outright.
+  the sharded engine broadcasts one compiled
+  :class:`~repro.core.churn.ChurnPlan` to its workers and merges
+  bit-identically to the batched run (the random schedule is drawn
+  exactly once, parent-side).
 """
 
 import logging
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -227,11 +231,68 @@ class TestConservation:
         np.testing.assert_allclose(tot, expected)
 
 
-class TestGuards:
-    def test_sharded_refuses_churn(self):
-        cfg = _config(workers=2)
-        with pytest.raises(ConfigurationError, match="sharded"):
+class TestShardedChurn:
+    """Satellite of the pool PR: churn runs *through* the sharded engine.
+
+    The parent compiles the (possibly random) schedule into one
+    deterministic :class:`~repro.core.churn.ChurnPlan` and broadcasts it,
+    so every shard patches identically and the merge is bit-identical to
+    the batched run — including ``random:`` schedules, whose randomness
+    must be drawn exactly once.
+    """
+
+    @pytest.mark.parametrize("rounding", DETERMINISTIC + STOCHASTIC)
+    def test_static_sharded_matches_batched(self, rounding):
+        cfg = _config(rounding=rounding)
+        batched = _run("batched", cfg, _loads(B=5))
+        sharded = _run("sharded", replace(cfg, workers=2), _loads(B=5))
+        for b, (want, got) in enumerate(zip(batched, sharded)):
+            for field in STATIC_FIELDS:
+                np.testing.assert_array_equal(
+                    got.table.column(field), want.table.column(field),
+                    err_msg=f"replica {b}: {field}",
+                )
+            np.testing.assert_array_equal(
+                got.final_state.load, want.final_state.load
+            )
+
+    def test_random_schedule_drawn_once(self):
+        # A seed-derived random schedule must hit every shard identically;
+        # drawing it per worker would churn different topologies per shard.
+        cfg = _config(churn="random:0.1", rounding="floor")
+        batched = _run("batched", cfg, _loads(B=5))
+        sharded = _run("sharded", replace(cfg, workers=2), _loads(B=5))
+        for want, got in zip(batched, sharded):
+            np.testing.assert_array_equal(
+                got.table.column("total_load"), want.table.column("total_load")
+            )
+            np.testing.assert_array_equal(
+                got.final_state.load, want.final_state.load
+            )
+
+    def test_dynamic_sharded_matches_batched(self):
+        cfg = _config(arrivals="poisson:1.0,depart=0.5", rounding="nearest")
+        batched = _run_dynamic("batched", cfg, _loads(B=5))
+        sharded = _run_dynamic("sharded", replace(cfg, workers=2), _loads(B=5))
+        for want, got in zip(batched, sharded):
+            for field in DYNAMIC_FIELDS:
+                np.testing.assert_array_equal(
+                    got.table.column(field), want.table.column(field),
+                    err_msg=field,
+                )
+            np.testing.assert_array_equal(
+                got.final_state.load, want.final_state.load
+            )
+
+    def test_sharded_refuses_churn_with_staleness(self):
+        # The heterogeneous guard that remains: churn cannot compose with
+        # the bounded-staleness knobs on the sharded engine.
+        cfg = _config(workers=2, latency_model=1.0)
+        with pytest.raises(ConfigurationError, match="churn"):
             _run("sharded", cfg, _loads(B=4))
+
+
+class TestGuards:
 
     def test_forced_spectral_refuses_churn(self):
         cfg = _config(rounding="identity", fast_path="spectral")

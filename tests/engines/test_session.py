@@ -1,0 +1,326 @@
+"""EngineSession: incremental runs, live injection, checkpoint/resume.
+
+The session contract has three legs:
+
+* **replica equivalence** — ``EngineSession(topo, config, replica=b)``
+  advanced to ``config.rounds`` reproduces replica ``b`` of the reference
+  engine (and hence of every bit-identical engine), static and dynamic,
+  every rounding;
+* **checkpoint/resume is bit-for-bit** — a run interrupted at any round
+  and resumed from its JSON checkpoint produces exactly the
+  uninterrupted run's tables, final state and RNG-dependent tail;
+* **injection is exact** — deltas queued through :meth:`inject` are
+  indistinguishable from an arrival model that generated them, which the
+  :class:`~repro.core.dynamic.TraceArrivals` cross-check pins.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, torus_2d
+from repro.core.dynamic import TraceArrivals, make_arrival_model
+from repro.engines import (
+    EngineConfig,
+    EngineSession,
+    run_dynamic_replicas,
+    run_replicas,
+)
+from repro.exceptions import SimulationError
+from repro.io import load_arrival_trace, save_arrival_trace
+
+TOPO = torus_2d(6, 6)
+STATIC_FIELDS = (
+    "round_index", "scheme", "max_minus_avg", "min_minus_avg",
+    "max_local_diff", "potential_per_node", "min_load", "min_transient",
+    "total_load", "round_traffic",
+)
+DYNAMIC_FIELDS = (
+    "round_index", "total_load", "arrived", "departed", "clamped",
+    "max_minus_avg", "max_local_diff", "potential_per_node",
+)
+
+
+def _loads(B=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 60, size=(B, TOPO.n))
+
+
+def _static_config(**kw):
+    base = dict(scheme="sos", beta=1.7, rounds=25, seed=11,
+                rounding="randomized-excess", record_every=5)
+    base.update(kw)
+    return EngineConfig(**base)
+
+
+def _dynamic_config(**kw):
+    base = dict(scheme="fos", rounds=20, seed=3,
+                rounding="randomized-excess", arrivals="poisson:4,depart=2")
+    base.update(kw)
+    return EngineConfig(**base)
+
+
+def assert_tables_equal(a, b, fields):
+    for f in fields:
+        np.testing.assert_array_equal(
+            np.asarray(a.table.column(f)), np.asarray(b.table.column(f)),
+            err_msg=f,
+        )
+
+
+class TestReplicaEquivalence:
+    @pytest.mark.parametrize(
+        "rounding",
+        ["ceil", "floor", "identity", "nearest", "randomized-excess",
+         "unbiased-edge"],
+    )
+    def test_static_matches_reference(self, rounding):
+        cfg = _static_config(rounding=rounding, switch=("plateau", 6, 0.2, 3))
+        loads = _loads()
+        ref = run_replicas(TOPO, cfg, loads, engine="reference")
+        for b in range(loads.shape[0]):
+            session = EngineSession(TOPO, cfg, replica=b).start(loads[b])
+            session.advance(cfg.rounds)
+            res = session.finish()
+            assert_tables_equal(res, ref[b], STATIC_FIELDS)
+            assert res.switched_at == ref[b].switched_at
+            np.testing.assert_array_equal(
+                res.final_state.load, ref[b].final_state.load
+            )
+
+    def test_dynamic_matches_reference(self):
+        cfg = _dynamic_config()
+        loads = _loads()
+        ref = run_dynamic_replicas(TOPO, cfg, loads, engine="reference")
+        for b in range(loads.shape[0]):
+            session = EngineSession(TOPO, cfg, replica=b).start(loads[b])
+            session.advance(cfg.rounds)
+            res = session.finish()
+            assert_tables_equal(res, ref[b], DYNAMIC_FIELDS)
+            np.testing.assert_array_equal(
+                res.final_state.load, ref[b].final_state.load
+            )
+
+    def test_records_streams_incrementally(self):
+        cfg = _static_config(record_every=5)
+        s = EngineSession(TOPO, cfg).start(_loads()[0])
+        first = s.records()
+        assert len(first) == 1 and first[0]["round_index"] == 0
+        s.advance(5)
+        (row,) = s.records()
+        assert row["round_index"] == 5
+        s.advance(3)  # not a record round yet
+        assert s.records() == []
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("cut", [1, 13, 29])
+    def test_static_bit_for_bit(self, tmp_path, cut):
+        cfg = _static_config(rounds=30, record_every=3, keep_loads=True,
+                             switch=("plateau", 6, 0.2, 3))
+        load = _loads()[0]
+        full = EngineSession(TOPO, cfg).start(load)
+        full.advance(cfg.rounds)
+        want = full.finish()
+
+        half = EngineSession(TOPO, cfg).start(load)
+        half.advance(cut)
+        half.records()
+        path = str(tmp_path / "ckpt.json")
+        half.checkpoint(path)
+        resumed = EngineSession.resume(TOPO, cfg, path)
+        assert resumed.round_index == cut
+        resumed.advance(cfg.rounds - cut)
+        got = resumed.finish()
+        assert_tables_equal(got, want, STATIC_FIELDS)
+        assert got.switched_at == want.switched_at
+        np.testing.assert_array_equal(got.final_state.load, want.final_state.load)
+        np.testing.assert_array_equal(got.final_state.flows, want.final_state.flows)
+        assert len(got.loads_history) == len(want.loads_history)
+        for a, b in zip(got.loads_history, want.loads_history):
+            np.testing.assert_array_equal(a, b)
+
+    def test_dynamic_bit_for_bit(self, tmp_path):
+        cfg = _dynamic_config(rounds=24)
+        load = _loads()[0]
+        full = EngineSession(TOPO, cfg).start(load)
+        full.advance(cfg.rounds)
+        want = full.finish()
+
+        half = EngineSession(TOPO, cfg).start(load)
+        half.advance(11)
+        path = str(tmp_path / "ckpt.json")
+        half.checkpoint(path)
+        resumed = EngineSession.resume(TOPO, cfg, path)
+        resumed.advance(cfg.rounds - 11)
+        got = resumed.finish()
+        assert_tables_equal(got, want, DYNAMIC_FIELDS)
+        np.testing.assert_array_equal(got.final_state.load, want.final_state.load)
+
+    def test_queued_injection_survives_resume(self, tmp_path):
+        cfg = _dynamic_config(arrivals="none", rounds=6)
+        load = _loads()[0]
+        extra = np.linspace(-2, 4, TOPO.n)
+        a = EngineSession(TOPO, cfg).start(load)
+        a.advance(2)
+        a.inject(extra)
+        path = str(tmp_path / "ckpt.json")
+        a.checkpoint(path)
+        b = EngineSession.resume(TOPO, cfg, path)
+        a.advance(4)
+        b.advance(4)
+        np.testing.assert_array_equal(
+            a.finish().final_state.load, b.finish().final_state.load
+        )
+
+    def test_config_digest_mismatch_rejected(self, tmp_path):
+        cfg = _static_config()
+        path = str(tmp_path / "ckpt.json")
+        s = EngineSession(TOPO, cfg).start(_loads()[0])
+        s.advance(2)
+        s.checkpoint(path)
+        with pytest.raises(ConfigurationError, match="different config"):
+            EngineSession.resume(TOPO, _static_config(rounds=26), path)
+
+    def test_mode_mismatch_rejected(self, tmp_path):
+        cfg = _static_config()
+        path = str(tmp_path / "ckpt.json")
+        s = EngineSession(TOPO, cfg).start(_loads()[0])
+        s.advance(2)
+        s.checkpoint(path)
+        dyn = _dynamic_config()
+        with pytest.raises(ConfigurationError, match="static session"):
+            EngineSession.resume(TOPO, dyn, path)
+
+    def test_malformed_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            EngineSession.resume(TOPO, _static_config(), str(path))
+        with pytest.raises(ConfigurationError, match="not found"):
+            EngineSession.resume(TOPO, _static_config(), str(tmp_path / "no.json"))
+
+
+class TestInjection:
+    def test_inject_matches_trace_replay(self, tmp_path):
+        rng = np.random.default_rng(1)
+        trace = np.round(rng.uniform(-3, 6, size=(10, TOPO.n)), 3)
+        load = _loads()[0]
+        tcfg = _dynamic_config(rounds=10, seed=5, arrivals=TraceArrivals(trace))
+        want = run_dynamic_replicas(TOPO, tcfg, load[None], engine="reference")[0]
+
+        ncfg = _dynamic_config(rounds=10, seed=5, arrivals="none")
+        s = EngineSession(TOPO, ncfg).start(load)
+        for r in range(10):
+            s.inject(trace[r])
+            s.advance()
+        got = s.finish()
+        assert_tables_equal(got, want, DYNAMIC_FIELDS)
+        np.testing.assert_array_equal(got.final_state.load, want.final_state.load)
+
+    def test_inject_accumulates_and_guards(self):
+        cfg = _dynamic_config(arrivals="none", rounds=3)
+        s = EngineSession(TOPO, cfg).start(_loads()[0])
+        s.inject(np.ones(TOPO.n))
+        s.inject(np.ones(TOPO.n))  # same round: accumulates
+        s.advance()
+        assert s.finish().table.column("arrived")[0] == 2.0 * TOPO.n
+
+    def test_inject_rejects_static_and_bad_shapes(self):
+        static = EngineSession(TOPO, _static_config()).start(_loads()[0])
+        with pytest.raises(ConfigurationError, match="dynamic"):
+            static.inject(np.ones(TOPO.n))
+        dyn = EngineSession(TOPO, _dynamic_config()).start(_loads()[0])
+        with pytest.raises(ConfigurationError, match="shape"):
+            dyn.inject(np.ones(TOPO.n + 1))
+        with pytest.raises(ConfigurationError, match="finite"):
+            dyn.inject(np.full(TOPO.n, np.nan))
+
+
+class TestLifecycleGuards:
+    def test_start_twice_and_unstarted_access(self):
+        s = EngineSession(TOPO, _static_config())
+        with pytest.raises(SimulationError, match="not started"):
+            s.advance()
+        with pytest.raises(SimulationError, match="not started"):
+            _ = s.round_index
+        s.start(_loads()[0])
+        with pytest.raises(SimulationError, match="already started"):
+            s.start(_loads()[0])
+
+    def test_finished_session_refuses_work(self):
+        s = EngineSession(TOPO, _static_config()).start(_loads()[0])
+        s.advance(2)
+        first = s.finish()
+        assert s.finish() is first  # idempotent
+        with pytest.raises(SimulationError, match="finished"):
+            s.advance()
+
+    def test_rejected_configs(self):
+        for kw, msg in [
+            (dict(churn="random:0.1"), "churn"),
+            (dict(latency_model=1.0), "session"),
+            (dict(workers=2), "session"),
+            (dict(precision="float32"), "precision"),
+            (dict(record_mode="summary"), "session"),
+        ]:
+            with pytest.raises(ConfigurationError, match=msg):
+                EngineSession(TOPO, _static_config(**kw))
+        with pytest.raises(ConfigurationError, match="replica"):
+            EngineSession(TOPO, _static_config(), replica=-1)
+
+
+class TestArrivalTraces:
+    def test_round_trip(self, tmp_path):
+        trace = np.arange(12, dtype=np.float64).reshape(3, 4)
+        path = str(tmp_path / "trace.json")
+        save_arrival_trace(path, trace)
+        np.testing.assert_array_equal(load_arrival_trace(path), trace)
+
+    def test_trace_spec_parses_and_replays(self, tmp_path):
+        rng = np.random.default_rng(2)
+        trace = np.round(rng.uniform(0, 4, size=(6, TOPO.n)), 3)
+        path = str(tmp_path / "trace.json")
+        save_arrival_trace(path, trace)
+        load = _loads()[0]
+        for engine in ("reference", "batched"):
+            want = run_dynamic_replicas(
+                TOPO, _dynamic_config(rounds=6, arrivals=TraceArrivals(trace)),
+                load[None], engine=engine,
+            )[0]
+            got = run_dynamic_replicas(
+                TOPO, _dynamic_config(rounds=6, arrivals=f"trace:{path}"),
+                load[None], engine=engine,
+            )[0]
+            assert_tables_equal(got, want, DYNAMIC_FIELDS)
+
+    def test_rounds_past_trace_end_inject_nothing(self):
+        model = TraceArrivals(np.ones((2, TOPO.n)))
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            model.deltas(TOPO, 5, rng), np.zeros(TOPO.n)
+        )
+
+    def test_parser_rejections(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="trace:FILE"):
+            make_arrival_model("trace:")
+        with pytest.raises(ConfigurationError, match="not found"):
+            make_arrival_model("trace:/nonexistent/trace.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ConfigurationError, match="JSON"):
+            make_arrival_model(f"trace:{bad}")
+        bad.write_text('{"format": "other"}')
+        with pytest.raises(ConfigurationError, match="format marker"):
+            make_arrival_model(f"trace:{bad}")
+
+    def test_save_rejects_bad_arrays(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        with pytest.raises(ConfigurationError, match="2D"):
+            save_arrival_trace(path, np.ones(4))
+        with pytest.raises(ConfigurationError, match="finite"):
+            save_arrival_trace(path, np.full((2, 2), np.inf))
+
+    def test_wrong_node_count_rejected_at_use(self):
+        model = TraceArrivals(np.ones((3, 5)))
+        with pytest.raises(ConfigurationError, match="n=5"):
+            model.deltas(TOPO, 0, np.random.default_rng(0))

@@ -1,0 +1,91 @@
+"""Qualitative regression pins for the committed ``BENCH_sharded.json``.
+
+The sharded bench's headline is its *parity flag*: the merged multiprocess
+traces are bit-identical to the single-process batched run.  These pins
+read the committed artifact so a future merge-path change that silently
+drops the parity check — or archives a run whose shards diverged — fails
+CI without re-running the bench.  The ladder floors pin the measurement
+contract itself: which workload was measured, what speedup floor applies,
+and that the floor is only *asserted* on hardware the contract covers
+(>= 4 usable cores at ci/paper scale).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "BENCH_sharded.json"
+
+#: The workload the floors are defined over; archiving a different
+#: instance silently weakens the acceptance contract.
+EXPECTED_WORKLOAD = {
+    "n": 1024,
+    "rounds": 200,
+    "n_replicas": 128,
+    "record_every": 10,
+    "rounding": "randomized-excess",
+}
+SPEEDUP_FLOOR = 2.0
+MIN_CORES_FOR_ASSERT = 4
+
+
+@pytest.fixture(scope="module")
+def summary():
+    data = json.loads(BENCH.read_text())
+    return data["summary"]
+
+
+def test_parity_flags_all_set(summary):
+    # Sharding must never change results: every archived worker count
+    # carries a bit-identical flag, and every flag is True.
+    flags = {k: v for k, v in summary.items() if k.endswith("_bit_identical")}
+    assert "sharded_w1_bit_identical" in flags
+    for key, value in flags.items():
+        assert value is True, f"{key} archived as non-identical"
+
+
+def test_workload_matches_contract(summary):
+    for key, expected in EXPECTED_WORKLOAD.items():
+        assert summary[key] == expected, (
+            f"{key}={summary[key]!r} archived, contract measures {expected!r}"
+        )
+
+
+def test_floor_constants_pinned(summary):
+    assert summary["speedup_floor"] == SPEEDUP_FLOOR
+    assert summary["min_cores_for_assert"] == MIN_CORES_FOR_ASSERT
+
+
+def test_assert_flag_consistent_with_cores(summary):
+    # The floor is asserted exactly when the hardware is in contract;
+    # an artifact claiming asserted on a small box (or vice versa) means
+    # the bench's gating logic changed out from under the archive.
+    in_contract = summary["usable_cores"] >= MIN_CORES_FOR_ASSERT
+    assert summary["asserted"] == in_contract
+    if summary["asserted"]:
+        assert summary["best_speedup"] >= SPEEDUP_FLOOR
+
+
+def test_ladder_covers_usable_cores(summary):
+    # The ladder always measures w=1 and the full usable-core count.
+    cores = summary["usable_cores"]
+    assert cores >= 1
+    for w in {1, cores}:
+        assert f"sharded_w{w}_seconds" in summary
+        assert summary[f"sharded_w{w}_replicas_per_sec"] > 0
+        assert summary[f"sharded_w{w}_speedup"] == pytest.approx(
+            summary["batched_seconds"] / summary[f"sharded_w{w}_seconds"]
+        )
+
+
+def test_throughput_figures_self_consistent(summary):
+    assert summary["batched_replicas_per_sec"] == pytest.approx(
+        summary["n_replicas"] / summary["batched_seconds"]
+    )
+    assert summary["best_speedup"] == pytest.approx(
+        max(
+            v for k, v in summary.items() if k.endswith("_speedup")
+            if k != "best_speedup"
+        )
+    )
